@@ -1,0 +1,230 @@
+//! An ARC-inspired adaptive variant of ΔLRU-EDF.
+//!
+//! The paper's related-work section points at Megiddo–Modha's Adaptive
+//! Replacement Cache, which balances two lists (recency vs frequency) with a
+//! self-tuning parameter. ΔLRU-EDF's two halves (recency vs deadline) invite
+//! the same treatment: [`AdaptiveDlruEdf`] moves capacity between the LRU and
+//! EDF halves in response to the failure signals each half exists to prevent —
+//!
+//! * a **thrash signal** (a color is re-cached shortly after being evicted:
+//!   a larger LRU half would have kept it) grows the LRU half;
+//! * a **starvation signal** (an eligible color drops jobs while uncached:
+//!   a larger EDF half would have served it) grows the EDF half.
+//!
+//! This is an *extension* beyond the paper (its fixed n/4+n/4 split is what
+//! the proof of Theorem 1 uses); experiment E17 compares the two and shows
+//! the adaptive split matching the fixed one on the paper's adversaries while
+//! improving on skewed mixes.
+
+use crate::ranking::rank_key;
+use crate::state::BatchState;
+use rrs_core::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// ΔLRU-EDF with a self-tuning LRU/EDF capacity split.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDlruEdf {
+    state: BatchState,
+    cached: BTreeSet<ColorId>,
+    lru_set: BTreeSet<ColorId>,
+    n: usize,
+    /// Current LRU quota (distinct colors), in `[1, capacity - 1]`.
+    lru_quota: usize,
+    /// Rounds since each color was evicted (for the thrash signal).
+    evicted_at: BTreeMap<ColorId, Round>,
+    /// Re-cache window for the thrash signal.
+    window: Round,
+    thrash_signals: u64,
+    starve_signals: u64,
+}
+
+impl AdaptiveDlruEdf {
+    /// Creates the adaptive policy (`n` a positive multiple of 4, replication
+    /// fixed at 2 as in the paper).
+    pub fn new(table: &ColorTable, n: usize, delta: u64) -> Result<Self> {
+        if n == 0 || !n.is_multiple_of(4) {
+            return Err(Error::InvalidParameter(format!(
+                "adaptive ΔLRU-EDF needs n to be a positive multiple of 4; got {n}"
+            )));
+        }
+        let window = table.max_delay_bound().max(4);
+        Ok(AdaptiveDlruEdf {
+            state: BatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            lru_set: BTreeSet::new(),
+            n,
+            lru_quota: n / 4, // start at the paper's split
+            evicted_at: BTreeMap::new(),
+            window,
+            thrash_signals: 0,
+            starve_signals: 0,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Diagnostic: how often each adaptation signal fired.
+    pub fn signals(&self) -> (u64, u64) {
+        (self.thrash_signals, self.starve_signals)
+    }
+
+    /// Diagnostic: the current LRU quota.
+    pub fn lru_quota(&self) -> usize {
+        self.lru_quota
+    }
+
+    /// Instrumented per-color state.
+    pub fn state(&self) -> &BatchState {
+        &self.state
+    }
+}
+
+impl Policy for AdaptiveDlruEdf {
+    fn name(&self) -> String {
+        "Adaptive-ΔLRU-EDF".into()
+    }
+
+    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], _view: &EngineView) {
+        // Starvation signal: eligible colors dropping jobs while uncached.
+        for &(c, _) in dropped {
+            if self.state.color(c).eligible && !self.cached.contains(&c) {
+                self.starve_signals += 1;
+                if self.lru_quota > 1 {
+                    self.lru_quota -= 1;
+                }
+            }
+        }
+        let cached = &self.cached;
+        self.state
+            .drop_phase(round, dropped, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+    }
+
+    fn reconfigure(&mut self, round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let eligible = self.state.eligible_colors();
+        let capacity = self.capacity();
+        let lru_quota = self.lru_quota.min(capacity - 1).max(1);
+
+        // LRU half.
+        let mut by_ts = eligible.clone();
+        by_ts.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(self.state.color(c).timestamp),
+                !self.cached.contains(&c),
+                c,
+            )
+        });
+        by_ts.truncate(lru_quota);
+        self.lru_set = by_ts.into_iter().collect();
+        for &c in &self.lru_set {
+            if self.cached.insert(c) {
+                // Thrash signal: this color was evicted only recently.
+                if let Some(&t) = self.evicted_at.get(&c) {
+                    if round.saturating_sub(t) <= self.window {
+                        self.thrash_signals += 1;
+                        if self.lru_quota < capacity - 1 {
+                            self.lru_quota += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // EDF half over the remaining capacity.
+        let edf_quota = capacity - lru_quota;
+        let mut non_lru: Vec<ColorId> = eligible
+            .iter()
+            .copied()
+            .filter(|c| !self.lru_set.contains(c))
+            .collect();
+        non_lru.sort_by_key(|&c| rank_key(&self.state, view.pending, c));
+        for &c in non_lru.iter().take(edf_quota) {
+            if !view.pending.is_idle(c)
+                && self.cached.insert(c) {
+                    if let Some(&t) = self.evicted_at.get(&c) {
+                        if round.saturating_sub(t) <= self.window {
+                            self.thrash_signals += 1;
+                            if self.lru_quota < capacity - 1 {
+                                self.lru_quota += 1;
+                            }
+                        }
+                    }
+                }
+        }
+
+        // Evictions.
+        while self.cached.len() > capacity {
+            let worst = non_lru
+                .iter()
+                .rev()
+                .find(|c| self.cached.contains(c))
+                .copied()
+                .expect("over capacity implies a cached non-LRU color");
+            self.cached.remove(&worst);
+            self.evicted_at.insert(worst, round);
+        }
+
+        CacheTarget::replicated(self.cached.iter().copied(), 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::engine::run_policy;
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let t = ColorTable::from_delay_bounds(&[4]);
+        assert!(AdaptiveDlruEdf::new(&t, 6, 1).is_err());
+        assert!(AdaptiveDlruEdf::new(&t, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn serves_steady_traffic_like_the_fixed_split() {
+        let trace = TraceBuilder::with_delay_bounds(&[4, 8])
+            .batched_jobs(0, 4, 0, 128)
+            .batched_jobs(1, 8, 0, 128)
+            .build();
+        let mut adaptive = AdaptiveDlruEdf::new(trace.colors(), 8, 2).unwrap();
+        let ra = run_policy(&trace, &mut adaptive, 8, 2).unwrap();
+        let mut fixed = crate::DlruEdf::new(trace.colors(), 8, 2).unwrap();
+        let rf = run_policy(&trace, &mut fixed, 8, 2).unwrap();
+        assert_eq!(ra.cost.drop, rf.cost.drop);
+    }
+
+    #[test]
+    fn starvation_shrinks_the_lru_half() {
+        // Many eligible colors with pending work but capacity for few: the
+        // EDF half should grow (lru_quota shrink) as eligible drops appear.
+        let mut b = TraceBuilder::with_delay_bounds(&[4, 4, 4, 4, 4, 4]);
+        for c in 0..6 {
+            b = b.batched_jobs(c, 4, 0, 96);
+        }
+        let trace = b.build();
+        let mut p = AdaptiveDlruEdf::new(trace.colors(), 4, 2).unwrap();
+        run_policy(&trace, &mut p, 4, 2).unwrap();
+        let (_, starve) = p.signals();
+        assert!(starve > 0, "starvation signal fired");
+        assert_eq!(p.lru_quota(), 1, "LRU half shrank to its floor");
+    }
+
+    #[test]
+    fn quota_stays_in_bounds() {
+        let trace = TraceBuilder::with_delay_bounds(&[2, 4, 8, 16])
+            .batched_jobs(0, 2, 0, 64)
+            .batched_jobs(1, 4, 0, 64)
+            .batched_jobs(2, 8, 0, 64)
+            .batched_jobs(3, 16, 0, 64)
+            .build();
+        let mut p = AdaptiveDlruEdf::new(trace.colors(), 8, 2).unwrap();
+        run_policy(&trace, &mut p, 8, 2).unwrap();
+        let q = p.lru_quota();
+        assert!((1..=3).contains(&q), "quota {q} within [1, capacity-1]");
+    }
+}

@@ -1,0 +1,207 @@
+//! Baseline policies used as comparators in the experiments.
+//!
+//! None of these come from the paper; they bracket the design space the paper's
+//! introduction describes: static allocations (no reconfiguration cost, heavy
+//! drops under shifting workloads) versus fully greedy adaptation (good
+//! utilization, heavy thrashing). ΔLRU-EDF must beat both on adversarial mixes.
+
+use rrs_core::prelude::*;
+
+/// Statically partitions the `n` resources over all colors round-robin at round
+/// 0 and never reconfigures again.
+#[derive(Debug, Clone)]
+pub struct StaticPartition {
+    target: CacheTarget,
+    configured: bool,
+}
+
+impl StaticPartition {
+    /// Creates the static partition for `table` over `n` resources: slot `i`
+    /// serves color `i mod ncolors`.
+    pub fn new(table: &ColorTable, n: usize) -> Self {
+        let mut target = CacheTarget::empty();
+        if !table.is_empty() {
+            for slot in 0..n {
+                target.add(ColorId((slot % table.len()) as u32), 1);
+            }
+        }
+        StaticPartition {
+            target,
+            configured: false,
+        }
+    }
+}
+
+impl Policy for StaticPartition {
+    fn name(&self) -> String {
+        "StaticPartition".into()
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, _view: &EngineView) -> CacheTarget {
+        self.configured = true;
+        self.target.clone()
+    }
+}
+
+/// Configures once — at the first round with pending work, to the colors with
+/// the largest backlogs — and never reconfigures again.
+#[derive(Debug, Clone, Default)]
+pub struct NeverReconfigure {
+    target: Option<CacheTarget>,
+}
+
+impl NeverReconfigure {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for NeverReconfigure {
+    fn name(&self) -> String {
+        "NeverReconfigure".into()
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        if let Some(t) = &self.target {
+            return t.clone();
+        }
+        let mut colors = view.pending.nonidle_colors();
+        if colors.is_empty() {
+            return CacheTarget::empty();
+        }
+        colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
+        colors.truncate(view.n);
+        // Fill all n slots by cycling through the chosen colors.
+        let mut target = CacheTarget::empty();
+        for slot in 0..view.n {
+            target.add(colors[slot % colors.len()], 1);
+        }
+        self.target = Some(target.clone());
+        target
+    }
+}
+
+/// Fully greedy: every round, allocate all `n` slots to the colors with the
+/// most pending jobs (one slot per color, cycling while slots remain). Maximally
+/// adaptive and maximally thrash-prone.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyPending;
+
+impl GreedyPending {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for GreedyPending {
+    fn name(&self) -> String {
+        "GreedyPending".into()
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let mut colors = view.pending.nonidle_colors();
+        colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
+        colors.truncate(view.n);
+        let mut target = CacheTarget::empty();
+        if colors.is_empty() {
+            return target;
+        }
+        // Allocate slots proportionally-ish: round-robin over the chosen colors,
+        // but never more slots for a color than it has pending jobs.
+        let mut remaining: Vec<(ColorId, u64)> =
+            colors.iter().map(|&c| (c, view.pending.count(c))).collect();
+        let mut slots = view.n;
+        while slots > 0 {
+            let mut progressed = false;
+            for (c, left) in remaining.iter_mut() {
+                if slots == 0 {
+                    break;
+                }
+                if *left > 0 {
+                    target.add(*c, 1);
+                    *left -= 1;
+                    slots -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::engine::run_policy;
+
+    #[test]
+    fn static_partition_serves_uniform_load() {
+        let trace = TraceBuilder::with_delay_bounds(&[4, 4])
+            .batched_jobs(0, 2, 0, 32)
+            .batched_jobs(1, 2, 0, 32)
+            .build();
+        let mut p = StaticPartition::new(trace.colors(), 2);
+        let r = run_policy(&trace, &mut p, 2, 4).unwrap();
+        assert_eq!(r.cost.drop, 0);
+        assert_eq!(r.reconfig_events, 2, "configures each slot exactly once");
+    }
+
+    #[test]
+    fn static_partition_fails_on_skew() {
+        // All load on color 1; half the capacity is wasted on color 0.
+        let trace = TraceBuilder::with_delay_bounds(&[4, 4])
+            .batched_jobs(1, 8, 0, 32)
+            .build();
+        let mut p = StaticPartition::new(trace.colors(), 2);
+        let r = run_policy(&trace, &mut p, 2, 4).unwrap();
+        assert!(r.cost.drop > 0, "skewed load overflows the static slot");
+    }
+
+    #[test]
+    fn never_reconfigure_configures_once() {
+        let trace = TraceBuilder::with_delay_bounds(&[4, 4])
+            .jobs(0, 0, 4)
+            .jobs(8, 1, 4)
+            .build();
+        let mut p = NeverReconfigure::new();
+        let r = run_policy(&trace, &mut p, 2, 4).unwrap();
+        assert_eq!(r.reconfig_events, 2, "both slots configured once, never again");
+        assert_eq!(r.drops_by_color[1], 4, "later color is never served");
+    }
+
+    #[test]
+    fn greedy_pending_adapts_but_thrashes() {
+        // Load alternates between two colors each multiple of 4.
+        let mut b = TraceBuilder::with_delay_bounds(&[4, 4]);
+        for i in 0..8 {
+            b = b.jobs(i * 4, (i % 2) as u32, 4);
+        }
+        let trace = b.build();
+        let mut p = GreedyPending::new();
+        let r = run_policy(&trace, &mut p, 1, 4).unwrap();
+        assert!(r.reconfig_events >= 8, "greedy reconfigures per burst");
+    }
+
+    #[test]
+    fn greedy_pending_respects_pending_counts() {
+        // One pending job, four slots: greedy must not claim 4 copies.
+        let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 1).build();
+        let mut p = GreedyPending::new();
+        let r = run_policy(&trace, &mut p, 4, 1).unwrap();
+        assert_eq!(r.executed, 1);
+        assert_eq!(r.reconfig_events, 1, "only one slot ever configured");
+    }
+
+    #[test]
+    fn empty_color_table_is_harmless() {
+        let trace = Trace::new(ColorTable::new());
+        let mut p = StaticPartition::new(trace.colors(), 2);
+        let r = run_policy(&trace, &mut p, 2, 1).unwrap();
+        assert_eq!(r.cost.total(), 0);
+    }
+}

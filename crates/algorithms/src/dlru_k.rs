@@ -1,0 +1,161 @@
+//! ΔLRU-K: the LRU-K idea (O'Neil et al., cited in the paper's related work)
+//! applied to ΔLRU's timestamps.
+//!
+//! Plain ΔLRU stamps a color with its *most recent* qualifying counter
+//! wrapping event; ΔLRU-K stamps it with its **K-th most recent** one, so a
+//! color must sustain Δ-sized bursts K times before it outranks steadily
+//! recurring colors — the classic defense against one-off scans evicting a
+//! stable working set. `K = 1` reproduces ΔLRU exactly (tested). Like ΔLRU,
+//! this is a recency-only scheme and inherits its Appendix A pathology; it
+//! exists for the E17 ablation.
+
+use crate::state::BatchState;
+use rrs_core::prelude::*;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The ΔLRU-K policy.
+#[derive(Debug, Clone)]
+pub struct DlruK {
+    state: BatchState,
+    cached: BTreeSet<ColorId>,
+    /// Qualifying wrap-round history per color (most recent first, length K).
+    history: Vec<VecDeque<Round>>,
+    /// Last wrap round already folded into `history` per color.
+    folded: Vec<Option<Round>>,
+    n: usize,
+    k: usize,
+}
+
+impl DlruK {
+    /// Creates ΔLRU-K with history depth `k ≥ 1` and the paper's replication.
+    pub fn new(table: &ColorTable, n: usize, delta: u64, k: usize) -> Result<Self> {
+        if n == 0 || !n.is_multiple_of(2) {
+            return Err(Error::InvalidParameter(format!(
+                "ΔLRU-K needs even positive n; got {n}"
+            )));
+        }
+        if k == 0 {
+            return Err(Error::InvalidParameter("K must be at least 1".into()));
+        }
+        Ok(DlruK {
+            state: BatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            history: vec![VecDeque::new(); table.len()],
+            folded: vec![None; table.len()],
+            n,
+            k,
+        })
+    }
+
+    /// The K-th most recent qualifying wrap round of `color` (0 if fewer than
+    /// K wraps have qualified).
+    fn kth_timestamp(&self, color: ColorId) -> Round {
+        let h = &self.history[color.index()];
+        if h.len() < self.k {
+            0
+        } else {
+            h[self.k - 1]
+        }
+    }
+
+    /// Instrumented per-color state.
+    pub fn state(&self) -> &BatchState {
+        &self.state
+    }
+}
+
+impl Policy for DlruK {
+    fn name(&self) -> String {
+        format!("ΔLRU-{}", self.k)
+    }
+
+    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], _view: &EngineView) {
+        let cached = &self.cached;
+        self.state
+            .drop_phase(round, dropped, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+        // Fold newly-qualifying wraps into the history. The shared state's
+        // `timestamp` is exactly "the latest wrap strictly before the most
+        // recent multiple", so whenever it advances we record it.
+        for i in 0..self.history.len() {
+            let c = ColorId(i as u32);
+            let ts = self.state.color(c).timestamp;
+            if ts > 0 && self.folded[i] != Some(ts) {
+                self.folded[i] = Some(ts);
+                self.history[i].push_front(ts);
+                self.history[i].truncate(self.k);
+            }
+        }
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        debug_assert_eq!(view.n, self.n);
+        let mut eligible = self.state.eligible_colors();
+        eligible.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(self.kth_timestamp(c)),
+                !self.cached.contains(&c),
+                c,
+            )
+        });
+        eligible.truncate(self.n / 2);
+        self.cached = eligible.into_iter().collect();
+        CacheTarget::replicated(self.cached.iter().copied(), 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dlru;
+    use rrs_core::engine::run_policy;
+
+    #[test]
+    fn k1_matches_dlru() {
+        for seed_shift in 0..3u64 {
+            let trace = TraceBuilder::with_delay_bounds(&[4, 8, 16])
+                .batched_jobs(0, 3, 0, 128 + seed_shift * 8)
+                .batched_jobs(1, 5, 0, 128)
+                .batched_jobs(2, 9, 16, 128)
+                .build();
+            let mut k1 = DlruK::new(trace.colors(), 4, 2, 1).unwrap();
+            let r1 = run_policy(&trace, &mut k1, 4, 2).unwrap();
+            let mut dlru = Dlru::new(trace.colors(), 4, 2).unwrap();
+            let r0 = run_policy(&trace, &mut dlru, 4, 2).unwrap();
+            assert_eq!(r1.cost, r0.cost, "K=1 is exactly ΔLRU");
+        }
+    }
+
+    #[test]
+    fn higher_k_resists_one_off_bursts() {
+        // Color 0 recurs steadily; color 1 fires one big burst that under
+        // ΔLRU (K=1) instantly outranks color 0, but under K=2 does not.
+        let trace = TraceBuilder::with_delay_bounds(&[4, 4])
+            .batched_jobs(0, 2, 0, 64)
+            .jobs(32, 1, 2)
+            .build();
+        // Capacity one distinct color (n=2, replication 2).
+        let mut k2 = DlruK::new(trace.colors(), 2, 2, 2).unwrap();
+        let r2 = run_policy(&trace, &mut k2, 2, 2).unwrap();
+        let mut k1 = DlruK::new(trace.colors(), 2, 2, 1).unwrap();
+        let r1 = run_policy(&trace, &mut k1, 2, 2).unwrap();
+        // Under K=2 the steady color keeps the slot and drops nothing of its
+        // own after warmup; under K=1 the burst steals the slot for a while.
+        assert!(
+            r2.drops_by_color[0] <= r1.drops_by_color[0],
+            "K=2 protects the steady color: {:?} vs {:?}",
+            r2.drops_by_color,
+            r1.drops_by_color
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let t = ColorTable::from_delay_bounds(&[4]);
+        assert!(DlruK::new(&t, 3, 1, 1).is_err());
+        assert!(DlruK::new(&t, 4, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's color and job ranking schemes (§3.1.2, §3.3).
+//!
+//! Eligible colors are ranked **first on idleness** (nonidle colors first), then
+//! in ascending order of deadlines, breaking ties by increasing delay bounds and
+//! then by the consistent order of colors (ascending [`ColorId`]). Pending jobs
+//! are ranked by increasing deadline, then delay bound, then color order — which
+//! is exactly the derived `Ord` on [`rrs_core::Job`].
+
+use crate::state::BatchState;
+use rrs_core::prelude::*;
+
+/// A color's rank key. Smaller keys rank higher (better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ColorRank {
+    /// `false` (nonidle) sorts before `true` (idle).
+    pub idle: bool,
+    /// The color's current deadline `ℓ.dd`.
+    pub deadline: Round,
+    /// The color's delay bound `D_ℓ`.
+    pub delay_bound: u64,
+    /// Consistent tie-break: the color id.
+    pub color: ColorId,
+}
+
+/// Computes the rank key of `color` given the batch state and pending jobs.
+pub fn rank_key(state: &BatchState, pending: &PendingJobs, color: ColorId) -> ColorRank {
+    let s = state.color(color);
+    ColorRank {
+        idle: pending.is_idle(color),
+        deadline: s.deadline,
+        delay_bound: s.delay_bound,
+        color,
+    }
+}
+
+/// Ranks `colors` by the EDF scheme, best first.
+pub fn rank_colors(state: &BatchState, pending: &PendingJobs, colors: &mut [ColorId]) {
+    colors.sort_by_key(|&c| rank_key(state, pending, c));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColorId {
+        ColorId(i)
+    }
+
+    #[test]
+    fn nonidle_beats_idle_and_deadline_orders() {
+        // Colors: 0 (D=8), 1 (D=4), 2 (D=4).
+        let table = ColorTable::from_delay_bounds(&[8, 4, 4]);
+        let mut st = BatchState::new(&table, 1);
+        let mut pending = PendingJobs::new(3);
+        // Round 0: all colors hit a multiple; arrivals for colors 0 and 2.
+        st.arrival_phase(0, &[(c(0), 1), (c(2), 1)]);
+        pending.arrive(c(0), 8, 1);
+        pending.arrive(c(2), 4, 1);
+        // Deadlines: c0 -> 8, c1 -> 4, c2 -> 4. c1 is idle.
+        let mut colors = vec![c(0), c(1), c(2)];
+        rank_colors(&st, &pending, &mut colors);
+        // Nonidle first: c2 (deadline 4) before c0 (deadline 8); idle c1 last.
+        assert_eq!(colors, vec![c(2), c(0), c(1)]);
+    }
+
+    #[test]
+    fn delay_bound_breaks_deadline_ties() {
+        // c0: D=8 arriving at 0 -> deadline 8. c1: D=4, at round 4 deadline 8.
+        let table = ColorTable::from_delay_bounds(&[8, 4]);
+        let mut st = BatchState::new(&table, 1);
+        let mut pending = PendingJobs::new(2);
+        st.arrival_phase(0, &[(c(0), 1)]);
+        pending.arrive(c(0), 8, 1);
+        st.arrival_phase(4, &[(c(1), 1)]);
+        pending.arrive(c(1), 8, 1);
+        let mut colors = vec![c(0), c(1)];
+        rank_colors(&st, &pending, &mut colors);
+        // Equal deadlines (8); smaller delay bound (c1, D=4) ranks first.
+        assert_eq!(colors, vec![c(1), c(0)]);
+    }
+
+    #[test]
+    fn color_id_is_final_tiebreak() {
+        let table = ColorTable::from_delay_bounds(&[4, 4]);
+        let mut st = BatchState::new(&table, 1);
+        let mut pending = PendingJobs::new(2);
+        st.arrival_phase(0, &[(c(0), 1), (c(1), 1)]);
+        pending.arrive(c(0), 4, 1);
+        pending.arrive(c(1), 4, 1);
+        let mut colors = vec![c(1), c(0)];
+        rank_colors(&st, &pending, &mut colors);
+        assert_eq!(colors, vec![c(0), c(1)]);
+    }
+}

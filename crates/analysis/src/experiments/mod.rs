@@ -1,0 +1,190 @@
+//! The experiment harness: one function per claim in the paper.
+//!
+//! The paper is theory-only (no tables or figures), so the "evaluation" to
+//! reproduce is its set of theorems, lemmas and appendix constructions. Each
+//! experiment regenerates one claim as a measurable table; EXPERIMENTS.md
+//! records the claim vs. what we measure. Experiment ids:
+//!
+//! | id  | claim |
+//! |-----|-------|
+//! | E1  | Appendix A: ΔLRU's ratio diverges; ΔLRU-EDF stays flat |
+//! | E2  | Appendix B: EDF's ratio diverges; ΔLRU-EDF stays flat |
+//! | E3  | Theorem 1: ΔLRU-EDF resource competitive (rate-limited batched) |
+//! | E4  | Lemma 3.3: reconfig cost ≤ 4 · epochs · Δ |
+//! | E5  | Lemma 3.4: ineligible drop cost ≤ epochs · Δ |
+//! | E6  | Lemma 3.2 chain: eligible drops ≤ DS-Seq-EDF(α) ≤ Par-EDF(α) |
+//! | E7  | Theorem 2 (Distribute) + Lemma 4.1 (Aggregate factor sweep) |
+//! | E8  | Theorem 3 (VarBatch on general arrivals) |
+//! | E9  | True competitive ratios vs exact OPT on small instances |
+//! | E10 | Resource-augmentation sweep (ratio vs n/m) |
+//! | E11 | Ablations: LRU/EDF split and replication |
+//! | E13 | Data-center scenario comparison |
+//! | E14 | Router scenario comparison |
+//! | E15 | Companion variant [Δ|c_ℓ|D|D] via weighted caching (SPAA 2006) |
+//! | E16 | Paging special case: Sleator–Tarjan k/(k−h+1) + embedding |
+//! | E17 | Extensions: ARC-style adaptive split, ΔLRU-K |
+//! | E18 | §3.4 super-epoch accounting (Lemma 3.5 machinery) |
+//! | E19 | QoS latency (sojourn) profiles across algorithms |
+//! | E20 | §1 background dilemma: eager vs patient idle-cycle strategies |
+//!
+//! (E12 is the Criterion throughput benchmark suite in `rrs-bench`.)
+
+pub mod adversaries;
+pub mod companion;
+pub mod extensions;
+pub mod lemmas;
+pub mod scenarios;
+pub mod suite;
+pub mod sweeps;
+pub mod theorems;
+
+use crate::table::Table;
+
+/// Output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// Experiment id (e.g. "E1").
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// The paper claim being checked.
+    pub claim: &'static str,
+    /// Result table.
+    pub table: Table,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+    /// Whether the claim's checkable inequality held on every row
+    /// (`None` when the experiment is descriptive).
+    pub pass: Option<bool>,
+}
+
+impl ExpReport {
+    /// Renders the report as Markdown (for EXPERIMENTS.md-style documents).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!(
+            "## {} — {}\n\n**Claim.** {}\n\n{}",
+            self.id,
+            self.title,
+            self.claim,
+            self.table.to_markdown()
+        );
+        for n in &self.notes {
+            out.push_str("\n*");
+            out.push_str(n);
+            out.push_str("*\n");
+        }
+        if let Some(p) = self.pass {
+            out.push_str(if p { "\n**PASS**\n" } else { "\n**FAIL**\n" });
+        }
+        out
+    }
+
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\nClaim: {}\n\n", self.id, self.title, self.claim);
+        out.push_str(&self.table.render());
+        for n in &self.notes {
+            out.push_str("note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        if let Some(p) = self.pass {
+            out.push_str(if p { "PASS\n" } else { "FAIL\n" });
+        }
+        out
+    }
+}
+
+/// Global experiment sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Shrink instance sizes for fast CI runs.
+    pub quick: bool,
+    /// Worker threads for sweeps (0 = auto).
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            threads: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode constructor used by tests.
+    pub fn quick() -> Self {
+        ExpOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs an experiment by id ("e1" … "e14", case-insensitive).
+pub fn run_experiment(id: &str, opts: ExpOptions) -> Option<ExpReport> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(adversaries::e1_dlru_adversary(opts)),
+        "e2" => Some(adversaries::e2_edf_adversary(opts)),
+        "e3" => Some(theorems::e3_theorem1(opts)),
+        "e4" => Some(lemmas::e4_lemma33(opts)),
+        "e5" => Some(lemmas::e5_lemma34(opts)),
+        "e6" => Some(lemmas::e6_lemma32_chain(opts)),
+        "e7" => Some(theorems::e7_distribute(opts)),
+        "e8" => Some(theorems::e8_varbatch(opts)),
+        "e9" => Some(theorems::e9_exact_opt(opts)),
+        "e10" => Some(sweeps::e10_augmentation(opts)),
+        "e11" => Some(sweeps::e11_ablation(opts)),
+        "e13" => Some(scenarios::e13_datacenter(opts)),
+        "e15" => Some(companion::e15_uniform_variant(opts)),
+        "e16" => Some(companion::e16_paging(opts)),
+        "e17" => Some(extensions::e17_extensions(opts)),
+        "e18" => Some(lemmas::e18_super_epochs(opts)),
+        "e19" => Some(scenarios::e19_latency(opts)),
+        "e20" => Some(scenarios::e20_background_dilemma(opts)),
+        "e14" => Some(scenarios::e14_router(opts)),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("nope", ExpOptions::quick()).is_none());
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        let r = ExpReport {
+            id: "E0",
+            title: "t",
+            claim: "c",
+            table: t,
+            notes: vec!["hello".into()],
+            pass: Some(true),
+        };
+        let s = r.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("PASS"));
+        assert!(s.contains("hello"));
+        let md = r.render_markdown();
+        assert!(md.starts_with("## E0"));
+        assert!(md.contains("**PASS**"));
+        assert!(md.contains("| x |"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared workload suites used by several experiments.
+
+use super::ExpOptions;
+use rrs_core::prelude::*;
+use rrs_workloads::prelude::*;
+
+/// A named suite of **rate-limited batched** traces (the Theorem 1 regime).
+pub fn rate_limited_suite(opts: ExpOptions) -> Vec<(String, Trace)> {
+    let horizon = if opts.quick { 256 } else { 2048 };
+    let mut out = Vec::new();
+    for (name, bounds, load, activity) in [
+        ("uniform-2c", vec![4u64, 8], 0.6, 1.0),
+        ("uniform-6c", vec![2, 4, 4, 8, 16, 32], 0.5, 1.0),
+        ("sparse-6c", vec![2, 4, 4, 8, 16, 32], 0.7, 0.5),
+        ("hot-cold", vec![4, 4, 64, 64], 0.8, 0.9),
+    ] {
+        let g = RandomBatched {
+            delay_bounds: bounds,
+            load,
+            activity,
+            horizon,
+            rate_limited: true,
+        };
+        for s in 0..if opts.quick { 1 } else { 3 } {
+            out.push((format!("{name}/s{s}"), g.generate(opts.seed + s)));
+        }
+    }
+    let bursty = Bursty {
+        delay_bounds: vec![4, 8, 16, 32],
+        on_load: 0.9,
+        p_on: 0.3,
+        p_off: 0.3,
+        horizon,
+        rate_limited: true,
+    };
+    out.push(("bursty".into(), bursty.generate(opts.seed)));
+    out
+}
+
+/// A named suite of **batched but not rate-limited** traces (Theorem 2 regime).
+pub fn batched_suite(opts: ExpOptions) -> Vec<(String, Trace)> {
+    let horizon = if opts.quick { 256 } else { 2048 };
+    let mut out = Vec::new();
+    for (name, bounds, load) in [
+        ("burst-2c", vec![4u64, 8], 2.5),
+        ("burst-4c", vec![2, 8, 16, 64], 3.0),
+    ] {
+        let g = RandomBatched {
+            delay_bounds: bounds,
+            load,
+            activity: 0.7,
+            horizon,
+            rate_limited: false,
+        };
+        out.push((name.to_string(), g.generate(opts.seed)));
+    }
+    out
+}
+
+/// A named suite of **general-arrival** traces (Theorem 3 regime).
+pub fn general_suite(opts: ExpOptions) -> Vec<(String, Trace)> {
+    let horizon = if opts.quick { 256 } else { 2048 };
+    let mut out = Vec::new();
+    let g = RandomGeneral {
+        delay_bounds: vec![4, 8, 16, 64],
+        rates: vec![0.5, 0.4, 0.3, 0.2],
+        horizon,
+    };
+    out.push(("poisson-4c".into(), g.generate(opts.seed)));
+    let bg = BackgroundMix {
+        horizon,
+        ..BackgroundMix::default()
+    };
+    out.push(("background-mix".into(), bg.generate(opts.seed)));
+    let dc = Datacenter {
+        horizon,
+        ..Datacenter::default()
+    };
+    out.push(("datacenter".into(), dc.generate(opts.seed)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_classes() {
+        let o = ExpOptions::quick();
+        for (name, t) in rate_limited_suite(o) {
+            assert_eq!(t.batch_class(), BatchClass::RateLimited, "{name}");
+            assert!(t.total_jobs() > 0, "{name}");
+        }
+        for (name, t) in batched_suite(o) {
+            assert_ne!(t.batch_class(), BatchClass::General, "{name}");
+        }
+        assert_eq!(general_suite(o).len(), 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rrs-analysis — measurement toolkit and experiment harness
+//!
+//! * [`runner`] — a uniform [`runner::PolicyKind`] interface over every
+//!   scheduler in the workspace;
+//! * [`ratio`] — competitive-ratio estimation against the OPT sandwich
+//!   (lower bounds ≤ exact DP ≤ hindsight-greedy upper bound);
+//! * [`sweep`] — parallel parameter sweeps (crossbeam scoped threads);
+//! * [`table`] — plain-text and CSV tables;
+//! * [`experiments`] — one function per paper claim (E1–E14); see
+//!   EXPERIMENTS.md for the claim ↔ measurement mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod ratio;
+pub mod runner;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+pub mod viz;
+
+pub use experiments::{run_experiment, ExpOptions, ExpReport, ALL_IDS};
+pub use ratio::{estimate_opt, ratio, EstimateOptions, OptEstimate};
+pub use runner::{run_kind, PolicyKind, RunSummary};
+pub use stats::{bootstrap_ci, summarize, ConfidenceInterval, Summary};
+pub use sweep::par_map;
+pub use table::Table;
+pub use viz::{render_timeline, trace_stats, TraceStats};

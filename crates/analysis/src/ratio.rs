@@ -1,0 +1,180 @@
+//! Competitive-ratio estimation against the OPT sandwich.
+//!
+//! `OPT(σ, m)` is bracketed as `lower ≤ OPT ≤ upper`:
+//! the lower bound is `rrs_offline::bounds::combined_bound` (and the exact DP
+//! value when the instance is small enough), the upper bound is the hindsight
+//! greedy's cost (any feasible schedule upper-bounds OPT). Ratios against the
+//! lower bound are **upper bounds on the true competitive ratio**, ratios
+//! against the upper bound are lower bounds on it; the two together bound the
+//! truth.
+
+use rrs_core::prelude::*;
+use rrs_core::{CostModel, Engine, EngineOptions};
+use rrs_offline::{bounds, improve_schedule, optimal, HindsightGreedy, OptConfig};
+use serde::{Deserialize, Serialize};
+
+/// An estimate of the optimal offline cost for `m` resources.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OptEstimate {
+    /// Sound combinatorial lower bound.
+    pub lower: u64,
+    /// Exact optimum, when the DP fit in its state budget.
+    pub exact: Option<u64>,
+    /// Feasible-schedule upper bound (hindsight greedy).
+    pub upper: u64,
+}
+
+impl OptEstimate {
+    /// The best available stand-in for OPT: exact if known, else the lower
+    /// bound (keeping reported ratios conservative, i.e. pessimistic for the
+    /// online algorithm).
+    pub fn best(&self) -> u64 {
+        self.exact.unwrap_or(self.lower)
+    }
+}
+
+/// Options for [`estimate_opt`].
+#[derive(Debug, Clone, Copy)]
+pub struct EstimateOptions {
+    /// Attempt the exact DP (bounded by `max_states`).
+    pub try_exact: bool,
+    /// DP state budget.
+    pub max_states: usize,
+    /// Lookahead for the hindsight greedy (0 = auto from delay bounds).
+    pub lookahead: u64,
+    /// Local-search iterations to tighten the upper bound (0 = off).
+    pub improve_iterations: u64,
+}
+
+impl Default for EstimateOptions {
+    fn default() -> Self {
+        EstimateOptions {
+            try_exact: false,
+            max_states: 200_000,
+            lookahead: 0,
+            improve_iterations: 0,
+        }
+    }
+}
+
+/// Estimates `OPT(trace, m)` under reconfiguration cost `delta`.
+pub fn estimate_opt(trace: &Trace, m: usize, delta: u64, opts: EstimateOptions) -> OptEstimate {
+    let lower = bounds::combined_bound(trace, m, delta);
+    let exact = if opts.try_exact {
+        let cfg = OptConfig {
+            m,
+            delta,
+            max_states: opts.max_states,
+        };
+        optimal(trace, cfg).ok().map(|r| r.cost)
+    } else {
+        None
+    };
+    let lookahead = if opts.lookahead == 0 {
+        trace.colors().max_delay_bound().max(8)
+    } else {
+        opts.lookahead
+    };
+    let mut h = HindsightGreedy::new(trace.clone(), lookahead);
+    let engine = Engine::with_options(EngineOptions {
+        speed: Speed::Uni,
+        record_schedule: opts.improve_iterations > 0,
+        track_latency: false,
+    });
+    let upper = match engine.run(trace, &mut h, m, CostModel::new(delta)) {
+        Ok(r) => {
+            let mut upper = r.cost.total();
+            if opts.improve_iterations > 0 {
+                if let Some(schedule) = r.schedule.as_ref() {
+                    if let Ok(improved) = improve_schedule(
+                        trace,
+                        schedule,
+                        delta,
+                        opts.improve_iterations,
+                        0x5EED,
+                    ) {
+                        upper = upper.min(improved.cost);
+                    }
+                }
+            }
+            upper
+        }
+        Err(_) => u64::MAX,
+    };
+    OptEstimate {
+        lower,
+        exact,
+        upper: upper.max(exact.unwrap_or(0)).max(lower),
+    }
+}
+
+/// Ratio of an online cost to an OPT stand-in, with 0/0 = 1.
+pub fn ratio(online_cost: u64, opt: u64) -> f64 {
+    match (online_cost, opt) {
+        (0, 0) => 1.0,
+        (_, 0) => f64::INFINITY,
+        _ => online_cost as f64 / opt as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_is_ordered() {
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .batched_jobs(0, 3, 0, 32)
+            .jobs(0, 1, 12)
+            .build();
+        let est = estimate_opt(
+            &t,
+            1,
+            2,
+            EstimateOptions {
+                try_exact: true,
+                ..Default::default()
+            },
+        );
+        let exact = est.exact.expect("small instance solves exactly");
+        assert!(est.lower <= exact, "{} <= {exact}", est.lower);
+        assert!(exact <= est.upper, "{exact} <= {}", est.upper);
+        assert_eq!(est.best(), exact);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(5, 0), f64::INFINITY);
+        assert!((ratio(6, 3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_search_tightens_the_upper_bound() {
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .batched_jobs(0, 3, 0, 64)
+            .jobs(0, 1, 12)
+            .build();
+        let plain = estimate_opt(&t, 1, 3, EstimateOptions::default());
+        let tightened = estimate_opt(
+            &t,
+            1,
+            3,
+            EstimateOptions {
+                improve_iterations: 500,
+                ..Default::default()
+            },
+        );
+        assert!(tightened.upper <= plain.upper);
+        assert!(tightened.lower == plain.lower);
+    }
+
+    #[test]
+    fn without_exact_best_is_lower() {
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 6).build();
+        let est = estimate_opt(&t, 1, 3, EstimateOptions::default());
+        assert!(est.exact.is_none());
+        assert_eq!(est.best(), est.lower);
+        assert!(est.upper >= est.lower);
+    }
+}

@@ -1,0 +1,310 @@
+//! A uniform, nameable interface over every scheduler in the workspace.
+//!
+//! Experiments, sweeps and benchmarks refer to algorithms as [`PolicyKind`]
+//! values (plain data, serializable), and [`run_kind`] executes any of them on
+//! a trace, returning a single [`RunSummary`] shape regardless of whether the
+//! algorithm is a plain engine policy, a double-speed policy, a reduction
+//! pipeline or the offline heuristic.
+
+use rrs_algorithms::prelude::*;
+use rrs_core::prelude::*;
+use rrs_core::{CostModel, Engine, EngineOptions};
+use rrs_offline::HindsightGreedy;
+use rrs_reductions::{run_distribute, run_varbatch};
+use serde::{Deserialize, Serialize};
+
+/// Every runnable scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// ΔLRU-EDF (paper §3.1.3) — the core contribution.
+    DlruEdf,
+    /// ΔLRU alone (paper §3.1.1).
+    Dlru,
+    /// EDF alone (paper §3.1.2).
+    Edf,
+    /// Seq-EDF (paper §3.3; no replication).
+    SeqEdf,
+    /// DS-Seq-EDF (paper §3.3; Seq-EDF on a double-speed engine).
+    DsSeqEdf,
+    /// Distribute ∘ ΔLRU-EDF (paper §4) — for batched inputs.
+    Distribute,
+    /// VarBatch ∘ Distribute ∘ ΔLRU-EDF (paper §5) — for general inputs.
+    VarBatch,
+    /// Static round-robin partition baseline.
+    StaticPartition,
+    /// Configure-once baseline.
+    NeverReconfigure,
+    /// Fully greedy most-pending baseline.
+    GreedyPending,
+    /// Offline hindsight greedy (the lookahead window is chosen from the
+    /// trace's delay bounds).
+    HindsightGreedy,
+    /// ARC-style adaptive ΔLRU-EDF (extension beyond the paper).
+    AdaptiveDlruEdf,
+    /// ΔLRU with LRU-K style (K = 2) timestamps (extension).
+    DlruK2,
+    /// §1's "use idle cycles whenever available" strategy.
+    EagerBackground,
+    /// §1's "wait for a long idle period" strategy (patience = max D).
+    PatientBackground,
+}
+
+impl PolicyKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::DlruEdf => "ΔLRU-EDF",
+            PolicyKind::Dlru => "ΔLRU",
+            PolicyKind::Edf => "EDF",
+            PolicyKind::SeqEdf => "Seq-EDF",
+            PolicyKind::DsSeqEdf => "DS-Seq-EDF",
+            PolicyKind::Distribute => "Distribute",
+            PolicyKind::VarBatch => "VarBatch",
+            PolicyKind::StaticPartition => "Static",
+            PolicyKind::NeverReconfigure => "Never",
+            PolicyKind::GreedyPending => "Greedy",
+            PolicyKind::HindsightGreedy => "Hindsight",
+            PolicyKind::AdaptiveDlruEdf => "Adaptive-ΔLRU-EDF",
+            PolicyKind::DlruK2 => "ΔLRU-2",
+            PolicyKind::EagerBackground => "Eager-BG",
+            PolicyKind::PatientBackground => "Patient-BG",
+        }
+    }
+
+    /// All online algorithms from the paper.
+    pub fn paper_online() -> &'static [PolicyKind] {
+        &[PolicyKind::Dlru, PolicyKind::Edf, PolicyKind::DlruEdf]
+    }
+
+    /// A standard comparison set: paper algorithms plus baselines.
+    pub fn comparison_set() -> &'static [PolicyKind] {
+        &[
+            PolicyKind::DlruEdf,
+            PolicyKind::Dlru,
+            PolicyKind::Edf,
+            PolicyKind::StaticPartition,
+            PolicyKind::NeverReconfigure,
+            PolicyKind::GreedyPending,
+        ]
+    }
+}
+
+/// The flattened outcome of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Which algorithm ran.
+    pub kind: PolicyKind,
+    /// Resources given.
+    pub n: usize,
+    /// Δ used.
+    pub delta: u64,
+    /// Total, reconfiguration and drop cost.
+    pub cost: Cost,
+    /// Executed job count.
+    pub executed: u64,
+    /// Dropped job count (equals `cost.drop` under the paper's unit drop
+    /// costs).
+    pub dropped_jobs: u64,
+    /// Individual resource recolorings.
+    pub reconfig_events: u64,
+    /// Paper-analysis instrumentation, when the algorithm exposes it.
+    pub instrumentation: Option<Instrumentation>,
+}
+
+/// Quantities from the paper's analysis (§3.2–§3.4), captured when the policy
+/// maintains the shared batch state.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Instrumentation {
+    /// Number of epochs (per the §3.2 definition).
+    pub num_epochs: u64,
+    /// Drop cost on ineligible jobs (Lemma 3.4's LHS).
+    pub ineligible_drops: u64,
+    /// Drop cost on eligible jobs (Lemma 3.2's LHS).
+    pub eligible_drops: u64,
+    /// Timestamp update events (§3.4).
+    pub ts_updates: u64,
+}
+
+fn instr(state: &BatchState) -> Instrumentation {
+    Instrumentation {
+        num_epochs: state.num_epochs(),
+        ineligible_drops: state.ineligible_drop_cost(),
+        eligible_drops: state.eligible_drop_cost(),
+        ts_updates: state.ts_update_events(),
+    }
+}
+
+fn summarize(kind: PolicyKind, r: &RunResult, instrumentation: Option<Instrumentation>) -> RunSummary {
+    RunSummary {
+        kind,
+        n: r.n,
+        delta: r.delta,
+        cost: r.cost,
+        executed: r.executed,
+        dropped_jobs: r.dropped_jobs,
+        reconfig_events: r.reconfig_events,
+        instrumentation,
+    }
+}
+
+/// Runs `kind` with `n` resources and reconfiguration cost `delta` on `trace`.
+pub fn run_kind(kind: PolicyKind, trace: &Trace, n: usize, delta: u64) -> Result<RunSummary> {
+    let engine = Engine::new();
+    let cm = CostModel::new(delta);
+    match kind {
+        PolicyKind::DlruEdf => {
+            let mut p = DlruEdf::new(trace.colors(), n, delta)?;
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::Dlru => {
+            let mut p = Dlru::new(trace.colors(), n, delta)?;
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::Edf => {
+            let mut p = Edf::new(trace.colors(), n, delta)?;
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::SeqEdf => {
+            let mut p = Edf::seq_edf(trace.colors(), n, delta)?;
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::DsSeqEdf => {
+            let mut p = Edf::seq_edf(trace.colors(), n, delta)?;
+            let ds = Engine::with_options(EngineOptions {
+                speed: Speed::Double,
+                record_schedule: false,
+                track_latency: false,
+            });
+            let r = ds.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::Distribute => {
+            let run = run_distribute(trace, n, delta)?;
+            Ok(RunSummary {
+                kind,
+                n,
+                delta,
+                // The reductions target the unit-drop-cost main problem, so
+                // drop cost equals dropped-job count.
+                cost: run.projected_cost,
+                executed: trace.total_jobs() - run.projected_cost.drop,
+                dropped_jobs: run.projected_cost.drop,
+                reconfig_events: run.projected_cost.reconfig / delta,
+                instrumentation: None,
+            })
+        }
+        PolicyKind::VarBatch => {
+            let run = run_varbatch(trace, n, delta)?;
+            Ok(RunSummary {
+                kind,
+                n,
+                delta,
+                cost: run.cost,
+                executed: trace.total_jobs() - run.cost.drop,
+                dropped_jobs: run.cost.drop,
+                reconfig_events: run.cost.reconfig / delta,
+                instrumentation: None,
+            })
+        }
+        PolicyKind::StaticPartition => {
+            let mut p = StaticPartition::new(trace.colors(), n);
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, None))
+        }
+        PolicyKind::NeverReconfigure => {
+            let mut p = NeverReconfigure::new();
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, None))
+        }
+        PolicyKind::GreedyPending => {
+            let mut p = GreedyPending::new();
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, None))
+        }
+        PolicyKind::HindsightGreedy => {
+            let lookahead = trace.colors().max_delay_bound().max(8);
+            let mut p = HindsightGreedy::new(trace.clone(), lookahead);
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, None))
+        }
+        PolicyKind::AdaptiveDlruEdf => {
+            let mut p = AdaptiveDlruEdf::new(trace.colors(), n, delta)?;
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::DlruK2 => {
+            let mut p = DlruK::new(trace.colors(), n, delta, 2)?;
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, Some(instr(p.state()))))
+        }
+        PolicyKind::EagerBackground => {
+            let mut p = EagerBackground::new();
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, None))
+        }
+        PolicyKind::PatientBackground => {
+            let mut p = PatientBackground::new(trace.colors().max_delay_bound());
+            let r = engine.run(trace, &mut p, n, cm)?;
+            Ok(summarize(kind, &r, None))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> Trace {
+        TraceBuilder::with_delay_bounds(&[4, 8])
+            .batched_jobs(0, 3, 0, 64)
+            .batched_jobs(1, 6, 0, 64)
+            .build()
+    }
+
+    #[test]
+    fn all_kinds_run_and_conserve_jobs() {
+        let t = demo_trace();
+        for &kind in &[
+            PolicyKind::DlruEdf,
+            PolicyKind::Dlru,
+            PolicyKind::Edf,
+            PolicyKind::SeqEdf,
+            PolicyKind::DsSeqEdf,
+            PolicyKind::Distribute,
+            PolicyKind::VarBatch,
+            PolicyKind::StaticPartition,
+            PolicyKind::NeverReconfigure,
+            PolicyKind::GreedyPending,
+            PolicyKind::HindsightGreedy,
+        ] {
+            let s = run_kind(kind, &t, 8, 2).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(
+                s.executed + s.cost.drop,
+                t.total_jobs(),
+                "{kind:?} conserves jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn instrumentation_present_for_batched_policies() {
+        let t = demo_trace();
+        let s = run_kind(PolicyKind::DlruEdf, &t, 8, 2).unwrap();
+        let i = s.instrumentation.expect("ΔLRU-EDF is instrumented");
+        assert!(i.num_epochs >= 1);
+        assert!(run_kind(PolicyKind::GreedyPending, &t, 8, 2)
+            .unwrap()
+            .instrumentation
+            .is_none());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PolicyKind::DlruEdf.name(), "ΔLRU-EDF");
+        assert_eq!(PolicyKind::comparison_set().len(), 6);
+    }
+}

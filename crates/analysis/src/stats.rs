@@ -1,0 +1,176 @@
+//! Summary statistics for multi-seed experiment aggregation.
+//!
+//! Sweeps repeat each configuration across seeds; these helpers turn the raw
+//! samples into a [`Summary`] (mean, standard deviation, percentiles) and a
+//! seeded bootstrap confidence interval for the mean, so tables can report
+//! `mean ± half-width` instead of bare point estimates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Point summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes a [`Summary`] (empty samples produce all-zero output).
+pub fn summarize(samples: &[f64]) -> Summary {
+    let n = samples.len();
+    if n == 0 {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            min: 0.0,
+            median: 0.0,
+            max: 0.0,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        median: percentile_sorted(&sorted, 0.5),
+        max: sorted[n - 1],
+    }
+}
+
+/// The `q`-percentile of a **sorted** sample via linear interpolation.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A seeded bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Percentile-bootstrap CI for the mean with `resamples` draws.
+pub fn bootstrap_ci(samples: &[f64], level: f64, resamples: usize, seed: u64) -> ConfidenceInterval {
+    if samples.len() < 2 {
+        let v = samples.first().copied().unwrap_or(0.0);
+        return ConfidenceInterval {
+            lo: v,
+            hi: v,
+            level,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..resamples.max(1))
+        .map(|_| {
+            (0..samples.len())
+                .map(|_| samples[rng.gen_range(0..samples.len())])
+                .sum::<f64>()
+                / samples.len() as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+    ConfidenceInterval {
+        lo: percentile_sorted(&means, alpha),
+        hi: percentile_sorted(&means, 1.0 - alpha),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = summarize(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = summarize(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_contains_the_mean_and_is_seeded() {
+        let samples: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let mean = summarize(&samples).mean;
+        let ci = bootstrap_ci(&samples, 0.95, 500, 1);
+        assert!(ci.lo <= mean && mean <= ci.hi, "{ci:?} vs mean {mean}");
+        assert!(ci.lo < ci.hi);
+        let ci2 = bootstrap_ci(&samples, 0.95, 500, 1);
+        assert_eq!(ci, ci2, "deterministic per seed");
+    }
+
+    #[test]
+    fn bootstrap_narrows_with_more_data() {
+        let small: Vec<f64> = (0..8).map(|i| (i % 5) as f64).collect();
+        let big: Vec<f64> = (0..512).map(|i| (i % 5) as f64).collect();
+        let ci_small = bootstrap_ci(&small, 0.95, 400, 2);
+        let ci_big = bootstrap_ci(&big, 0.95, 400, 2);
+        assert!(ci_big.hi - ci_big.lo < ci_small.hi - ci_small.lo);
+    }
+
+    #[test]
+    fn bootstrap_degenerate_cases() {
+        let ci = bootstrap_ci(&[], 0.9, 100, 0);
+        assert_eq!((ci.lo, ci.hi), (0.0, 0.0));
+        let ci = bootstrap_ci(&[3.5], 0.9, 100, 0);
+        assert_eq!((ci.lo, ci.hi), (3.5, 3.5));
+    }
+}

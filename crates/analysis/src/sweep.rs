@@ -1,0 +1,93 @@
+//! Parallel parameter sweeps.
+//!
+//! Experiments fan out over (workload, seed, n, Δ, algorithm) grids;
+//! [`par_map`] evaluates a pure function over such a grid on all cores using
+//! crossbeam scoped threads with a shared atomic work index (no unsafe, no
+//! data races — results return through per-thread vectors that are stitched
+//! back in input order).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item in parallel, preserving input order in the
+/// output. `threads = 0` uses the available parallelism.
+pub fn par_map<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(items.clone(), 8, |&x| x * x);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(par_map(vec![7], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let out = par_map((0..100).collect::<Vec<u32>>(), 0, |&x| x + 1);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn heavier_work_is_correct() {
+        let out = par_map((0..64u64).collect::<Vec<_>>(), 4, |&x| {
+            (0..=x).sum::<u64>()
+        });
+        assert_eq!(out[10], 55);
+        assert_eq!(out[63], 63 * 64 / 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Plain-text visualization of schedules and traces.
+//!
+//! [`render_timeline`] draws a cache-occupancy chart from an
+//! [`ExplicitSchedule`]: one row per color, one column per time bucket, with
+//! the glyph encoding how many locations the color held during the bucket.
+//! Good for eyeballing thrashing (vertical stripes), starvation (empty rows
+//! under load) and the ΔLRU-EDF residency pattern.
+
+use rrs_core::prelude::*;
+use rrs_core::schedule::ExplicitSchedule;
+use std::fmt::Write as _;
+
+/// Glyph ramp: occupancy share of the bucket → density character.
+const RAMP: &[char] = &[' ', '.', ':', '+', '*', '#'];
+
+/// Renders a per-color occupancy timeline of `schedule` over `width` columns.
+/// Each column aggregates `ceil(rounds / width)` rounds; the glyph shows the
+/// color's average cached-copy count in the bucket relative to the schedule's
+/// maximum per-color occupancy.
+pub fn render_timeline(schedule: &ExplicitSchedule, colors: &ColorTable, width: usize) -> String {
+    let width = width.max(1);
+    let steps = &schedule.steps;
+    if steps.is_empty() || colors.is_empty() {
+        return String::from("(empty schedule)\n");
+    }
+    let rounds = steps.last().map(|s| s.round + 1).unwrap_or(0) as usize;
+    let bucket = rounds.div_ceil(width).max(1);
+    let ncols = rounds.div_ceil(bucket);
+    // occupancy[color][bucket] = sum of cached copies over the bucket.
+    let mut occupancy = vec![vec![0u64; ncols]; colors.len()];
+    for step in steps {
+        let b = step.round as usize / bucket;
+        for (c, copies) in step.cache.iter() {
+            occupancy[c.index()][b] += u64::from(copies);
+        }
+    }
+    let max = occupancy
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cache occupancy ({} rounds, {} per column; ' '<.<:<+<*<# density)",
+        rounds, bucket
+    );
+    for (i, row) in occupancy.iter().enumerate() {
+        let c = ColorId(i as u32);
+        let _ = write!(out, "{:>4} D={:<6} |", c.to_string(), colors.delay_bound(c));
+        for &v in row {
+            let idx = ((v * (RAMP.len() as u64 - 1)).div_ceil(max)) as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total jobs.
+    pub total_jobs: u64,
+    /// Number of colors.
+    pub ncolors: usize,
+    /// Horizon (max deadline).
+    pub horizon: Round,
+    /// Jobs per color.
+    pub jobs_per_color: Vec<u64>,
+    /// Largest single-round arrival burst.
+    pub peak_burst: u64,
+    /// Mean arrivals per round (over rounds 0..=last arrival).
+    pub mean_load: f64,
+    /// Index of dispersion of per-round arrival counts (variance / mean);
+    /// 1 ≈ Poisson, ≫1 bursty.
+    pub dispersion: f64,
+}
+
+/// Computes [`TraceStats`].
+pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let ncolors = trace.colors().len();
+    let mut jobs_per_color = vec![0u64; ncolors];
+    let mut per_round: std::collections::BTreeMap<Round, u64> = Default::default();
+    let mut peak_burst = 0;
+    for a in trace.iter() {
+        jobs_per_color[a.color.index()] += a.count;
+        peak_burst = peak_burst.max(a.count);
+        *per_round.entry(a.round).or_insert(0) += a.count;
+    }
+    let last = trace.last_arrival_round().unwrap_or(0);
+    let rounds = (last + 1) as f64;
+    let mean = trace.total_jobs() as f64 / rounds;
+    // Variance over all rounds including empty ones.
+    let sum_sq: f64 = per_round.values().map(|&v| (v as f64) * (v as f64)).sum();
+    let var = sum_sq / rounds - mean * mean;
+    TraceStats {
+        total_jobs: trace.total_jobs(),
+        ncolors,
+        horizon: trace.horizon(),
+        jobs_per_color,
+        peak_burst,
+        mean_load: mean,
+        dispersion: if mean > 0.0 { var / mean } else { 0.0 },
+    }
+}
+
+impl TraceStats {
+    /// Renders the stats as a small report.
+    pub fn render(&self, colors: &ColorTable) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jobs {}  colors {}  horizon {}  peak burst {}  mean load {:.2}/round  dispersion {:.2}",
+            self.total_jobs, self.ncolors, self.horizon, self.peak_burst, self.mean_load,
+            self.dispersion
+        );
+        for (i, &jobs) in self.jobs_per_color.iter().enumerate() {
+            let c = ColorId(i as u32);
+            let _ = writeln!(
+                out,
+                "  {c}: D={} jobs={} ({:.1}%)",
+                colors.delay_bound(c),
+                jobs,
+                100.0 * jobs as f64 / self.total_jobs.max(1) as f64
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{CostModel, Engine, EngineOptions};
+
+    #[test]
+    fn timeline_renders_rows_per_color() {
+        let trace = TraceBuilder::with_delay_bounds(&[4, 8])
+            .batched_jobs(0, 4, 0, 32)
+            .batched_jobs(1, 8, 0, 32)
+            .build();
+        let mut p = rrs_algorithms::DlruEdf::new(trace.colors(), 4, 2).unwrap();
+        let engine = Engine::with_options(EngineOptions {
+            speed: Speed::Uni,
+            record_schedule: true,
+            track_latency: false,
+        });
+        let r = engine.run(&trace, &mut p, 4, CostModel::new(2)).unwrap();
+        let viz = render_timeline(r.schedule.as_ref().unwrap(), trace.colors(), 40);
+        let lines: Vec<&str> = viz.lines().collect();
+        assert_eq!(lines.len(), 3, "{viz}");
+        assert!(lines[1].contains("c0"));
+        assert!(lines[2].contains("c1"));
+        assert!(viz.contains('#'), "an occupied stretch renders densely:\n{viz}");
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let s = ExplicitSchedule::new(2, Speed::Uni);
+        let t = ColorTable::from_delay_bounds(&[2]);
+        assert!(render_timeline(&s, &t, 10).contains("empty"));
+    }
+
+    #[test]
+    fn stats_basics() {
+        let trace = TraceBuilder::with_delay_bounds(&[4, 8])
+            .jobs(0, 0, 6)
+            .jobs(0, 1, 2)
+            .jobs(4, 0, 2)
+            .build();
+        let s = trace_stats(&trace);
+        assert_eq!(s.total_jobs, 10);
+        assert_eq!(s.jobs_per_color, vec![8, 2]);
+        assert_eq!(s.peak_burst, 6);
+        assert_eq!(s.horizon, 8);
+        assert!((s.mean_load - 2.0).abs() < 1e-9, "{}", s.mean_load);
+        assert!(s.dispersion > 1.0, "bursty trace disperses: {}", s.dispersion);
+        let rendered = s.render(trace.colors());
+        assert!(rendered.contains("c0"));
+    }
+
+    #[test]
+    fn stats_empty_trace() {
+        let t = Trace::new(ColorTable::from_delay_bounds(&[2]));
+        let s = trace_stats(&t);
+        assert_eq!(s.total_jobs, 0);
+        assert_eq!(s.dispersion, 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! E12d — runtime on the Appendix A/B adversarial constructions (whose cost
+//! behaviour is experiment E1/E2; here we measure wall-clock as the
+//! constructions grow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_analysis::runner::{run_kind, PolicyKind};
+use rrs_workloads::{DlruAdversary, EdfAdversary};
+
+fn bench_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversaries");
+    for &j in &[6u32, 8] {
+        let adv = DlruAdversary {
+            n: 8,
+            delta: 2,
+            j,
+            k: j + 2,
+        };
+        let trace = adv.generate();
+        group.bench_with_input(BenchmarkId::new("appendixA/dlru_edf", j), &trace, |b, t| {
+            b.iter(|| run_kind(PolicyKind::DlruEdf, t, 8, 2).unwrap())
+        });
+    }
+    for &k in &[6u32, 8] {
+        let adv = EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 3,
+            k,
+        };
+        let trace = adv.generate();
+        group.bench_with_input(BenchmarkId::new("appendixB/edf", k), &trace, |b, t| {
+            b.iter(|| run_kind(PolicyKind::Edf, t, 4, 6).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversaries);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E12b — per-algorithm throughput: full runs of ΔLRU-EDF, ΔLRU, EDF and the
+//! baselines over the same workload, scaling the color count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_analysis::runner::{run_kind, PolicyKind};
+use rrs_bench::bench_trace;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    let horizon = 2048;
+    for &ncolors in &[8usize, 32] {
+        let trace = bench_trace(ncolors, horizon, 2);
+        group.throughput(Throughput::Elements(horizon));
+        for kind in [
+            PolicyKind::DlruEdf,
+            PolicyKind::Dlru,
+            PolicyKind::Edf,
+            PolicyKind::GreedyPending,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), ncolors),
+                &trace,
+                |b, trace| {
+                    b.iter(|| run_kind(kind, trace, 8, 4).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

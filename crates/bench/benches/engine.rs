@@ -1,0 +1,43 @@
+//! E12a — engine throughput: rounds simulated per second as colors and
+//! resources scale, with a trivial policy (isolates the engine itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_bench::bench_trace;
+use rrs_core::engine::run_policy;
+use rrs_core::prelude::*;
+
+/// A minimal policy: cache the first `n` colors forever.
+struct Fixed(CacheTarget);
+impl Policy for Fixed {
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+    fn reconfigure(&mut self, _r: Round, _m: u32, _v: &EngineView) -> CacheTarget {
+        self.0.clone()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &ncolors in &[4usize, 16, 64] {
+        let horizon = 4096;
+        let trace = bench_trace(ncolors, horizon, 1);
+        group.throughput(Throughput::Elements(horizon));
+        group.bench_with_input(
+            BenchmarkId::new("rounds", ncolors),
+            &trace,
+            |b, trace| {
+                let target =
+                    CacheTarget::singles(trace.colors().ids().take(4));
+                b.iter(|| {
+                    let mut p = Fixed(target.clone());
+                    run_policy(trace, &mut p, 8, 4).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

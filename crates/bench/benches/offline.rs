@@ -1,0 +1,33 @@
+//! E12e — offline oracle costs: the exact DP's runtime growth and the price
+//! of the lower bounds, which determine how large E9-style experiments can go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_bench::bench_trace;
+use rrs_offline::{combined_bound, optimal, OptConfig};
+use rrs_workloads::RandomBatched;
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    for &horizon in &[16u64, 32] {
+        let trace = RandomBatched {
+            delay_bounds: vec![2, 4, 8],
+            load: 0.7,
+            activity: 0.8,
+            horizon,
+            rate_limited: true,
+        }
+        .generate(5);
+        group.bench_with_input(BenchmarkId::new("exact_dp_m1", horizon), &trace, |b, t| {
+            b.iter(|| optimal(t, OptConfig::new(1, 2)).unwrap())
+        });
+    }
+    let big = bench_trace(16, 4096, 6);
+    group.bench_function("combined_bound_big", |b| {
+        b.iter(|| combined_bound(&big, 2, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E12c — reduction overhead: the cost of the split / delay / project layers
+//! relative to running ΔLRU-EDF directly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrs_analysis::runner::{run_kind, PolicyKind};
+use rrs_bench::bursty_trace;
+use rrs_reductions::{delay_to_batches, split_trace};
+
+fn bench_reductions(c: &mut Criterion) {
+    let horizon = 2048;
+    let trace = bursty_trace(8, horizon, 3);
+    let mut group = c.benchmark_group("reductions");
+    group.throughput(Throughput::Elements(horizon));
+    group.bench_function("split_trace", |b| b.iter(|| split_trace(&trace)));
+    group.bench_function("delay_to_batches", |b| b.iter(|| delay_to_batches(&trace)));
+    group.bench_function("dlru_edf_direct", |b| {
+        b.iter(|| run_kind(PolicyKind::DlruEdf, &trace, 8, 4).unwrap())
+    });
+    group.bench_function("distribute_pipeline", |b| {
+        b.iter(|| run_kind(PolicyKind::Distribute, &trace, 8, 4).unwrap())
+    });
+    group.bench_function("varbatch_pipeline", |b| {
+        b.iter(|| run_kind(PolicyKind::VarBatch, &trace, 8, 4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

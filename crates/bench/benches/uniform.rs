@@ -1,0 +1,46 @@
+//! E12f — uniform-variant benches: block simulator vs round-level engine
+//! throughput, the weighted-caching DP, and Landlord.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrs_core::engine::run_policy;
+use rrs_uniform::filecache::{run_policy as run_cache, Landlord, WeightedCachingInstance};
+use rrs_uniform::problem::run_block_policy;
+use rrs_uniform::{BlockAdapter, UniformWorkload, WeightedDlru};
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform");
+    for &blocks in &[128usize, 512] {
+        let inst = UniformWorkload {
+            blocks,
+            ..UniformWorkload::default()
+        }
+        .generate(1);
+        group.bench_with_input(BenchmarkId::new("block_model", blocks), &inst, |b, inst| {
+            b.iter(|| {
+                let mut p = WeightedDlru::new(inst, 4, 8);
+                run_block_policy(inst, &mut p, 4, 8).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("round_model", blocks), &inst, |b, inst| {
+            let trace = inst.to_round_trace();
+            b.iter(|| {
+                let mut p = BlockAdapter::new(WeightedDlru::new(inst, 4, 8), inst.d);
+                run_policy(&trace, &mut p, 4, 8).unwrap()
+            })
+        });
+    }
+    // Landlord over a long weighted request stream.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    let costs: Vec<u64> = (0..64).map(|_| rng.gen_range(1..32)).collect();
+    let reqs: Vec<u32> = (0..50_000).map(|_| rng.gen_range(0..64)).collect();
+    let inst = WeightedCachingInstance::new(costs, reqs).unwrap();
+    group.bench_function("landlord_50k", |b| {
+        b.iter(|| run_cache(&inst, &mut Landlord::new(&inst.costs), 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform);
+criterion_main!(benches);

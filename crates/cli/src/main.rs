@@ -1,0 +1,558 @@
+//! `rrs` — experiment driver for the reconfigurable resource scheduling
+//! reproduction.
+//!
+//! ```text
+//! rrs exp <id|all> [--quick] [--threads N] [--seed S] [--csv|--md]
+//! rrs run --workload <name> [--policy <name>] [--n N] [--delta D] [--seed S]
+//! rrs gen --workload <name> --out <path> [--seed S] [--json]
+//! rrs stats --workload <name> [--seed S]
+//! rrs timeline --workload <name> --policy <name> [--n N] [--delta D] [--width W]
+//! rrs sweep --workload <name> --policy <name> [--n-list 4,8,16]
+//!           [--delta-list 2,4,8] [--seeds K] [--csv]
+//! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
+//! rrs list
+//! ```
+
+use rrs_analysis::experiments::{run_experiment, ExpOptions, ALL_IDS};
+use rrs_analysis::runner::{run_kind, PolicyKind};
+use rrs_analysis::table::Table;
+use rrs_workloads::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("exp") => cmd_exp(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("opt") => cmd_opt(&args[1..]),
+        Some("list") => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  rrs exp <id|all> [--quick] [--threads N] [--seed S] [--csv|--md]\n  \
+                 rrs run --workload <name> [--policy <name>] [--n N] [--delta D] [--seed S]\n  \
+                 rrs gen --workload <name> --out <path> [--seed S] [--json]\n  \
+                 rrs stats --workload <name> [--seed S]\n  \
+                 rrs timeline --workload <name> --policy <name> [--n N] [--delta D] [--width W]\n  \
+                 rrs sweep --workload <name> --policy <name> [--n-list ..] [--delta-list ..] [--seeds K] [--csv]\n  \
+                 rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
+                 rrs list"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_exp(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!("exp: missing experiment id (try `rrs list`)");
+        return ExitCode::from(2);
+    };
+    let opts = ExpOptions {
+        quick: flag(args, "--quick"),
+        threads: opt_value(args, "--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        seed: opt_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xC0FFEE),
+    };
+    let csv = flag(args, "--csv");
+    let md = flag(args, "--md");
+    let ids: Vec<&str> = if id == "all" {
+        ALL_IDS.to_vec()
+    } else {
+        vec![id.as_str()]
+    };
+    let mut all_pass = true;
+    for id in ids {
+        match run_experiment(id, opts) {
+            Some(report) => {
+                if csv {
+                    print!("{}", report.table.to_csv());
+                } else if md {
+                    println!("{}", report.render_markdown());
+                } else {
+                    println!("{}", report.render());
+                }
+                if report.pass == Some(false) {
+                    all_pass = false;
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id '{id}' (try `rrs list`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if all_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_workload(name: &str, seed: u64) -> Option<rrs_core::Trace> {
+    let spec = match name {
+        "datacenter" => WorkloadSpec::Datacenter(Datacenter::default()),
+        "router" => WorkloadSpec::Router(Router::default()),
+        "background" => WorkloadSpec::BackgroundMix(BackgroundMix::default()),
+        "dlru-adversary" => WorkloadSpec::DlruAdversary(DlruAdversary {
+            n: 8,
+            delta: 2,
+            j: 8,
+            k: 10,
+        }),
+        "edf-adversary" => WorkloadSpec::EdfAdversary(EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 3,
+            k: 9,
+        }),
+        "random-batched" => WorkloadSpec::RandomBatched(RandomBatched {
+            delay_bounds: vec![2, 4, 4, 8, 16, 32],
+            load: 0.6,
+            activity: 0.8,
+            horizon: 2048,
+            rate_limited: true,
+        }),
+        "random-general" => WorkloadSpec::RandomGeneral(RandomGeneral {
+            delay_bounds: vec![4, 8, 16, 64],
+            rates: vec![0.5, 0.4, 0.3, 0.2],
+            horizon: 2048,
+        }),
+        "bursty" => WorkloadSpec::Bursty(Bursty {
+            delay_bounds: vec![4, 8, 16, 32],
+            on_load: 0.9,
+            p_on: 0.3,
+            p_off: 0.3,
+            horizon: 2048,
+            rate_limited: true,
+        }),
+        _ => return None,
+    };
+    Some(spec.generate(seed))
+}
+
+const WORKLOAD_NAMES: &[&str] = &[
+    "datacenter",
+    "router",
+    "background",
+    "dlru-adversary",
+    "edf-adversary",
+    "random-batched",
+    "random-general",
+    "bursty",
+];
+
+fn parse_policy(name: &str) -> Option<PolicyKind> {
+    Some(match name {
+        "dlru-edf" => PolicyKind::DlruEdf,
+        "dlru" => PolicyKind::Dlru,
+        "edf" => PolicyKind::Edf,
+        "seq-edf" => PolicyKind::SeqEdf,
+        "ds-seq-edf" => PolicyKind::DsSeqEdf,
+        "distribute" => PolicyKind::Distribute,
+        "varbatch" => PolicyKind::VarBatch,
+        "static" => PolicyKind::StaticPartition,
+        "never" => PolicyKind::NeverReconfigure,
+        "greedy" => PolicyKind::GreedyPending,
+        "hindsight" => PolicyKind::HindsightGreedy,
+        "adaptive" => PolicyKind::AdaptiveDlruEdf,
+        "dlru-2" => PolicyKind::DlruK2,
+        _ => return None,
+    })
+}
+
+const POLICY_NAMES: &[&str] = &[
+    "dlru-edf",
+    "dlru",
+    "edf",
+    "seq-edf",
+    "ds-seq-edf",
+    "distribute",
+    "varbatch",
+    "static",
+    "never",
+    "greedy",
+    "hindsight",
+    "adaptive",
+    "dlru-2",
+];
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let seed = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    let n: usize = opt_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let delta: u64 = opt_value(args, "--delta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let _ = seed;
+    let trace = match load_trace(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wname = opt_value(args, "--workload")
+        .or(opt_value(args, "--trace"))
+        .unwrap_or("trace");
+    let kinds: Vec<PolicyKind> = match opt_value(args, "--policy") {
+        Some(p) => match parse_policy(p) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("unknown policy '{p}'; options: {POLICY_NAMES:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => PolicyKind::comparison_set().to_vec(),
+    };
+    println!(
+        "workload {wname}: {} jobs, {} colors, horizon {}, class {:?}\n",
+        trace.total_jobs(),
+        trace.colors().len(),
+        trace.horizon(),
+        trace.batch_class()
+    );
+    let mut table = Table::new(["policy", "total", "reconfig", "drops", "completion %"]);
+    for kind in kinds {
+        match run_kind(kind, &trace, n, delta) {
+            Ok(s) => {
+                let total = s.executed + s.cost.drop;
+                let completion = if total == 0 {
+                    100.0
+                } else {
+                    100.0 * s.executed as f64 / total as f64
+                };
+                table.row([
+                    kind.name().to_string(),
+                    s.cost.total().to_string(),
+                    s.cost.reconfig.to_string(),
+                    s.cost.drop.to_string(),
+                    format!("{completion:.1}"),
+                ]);
+            }
+            Err(e) => {
+                table.row([
+                    kind.name().to_string(),
+                    format!("error: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let seed = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    let Some(wname) = opt_value(args, "--workload") else {
+        eprintln!("gen: --workload is required; options: {WORKLOAD_NAMES:?}");
+        return ExitCode::from(2);
+    };
+    let Some(out) = opt_value(args, "--out") else {
+        eprintln!("gen: --out <path> is required");
+        return ExitCode::from(2);
+    };
+    let Some(trace) = parse_workload(wname, seed) else {
+        eprintln!("unknown workload '{wname}'");
+        return ExitCode::from(2);
+    };
+    let result = if flag(args, "--json") {
+        serde_json::to_vec_pretty(&trace)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| std::fs::write(out, bytes).map_err(|e| e.to_string()))
+    } else {
+        std::fs::write(out, trace.to_bytes()).map_err(|e| e.to_string())
+    };
+    match result {
+        Ok(()) => {
+            println!(
+                "wrote {wname} (seed {seed}): {} jobs, {} colors -> {out}",
+                trace.total_jobs(),
+                trace.colors().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a trace either from `--trace <path>` (binary, or JSON with
+/// `--json`) or from `--workload <name>` + `--seed`.
+fn load_trace(args: &[String]) -> Result<rrs_core::Trace, String> {
+    if let Some(path) = opt_value(args, "--trace") {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        if flag(args, "--json") {
+            serde_json::from_slice(&bytes).map_err(|e| format!("parse {path}: {e}"))
+        } else {
+            rrs_core::Trace::from_bytes(bytes.into()).map_err(|e| format!("decode {path}: {e}"))
+        }
+    } else {
+        let seed = opt_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1u64);
+        let wname = opt_value(args, "--workload")
+            .ok_or_else(|| format!("--workload or --trace required; workloads: {WORKLOAD_NAMES:?}"))?;
+        parse_workload(wname, seed).ok_or_else(|| format!("unknown workload '{wname}'"))
+    }
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let seed = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    let trace = match load_trace(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("stats: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wname = opt_value(args, "--workload")
+        .or(opt_value(args, "--trace"))
+        .unwrap_or("trace");
+    let stats = rrs_analysis::trace_stats(&trace);
+    if opt_value(args, "--trace").is_some() {
+        println!("workload {wname} (class {:?})", trace.batch_class());
+    } else {
+        println!("workload {wname} (seed {seed}, class {:?})", trace.batch_class());
+    }
+    print!("{}", stats.render(trace.colors()));
+    ExitCode::SUCCESS
+}
+
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let seed = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    let n: usize = opt_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let delta: u64 = opt_value(args, "--delta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let width: usize = opt_value(args, "--width")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let Some(wname) = opt_value(args, "--workload") else {
+        eprintln!("timeline: --workload is required");
+        return ExitCode::from(2);
+    };
+    let Some(trace) = parse_workload(wname, seed) else {
+        eprintln!("unknown workload '{wname}'");
+        return ExitCode::from(2);
+    };
+    let pname = opt_value(args, "--policy").unwrap_or("dlru-edf");
+    // Timelines need a recorded schedule, so drive the engine directly for
+    // the plain policies.
+    use rrs_core::{CostModel, Engine, EngineOptions, Speed};
+    let engine = Engine::with_options(EngineOptions {
+        speed: Speed::Uni,
+        record_schedule: true,
+        track_latency: false,
+    });
+    let mut policy: Box<dyn rrs_core::Policy> = match pname {
+        "dlru-edf" => match rrs_algorithms::DlruEdf::new(trace.colors(), n, delta) {
+            Ok(p) => Box::new(p),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        "dlru" => Box::new(rrs_algorithms::Dlru::new(trace.colors(), n, delta).unwrap()),
+        "edf" => Box::new(rrs_algorithms::Edf::new(trace.colors(), n, delta).unwrap()),
+        "greedy" => Box::new(rrs_algorithms::GreedyPending::new()),
+        "static" => Box::new(rrs_algorithms::StaticPartition::new(trace.colors(), n)),
+        other => {
+            eprintln!("timeline supports dlru-edf|dlru|edf|greedy|static; got '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    match engine.run(&trace, policy.as_mut(), n, CostModel::new(delta)) {
+        Ok(r) => {
+            println!(
+                "{} on {wname}: cost {} (reconfig {}, drops {})\n",
+                policy.name(),
+                r.cost.total(),
+                r.cost.reconfig,
+                r.cost.drop
+            );
+            let schedule = r.schedule.as_ref().expect("recording enabled");
+            print!("{}", rrs_analysis::render_timeline(schedule, trace.colors(), width));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_list(args: &[String], name: &str, default: &[u64]) -> Vec<u64> {
+    opt_value(args, name)
+        .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let Some(wname) = opt_value(args, "--workload") else {
+        eprintln!("sweep: --workload is required; options: {WORKLOAD_NAMES:?}");
+        return ExitCode::from(2);
+    };
+    let pname = opt_value(args, "--policy").unwrap_or("dlru-edf");
+    let Some(kind) = parse_policy(pname) else {
+        eprintln!("unknown policy '{pname}'; options: {POLICY_NAMES:?}");
+        return ExitCode::from(2);
+    };
+    let ns = parse_list(args, "--n-list", &[4, 8, 16]);
+    let deltas = parse_list(args, "--delta-list", &[2, 4, 8]);
+    let seeds: u64 = opt_value(args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    // Pre-generate the traces (one per seed).
+    let traces: Vec<rrs_core::Trace> = (0..seeds)
+        .filter_map(|s| parse_workload(wname, s))
+        .collect();
+    if traces.is_empty() {
+        eprintln!("unknown workload '{wname}'");
+        return ExitCode::from(2);
+    }
+    let nseeds = traces.len();
+    let grid: Vec<(u64, u64, usize)> = ns
+        .iter()
+        .flat_map(|&n| {
+            deltas
+                .iter()
+                .flat_map(move |&d| (0..nseeds).map(move |s| (n, d, s)))
+        })
+        .collect();
+    let results = rrs_analysis::par_map(grid, 0, |&(n, delta, s)| {
+        let summary = run_kind(kind, &traces[s], n as usize, delta);
+        (n, delta, s, summary.map(|r| (r.cost.total(), r.cost.reconfig, r.cost.drop)))
+    });
+    // Aggregate over seeds with summary statistics and a bootstrap CI.
+    let mut agg: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64, u64)>> = Default::default();
+    for (n, delta, _, res) in results {
+        match res {
+            Ok(sample) => agg.entry((n, delta)).or_default().push(sample),
+            Err(e) => eprintln!("n={n} Δ={delta}: {e}"),
+        }
+    }
+    let mut table = Table::new([
+        "n",
+        "Δ",
+        "total mean±95%CI",
+        "stddev",
+        "mean reconfig",
+        "mean drops",
+        "runs",
+    ]);
+    for ((n, delta), samples) in &agg {
+        let totals: Vec<f64> = samples.iter().map(|&(t, _, _)| t as f64).collect();
+        let summary = rrs_analysis::summarize(&totals);
+        let ci = rrs_analysis::bootstrap_ci(&totals, 0.95, 400, 0);
+        let reconfig: f64 =
+            samples.iter().map(|&(_, r, _)| r as f64).sum::<f64>() / samples.len() as f64;
+        let drops: f64 =
+            samples.iter().map(|&(_, _, d)| d as f64).sum::<f64>() / samples.len() as f64;
+        table.row([
+            n.to_string(),
+            delta.to_string(),
+            format!("{:.1} [{:.1}, {:.1}]", summary.mean, ci.lo, ci.hi),
+            format!("{:.1}", summary.stddev),
+            format!("{reconfig:.1}"),
+            format!("{drops:.1}"),
+            samples.len().to_string(),
+        ]);
+    }
+    println!("sweep: {} on {wname} over {} seeds\n", kind.name(), seeds);
+    if flag(args, "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_opt(args: &[String]) -> ExitCode {
+    let trace = match load_trace(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("opt: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let m: usize = opt_value(args, "--m")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let delta: u64 = opt_value(args, "--delta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let opts = rrs_analysis::EstimateOptions {
+        try_exact: flag(args, "--exact"),
+        improve_iterations: opt_value(args, "--improve")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        ..Default::default()
+    };
+    let est = rrs_analysis::estimate_opt(&trace, m, delta, opts);
+    println!(
+        "OPT(m = {m}, Δ = {delta}) for {} jobs over {} rounds:",
+        trace.total_jobs(),
+        trace.horizon() + 1
+    );
+    println!("  lower bound: {}", est.lower);
+    match est.exact {
+        Some(x) => println!("  exact (DP):  {x}"),
+        None if opts.try_exact => println!("  exact (DP):  state space too large"),
+        None => println!("  exact (DP):  not attempted (pass --exact)"),
+    }
+    println!("  upper bound: {}", est.upper);
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() {
+    println!("experiments (rrs exp <id>):");
+    for id in ALL_IDS {
+        println!("  {id}");
+    }
+    println!("\nworkloads (rrs run --workload <name>):");
+    for w in WORKLOAD_NAMES {
+        println!("  {w}");
+    }
+    println!("\npolicies (rrs run --policy <name>):");
+    for p in POLICY_NAMES {
+        println!("  {p}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Colors (job categories) and the per-color delay-bound table.
+//!
+//! Every job belongs to a *non-black* color `ℓ` with a positive integer delay bound
+//! `D_ℓ` (paper §2). Resources may additionally be *black* (unconfigured); black is
+//! not a job color and is represented by `Option<ColorId>::None` in
+//! [`crate::resource::CacheState`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense index identifying a color (service category).
+///
+/// Colors are numbered `0..table.len()` within a [`ColorTable`]. The numeric order
+/// of ids doubles as the paper's "consistent order of colors" used to break ties in
+/// every ranking scheme, so all algorithms in this workspace are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColorId(pub u32);
+
+impl ColorId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Static metadata of one color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColorInfo {
+    /// The per-color delay bound `D_ℓ` (a positive integer). A job of this color
+    /// arriving in round `k` has deadline `k + D_ℓ` and may execute in rounds
+    /// `k ..= k + D_ℓ - 1`.
+    pub delay_bound: u64,
+    /// The per-color drop cost `c_ℓ` (a positive integer). The supplied
+    /// paper's main problem uses unit drop costs (the default); the companion
+    /// SPAA 2006 variant uses variable drop costs, which `rrs-uniform`
+    /// exercises through this field.
+    #[serde(default = "default_drop_cost")]
+    pub drop_cost: u64,
+}
+
+fn default_drop_cost() -> u64 {
+    1
+}
+
+impl ColorInfo {
+    /// Creates a color with the given delay bound and unit drop cost.
+    ///
+    /// # Panics
+    /// Panics if `delay_bound == 0` (the paper requires positive delay bounds).
+    pub fn new(delay_bound: u64) -> Self {
+        Self::with_drop_cost(delay_bound, 1)
+    }
+
+    /// Creates a color with an explicit drop cost `c_ℓ`.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn with_drop_cost(delay_bound: u64, drop_cost: u64) -> Self {
+        assert!(delay_bound > 0, "delay bound must be a positive integer");
+        assert!(drop_cost > 0, "drop cost must be a positive integer");
+        ColorInfo {
+            delay_bound,
+            drop_cost,
+        }
+    }
+
+    /// Whether the delay bound is a power of two (required by the core algorithms
+    /// of paper §3–§4; §5.3 lifts the restriction via rounding).
+    #[inline]
+    pub fn is_pow2(&self) -> bool {
+        self.delay_bound.is_power_of_two()
+    }
+}
+
+/// The set of colors of an instance, indexed by [`ColorId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColorTable {
+    colors: Vec<ColorInfo>,
+}
+
+impl ColorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table directly from a list of delay bounds.
+    pub fn from_delay_bounds(bounds: &[u64]) -> Self {
+        let mut t = Self::new();
+        for &b in bounds {
+            t.push(ColorInfo::new(b));
+        }
+        t
+    }
+
+    /// Adds a color and returns its id.
+    pub fn push(&mut self, info: ColorInfo) -> ColorId {
+        let id = ColorId(u32::try_from(self.colors.len()).expect("too many colors"));
+        self.colors.push(info);
+        id
+    }
+
+    /// Number of colors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the table has no colors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Metadata of color `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not in the table.
+    #[inline]
+    pub fn info(&self, id: ColorId) -> ColorInfo {
+        self.colors[id.index()]
+    }
+
+    /// The delay bound `D_ℓ` of color `id`.
+    #[inline]
+    pub fn delay_bound(&self, id: ColorId) -> u64 {
+        self.colors[id.index()].delay_bound
+    }
+
+    /// The drop cost `c_ℓ` of color `id`.
+    #[inline]
+    pub fn drop_cost(&self, id: ColorId) -> u64 {
+        self.colors[id.index()].drop_cost
+    }
+
+    /// Whether every color has the paper's unit drop cost.
+    pub fn unit_drop_costs(&self) -> bool {
+        self.colors.iter().all(|c| c.drop_cost == 1)
+    }
+
+    /// The smallest drop cost, or 0 for an empty table.
+    pub fn min_drop_cost(&self) -> u64 {
+        self.colors.iter().map(|c| c.drop_cost).min().unwrap_or(0)
+    }
+
+    /// Iterates over `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColorId, ColorInfo)> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .map(|(i, &info)| (ColorId(i as u32), info))
+    }
+
+    /// All color ids in the consistent (ascending) order.
+    pub fn ids(&self) -> impl Iterator<Item = ColorId> {
+        (0..self.colors.len() as u32).map(ColorId)
+    }
+
+    /// Whether every delay bound is a power of two.
+    pub fn all_pow2(&self) -> bool {
+        self.colors.iter().all(|c| c.is_pow2())
+    }
+
+    /// The largest delay bound, or 0 for an empty table.
+    pub fn max_delay_bound(&self) -> u64 {
+        self.colors.iter().map(|c| c.delay_bound).max().unwrap_or(0)
+    }
+
+    /// The smallest delay bound, or 0 for an empty table.
+    pub fn min_delay_bound(&self) -> u64 {
+        self.colors.iter().map(|c| c.delay_bound).min().unwrap_or(0)
+    }
+}
+
+impl std::ops::Index<ColorId> for ColorTable {
+    type Output = ColorInfo;
+    fn index(&self, id: ColorId) -> &ColorInfo {
+        &self.colors[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut t = ColorTable::new();
+        let a = t.push(ColorInfo::new(4));
+        let b = t.push(ColorInfo::new(8));
+        assert_eq!(a, ColorId(0));
+        assert_eq!(b, ColorId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.delay_bound(a), 4);
+        assert_eq!(t.delay_bound(b), 8);
+    }
+
+    #[test]
+    fn from_delay_bounds_roundtrips() {
+        let t = ColorTable::from_delay_bounds(&[1, 2, 16]);
+        let got: Vec<u64> = t.iter().map(|(_, i)| i.delay_bound).collect();
+        assert_eq!(got, vec![1, 2, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delay_bound_rejected() {
+        ColorInfo::new(0);
+    }
+
+    #[test]
+    fn pow2_detection() {
+        assert!(ColorInfo::new(1).is_pow2());
+        assert!(ColorInfo::new(64).is_pow2());
+        assert!(!ColorInfo::new(12).is_pow2());
+        assert!(ColorTable::from_delay_bounds(&[2, 4, 8]).all_pow2());
+        assert!(!ColorTable::from_delay_bounds(&[2, 3]).all_pow2());
+    }
+
+    #[test]
+    fn min_max_delay_bounds() {
+        let t = ColorTable::from_delay_bounds(&[8, 2, 32]);
+        assert_eq!(t.min_delay_bound(), 2);
+        assert_eq!(t.max_delay_bound(), 32);
+        assert_eq!(ColorTable::new().max_delay_bound(), 0);
+    }
+
+    #[test]
+    fn consistent_order_is_id_order() {
+        let t = ColorTable::from_delay_bounds(&[8, 2, 32]);
+        let ids: Vec<ColorId> = t.ids().collect();
+        assert_eq!(ids, vec![ColorId(0), ColorId(1), ColorId(2)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cost model and cost accounting.
+//!
+//! The paper's cost model (`[Δ | 1 | D_ℓ | ·]`): every resource reconfiguration
+//! costs a fixed positive integer `Δ`; every dropped job costs 1. The objective is
+//! to minimize the total cost.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// The instance-wide cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed reconfiguration cost Δ (a positive integer; paper §2).
+    pub delta: u64,
+}
+
+impl CostModel {
+    /// Creates a cost model with reconfiguration cost `delta`.
+    ///
+    /// # Panics
+    /// Panics if `delta == 0`.
+    pub fn new(delta: u64) -> Self {
+        assert!(delta > 0, "Δ must be a positive integer");
+        CostModel { delta }
+    }
+}
+
+/// An accumulated cost, split into its two components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cost {
+    /// Total reconfiguration cost (Δ × number of resource recolorings).
+    pub reconfig: u64,
+    /// Total drop cost (1 × number of dropped jobs).
+    pub drop: u64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost { reconfig: 0, drop: 0 };
+
+    /// Creates a cost from its components.
+    pub fn new(reconfig: u64, drop: u64) -> Self {
+        Cost { reconfig, drop }
+    }
+
+    /// Total cost (reconfiguration + drop).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reconfig + self.drop
+    }
+
+    /// Ratio of this cost to `other` (∞ is reported as `f64::INFINITY`; 0/0 is 1).
+    pub fn ratio_to(&self, other: &Cost) -> f64 {
+        let a = self.total();
+        let b = other.total();
+        match (a, b) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            _ => a as f64 / b as f64,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            reconfig: self.reconfig + rhs.reconfig,
+            drop: self.drop + rhs.drop,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.reconfig += rhs.reconfig;
+        self.drop += rhs.drop;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_addition() {
+        let a = Cost::new(10, 3);
+        let b = Cost::new(5, 7);
+        assert_eq!(a.total(), 13);
+        assert_eq!((a + b).total(), 25);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(Cost::ZERO.ratio_to(&Cost::ZERO), 1.0);
+        assert_eq!(Cost::new(4, 0).ratio_to(&Cost::ZERO), f64::INFINITY);
+        assert!((Cost::new(6, 0).ratio_to(&Cost::new(2, 1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_rejected() {
+        CostModel::new(0);
+    }
+}

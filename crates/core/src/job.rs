@@ -1,0 +1,76 @@
+//! Unit jobs.
+//!
+//! All jobs are unit-sized; a job is fully characterized by its color, arrival
+//! round and deadline (paper §2). Because jobs of the same color arriving in the
+//! same round are interchangeable, traces store *counts* per `(round, color)`
+//! rather than individual job objects; [`Job`] exists for APIs that deal with
+//! individual executions (the explicit-schedule checker and tests).
+
+use crate::color::ColorId;
+use crate::time::Round;
+use serde::{Deserialize, Serialize};
+
+/// One unit job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Deadline (arrival + delay bound). Listed first so the derived ordering is
+    /// earliest-deadline-first, matching the paper's job ranking (deadline, then
+    /// delay bound, then the consistent order of colors).
+    pub deadline: Round,
+    /// Delay bound `D_ℓ` of the job's color (cached for ranking).
+    pub delay_bound: u64,
+    /// The job's color.
+    pub color: ColorId,
+    /// Arrival round.
+    pub arrival: Round,
+}
+
+impl Job {
+    /// Creates a job from its color metadata.
+    pub fn new(color: ColorId, arrival: Round, delay_bound: u64) -> Self {
+        assert!(delay_bound > 0, "delay bound must be positive");
+        Job {
+            deadline: arrival + delay_bound,
+            delay_bound,
+            color,
+            arrival,
+        }
+    }
+
+    /// Whether the job may execute in `round` (execution phase of rounds
+    /// `arrival ..= deadline - 1`).
+    #[inline]
+    pub fn executable_in(&self, round: Round) -> bool {
+        self.arrival <= round && round < self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_arrival_plus_delay() {
+        let j = Job::new(ColorId(0), 8, 4);
+        assert_eq!(j.deadline, 12);
+        assert!(j.executable_in(8));
+        assert!(j.executable_in(11));
+        assert!(!j.executable_in(12));
+        assert!(!j.executable_in(7));
+    }
+
+    #[test]
+    fn ordering_is_edf_first() {
+        let early = Job::new(ColorId(5), 0, 2); // deadline 2
+        let late = Job::new(ColorId(0), 0, 4); // deadline 4
+        assert!(early < late);
+        // Same deadline: smaller delay bound first.
+        let a = Job::new(ColorId(1), 2, 2); // deadline 4, D=2
+        let b = Job::new(ColorId(0), 0, 4); // deadline 4, D=4
+        assert!(a < b);
+        // Same deadline and delay bound: consistent order of colors.
+        let c = Job::new(ColorId(0), 0, 4);
+        let d = Job::new(ColorId(1), 0, 4);
+        assert!(c < d);
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution-latency (sojourn time) tracking.
+//!
+//! QoS systems care not only about *whether* a job met its deadline but *how
+//! long it waited*. A job of color ℓ executed in round `r` arrived in round
+//! `deadline − D_ℓ`, so its sojourn is `r − (deadline − D_ℓ)` rounds — always
+//! in `0 .. D_ℓ`. [`LatencyHistogram`] aggregates these per run; the engine
+//! fills one in when [`crate::EngineOptions::track_latency`] is set.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram of execution latencies (sojourn times), in rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `buckets[l]` = number of jobs executed with sojourn exactly `l` rounds.
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one execution with the given sojourn.
+    pub fn record(&mut self, sojourn: u64) {
+        let idx = sojourn as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded executions.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sojourn in rounds (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(l, &n)| l as u64 * n)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile sojourn (`q` in `[0, 1]`); 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (l, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return l as u64;
+            }
+        }
+        (self.buckets.len() - 1) as u64
+    }
+
+    /// Maximum recorded sojourn.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|i| i as u64)
+            .unwrap_or(0)
+    }
+
+    /// Raw buckets (index = sojourn in rounds).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = LatencyHistogram::new();
+        for l in [0u64, 0, 1, 3, 3, 3] {
+            h.record(l);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.max(), 3);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 3);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.buckets(), &[2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.9), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

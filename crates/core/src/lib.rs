@@ -1,0 +1,71 @@
+//! # rrs-core — model and simulation engine for reconfigurable resource scheduling
+//!
+//! This crate implements the problem model of Plaxton, Sun, Tiwari and Vin,
+//! *Reconfigurable Resource Scheduling with Variable Delay Bounds* (the
+//! variable-delay-bound member of the reconfigurable resource scheduling class
+//! introduced at SPAA 2006):
+//!
+//! * unit **jobs**, each with a *color* (service category), an arrival round and a
+//!   per-color *delay bound* `D_ℓ` — a job must execute before `arrival + D_ℓ` or be
+//!   dropped at unit cost ([`Job`], [`ColorTable`]);
+//! * **resources** (a *cache* of configuration slots), each configured to one color
+//!   (initially *black*, i.e. unconfigured) and reconfigurable at fixed cost `Δ`
+//!   ([`CacheState`], [`CostModel`]);
+//! * time proceeds in **rounds** of four phases — drop, arrival, reconfiguration,
+//!   execution ([`Phase`], [`Engine`]); *double-speed* schedules repeat the
+//!   reconfiguration and execution phases (two *mini-rounds* per round).
+//!
+//! The [`Engine`] runs any [`Policy`] (an online reconfiguration scheme) over a
+//! [`Trace`] (a request sequence) and produces a [`RunResult`] with full cost
+//! accounting, plus an optional [`ExplicitSchedule`] that can be independently
+//! re-validated and re-costed by [`schedule::check_schedule`].
+//!
+//! In the paper's `[reconfig | drop | delay | batch]` notation this crate models
+//! `[Δ | 1 | D_ℓ | 1]` and its batched (`[Δ | 1 | D_ℓ | D_ℓ]`) and rate-limited
+//! special cases; see [`Trace::batch_class`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod latency;
+pub mod normalize;
+pub mod pending;
+pub mod resource;
+pub mod schedule;
+pub mod stats;
+pub mod streaming;
+pub mod time;
+pub mod trace;
+
+pub use color::{ColorId, ColorInfo, ColorTable};
+pub use cost::{Cost, CostModel};
+pub use engine::{Engine, EngineOptions, EngineView, Policy};
+pub use error::{Error, Result};
+pub use job::Job;
+pub use latency::LatencyHistogram;
+pub use pending::PendingJobs;
+pub use resource::{CacheState, CacheTarget};
+pub use schedule::{check_schedule, ExplicitSchedule, ScheduleStep};
+pub use stats::RunResult;
+pub use streaming::{StepOutcome, StreamingEngine};
+pub use time::{Phase, Round, Speed};
+pub use trace::{Arrival, BatchClass, Trace, TraceBuilder};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::color::{ColorId, ColorInfo, ColorTable};
+    pub use crate::cost::{Cost, CostModel};
+    pub use crate::engine::{Engine, EngineOptions, EngineView, Policy};
+    pub use crate::error::{Error, Result};
+    pub use crate::job::Job;
+    pub use crate::pending::PendingJobs;
+    pub use crate::resource::{CacheState, CacheTarget};
+    pub use crate::stats::RunResult;
+    pub use crate::time::{Phase, Round, Speed};
+    pub use crate::trace::{Arrival, BatchClass, Trace, TraceBuilder};
+}

@@ -1,0 +1,129 @@
+//! Trace normalization: projecting a trace into the paper's batch classes.
+//!
+//! The reductions of §4–§5 transform *problems*; these helpers transform
+//! *traces* directly, which tests and tooling use to manufacture inputs of a
+//! given class from arbitrary material:
+//!
+//! * [`snap_to_batched`] moves every arrival back to the most recent multiple
+//!   of its color's delay bound (earlier arrival, same deadline window ⊇
+//!   original — any schedule for the original stays feasible);
+//! * [`clamp_rate_limited`] truncates batches to `D_ℓ` jobs (a sub-trace);
+//! * [`round_delay_bounds_pow2`] rounds every delay bound *down* to a power
+//!   of two (shrinking windows — schedules for the rounded trace remain
+//!   feasible for the original), the preprocessing §5.3 implies.
+
+use crate::color::{ColorInfo, ColorTable};
+use crate::time::pow2_floor;
+use crate::trace::Trace;
+
+/// Moves each arrival to the latest multiple of `D_ℓ` at or before it.
+pub fn snap_to_batched(trace: &Trace) -> Trace {
+    let mut out = Trace::new(trace.colors().clone());
+    for a in trace.iter() {
+        let d = trace.colors().delay_bound(a.color);
+        out.add(a.round - a.round % d, a.color, a.count)
+            .expect("same colors");
+    }
+    out
+}
+
+/// Truncates every batch to at most `D_ℓ` jobs; returns the clamped trace and
+/// the number of jobs removed.
+pub fn clamp_rate_limited(trace: &Trace) -> (Trace, u64) {
+    let mut out = Trace::new(trace.colors().clone());
+    let mut removed = 0;
+    for a in trace.iter() {
+        let d = trace.colors().delay_bound(a.color);
+        let keep = a.count.min(d);
+        removed += a.count - keep;
+        out.add(a.round, a.color, keep).expect("same colors");
+    }
+    (out, removed)
+}
+
+/// Rounds every delay bound down to a power of two, keeping arrivals.
+pub fn round_delay_bounds_pow2(trace: &Trace) -> Trace {
+    let mut table = ColorTable::new();
+    for (_, info) in trace.colors().iter() {
+        table.push(ColorInfo::with_drop_cost(
+            pow2_floor(info.delay_bound),
+            info.drop_cost,
+        ));
+    }
+    let mut out = Trace::new(table);
+    for a in trace.iter() {
+        out.add(a.round, a.color, a.count).expect("same colors");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{BatchClass, TraceBuilder};
+
+    #[test]
+    fn snap_produces_batched_traces() {
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .jobs(3, 0, 2)
+            .jobs(9, 1, 5)
+            .jobs(4, 0, 1)
+            .build();
+        let b = snap_to_batched(&t);
+        assert_ne!(b.batch_class(), BatchClass::General);
+        assert_eq!(b.total_jobs(), t.total_jobs());
+        assert_eq!(b.arrivals_at(0), vec![(crate::ColorId(0), 2)]);
+        assert_eq!(b.arrivals_at(8), vec![(crate::ColorId(1), 5)]);
+    }
+
+    #[test]
+    fn snap_widens_windows() {
+        // Snapped jobs arrive earlier with the same delay bound, so any
+        // original-feasible execution stays feasible... but deadlines shrink
+        // (arrival + D moves earlier). What holds: snapped deadline <=
+        // original deadline and snapped arrival <= original arrival.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(6, 0, 1).build();
+        let b = snap_to_batched(&t);
+        let orig = t.iter().next().unwrap();
+        let snap = b.iter().next().unwrap();
+        assert!(snap.round <= orig.round);
+        assert!(snap.round + 4 <= orig.round + 4);
+    }
+
+    #[test]
+    fn clamp_counts_removed_jobs() {
+        let t = TraceBuilder::with_delay_bounds(&[4])
+            .jobs(0, 0, 10)
+            .jobs(4, 0, 3)
+            .build();
+        let (c, removed) = clamp_rate_limited(&t);
+        assert_eq!(removed, 6);
+        assert_eq!(c.total_jobs(), 7);
+        assert_eq!(c.batch_class(), BatchClass::RateLimited);
+    }
+
+    #[test]
+    fn pow2_rounding_shrinks_bounds() {
+        let t = TraceBuilder::with_delay_bounds(&[5, 12, 8])
+            .jobs(0, 0, 1)
+            .jobs(0, 1, 1)
+            .jobs(0, 2, 1)
+            .build();
+        let r = round_delay_bounds_pow2(&t);
+        let bounds: Vec<u64> = r.colors().iter().map(|(_, i)| i.delay_bound).collect();
+        assert_eq!(bounds, vec![4, 8, 8]);
+        assert!(r.colors().all_pow2());
+        assert_eq!(r.total_jobs(), 3);
+    }
+
+    #[test]
+    fn pow2_rounding_preserves_drop_costs() {
+        let mut table = ColorTable::new();
+        table.push(ColorInfo::with_drop_cost(6, 9));
+        let mut t = Trace::new(table);
+        t.add(0, crate::ColorId(0), 1).unwrap();
+        let r = round_delay_bounds_pow2(&t);
+        assert_eq!(r.colors().drop_cost(crate::ColorId(0)), 9);
+        assert_eq!(r.colors().delay_bound(crate::ColorId(0)), 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! The multiset of pending jobs.
+//!
+//! A job is *pending* from its arrival until it is executed or dropped (paper §2).
+//! Jobs of one color are interchangeable up to their deadline, so pending jobs are
+//! stored per color as a deadline-ordered run-length queue. Executing a color
+//! always consumes its earliest-deadline pending job — an exchange argument shows
+//! this is without loss of generality for every algorithm and for the offline
+//! optimum (swapping a later-deadline execution for an earlier-deadline one of the
+//! same color never invalidates a schedule).
+
+use crate::color::ColorId;
+use crate::time::Round;
+use std::collections::VecDeque;
+
+/// Pending jobs of one color: a deadline-ordered queue of `(deadline, count)`
+/// runs with strictly increasing deadlines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ColorQueue {
+    runs: VecDeque<(Round, u64)>,
+    total: u64,
+}
+
+impl ColorQueue {
+    fn push(&mut self, deadline: Round, count: u64) {
+        if count == 0 {
+            return;
+        }
+        match self.runs.back_mut() {
+            Some((d, n)) if *d == deadline => *n += count,
+            Some((d, _)) => {
+                assert!(
+                    *d < deadline,
+                    "arrivals must be pushed in nondecreasing deadline order"
+                );
+                self.runs.push_back((deadline, count));
+            }
+            None => self.runs.push_back((deadline, count)),
+        }
+        self.total += count;
+    }
+
+    fn pop_earliest(&mut self) -> Option<Round> {
+        let (deadline, n) = self.runs.front_mut()?;
+        let d = *deadline;
+        *n -= 1;
+        if *n == 0 {
+            self.runs.pop_front();
+        }
+        self.total -= 1;
+        Some(d)
+    }
+
+    /// Removes all jobs with deadline <= `round`; returns how many were removed.
+    fn drop_expired(&mut self, round: Round) -> u64 {
+        let mut dropped = 0;
+        while let Some(&(d, n)) = self.runs.front() {
+            if d <= round {
+                dropped += n;
+                self.runs.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.total -= dropped;
+        dropped
+    }
+
+    fn drop_all(&mut self) -> u64 {
+        let n = self.total;
+        self.runs.clear();
+        self.total = 0;
+        n
+    }
+}
+
+/// Pending-job state for all colors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PendingJobs {
+    queues: Vec<ColorQueue>,
+}
+
+impl PendingJobs {
+    /// Creates pending state for `ncolors` colors (all initially empty).
+    pub fn new(ncolors: usize) -> Self {
+        PendingJobs {
+            queues: vec![ColorQueue::default(); ncolors],
+        }
+    }
+
+    /// Number of colors tracked.
+    #[inline]
+    pub fn ncolors(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Adds `count` pending jobs of `color` with the given deadline. Deadlines per
+    /// color must be pushed in nondecreasing order (guaranteed when arrivals are
+    /// processed round by round, since deadline = round + D_ℓ).
+    pub fn arrive(&mut self, color: ColorId, deadline: Round, count: u64) {
+        self.queues[color.index()].push(deadline, count);
+    }
+
+    /// Number of pending jobs of `color`.
+    #[inline]
+    pub fn count(&self, color: ColorId) -> u64 {
+        self.queues[color.index()].total
+    }
+
+    /// Whether `color` has no pending jobs (the paper's *idle* predicate).
+    #[inline]
+    pub fn is_idle(&self, color: ColorId) -> bool {
+        self.count(color) == 0
+    }
+
+    /// Earliest deadline among pending jobs of `color`.
+    #[inline]
+    pub fn earliest_deadline(&self, color: ColorId) -> Option<Round> {
+        self.queues[color.index()].runs.front().map(|&(d, _)| d)
+    }
+
+    /// Executes (removes) one earliest-deadline pending job of `color`; returns
+    /// its deadline, or `None` if the color is idle.
+    pub fn execute_one(&mut self, color: ColorId) -> Option<Round> {
+        self.queues[color.index()].pop_earliest()
+    }
+
+    /// Drops every pending job with deadline ≤ `round` across all colors.
+    /// Returns `(color, dropped_count)` pairs for colors that lost jobs, in color
+    /// order.
+    pub fn drop_expired(&mut self, round: Round) -> Vec<(ColorId, u64)> {
+        let mut out = Vec::new();
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            let n = q.drop_expired(round);
+            if n > 0 {
+                out.push((ColorId(i as u32), n));
+            }
+        }
+        out
+    }
+
+    /// Drops every pending job of `color` regardless of deadline; returns the
+    /// count. (Used by batched-setting bookkeeping where a color's entire batch
+    /// expires at once.)
+    pub fn drop_all_of(&mut self, color: ColorId) -> u64 {
+        self.queues[color.index()].drop_all()
+    }
+
+    /// Total pending jobs over all colors.
+    pub fn total(&self) -> u64 {
+        self.queues.iter().map(|q| q.total).sum()
+    }
+
+    /// Colors with at least one pending job, in color order.
+    pub fn nonidle_colors(&self) -> Vec<ColorId> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.total > 0)
+            .map(|(i, _)| ColorId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColorId {
+        ColorId(i)
+    }
+
+    #[test]
+    fn arrive_execute_fifo_by_deadline() {
+        let mut p = PendingJobs::new(2);
+        p.arrive(c(0), 4, 2);
+        p.arrive(c(0), 8, 1);
+        assert_eq!(p.count(c(0)), 3);
+        assert_eq!(p.earliest_deadline(c(0)), Some(4));
+        assert_eq!(p.execute_one(c(0)), Some(4));
+        assert_eq!(p.execute_one(c(0)), Some(4));
+        assert_eq!(p.execute_one(c(0)), Some(8));
+        assert_eq!(p.execute_one(c(0)), None);
+        assert!(p.is_idle(c(0)));
+    }
+
+    #[test]
+    fn coalesces_same_deadline() {
+        let mut p = PendingJobs::new(1);
+        p.arrive(c(0), 4, 2);
+        p.arrive(c(0), 4, 3);
+        assert_eq!(p.count(c(0)), 5);
+        assert_eq!(p.queues[0].runs.len(), 1);
+    }
+
+    #[test]
+    fn drop_expired_removes_due_jobs_only() {
+        let mut p = PendingJobs::new(2);
+        p.arrive(c(0), 4, 2);
+        p.arrive(c(0), 8, 1);
+        p.arrive(c(1), 4, 5);
+        let dropped = p.drop_expired(4);
+        assert_eq!(dropped, vec![(c(0), 2), (c(1), 5)]);
+        assert_eq!(p.count(c(0)), 1);
+        assert_eq!(p.count(c(1)), 0);
+        assert_eq!(p.drop_expired(4), vec![]);
+    }
+
+    #[test]
+    fn drop_all_of_clears_color() {
+        let mut p = PendingJobs::new(1);
+        p.arrive(c(0), 4, 2);
+        p.arrive(c(0), 8, 3);
+        assert_eq!(p.drop_all_of(c(0)), 5);
+        assert!(p.is_idle(c(0)));
+        assert_eq!(p.drop_all_of(c(0)), 0);
+    }
+
+    #[test]
+    fn nonidle_colors_in_order() {
+        let mut p = PendingJobs::new(3);
+        p.arrive(c(2), 4, 1);
+        p.arrive(c(0), 4, 1);
+        assert_eq!(p.nonidle_colors(), vec![c(0), c(2)]);
+        assert_eq!(p.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_deadline_rejected() {
+        let mut p = PendingJobs::new(1);
+        p.arrive(c(0), 8, 1);
+        p.arrive(c(0), 4, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Resource (cache) state.
+//!
+//! The paper views the `n` resources as a cache: resource `i` is location `i`,
+//! each location caches one color, and reconfiguring location `i` to color `ℓ` is
+//! caching `ℓ` at `i` at cost Δ (paper §3.1). Locations are initially *black*
+//! (caching nothing).
+//!
+//! Policies describe the desired cache content as a [`CacheTarget`]: a multiset of
+//! colors of size at most `n` (a color may appear several times — the paper's
+//! algorithms cache each color at two locations). The engine charges Δ for every
+//! location that must *gain* a color it did not hold; vacating a location (back to
+//! black) is free, matching the paper where evictions are free and insertions pay.
+
+use crate::color::ColorId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Desired cache content: a multiset of colors, total multiplicity ≤ n.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheTarget {
+    /// Multiplicity per color (only nonzero entries). BTreeMap for deterministic
+    /// order.
+    copies: BTreeMap<ColorId, u32>,
+}
+
+impl CacheTarget {
+    /// An empty target (all locations black).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a target caching each listed color once.
+    pub fn singles<I: IntoIterator<Item = ColorId>>(colors: I) -> Self {
+        let mut t = Self::default();
+        for c in colors {
+            t.add(c, 1);
+        }
+        t
+    }
+
+    /// Builds a target caching each listed color `k` times (the paper's
+    /// replication invariant uses `k = 2`).
+    pub fn replicated<I: IntoIterator<Item = ColorId>>(colors: I, k: u32) -> Self {
+        let mut t = Self::default();
+        for c in colors {
+            t.add(c, k);
+        }
+        t
+    }
+
+    /// Adds `k` copies of `color`.
+    pub fn add(&mut self, color: ColorId, k: u32) {
+        if k > 0 {
+            *self.copies.entry(color).or_insert(0) += k;
+        }
+    }
+
+    /// Total number of occupied locations.
+    pub fn size(&self) -> usize {
+        self.copies.values().map(|&k| k as usize).sum()
+    }
+
+    /// Number of copies of `color`.
+    pub fn copies_of(&self, color: ColorId) -> u32 {
+        self.copies.get(&color).copied().unwrap_or(0)
+    }
+
+    /// Distinct colors in the target, ascending.
+    pub fn distinct(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.copies.keys().copied()
+    }
+
+    /// `(color, copies)` pairs, ascending by color.
+    pub fn iter(&self) -> impl Iterator<Item = (ColorId, u32)> + '_ {
+        self.copies.iter().map(|(&c, &k)| (c, k))
+    }
+
+    /// Whether the target contains `color` at least once.
+    pub fn contains(&self, color: ColorId) -> bool {
+        self.copies.contains_key(&color)
+    }
+}
+
+impl FromIterator<ColorId> for CacheTarget {
+    fn from_iter<I: IntoIterator<Item = ColorId>>(iter: I) -> Self {
+        Self::singles(iter)
+    }
+}
+
+/// The current cache content (same representation as a target, plus capacity).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheState {
+    n: usize,
+    content: CacheTarget,
+}
+
+impl CacheState {
+    /// Creates an all-black cache of `n` locations.
+    pub fn new(n: usize) -> Self {
+        CacheState {
+            n,
+            content: CacheTarget::empty(),
+        }
+    }
+
+    /// Number of locations.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Current content as a multiset.
+    #[inline]
+    pub fn content(&self) -> &CacheTarget {
+        &self.content
+    }
+
+    /// Number of cached copies of `color`.
+    #[inline]
+    pub fn copies_of(&self, color: ColorId) -> u32 {
+        self.content.copies_of(color)
+    }
+
+    /// Whether `color` is cached at least once.
+    #[inline]
+    pub fn contains(&self, color: ColorId) -> bool {
+        self.content.contains(color)
+    }
+
+    /// Applies `target`, returning the number of locations that had to be
+    /// recolored (each costs Δ). A location is recolored iff the target needs
+    /// more copies of some color than currently cached; surplus copies are
+    /// vacated for free.
+    ///
+    /// Returns `None` (and leaves the state unchanged) if `target.size() > n`.
+    pub fn apply(&mut self, target: &CacheTarget) -> Option<u64> {
+        if target.size() > self.n {
+            return None;
+        }
+        let mut recolored = 0u64;
+        for (color, &want) in target.copies.iter() {
+            let have = self.content.copies_of(*color);
+            if want > have {
+                recolored += u64::from(want - have);
+            }
+        }
+        self.content = target.clone();
+        Some(recolored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColorId {
+        ColorId(i)
+    }
+
+    #[test]
+    fn target_multiset_ops() {
+        let mut t = CacheTarget::empty();
+        t.add(c(1), 2);
+        t.add(c(0), 1);
+        t.add(c(1), 1);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.copies_of(c(1)), 3);
+        assert_eq!(t.copies_of(c(9)), 0);
+        assert!(t.contains(c(0)));
+        let d: Vec<ColorId> = t.distinct().collect();
+        assert_eq!(d, vec![c(0), c(1)]);
+    }
+
+    #[test]
+    fn replicated_builder() {
+        let t = CacheTarget::replicated([c(0), c(2)], 2);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.copies_of(c(0)), 2);
+        assert_eq!(t.copies_of(c(2)), 2);
+    }
+
+    #[test]
+    fn apply_charges_only_gained_copies() {
+        let mut s = CacheState::new(4);
+        // Empty -> {a, a, b}: 3 recolorings.
+        let t1 = CacheTarget::replicated([c(0)], 2).tap_add(c(1), 1);
+        assert_eq!(s.apply(&t1), Some(3));
+        // {a,a,b} -> {a,b,b}: gain one b, drop one a: 1 recoloring.
+        let t2 = CacheTarget::singles([c(0)]).tap_add(c(1), 2);
+        assert_eq!(s.apply(&t2), Some(1));
+        // Unchanged target: free.
+        assert_eq!(s.apply(&t2.clone()), Some(0));
+        // Shrinking is free.
+        assert_eq!(s.apply(&CacheTarget::empty()), Some(0));
+        // Re-adding after vacating costs again.
+        assert_eq!(s.apply(&CacheTarget::singles([c(0)])), Some(1));
+    }
+
+    #[test]
+    fn apply_rejects_overflow() {
+        let mut s = CacheState::new(2);
+        let t = CacheTarget::replicated([c(0), c(1)], 2);
+        assert_eq!(s.apply(&t), None);
+        assert_eq!(s.content().size(), 0, "state unchanged on rejection");
+    }
+
+    // Small test helper: add-and-return for fluent construction.
+    trait TapAdd {
+        fn tap_add(self, c: ColorId, k: u32) -> Self;
+    }
+    impl TapAdd for CacheTarget {
+        fn tap_add(mut self, c: ColorId, k: u32) -> Self {
+            self.add(c, k);
+            self
+        }
+    }
+}

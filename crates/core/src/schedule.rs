@@ -1,0 +1,329 @@
+//! Explicit schedules and the independent schedule checker.
+//!
+//! A *schedule* specifies, for every (mini-)round, the cache content and the jobs
+//! executed (paper §2). [`ExplicitSchedule`] is the materialized form;
+//! [`check_schedule`] replays one against a trace, verifying feasibility
+//! (capacity, color availability, deadline windows) and recomputing its cost from
+//! scratch. The checker shares no code with the engine's accounting beyond the
+//! pending-jobs structure, so it serves as an independent oracle for the engine,
+//! the offline DP, and the paper's schedule transformations (`Aggregate`,
+//! `VarBatch`'s punctual schedules).
+
+use crate::color::ColorId;
+use crate::cost::{Cost, CostModel};
+use crate::error::{Error, Result};
+use crate::pending::PendingJobs;
+use crate::resource::{CacheState, CacheTarget};
+use crate::time::{Round, Speed};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One mini-round of a schedule: the cache content after the reconfiguration
+/// phase and the colors of the jobs executed in the execution phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleStep {
+    /// Round index.
+    pub round: Round,
+    /// Mini-round index within the round (0, or 0–1 at double speed).
+    pub mini: u32,
+    /// Cache content during this mini-round.
+    pub cache: CacheTarget,
+    /// Colors of executed jobs (each entry = one unit job; at most one per cached
+    /// location of that color).
+    pub executed: Vec<ColorId>,
+}
+
+/// A fully materialized schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplicitSchedule {
+    /// Number of resources.
+    pub n: usize,
+    /// Uni- or double-speed.
+    pub speed: Speed,
+    /// Steps in (round, mini) order. Steps may stop early; missing trailing
+    /// steps are treated as an empty cache (no executions).
+    pub steps: Vec<ScheduleStep>,
+}
+
+impl ExplicitSchedule {
+    /// Creates an empty schedule.
+    pub fn new(n: usize, speed: Speed) -> Self {
+        ExplicitSchedule {
+            n,
+            speed,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Total number of executed jobs.
+    pub fn executed_jobs(&self) -> u64 {
+        self.steps.iter().map(|s| s.executed.len() as u64).sum()
+    }
+}
+
+/// Replays `schedule` against `trace`, verifying feasibility and recomputing the
+/// cost. Returns the recomputed [`Cost`] or a descriptive
+/// [`Error::InvalidSchedule`].
+///
+/// Checks performed per step:
+/// * steps are in strictly increasing (round, mini) order, `mini < speed`;
+/// * cache content fits in `n` locations;
+/// * at most one execution per cached location of each color;
+/// * every executed job has a pending job of that color within its window.
+///
+/// Drop cost is `total jobs − executed jobs`; reconfiguration cost is Δ × the
+/// number of locations gaining a color, replayed via [`CacheState`].
+pub fn check_schedule(
+    trace: &Trace,
+    schedule: &ExplicitSchedule,
+    cost_model: CostModel,
+) -> Result<Cost> {
+    let colors = trace.colors();
+    let minis = schedule.speed.mini_rounds();
+    let mut pending = PendingJobs::new(colors.len());
+    let mut cache = CacheState::new(schedule.n);
+    let mut cost = Cost::ZERO;
+    let mut executed_by_color: Vec<u64> = vec![0; colors.len()];
+
+    let horizon = trace.horizon();
+    let mut step_iter = schedule.steps.iter().peekable();
+
+    for round in 0..=horizon {
+        pending.drop_expired(round);
+        for (color, count) in trace.arrivals_at(round) {
+            pending.arrive(color, round + colors.delay_bound(color), count);
+        }
+        for mini in 0..minis {
+            let step = match step_iter.peek() {
+                Some(s) if s.round == round && s.mini == mini => step_iter.next().unwrap(),
+                Some(s) if (s.round, s.mini) < (round, mini) => {
+                    return Err(Error::InvalidSchedule {
+                        round,
+                        reason: format!(
+                            "step ({}, {}) out of order or duplicated",
+                            s.round, s.mini
+                        ),
+                    });
+                }
+                _ => continue, // no step for this mini-round: empty cache
+            };
+            if step.mini >= minis {
+                return Err(Error::InvalidSchedule {
+                    round,
+                    reason: format!("mini-round {} exceeds speed {}", step.mini, minis),
+                });
+            }
+            let recolored = cache.apply(&step.cache).ok_or(Error::InvalidSchedule {
+                round,
+                reason: format!(
+                    "cache content of size {} exceeds {} locations",
+                    step.cache.size(),
+                    schedule.n
+                ),
+            })?;
+            cost.reconfig += recolored * cost_model.delta;
+
+            // Per-color execution count must not exceed cached copies.
+            let mut counts: std::collections::BTreeMap<ColorId, u32> = Default::default();
+            for &c in &step.executed {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+            for (&c, &k) in &counts {
+                if k > step.cache.copies_of(c) {
+                    return Err(Error::InvalidSchedule {
+                        round,
+                        reason: format!(
+                            "{k} executions of {c} but only {} cached copies",
+                            step.cache.copies_of(c)
+                        ),
+                    });
+                }
+                for _ in 0..k {
+                    if pending.execute_one(c).is_none() {
+                        return Err(Error::InvalidSchedule {
+                            round,
+                            reason: format!("execution of {c} with no pending job"),
+                        });
+                    }
+                    executed_by_color[c.index()] += 1;
+                }
+            }
+        }
+    }
+    if let Some(s) = step_iter.next() {
+        return Err(Error::InvalidSchedule {
+            round: s.round,
+            reason: format!("step at round {} beyond the horizon {horizon}", s.round),
+        });
+    }
+    // Drop cost: unexecuted jobs, weighted by their color's drop cost.
+    cost.drop = colors
+        .ids()
+        .map(|c| (trace.jobs_of_color(c) - executed_by_color[c.index()]) * colors.drop_cost(c))
+        .sum();
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn c(i: u32) -> ColorId {
+        ColorId(i)
+    }
+
+    fn simple_trace() -> Trace {
+        TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 2).build()
+    }
+
+    #[test]
+    fn valid_schedule_costs_correctly() {
+        let trace = simple_trace();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        for round in 0..2 {
+            s.steps.push(ScheduleStep {
+                round,
+                mini: 0,
+                cache: CacheTarget::singles([c(0)]),
+                executed: vec![c(0)],
+            });
+        }
+        let cost = check_schedule(&trace, &s, CostModel::new(5)).unwrap();
+        assert_eq!(cost, Cost::new(5, 0)); // one recoloring, no drops
+    }
+
+    #[test]
+    fn missing_steps_mean_drops() {
+        let trace = simple_trace();
+        let s = ExplicitSchedule::new(1, Speed::Uni);
+        let cost = check_schedule(&trace, &s, CostModel::new(5)).unwrap();
+        assert_eq!(cost, Cost::new(0, 2));
+    }
+
+    #[test]
+    fn execution_without_cached_color_rejected() {
+        let trace = simple_trace();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps.push(ScheduleStep {
+            round: 0,
+            mini: 0,
+            cache: CacheTarget::empty(),
+            executed: vec![c(0)],
+        });
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn execution_without_pending_job_rejected() {
+        let trace = simple_trace(); // only 2 jobs
+        let mut s = ExplicitSchedule::new(2, Speed::Uni);
+        for round in 0..2 {
+            s.steps.push(ScheduleStep {
+                round,
+                mini: 0,
+                cache: CacheTarget::replicated([c(0)], 2),
+                executed: vec![c(0), c(0)],
+            });
+        }
+        // Round 1 tries to execute 2 more jobs but none are pending.
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn late_execution_rejected() {
+        // Job window is rounds 0..=3 (D=4). Executing at round 4 must fail
+        // because the job was dropped in round 4's drop phase.
+        let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 1).build();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps.push(ScheduleStep {
+            round: 4,
+            mini: 0,
+            cache: CacheTarget::singles([c(0)]),
+            executed: vec![c(0)],
+        });
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn capacity_overflow_rejected() {
+        let trace = simple_trace();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps.push(ScheduleStep {
+            round: 0,
+            mini: 0,
+            cache: CacheTarget::replicated([c(0)], 2),
+            executed: vec![],
+        });
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn out_of_order_steps_rejected() {
+        let trace = simple_trace();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        let step = |round| ScheduleStep {
+            round,
+            mini: 0,
+            cache: CacheTarget::empty(),
+            executed: vec![],
+        };
+        s.steps.push(step(1));
+        s.steps.push(step(0));
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn step_beyond_horizon_rejected() {
+        let trace = simple_trace(); // horizon = 4
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps.push(ScheduleStep {
+            round: 99,
+            mini: 0,
+            cache: CacheTarget::empty(),
+            executed: vec![],
+        });
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn double_speed_executes_twice_per_round() {
+        // 4 jobs with D=2 need double speed on one resource.
+        let trace = TraceBuilder::with_delay_bounds(&[2]).jobs(0, 0, 4).build();
+        let mut s = ExplicitSchedule::new(1, Speed::Double);
+        for round in 0..2 {
+            for mini in 0..2 {
+                s.steps.push(ScheduleStep {
+                    round,
+                    mini,
+                    cache: CacheTarget::singles([c(0)]),
+                    executed: vec![c(0)],
+                });
+            }
+        }
+        let cost = check_schedule(&trace, &s, CostModel::new(3)).unwrap();
+        assert_eq!(cost, Cost::new(3, 0));
+    }
+
+    #[test]
+    fn reconfig_cost_replay_counts_gained_copies() {
+        // Alternate between two colors every round: each switch recolors one
+        // location.
+        let trace = TraceBuilder::with_delay_bounds(&[2, 2])
+            .jobs(0, 0, 1)
+            .jobs(2, 1, 1)
+            .jobs(4, 0, 1)
+            .build();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        for (round, color) in [(0, 0), (2, 1), (4, 0)] {
+            s.steps.push(ScheduleStep {
+                round,
+                mini: 0,
+                cache: CacheTarget::singles([c(color)]),
+                executed: vec![c(color)],
+            });
+        }
+        let cost = check_schedule(&trace, &s, CostModel::new(2)).unwrap();
+        assert_eq!(cost, Cost::new(6, 0)); // three recolorings × Δ=2
+    }
+}

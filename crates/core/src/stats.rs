@@ -1,0 +1,110 @@
+//! Run results and per-run statistics.
+
+use crate::color::ColorId;
+use crate::cost::Cost;
+use crate::schedule::ExplicitSchedule;
+use crate::time::Round;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running a policy over a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy name.
+    pub policy: String,
+    /// Number of resources the policy was given.
+    pub n: usize,
+    /// Reconfiguration cost Δ used.
+    pub delta: u64,
+    /// Accumulated cost.
+    pub cost: Cost,
+    /// Number of executed jobs.
+    pub executed: u64,
+    /// Number of dropped jobs (equals `cost.drop` under unit drop costs).
+    pub dropped_jobs: u64,
+    /// Number of individual resource recolorings (cost.reconfig = events × Δ).
+    pub reconfig_events: u64,
+    /// Rounds simulated (horizon + 1).
+    pub rounds: Round,
+    /// Dropped jobs per color (indexed by color id).
+    pub drops_by_color: Vec<u64>,
+    /// Executed jobs per color (indexed by color id).
+    pub executed_by_color: Vec<u64>,
+    /// Recorded schedule, when the engine was asked to keep one.
+    #[serde(skip)]
+    pub schedule: Option<ExplicitSchedule>,
+    /// Execution-latency histogram, when the engine was asked to track it.
+    pub latency: Option<crate::latency::LatencyHistogram>,
+}
+
+impl RunResult {
+    /// Creates an empty result.
+    pub fn new(policy: String, n: usize, delta: u64, ncolors: usize) -> Self {
+        RunResult {
+            policy,
+            n,
+            delta,
+            cost: Cost::ZERO,
+            executed: 0,
+            dropped_jobs: 0,
+            reconfig_events: 0,
+            rounds: 0,
+            drops_by_color: vec![0; ncolors],
+            executed_by_color: vec![0; ncolors],
+            schedule: None,
+            latency: None,
+        }
+    }
+
+    /// Records `count` drops of `color` at `drop_cost` each.
+    pub fn record_drops(&mut self, color: ColorId, count: u64, drop_cost: u64) {
+        self.cost.drop += count * drop_cost;
+        self.dropped_jobs += count;
+        self.drops_by_color[color.index()] += count;
+    }
+
+    /// Records `events` resource recolorings at cost `delta` each.
+    pub fn record_reconfigs(&mut self, events: u64, delta: u64) {
+        self.reconfig_events += events;
+        self.cost.reconfig += events * delta;
+    }
+
+    /// Records one executed job of `color`.
+    pub fn record_execution(&mut self, color: ColorId) {
+        self.executed += 1;
+        self.executed_by_color[color.index()] += 1;
+    }
+
+    /// Fraction of jobs executed (1.0 when there were no jobs).
+    pub fn completion_rate(&self) -> f64 {
+        let total = self.executed + self.dropped_jobs;
+        if total == 0 {
+            1.0
+        } else {
+            self.executed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut r = RunResult::new("p".into(), 4, 3, 2);
+        r.record_drops(ColorId(1), 5, 1);
+        r.record_reconfigs(2, 3);
+        r.record_execution(ColorId(0));
+        assert_eq!(r.cost, Cost::new(6, 5));
+        assert_eq!(r.dropped_jobs, 5);
+        assert_eq!(r.drops_by_color, vec![0, 5]);
+        assert_eq!(r.executed_by_color, vec![1, 0]);
+        assert!((r.completion_rate() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_rate_empty_is_one() {
+        let r = RunResult::new("p".into(), 1, 1, 0);
+        assert_eq!(r.completion_rate(), 1.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! A streaming driver: feed arrivals one round at a time.
+//!
+//! [`crate::Engine`] replays a complete [`crate::Trace`]; a deployed
+//! scheduler instead sees requests arrive live. [`StreamingEngine`] exposes
+//! exactly the same four-phase round semantics through a push API:
+//!
+//! ```
+//! use rrs_core::prelude::*;
+//! use rrs_core::streaming::StreamingEngine;
+//!
+//! struct Pin;
+//! impl Policy for Pin {
+//!     fn name(&self) -> String { "pin".into() }
+//!     fn reconfigure(&mut self, _: Round, _: u32, v: &EngineView) -> CacheTarget {
+//!         CacheTarget::singles(v.pending.nonidle_colors().into_iter().take(v.n))
+//!     }
+//! }
+//!
+//! let colors = ColorTable::from_delay_bounds(&[4]);
+//! let mut engine = StreamingEngine::new(colors, Box::new(Pin), 2, CostModel::new(3)).unwrap();
+//! engine.step(&[(ColorId(0), 3)]).unwrap();   // round 0: 3 jobs arrive
+//! engine.step(&[]).unwrap();                  // round 1: nothing new
+//! let result = engine.finish().unwrap();      // drain to the horizon
+//! assert_eq!(result.executed + result.dropped_jobs, 3);
+//! ```
+//!
+//! The equivalence test below pins `StreamingEngine` to [`crate::Engine`]:
+//! pushing a trace round by round produces the identical [`RunResult`].
+
+use crate::color::{ColorId, ColorTable};
+use crate::cost::CostModel;
+use crate::engine::{EngineView, Policy};
+use crate::error::{Error, Result};
+use crate::pending::PendingJobs;
+use crate::resource::CacheState;
+use crate::stats::RunResult;
+use crate::time::{Round, Speed};
+
+/// Per-round outcome of a streaming step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The round just simulated.
+    pub round: Round,
+    /// Jobs dropped in this round's drop phase.
+    pub dropped: u64,
+    /// Jobs executed in this round.
+    pub executed: u64,
+    /// Resource recolorings in this round.
+    pub recolored: u64,
+}
+
+/// The streaming counterpart of [`crate::Engine`].
+pub struct StreamingEngine {
+    colors: ColorTable,
+    policy: Box<dyn Policy>,
+    n: usize,
+    cost_model: CostModel,
+    speed: Speed,
+    pending: PendingJobs,
+    cache: CacheState,
+    result: RunResult,
+    round: Round,
+    /// Largest deadline seen so far (how far `finish` must drain).
+    max_deadline: Round,
+}
+
+impl StreamingEngine {
+    /// Creates a streaming engine at round 0.
+    pub fn new(
+        colors: ColorTable,
+        policy: Box<dyn Policy>,
+        n: usize,
+        cost_model: CostModel,
+    ) -> Result<Self> {
+        Self::with_speed(colors, policy, n, cost_model, Speed::Uni)
+    }
+
+    /// Creates a streaming engine with explicit speed.
+    pub fn with_speed(
+        colors: ColorTable,
+        policy: Box<dyn Policy>,
+        n: usize,
+        cost_model: CostModel,
+        speed: Speed,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidParameter(
+                "streaming engine needs at least one resource".into(),
+            ));
+        }
+        let ncolors = colors.len();
+        let name = policy.name();
+        Ok(StreamingEngine {
+            colors,
+            policy,
+            n,
+            cost_model,
+            speed,
+            pending: PendingJobs::new(ncolors),
+            cache: CacheState::new(n),
+            result: RunResult::new(name, n, cost_model.delta, ncolors),
+            round: 0,
+            max_deadline: 0,
+        })
+    }
+
+    /// The next round to be simulated.
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// Live view of accumulated results.
+    pub fn partial_result(&self) -> &RunResult {
+        &self.result
+    }
+
+    /// Number of currently pending jobs.
+    pub fn pending_jobs(&self) -> u64 {
+        self.pending.total()
+    }
+
+    /// Simulates one round with the given arrivals (`(color, count)` pairs in
+    /// ascending color order).
+    pub fn step(&mut self, arrivals: &[(ColorId, u64)]) -> Result<StepOutcome> {
+        for w in arrivals.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(Error::InvalidParameter(
+                    "arrivals must be sorted by ascending color".into(),
+                ));
+            }
+        }
+        if let Some(&(c, _)) = arrivals.iter().find(|&&(c, _)| c.index() >= self.colors.len()) {
+            return Err(Error::UnknownColor(c));
+        }
+        let round = self.round;
+        let executed_before = self.result.executed;
+        let recolored_before = self.result.reconfig_events;
+
+        // Phase 1: drop.
+        let dropped_list = self.pending.drop_expired(round);
+        let mut dropped = 0;
+        for &(color, count) in &dropped_list {
+            dropped += count;
+            self.result
+                .record_drops(color, count, self.colors.drop_cost(color));
+        }
+        {
+            let view = EngineView {
+                pending: &self.pending,
+                cache: &self.cache,
+                colors: &self.colors,
+                n: self.n,
+                delta: self.cost_model.delta,
+            };
+            self.policy.on_drop_phase(round, &dropped_list, &view);
+        }
+        // Phase 2: arrivals.
+        for &(color, count) in arrivals {
+            let deadline = round + self.colors.delay_bound(color);
+            self.max_deadline = self.max_deadline.max(deadline);
+            self.pending.arrive(color, deadline, count);
+        }
+        {
+            let view = EngineView {
+                pending: &self.pending,
+                cache: &self.cache,
+                colors: &self.colors,
+                n: self.n,
+                delta: self.cost_model.delta,
+            };
+            self.policy.on_arrival_phase(round, arrivals, &view);
+        }
+        // Phases 3–4.
+        for mini in 0..self.speed.mini_rounds() {
+            let target = {
+                let view = EngineView {
+                    pending: &self.pending,
+                    cache: &self.cache,
+                    colors: &self.colors,
+                    n: self.n,
+                    delta: self.cost_model.delta,
+                };
+                self.policy.reconfigure(round, mini, &view)
+            };
+            let recolored = self.cache.apply(&target).ok_or(Error::CacheOverflow {
+                round,
+                requested: target.size(),
+                available: self.n,
+            })?;
+            self.result.record_reconfigs(recolored, self.cost_model.delta);
+            for (color, copies) in target.iter() {
+                for _ in 0..copies {
+                    if self.pending.execute_one(color).is_some() {
+                        self.result.record_execution(color);
+                    }
+                }
+            }
+        }
+        self.round += 1;
+        self.result.rounds = self.round;
+        Ok(StepOutcome {
+            round,
+            dropped,
+            executed: self.result.executed - executed_before,
+            recolored: self.result.reconfig_events - recolored_before,
+        })
+    }
+
+    /// Runs empty rounds until every pending job has been executed or
+    /// dropped, then returns the final result.
+    pub fn finish(mut self) -> Result<RunResult> {
+        while self.round <= self.max_deadline && self.pending.total() > 0 {
+            self.step(&[])?;
+        }
+        Ok(self.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::resource::CacheTarget;
+    use crate::trace::{Trace, TraceBuilder};
+
+    /// A deterministic nontrivial policy for the equivalence test: cache the
+    /// nonidle colors with the most pending work.
+    struct TopPending;
+    impl Policy for TopPending {
+        fn name(&self) -> String {
+            "top-pending".into()
+        }
+        fn reconfigure(&mut self, _r: Round, _m: u32, view: &EngineView) -> CacheTarget {
+            let mut colors = view.pending.nonidle_colors();
+            colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
+            colors.truncate(view.n);
+            CacheTarget::singles(colors)
+        }
+    }
+
+    fn demo_trace() -> Trace {
+        TraceBuilder::with_delay_bounds(&[4, 8, 2])
+            .jobs(0, 0, 5)
+            .jobs(0, 2, 2)
+            .jobs(3, 1, 6)
+            .jobs(8, 0, 1)
+            .jobs(9, 2, 4)
+            .build()
+    }
+
+    #[test]
+    fn streaming_matches_batch_engine() {
+        let trace = demo_trace();
+        let mut batch_policy = TopPending;
+        let batch = Engine::new()
+            .run(&trace, &mut batch_policy, 3, CostModel::new(2))
+            .unwrap();
+
+        let mut streaming = StreamingEngine::new(
+            trace.colors().clone(),
+            Box::new(TopPending),
+            3,
+            CostModel::new(2),
+        )
+        .unwrap();
+        for round in 0..=trace.last_arrival_round().unwrap() {
+            streaming.step(&trace.arrivals_at(round)).unwrap();
+        }
+        let stream = streaming.finish().unwrap();
+        assert_eq!(stream.cost, batch.cost);
+        assert_eq!(stream.executed, batch.executed);
+        assert_eq!(stream.dropped_jobs, batch.dropped_jobs);
+        assert_eq!(stream.drops_by_color, batch.drops_by_color);
+    }
+
+    #[test]
+    fn step_outcomes_add_up() {
+        let trace = demo_trace();
+        let mut s = StreamingEngine::new(
+            trace.colors().clone(),
+            Box::new(TopPending),
+            2,
+            CostModel::new(1),
+        )
+        .unwrap();
+        let mut executed = 0;
+        let mut dropped = 0;
+        for round in 0..=trace.horizon() {
+            let out = s.step(&trace.arrivals_at(round)).unwrap();
+            executed += out.executed;
+            dropped += out.dropped;
+            assert_eq!(out.round, round);
+        }
+        assert_eq!(executed + dropped, trace.total_jobs());
+        assert_eq!(s.pending_jobs(), 0);
+    }
+
+    #[test]
+    fn finish_drains_remaining_work() {
+        let colors = crate::color::ColorTable::from_delay_bounds(&[8]);
+        let mut s =
+            StreamingEngine::new(colors, Box::new(TopPending), 1, CostModel::new(1)).unwrap();
+        s.step(&[(ColorId(0), 5)]).unwrap();
+        assert!(s.pending_jobs() > 0);
+        let r = s.finish().unwrap();
+        assert_eq!(r.executed + r.dropped_jobs, 5);
+    }
+
+    #[test]
+    fn rejects_bad_arrivals() {
+        let colors = crate::color::ColorTable::from_delay_bounds(&[4]);
+        let mut s =
+            StreamingEngine::new(colors, Box::new(TopPending), 1, CostModel::new(1)).unwrap();
+        assert!(s.step(&[(ColorId(7), 1)]).is_err(), "unknown color");
+        let colors = crate::color::ColorTable::from_delay_bounds(&[4, 4]);
+        let mut s =
+            StreamingEngine::new(colors, Box::new(TopPending), 1, CostModel::new(1)).unwrap();
+        assert!(
+            s.step(&[(ColorId(1), 1), (ColorId(0), 1)]).is_err(),
+            "unsorted arrivals"
+        );
+    }
+
+    #[test]
+    fn partial_result_is_live() {
+        let colors = crate::color::ColorTable::from_delay_bounds(&[4]);
+        let mut s =
+            StreamingEngine::new(colors, Box::new(TopPending), 1, CostModel::new(3)).unwrap();
+        s.step(&[(ColorId(0), 2)]).unwrap();
+        assert_eq!(s.partial_result().executed, 1);
+        assert_eq!(s.partial_result().cost.reconfig, 3);
+        assert_eq!(s.current_round(), 1);
+    }
+}

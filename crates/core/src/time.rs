@@ -1,0 +1,172 @@
+//! Rounds, phases, blocks and half-blocks.
+//!
+//! Time proceeds in rounds numbered from 0 (paper §2). Each round has four phases
+//! in order: drop, arrival, reconfiguration, execution. Double-speed schedules
+//! (paper §3.3) repeat the last two phases, splitting a round into two
+//! *mini-rounds*.
+//!
+//! For a delay bound `p`, *block* `i` of `p` is the `p` rounds starting at `i·p`
+//! (paper §3.3) and *half-block* `i` of `p` is the `p/2` rounds starting at
+//! `i·p/2` (paper §5.1). These index computations are used by the batching
+//! reductions and by the offline `Aggregate` construction.
+
+use serde::{Deserialize, Serialize};
+
+/// A round index (nonnegative integer).
+pub type Round = u64;
+
+/// The four phases of a round, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Jobs whose deadline equals the current round are dropped.
+    Drop,
+    /// The current round's request (a set of unit jobs) is received.
+    Arrival,
+    /// Each resource may be reconfigured to a different color at cost Δ.
+    Reconfiguration,
+    /// Each resource configured to color ℓ executes up to one pending ℓ job.
+    Execution,
+}
+
+/// Uni-speed (one mini-round per round) or double-speed (two mini-rounds per
+/// round); see paper §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Speed {
+    /// One reconfiguration + execution phase per round (the default).
+    Uni,
+    /// Two mini-rounds per round, as used by DS-Seq-EDF in the analysis.
+    Double,
+}
+
+impl Speed {
+    /// Number of mini-rounds per round.
+    #[inline]
+    pub fn mini_rounds(self) -> u32 {
+        match self {
+            Speed::Uni => 1,
+            Speed::Double => 2,
+        }
+    }
+}
+
+/// The index `i` of the block of delay bound `p` containing `round`,
+/// i.e. `⌊round / p⌋`.
+///
+/// # Panics
+/// Panics if `p == 0`.
+#[inline]
+pub fn block_index(p: u64, round: Round) -> u64 {
+    assert!(p > 0, "delay bound must be positive");
+    round / p
+}
+
+/// The first round of block `i` of delay bound `p` (`i·p`).
+#[inline]
+pub fn block_start(p: u64, i: u64) -> Round {
+    i.checked_mul(p).expect("block start overflows u64")
+}
+
+/// The index of the half-block of delay bound `p` containing `round`,
+/// i.e. `⌊round / (p/2)⌋`.
+///
+/// # Panics
+/// Panics if `p < 2` or `p` is odd (half-blocks are defined for even `p`;
+/// the paper uses powers of two greater than 1).
+#[inline]
+pub fn half_block_index(p: u64, round: Round) -> u64 {
+    assert!(p >= 2 && p.is_multiple_of(2), "half-blocks need an even delay bound >= 2");
+    round / (p / 2)
+}
+
+/// The first round of half-block `i` of delay bound `p` (`i·p/2`).
+#[inline]
+pub fn half_block_start(p: u64, i: u64) -> Round {
+    assert!(p >= 2 && p.is_multiple_of(2), "half-blocks need an even delay bound >= 2");
+    i.checked_mul(p / 2).expect("half-block start overflows u64")
+}
+
+/// Whether `round` is an integral multiple of `p` (batched arrival instants).
+#[inline]
+pub fn is_multiple(p: u64, round: Round) -> bool {
+    assert!(p > 0, "delay bound must be positive");
+    round.is_multiple_of(p)
+}
+
+/// The most recent integral multiple of `p` at or before `round` (used by the
+/// ΔLRU timestamp definition, paper §3.1.1).
+#[inline]
+pub fn last_multiple(p: u64, round: Round) -> Round {
+    assert!(p > 0, "delay bound must be positive");
+    round - round % p
+}
+
+/// The next integral multiple of `p` strictly after `round`.
+#[inline]
+pub fn next_multiple(p: u64, round: Round) -> Round {
+    last_multiple(p, round) + p
+}
+
+/// Rounds a delay bound down to a power of two (`2^j ≤ p < 2^{j+1}` ↦ `2^j`);
+/// used by the §5.3 extension to arbitrary delay bounds.
+///
+/// # Panics
+/// Panics if `p == 0`.
+#[inline]
+pub fn pow2_floor(p: u64) -> u64 {
+    assert!(p > 0, "delay bound must be positive");
+    1u64 << (63 - p.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_math() {
+        assert_eq!(block_index(4, 0), 0);
+        assert_eq!(block_index(4, 3), 0);
+        assert_eq!(block_index(4, 4), 1);
+        assert_eq!(block_start(4, 3), 12);
+    }
+
+    #[test]
+    fn half_block_math() {
+        assert_eq!(half_block_index(8, 0), 0);
+        assert_eq!(half_block_index(8, 3), 0);
+        assert_eq!(half_block_index(8, 4), 1);
+        assert_eq!(half_block_index(8, 11), 2);
+        assert_eq!(half_block_start(8, 2), 8);
+    }
+
+    #[test]
+    fn multiples() {
+        assert!(is_multiple(4, 0));
+        assert!(is_multiple(4, 8));
+        assert!(!is_multiple(4, 9));
+        assert_eq!(last_multiple(4, 9), 8);
+        assert_eq!(last_multiple(4, 8), 8);
+        assert_eq!(next_multiple(4, 8), 12);
+        assert_eq!(next_multiple(4, 9), 12);
+    }
+
+    #[test]
+    fn pow2_floor_rounds_down() {
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(17), 16);
+        assert_eq!(pow2_floor(64), 64);
+    }
+
+    #[test]
+    fn speed_mini_rounds() {
+        assert_eq!(Speed::Uni.mini_rounds(), 1);
+        assert_eq!(Speed::Double.mini_rounds(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn half_block_odd_rejected() {
+        half_block_index(3, 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Request sequences (traces).
+//!
+//! The input to a reconfigurable resource scheduling problem is a sequence of
+//! requests, one per round, each a (possibly empty) set of unit jobs (paper §2).
+//! Jobs of the same color arriving in the same round are interchangeable, so a
+//! [`Trace`] stores a count per `(round, color)` pair; rounds with no arrivals are
+//! not stored.
+//!
+//! [`Trace::batch_class`] classifies a trace into the paper's batch hierarchy:
+//! general (`[Δ|1|D_ℓ|1]`), batched (`[Δ|1|D_ℓ|D_ℓ]`: color-ℓ jobs arrive only at
+//! integral multiples of `D_ℓ`) or rate-limited batched (additionally at most
+//! `D_ℓ` color-ℓ jobs per multiple).
+
+use crate::color::{ColorId, ColorTable};
+use crate::error::{Error, Result};
+use crate::time::{is_multiple, Round};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One arrival record: `count` unit jobs of `color` arriving in `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival round.
+    pub round: Round,
+    /// Color of the jobs.
+    pub color: ColorId,
+    /// Number of unit jobs (> 0).
+    pub count: u64,
+}
+
+/// Which batch class a trace belongs to (paper's `batch` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchClass {
+    /// Arrivals at arbitrary rounds: `[Δ | 1 | D_ℓ | 1]`.
+    General,
+    /// Color-ℓ arrivals only at integral multiples of `D_ℓ`: `[Δ | 1 | D_ℓ | D_ℓ]`.
+    Batched,
+    /// Batched with at most `D_ℓ` color-ℓ jobs per multiple (paper §3).
+    RateLimited,
+}
+
+/// A complete problem input: the color table plus all arrivals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    colors: ColorTable,
+    /// Arrivals keyed by round; inner map keyed by color. BTreeMaps keep
+    /// deterministic iteration order (round-ascending, color-ascending).
+    arrivals: BTreeMap<Round, BTreeMap<ColorId, u64>>,
+    total_jobs: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace over the given colors.
+    pub fn new(colors: ColorTable) -> Self {
+        Trace {
+            colors,
+            arrivals: BTreeMap::new(),
+            total_jobs: 0,
+        }
+    }
+
+    /// The color table.
+    #[inline]
+    pub fn colors(&self) -> &ColorTable {
+        &self.colors
+    }
+
+    /// Adds `count` jobs of `color` arriving at `round`.
+    pub fn add(&mut self, round: Round, color: ColorId, count: u64) -> Result<()> {
+        if color.index() >= self.colors.len() {
+            return Err(Error::UnknownColor(color));
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        *self
+            .arrivals
+            .entry(round)
+            .or_default()
+            .entry(color)
+            .or_insert(0) += count;
+        self.total_jobs += count;
+        Ok(())
+    }
+
+    /// Total number of jobs in the trace.
+    #[inline]
+    pub fn total_jobs(&self) -> u64 {
+        self.total_jobs
+    }
+
+    /// Total number of jobs of one color.
+    pub fn jobs_of_color(&self, color: ColorId) -> u64 {
+        self.arrivals
+            .values()
+            .filter_map(|m| m.get(&color))
+            .sum()
+    }
+
+    /// Arrivals in `round` as `(color, count)` pairs in color order; empty slice
+    /// semantics via an empty Vec.
+    pub fn arrivals_at(&self, round: Round) -> Vec<(ColorId, u64)> {
+        self.arrivals
+            .get(&round)
+            .map(|m| m.iter().map(|(&c, &n)| (c, n)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterates over all arrival records in (round, color) order.
+    pub fn iter(&self) -> impl Iterator<Item = Arrival> + '_ {
+        self.arrivals.iter().flat_map(|(&round, m)| {
+            m.iter().map(move |(&color, &count)| Arrival {
+                round,
+                color,
+                count,
+            })
+        })
+    }
+
+    /// The last round containing an arrival, or `None` for an empty trace.
+    pub fn last_arrival_round(&self) -> Option<Round> {
+        self.arrivals.keys().next_back().copied()
+    }
+
+    /// The first round after which no pending job can remain: the maximum job
+    /// deadline over the trace (0 for an empty trace). The engine must simulate
+    /// rounds `0 ..= horizon` so that every job is either executed or dropped.
+    pub fn horizon(&self) -> Round {
+        self.iter()
+            .map(|a| a.round + self.colors.delay_bound(a.color))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Classifies the trace into the paper's batch hierarchy.
+    pub fn batch_class(&self) -> BatchClass {
+        let mut batched = true;
+        let mut rate_limited = true;
+        for a in self.iter() {
+            let d = self.colors.delay_bound(a.color);
+            if !is_multiple(d, a.round) {
+                batched = false;
+                rate_limited = false;
+                break;
+            }
+            if a.count > d {
+                rate_limited = false;
+            }
+        }
+        if !batched {
+            BatchClass::General
+        } else if rate_limited {
+            BatchClass::RateLimited
+        } else {
+            BatchClass::Batched
+        }
+    }
+
+    /// Serializes the trace to a compact binary representation.
+    ///
+    /// Layout: `u32` color count; per color a `u64` delay bound and a `u64`
+    /// drop cost; `u64` arrival record count; per record `u64` round, `u32`
+    /// color, `u64` count.
+    pub fn to_bytes(&self) -> Bytes {
+        let records: u64 = self.iter().count() as u64;
+        let mut buf = BytesMut::with_capacity(16 + self.colors.len() * 16 + records as usize * 20);
+        buf.put_u32(self.colors.len() as u32);
+        for (_, info) in self.colors.iter() {
+            buf.put_u64(info.delay_bound);
+            buf.put_u64(info.drop_cost);
+        }
+        buf.put_u64(records);
+        for a in self.iter() {
+            buf.put_u64(a.round);
+            buf.put_u32(a.color.0);
+            buf.put_u64(a.count);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a trace from [`Trace::to_bytes`] output.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self> {
+        let need = |data: &Bytes, n: usize| -> Result<()> {
+            if data.remaining() < n {
+                Err(Error::Codec(format!(
+                    "truncated trace: need {n} more bytes, have {}",
+                    data.remaining()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 4)?;
+        let ncolors = data.get_u32() as usize;
+        let mut colors = ColorTable::new();
+        for _ in 0..ncolors {
+            need(&data, 16)?;
+            let d = data.get_u64();
+            let c = data.get_u64();
+            if d == 0 || c == 0 {
+                return Err(Error::Codec("zero delay bound or drop cost".into()));
+            }
+            colors.push(crate::color::ColorInfo::with_drop_cost(d, c));
+        }
+        need(&data, 8)?;
+        let records = data.get_u64();
+        let mut trace = Trace::new(colors);
+        for _ in 0..records {
+            need(&data, 20)?;
+            let round = data.get_u64();
+            let color = ColorId(data.get_u32());
+            let count = data.get_u64();
+            trace.add(round, color, count)?;
+        }
+        Ok(trace)
+    }
+}
+
+/// Fluent builder for traces used heavily in tests and generators.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    trace: Trace,
+}
+
+impl TraceBuilder {
+    /// Starts a builder over delay bounds (color ids are assigned in order).
+    pub fn with_delay_bounds(bounds: &[u64]) -> Self {
+        TraceBuilder {
+            trace: Trace::new(ColorTable::from_delay_bounds(bounds)),
+        }
+    }
+
+    /// Starts a builder over an existing color table.
+    pub fn with_colors(colors: ColorTable) -> Self {
+        TraceBuilder {
+            trace: Trace::new(colors),
+        }
+    }
+
+    /// Adds `count` jobs of color `color` at `round`.
+    ///
+    /// # Panics
+    /// Panics on an unknown color (builder misuse is a programming error).
+    pub fn jobs(mut self, round: Round, color: u32, count: u64) -> Self {
+        self.trace
+            .add(round, ColorId(color), count)
+            .expect("builder color must exist");
+        self
+    }
+
+    /// Adds `count` jobs of `color` at every multiple of its delay bound in
+    /// `start..end` (batched arrival pattern).
+    pub fn batched_jobs(mut self, color: u32, count: u64, start: Round, end: Round) -> Self {
+        let d = self.trace.colors.delay_bound(ColorId(color));
+        let mut r = start.div_ceil(d) * d;
+        while r < end {
+            self.trace
+                .add(r, ColorId(color), count)
+                .expect("builder color must exist");
+            r += d;
+        }
+        self
+    }
+
+    /// Finishes the trace.
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut t = Trace::new(ColorTable::from_delay_bounds(&[4, 8]));
+        t.add(0, ColorId(0), 3).unwrap();
+        t.add(0, ColorId(1), 2).unwrap();
+        t.add(4, ColorId(0), 1).unwrap();
+        assert_eq!(t.total_jobs(), 6);
+        assert_eq!(t.jobs_of_color(ColorId(0)), 4);
+        assert_eq!(t.arrivals_at(0), vec![(ColorId(0), 3), (ColorId(1), 2)]);
+        assert_eq!(t.arrivals_at(1), vec![]);
+        assert_eq!(t.last_arrival_round(), Some(4));
+        assert_eq!(t.horizon(), 8); // color 1 arrives at 0 with D=8
+    }
+
+    #[test]
+    fn unknown_color_rejected() {
+        let mut t = Trace::new(ColorTable::from_delay_bounds(&[4]));
+        assert_eq!(
+            t.add(0, ColorId(9), 1),
+            Err(Error::UnknownColor(ColorId(9)))
+        );
+    }
+
+    #[test]
+    fn zero_count_is_noop() {
+        let mut t = Trace::new(ColorTable::from_delay_bounds(&[4]));
+        t.add(0, ColorId(0), 0).unwrap();
+        assert_eq!(t.total_jobs(), 0);
+        assert_eq!(t.arrivals_at(0), vec![]);
+    }
+
+    #[test]
+    fn batch_classification() {
+        // Rate-limited: arrivals at multiples of D with count <= D.
+        let t = TraceBuilder::with_delay_bounds(&[4])
+            .jobs(0, 0, 4)
+            .jobs(4, 0, 2)
+            .build();
+        assert_eq!(t.batch_class(), BatchClass::RateLimited);
+        // Batched but not rate-limited: burst of 5 > D = 4.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(4, 0, 5).build();
+        assert_eq!(t.batch_class(), BatchClass::Batched);
+        // General: off-multiple arrival.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(3, 0, 1).build();
+        assert_eq!(t.batch_class(), BatchClass::General);
+        // Empty trace is vacuously rate-limited.
+        let t = Trace::new(ColorTable::from_delay_bounds(&[4]));
+        assert_eq!(t.batch_class(), BatchClass::RateLimited);
+    }
+
+    #[test]
+    fn batched_builder_pattern() {
+        let t = TraceBuilder::with_delay_bounds(&[4])
+            .batched_jobs(0, 2, 0, 12)
+            .build();
+        assert_eq!(t.arrivals_at(0), vec![(ColorId(0), 2)]);
+        assert_eq!(t.arrivals_at(4), vec![(ColorId(0), 2)]);
+        assert_eq!(t.arrivals_at(8), vec![(ColorId(0), 2)]);
+        assert_eq!(t.arrivals_at(12), vec![]);
+        // Start not on a multiple rounds up.
+        let t = TraceBuilder::with_delay_bounds(&[4])
+            .batched_jobs(0, 1, 5, 13)
+            .build();
+        assert_eq!(t.arrivals_at(8), vec![(ColorId(0), 1)]);
+        assert_eq!(t.arrivals_at(12), vec![(ColorId(0), 1)]);
+        assert_eq!(t.total_jobs(), 2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = TraceBuilder::with_delay_bounds(&[2, 16])
+            .jobs(0, 0, 7)
+            .jobs(5, 1, 1)
+            .jobs(16, 1, 1 << 40)
+            .build();
+        let decoded = Trace::from_bytes(t.to_bytes()).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn binary_truncation_detected() {
+        let t = TraceBuilder::with_delay_bounds(&[2]).jobs(0, 0, 1).build();
+        let bytes = t.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(Trace::from_bytes(truncated), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let t = TraceBuilder::with_delay_bounds(&[2, 4])
+            .jobs(0, 0, 3)
+            .jobs(4, 1, 2)
+            .build();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,256 @@
+//! A brute-force optimal-cost search, independent of the DP in [`crate::opt`].
+//!
+//! Plain depth-first enumeration over per-round cache configurations with no
+//! memoization and no candidate filtering (every multiset over *all* colors is
+//! tried, not just pending ones). Exponentially slower than the DP — usable
+//! only for micro instances — but it shares no pruning logic with it, so
+//! agreement between the two is strong evidence that the DP's reductions
+//! (canonical execution, candidate filtering, memoization) are sound. The
+//! differential tests in `tests/` and this module exercise exactly that.
+
+use rrs_core::prelude::*;
+
+/// Hard caps keeping the search finite.
+const MAX_COLORS: usize = 4;
+const MAX_M: usize = 3;
+const MAX_HORIZON: u64 = 16;
+
+type Pending = Vec<Vec<(Round, u64)>>;
+
+fn total_pending(p: &Pending) -> u64 {
+    p.iter().flat_map(|runs| runs.iter().map(|&(_, k)| k)).sum()
+}
+
+/// All multisets of exactly size ≤ m over colors `0..ncolors`, as sorted vecs.
+fn all_configs(ncolors: usize, m: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![vec![]];
+    fn rec(ncolors: u32, start: u32, left: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if left == 0 {
+            return;
+        }
+        for c in start..ncolors {
+            cur.push(c);
+            out.push(cur.clone());
+            rec(ncolors, c, left - 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(ncolors as u32, 0, m, &mut Vec::new(), &mut out);
+    out
+}
+
+fn gained(old: &[u32], new: &[u32]) -> u64 {
+    let mut g = 0;
+    let mut i = 0;
+    for &c in new {
+        while i < old.len() && old[i] < c {
+            i += 1;
+        }
+        if i < old.len() && old[i] == c {
+            i += 1;
+        } else {
+            g += 1;
+        }
+    }
+    g
+}
+
+/// Immutable context threaded through the search.
+struct Ctx<'a> {
+    trace: &'a Trace,
+    horizon: Round,
+    configs: &'a [Vec<u32>],
+    delta: u64,
+    drop_costs: Vec<u64>,
+}
+
+fn search(
+    ctx: &Ctx<'_>,
+    round: Round,
+    cache: &[u32],
+    pending: &Pending,
+    cost_so_far: u64,
+    best: &mut u64,
+) {
+    let (trace, horizon, configs, delta) = (ctx.trace, ctx.horizon, ctx.configs, ctx.delta);
+    if cost_so_far >= *best {
+        return; // branch-and-bound on the running best
+    }
+    if round > horizon {
+        *best = (*best).min(cost_so_far);
+        return;
+    }
+    // Drop phase (weighted by per-color drop costs).
+    let mut pending = pending.clone();
+    let mut cost = cost_so_far;
+    for (c, runs) in pending.iter_mut().enumerate() {
+        let before: u64 = runs.iter().map(|&(_, k)| k).sum();
+        runs.retain(|&(d, _)| d > round);
+        let after: u64 = runs.iter().map(|&(_, k)| k).sum();
+        cost += (before - after) * ctx.drop_costs[c];
+    }
+    if cost >= *best {
+        return;
+    }
+    // Arrival phase.
+    for (c, k) in trace.arrivals_at(round) {
+        let d = round + trace.colors().delay_bound(c);
+        pending[c.index()].push((d, k));
+    }
+    // Branch over every configuration.
+    for config in configs {
+        let mut cost2 = cost + gained(cache, config) * delta;
+        if cost2 >= *best {
+            continue;
+        }
+        let mut pending2 = pending.clone();
+        for &c in config {
+            let runs = &mut pending2[c as usize];
+            if let Some(first) = runs.first_mut() {
+                first.1 -= 1;
+                if first.1 == 0 {
+                    runs.remove(0);
+                }
+            }
+        }
+        // Admissible pruning: remaining cost is at least 0; additionally if no
+        // jobs remain, the tail cost is 0 and we can close out immediately.
+        if total_pending(&pending2) == 0 && trace.iter().all(|a| a.round <= round) {
+            *best = (*best).min(cost2);
+            continue;
+        }
+        let _ = &mut cost2;
+        search(ctx, round + 1, config, &pending2, cost2, best);
+    }
+}
+
+/// Computes the optimal cost by unpruned enumeration.
+///
+/// # Errors
+/// Rejects instances beyond the hard caps (4 colors, m ≤ 3, horizon ≤ 16).
+pub fn exhaustive_optimal(trace: &Trace, m: usize, delta: u64) -> Result<u64> {
+    if m == 0 || m > MAX_M {
+        return Err(Error::InvalidParameter(format!("need 1 <= m <= {MAX_M}")));
+    }
+    if trace.colors().len() > MAX_COLORS {
+        return Err(Error::InvalidParameter(format!(
+            "exhaustive search caps at {MAX_COLORS} colors"
+        )));
+    }
+    if trace.horizon() > MAX_HORIZON {
+        return Err(Error::InvalidParameter(format!(
+            "exhaustive search caps at horizon {MAX_HORIZON}"
+        )));
+    }
+    let configs = all_configs(trace.colors().len(), m);
+    let ctx = Ctx {
+        trace,
+        horizon: trace.horizon(),
+        configs: &configs,
+        delta,
+        drop_costs: trace.colors().ids().map(|c| trace.colors().drop_cost(c)).collect(),
+    };
+    let mut best = u64::MAX;
+    search(&ctx, 0, &[], &vec![Vec::new(); trace.colors().len()], 0, &mut best);
+    // Dropping everything is always feasible, at total weighted drop cost.
+    let drop_all: u64 = trace
+        .colors()
+        .ids()
+        .map(|c| trace.jobs_of_color(c) * trace.colors().drop_cost(c))
+        .sum();
+    Ok(best.min(drop_all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{optimal, OptConfig};
+
+    fn both(trace: &Trace, m: usize, delta: u64) -> (u64, u64) {
+        let dp = optimal(trace, OptConfig::new(m, delta)).unwrap().cost;
+        let bf = exhaustive_optimal(trace, m, delta).unwrap();
+        (dp, bf)
+    }
+
+    #[test]
+    fn agrees_on_hand_instances() {
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 2).build();
+        assert_eq!(both(&t, 1, 5), (2, 2));
+        assert_eq!(both(&t, 1, 1), (1, 1));
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 6).build();
+        assert_eq!(both(&t, 1, 1), (3, 3));
+        let t = TraceBuilder::with_delay_bounds(&[4, 4])
+            .jobs(0, 0, 4)
+            .jobs(8, 1, 4)
+            .build();
+        assert_eq!(both(&t, 1, 1), (2, 2));
+    }
+
+    #[test]
+    fn agrees_on_seeded_random_micro_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bounds: Vec<u64> = (0..rng.gen_range(1..=3))
+                .map(|_| 1u64 << rng.gen_range(0..3))
+                .collect();
+            let mut t = Trace::new(ColorTable::from_delay_bounds(&bounds));
+            for _ in 0..rng.gen_range(1..6) {
+                let c = rng.gen_range(0..bounds.len()) as u32;
+                let r = rng.gen_range(0..8u64);
+                let k = rng.gen_range(1..5u64);
+                t.add(r, ColorId(c), k).unwrap();
+            }
+            let m = rng.gen_range(1..=2);
+            let delta = rng.gen_range(1..4u64);
+            let (dp, bf) = both(&t, m, delta);
+            assert_eq!(dp, bf, "seed {seed}: DP {dp} != brute force {bf}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_weighted_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use rrs_core::color::ColorInfo;
+        for seed in 100..115u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut table = ColorTable::new();
+            for _ in 0..rng.gen_range(1..=3) {
+                table.push(ColorInfo::with_drop_cost(
+                    1u64 << rng.gen_range(0..3),
+                    rng.gen_range(1..5),
+                ));
+            }
+            let ncolors = table.len();
+            let mut t = Trace::new(table);
+            for _ in 0..rng.gen_range(1..5) {
+                let c = rng.gen_range(0..ncolors) as u32;
+                let r = rng.gen_range(0..8u64);
+                let k = rng.gen_range(1..4u64);
+                t.add(r, ColorId(c), k).unwrap();
+            }
+            let m = rng.gen_range(1..=2);
+            let delta = rng.gen_range(1..5u64);
+            let (dp, bf) = both(&t, m, delta);
+            assert_eq!(dp, bf, "seed {seed}: weighted DP {dp} != brute force {bf}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let t = TraceBuilder::with_delay_bounds(&[2, 2, 2, 2, 2]).build();
+        assert!(exhaustive_optimal(&t, 1, 1).is_err());
+        let t = TraceBuilder::with_delay_bounds(&[32]).jobs(0, 0, 1).build();
+        assert!(exhaustive_optimal(&t, 1, 1).is_err(), "horizon too long");
+        let t = TraceBuilder::with_delay_bounds(&[2]).build();
+        assert!(exhaustive_optimal(&t, 0, 1).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let t = Trace::new(ColorTable::from_delay_bounds(&[2]));
+        assert_eq!(exhaustive_optimal(&t, 1, 3).unwrap(), 0);
+    }
+}

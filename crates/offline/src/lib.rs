@@ -1,0 +1,37 @@
+//! # rrs-offline — offline optimum, lower bounds and hindsight heuristics
+//!
+//! Tools for estimating the optimal offline cost `OPT(σ, m)` that competitive
+//! ratios are measured against:
+//!
+//! * [`opt::optimal`] — an exact dynamic program for small instances,
+//!   producing a replayable optimal schedule;
+//! * [`bounds`] — sound combinatorial lower bounds (per-color `min(Δ, jobs)`,
+//!   Par-EDF drops, raw capacity) for instances beyond the DP's reach;
+//! * [`heuristic::HindsightGreedy`] — a feasible offline schedule (upper-bound
+//!   proxy) built with full-trace lookahead.
+//!
+//! The sandwich `lower bound ≤ OPT ≤ heuristic` brackets the denominator of
+//! every reported ratio; experiment E9 uses the exact DP to remove the slack
+//! on small instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod exhaustive;
+pub mod heuristic;
+pub mod improve;
+pub mod opt;
+
+pub use bounds::{capacity_bound, combined_bound, par_edf_drop_bound, per_color_bound};
+pub use exhaustive::exhaustive_optimal;
+pub use heuristic::HindsightGreedy;
+pub use improve::{improve_schedule, ImproveResult};
+pub use opt::{optimal, OptConfig, OptResult};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::bounds::combined_bound;
+    pub use crate::heuristic::HindsightGreedy;
+    pub use crate::opt::{optimal, OptConfig, OptResult};
+}

@@ -1,0 +1,402 @@
+//! Exact optimal offline schedules for small instances.
+//!
+//! A forward dynamic program over states `(round, cache multiset, pending
+//! profile)`. Two reductions keep it exact yet tractable:
+//!
+//! * **Execution is canonical.** Given a cache configuration, executing one
+//!   *earliest-deadline* pending job per cached location is without loss of
+//!   generality (an exchange argument: swapping a later-deadline execution of
+//!   the same color for an earlier-deadline one never invalidates a schedule,
+//!   and executing fewer jobs never helps under unit drop costs). The DP
+//!   therefore only branches over cache configurations.
+//! * **Configurations are multisets.** Resources are interchangeable, so a
+//!   configuration is a multiset of colors of size ≤ m, and the reconfiguration
+//!   cost between multisets is Δ × (copies gained).
+//!
+//! The state space is exponential in general; [`OptConfig::max_states`] guards
+//! against blow-up, returning an error instead of thrashing. Intended for
+//! instances with ≤ ~6 colors, m ≤ 3 and horizons of a few dozen rounds — the
+//! regime used by experiment E9 to measure true competitive ratios.
+
+use rrs_core::prelude::*;
+use rrs_core::schedule::{ExplicitSchedule, ScheduleStep};
+use std::collections::HashMap;
+
+/// Parameters of an exact-OPT computation.
+#[derive(Debug, Clone, Copy)]
+pub struct OptConfig {
+    /// Number of offline resources `m`.
+    pub m: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Abort if the per-round frontier ever exceeds this many states.
+    pub max_states: usize,
+}
+
+impl OptConfig {
+    /// Sensible defaults: guard at one million frontier states.
+    pub fn new(m: usize, delta: u64) -> Self {
+        OptConfig {
+            m,
+            delta,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Result of an exact-OPT computation.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// The optimal total cost.
+    pub cost: u64,
+    /// Peak frontier size (diagnostic).
+    pub peak_states: usize,
+    /// An optimal schedule (replayable through
+    /// [`rrs_core::schedule::check_schedule`]).
+    pub schedule: ExplicitSchedule,
+}
+
+/// Pending profile: per color, deadline-ordered `(deadline, count)` runs.
+type PendingProfile = Vec<Vec<(Round, u64)>>;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateKey {
+    /// Sorted multiset of configured colors.
+    cache: Vec<u32>,
+    /// Canonical pending profile.
+    pending: Vec<(u32, Round, u64)>,
+}
+
+fn canon_pending(p: &PendingProfile) -> Vec<(u32, Round, u64)> {
+    let mut out = Vec::new();
+    for (c, runs) in p.iter().enumerate() {
+        for &(d, k) in runs {
+            out.push((c as u32, d, k));
+        }
+    }
+    out
+}
+
+/// Drops expired jobs; returns the weighted drop cost (`drop_costs[c]` per
+/// color-`c` job).
+fn drop_expired(p: &mut PendingProfile, round: Round, drop_costs: &[u64]) -> u64 {
+    let mut dropped = 0;
+    for (c, runs) in p.iter_mut().enumerate() {
+        let before: u64 = runs.iter().map(|&(_, k)| k).sum();
+        runs.retain(|&(d, _)| d > round);
+        let after: u64 = runs.iter().map(|&(_, k)| k).sum();
+        dropped += (before - after) * drop_costs[c];
+    }
+    dropped
+}
+
+fn execute_config(p: &mut PendingProfile, config: &[u32]) -> Vec<u32> {
+    let mut executed = Vec::new();
+    for &c in config {
+        let runs = &mut p[c as usize];
+        if let Some(first) = runs.first_mut() {
+            first.1 -= 1;
+            if first.1 == 0 {
+                runs.remove(0);
+            }
+            executed.push(c);
+        }
+    }
+    executed
+}
+
+/// Enumerates all multisets (sorted vectors) of size ≤ m over `candidates`.
+fn enumerate_configs(candidates: &[u32], m: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![vec![]];
+    let mut current = Vec::new();
+    fn rec(cands: &[u32], start: usize, left: usize, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if left == 0 {
+            return;
+        }
+        for i in start..cands.len() {
+            current.push(cands[i]);
+            out.push(current.clone());
+            rec(cands, i, left - 1, current, out);
+            current.pop();
+        }
+    }
+    rec(candidates, 0, m, &mut current, &mut out);
+    out
+}
+
+fn recolor_cost(old: &[u32], new: &[u32], delta: u64) -> u64 {
+    // Both sorted; count copies in `new` not covered by `old`.
+    let mut gained = 0u64;
+    let mut i = 0;
+    let mut j = 0;
+    while j < new.len() {
+        if i < old.len() && old[i] == new[j] {
+            i += 1;
+            j += 1;
+        } else if i < old.len() && old[i] < new[j] {
+            i += 1;
+        } else {
+            gained += 1;
+            j += 1;
+        }
+    }
+    gained * delta
+}
+
+/// Computes an optimal offline schedule for `trace` with `cfg.m` resources.
+///
+/// ```
+/// use rrs_core::prelude::*;
+/// use rrs_offline::{optimal, OptConfig};
+///
+/// // 2 jobs vs Δ = 5: dropping (cost 2) beats configuring (cost 5).
+/// let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 2).build();
+/// assert_eq!(optimal(&trace, OptConfig::new(1, 5))?.cost, 2);
+/// assert_eq!(optimal(&trace, OptConfig::new(1, 1))?.cost, 1);
+/// # Ok::<(), rrs_core::Error>(())
+/// ```
+///
+/// # Errors
+/// Returns [`Error::InvalidParameter`] if `m == 0` or the state-space guard
+/// trips.
+pub fn optimal(trace: &Trace, cfg: OptConfig) -> Result<OptResult> {
+    if cfg.m == 0 {
+        return Err(Error::InvalidParameter("OPT needs m >= 1".into()));
+    }
+    let colors = trace.colors();
+    let ncolors = colors.len();
+    let horizon = trace.horizon();
+    let drop_costs: Vec<u64> = colors.ids().map(|c| colors.drop_cost(c)).collect();
+
+    // Arena of (parent, config) for schedule reconstruction.
+    let mut arena: Vec<(Option<usize>, Vec<u32>)> = vec![(None, vec![])];
+    let init = StateKey {
+        cache: vec![],
+        pending: vec![],
+    };
+    let mut frontier: HashMap<StateKey, (u64, usize)> = HashMap::new();
+    frontier.insert(init, (0, 0));
+    let mut peak_states = 1;
+
+    for round in 0..=horizon {
+        let arrivals = trace.arrivals_at(round);
+        let mut next: HashMap<StateKey, (u64, usize)> = HashMap::new();
+        for (key, (mut cost, parent)) in frontier.drain() {
+            // Rebuild the pending profile.
+            let mut pending: PendingProfile = vec![Vec::new(); ncolors];
+            for &(c, d, k) in &key.pending {
+                pending[c as usize].push((d, k));
+            }
+            // Phase 1: drop.
+            cost += drop_expired(&mut pending, round, &drop_costs);
+            // Phase 2: arrivals.
+            for &(c, k) in &arrivals {
+                let d = round + colors.delay_bound(c);
+                let runs = &mut pending[c.index()];
+                match runs.last_mut() {
+                    Some(last) if last.0 == d => last.1 += k,
+                    _ => runs.push((d, k)),
+                }
+            }
+            // Candidate colors: anything pending or currently configured.
+            let mut candidates: Vec<u32> = (0..ncolors as u32)
+                .filter(|&c| !pending[c as usize].is_empty())
+                .collect();
+            for &c in &key.cache {
+                if !candidates.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+            candidates.sort_unstable();
+
+            for config in enumerate_configs(&candidates, cfg.m) {
+                let mut cost2 = cost + recolor_cost(&key.cache, &config, cfg.delta);
+                let mut pending2 = pending.clone();
+                execute_config(&mut pending2, &config);
+                let _ = &mut cost2; // cost unchanged by execution
+                let new_key = StateKey {
+                    cache: config.clone(),
+                    pending: canon_pending(&pending2),
+                };
+                match next.get_mut(&new_key) {
+                    Some(entry) if entry.0 <= cost2 => {}
+                    Some(entry) => {
+                        arena.push((Some(parent), config.clone()));
+                        *entry = (cost2, arena.len() - 1);
+                    }
+                    None => {
+                        arena.push((Some(parent), config.clone()));
+                        next.insert(new_key, (cost2, arena.len() - 1));
+                    }
+                }
+            }
+        }
+        peak_states = peak_states.max(next.len());
+        if next.len() > cfg.max_states {
+            return Err(Error::InvalidParameter(format!(
+                "OPT state space exceeded {} states at round {round}",
+                cfg.max_states
+            )));
+        }
+        frontier = next;
+    }
+
+    let (best_cost, best_arena) = frontier
+        .values()
+        .min_by_key(|&&(cost, _)| cost)
+        .copied()
+        .ok_or_else(|| Error::InvalidParameter("empty frontier".into()))?;
+
+    // Reconstruct the per-round configs.
+    let mut configs: Vec<Vec<u32>> = Vec::new();
+    let mut cursor = Some(best_arena);
+    while let Some(idx) = cursor {
+        let (parent, config) = &arena[idx];
+        if parent.is_some() {
+            configs.push(config.clone());
+        }
+        cursor = *parent;
+    }
+    configs.reverse();
+    debug_assert_eq!(configs.len() as u64, horizon + 1);
+
+    // Replay deterministically to materialize executions.
+    let mut pending: PendingProfile = vec![Vec::new(); ncolors];
+    let mut schedule = ExplicitSchedule::new(cfg.m, Speed::Uni);
+    for (round, config) in configs.iter().enumerate() {
+        let round = round as Round;
+        drop_expired(&mut pending, round, &drop_costs);
+        for (c, k) in trace.arrivals_at(round) {
+            let d = round + colors.delay_bound(c);
+            let runs = &mut pending[c.index()];
+            match runs.last_mut() {
+                Some(last) if last.0 == d => last.1 += k,
+                _ => runs.push((d, k)),
+            }
+        }
+        let executed = execute_config(&mut pending, config);
+        schedule.steps.push(ScheduleStep {
+            round,
+            mini: 0,
+            cache: CacheTarget::singles(config.iter().map(|&c| ColorId(c))),
+            executed: executed.into_iter().map(ColorId).collect(),
+        });
+    }
+
+    Ok(OptResult {
+        cost: best_cost,
+        peak_states,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::schedule::check_schedule;
+
+    fn opt_cost(trace: &Trace, m: usize, delta: u64) -> u64 {
+        optimal(trace, OptConfig::new(m, delta)).unwrap().cost
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing() {
+        let t = Trace::new(ColorTable::from_delay_bounds(&[4]));
+        assert_eq!(opt_cost(&t, 1, 5), 0);
+    }
+
+    #[test]
+    fn single_small_batch_drops_when_delta_large() {
+        // 2 jobs vs Δ=5: dropping (cost 2) beats configuring (cost 5).
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 2).build();
+        assert_eq!(opt_cost(&t, 1, 5), 2);
+        // Δ=1: configuring wins.
+        assert_eq!(opt_cost(&t, 1, 1), 1);
+    }
+
+    #[test]
+    fn capacity_forces_drops() {
+        // 6 jobs in a 4-round window, one resource: 2 inevitable drops + Δ.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 6).build();
+        assert_eq!(opt_cost(&t, 1, 1), 3);
+        assert_eq!(opt_cost(&t, 2, 1), 2, "two resources, two recolorings");
+    }
+
+    #[test]
+    fn two_colors_one_resource_chooses_the_cheaper_victim() {
+        // Color 0: 10 jobs (window 8); color 1: 2 jobs (window 8). Δ=4.
+        // Serving c0 (8 of 10 in window) and dropping c1 entirely:
+        // Δ + 2 drops + 2 overflow drops = 8. Serving both: 2Δ + overflow...
+        let t = TraceBuilder::with_delay_bounds(&[8, 8])
+            .jobs(0, 0, 10)
+            .jobs(0, 1, 2)
+            .build();
+        let cost = opt_cost(&t, 1, 4);
+        assert_eq!(cost, 8);
+    }
+
+    #[test]
+    fn reconfiguring_midway_when_it_pays() {
+        // Color 0 active early, color 1 active late; Δ=1 cheap: reconfigure.
+        let t = TraceBuilder::with_delay_bounds(&[4, 4])
+            .jobs(0, 0, 4)
+            .jobs(8, 1, 4)
+            .build();
+        assert_eq!(opt_cost(&t, 1, 1), 2, "two recolorings, zero drops");
+    }
+
+    #[test]
+    fn schedule_replays_to_the_claimed_cost() {
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .jobs(0, 0, 3)
+            .jobs(2, 1, 5)
+            .jobs(8, 0, 2)
+            .build();
+        let r = optimal(&t, OptConfig::new(2, 2)).unwrap();
+        let replayed = check_schedule(&t, &r.schedule, CostModel::new(2)).unwrap();
+        assert_eq!(replayed.total(), r.cost);
+    }
+
+    #[test]
+    fn opt_never_exceeds_simple_feasible_schedules() {
+        // Sanity: OPT <= cost of the "configure everything once" schedule.
+        let t = TraceBuilder::with_delay_bounds(&[8, 8])
+            .jobs(0, 0, 4)
+            .jobs(0, 1, 4)
+            .build();
+        // Feasible: 2 resources, configure each color once: cost 2Δ = 6.
+        assert!(opt_cost(&t, 2, 3) <= 6);
+    }
+
+    #[test]
+    fn state_guard_trips_gracefully() {
+        let g = OptConfig {
+            m: 2,
+            delta: 1,
+            max_states: 2,
+        };
+        let t = TraceBuilder::with_delay_bounds(&[4, 4, 4])
+            .jobs(0, 0, 3)
+            .jobs(0, 1, 3)
+            .jobs(0, 2, 3)
+            .build();
+        assert!(optimal(&t, g).is_err());
+    }
+
+    #[test]
+    fn zero_resources_rejected() {
+        let t = Trace::new(ColorTable::from_delay_bounds(&[4]));
+        assert!(optimal(&t, OptConfig::new(0, 1)).is_err());
+    }
+
+    #[test]
+    fn matches_lower_bounds_on_small_instances() {
+        use crate::bounds::combined_bound;
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .jobs(0, 0, 5)
+            .jobs(4, 1, 3)
+            .build();
+        let opt = opt_cost(&t, 1, 2);
+        assert!(opt >= combined_bound(&t, 1, 2));
+    }
+}

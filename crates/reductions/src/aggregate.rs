@@ -1,0 +1,283 @@
+//! Algorithm Aggregate (paper §4.3): turning an offline schedule `T` for a
+//! batched instance `I` into an offline schedule `T′` for the split instance
+//! `I′` with a constant-factor resource blow-up — the constructive core of
+//! Lemma 4.1 ("if `I` has a schedule, `I′` has a resource-competitive one").
+//!
+//! Our realization keeps the paper's skeleton — process delay bounds in
+//! ascending order, block by block; partition each color's executed jobs in a
+//! block into groups of size ≤ p; assign each group a sub-color label by group
+//! rank (largest group → label 0, matching the batch split of `I′`); place
+//! each group on a single resource inside the block, preferring the resource
+//! that served the same `(ℓ, label)` in the previous block (the paper's label
+//! inheritance, which is what bounds the reconfiguration cost) — but replaces
+//! the paper's mono/multichromatic case analysis with explicit first-fit
+//! placement over `factor × m` resources, validated post-hoc by the
+//! independent schedule checker. The paper proves `factor = 3` always
+//! suffices for its construction; ours may occasionally want more, which the
+//! caller observes as an `Err` and can retry with a larger factor (experiment
+//! E7 sweeps this).
+
+use crate::distribute::{split_trace, ColorSplit};
+use rrs_core::prelude::*;
+use rrs_core::schedule::{ExplicitSchedule, ScheduleStep};
+use rrs_core::time::block_index;
+use std::collections::{BTreeMap, HashMap};
+
+/// Outcome of an Aggregate construction.
+#[derive(Debug, Clone)]
+pub struct AggregateRun {
+    /// The constructed schedule for the split instance `I′`.
+    pub schedule: ExplicitSchedule,
+    /// Its cost, recomputed by the independent checker against `I′`.
+    pub cost: Cost,
+    /// The split instance `I′`.
+    pub split_trace: Trace,
+    /// The color mapping between `I` and `I′`.
+    pub split: ColorSplit,
+}
+
+/// Executes Aggregate: given `trace` (a batched instance) and an offline
+/// uni-speed schedule `t_sched` for it with `m` resources, build a schedule
+/// for the split instance with `factor × m` resources.
+///
+/// # Errors
+/// Returns an error when first-fit placement runs out of room (retry with a
+/// larger `factor`) or when the input schedule is malformed.
+pub fn aggregate(
+    trace: &Trace,
+    t_sched: &ExplicitSchedule,
+    factor: usize,
+    delta: u64,
+) -> Result<AggregateRun> {
+    if t_sched.speed != Speed::Uni {
+        return Err(Error::InvalidParameter(
+            "Aggregate expects a uni-speed input schedule".into(),
+        ));
+    }
+    let colors = trace.colors();
+    let horizon = trace.horizon();
+    let n_out = t_sched.n * factor;
+    let rounds = (horizon + 1) as usize;
+
+    // Count T's executions per (delay bound p, block i, color ℓ).
+    let mut per_block: BTreeMap<(u64, u64, ColorId), u64> = BTreeMap::new();
+    for step in &t_sched.steps {
+        for &c in &step.executed {
+            let p = colors.delay_bound(c);
+            *per_block.entry((p, block_index(p, step.round), c)).or_insert(0) += 1;
+        }
+    }
+
+    let (split_t, split) = split_trace(trace);
+
+    // Per-resource occupancy and color timeline for the output schedule.
+    let mut occupied = vec![vec![false; rounds]; n_out];
+    let mut timeline: Vec<Vec<Option<ColorId>>> = vec![vec![None; rounds]; n_out];
+    // Label inheritance: (orig color, label) -> resource used in previous block.
+    let mut last_resource: HashMap<(ColorId, usize), usize> = HashMap::new();
+    let mut executions: Vec<Vec<ColorId>> = vec![Vec::new(); rounds];
+
+    // Process in ascending order of delay bounds, then blocks, then colors —
+    // BTreeMap iteration order gives exactly (p, i, ℓ) ascending.
+    for (&(p, i, c), &count) in &per_block {
+        let block_start = (i * p) as usize;
+        let block_end = (((i + 1) * p) as usize).min(rounds);
+        // Partition into groups of size <= p, largest (p) first; group g gets
+        // sub-color label g, which is guaranteed to have >= group-size jobs in
+        // this block's batch of I'.
+        let mut remaining = count;
+        let mut label = 0usize;
+        while remaining > 0 {
+            let group = remaining.min(p);
+            let sub = split.orig_to_subs[c.index()][label];
+            // Candidate resources: the inherited one first, then all others.
+            let preferred = last_resource.get(&(c, label)).copied();
+            let mut order: Vec<usize> = Vec::with_capacity(n_out);
+            if let Some(r) = preferred {
+                order.push(r);
+            }
+            order.extend((0..n_out).filter(|&r| Some(r) != preferred));
+            let mut placed = false;
+            for r in order {
+                let free: Vec<usize> = (block_start..block_end)
+                    .filter(|&t| !occupied[r][t])
+                    .collect();
+                if free.len() as u64 >= group {
+                    for &t in free.iter().take(group as usize) {
+                        occupied[r][t] = true;
+                        timeline[r][t] = Some(sub);
+                        executions[t].push(sub);
+                    }
+                    last_resource.insert((c, label), r);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(Error::InvalidParameter(format!(
+                    "Aggregate first-fit out of room for {c} in block({p},{i}) \
+                     with factor {factor}; retry with a larger factor"
+                )));
+            }
+            remaining -= group;
+            label += 1;
+        }
+    }
+
+    // Fill timeline gaps: a resource keeps its previous color between groups
+    // (free persistence, matching the cost model where only gaining a color
+    // pays Δ).
+    for row in timeline.iter_mut() {
+        let mut current: Option<ColorId> = None;
+        for slot in row.iter_mut() {
+            match *slot {
+                Some(c) => current = Some(c),
+                None => *slot = current,
+            }
+        }
+    }
+
+    // Compose the explicit schedule.
+    let mut schedule = ExplicitSchedule::new(n_out, Speed::Uni);
+    for t in 0..rounds {
+        let mut cache = CacheTarget::empty();
+        for row in &timeline {
+            if let Some(c) = row[t] {
+                cache.add(c, 1);
+            }
+        }
+        schedule.steps.push(ScheduleStep {
+            round: t as Round,
+            mini: 0,
+            cache,
+            executed: std::mem::take(&mut executions[t]),
+        });
+    }
+
+    let cost = rrs_core::schedule::check_schedule(&split_t, &schedule, CostModel::new(delta))?;
+    Ok(AggregateRun {
+        schedule,
+        cost,
+        split_trace: split_t,
+        split,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::schedule::check_schedule;
+
+    /// A hand-built offline schedule serving one color on one resource.
+    fn single_color_schedule(rounds: u64, c: ColorId, per_round: bool) -> ExplicitSchedule {
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        for round in 0..rounds {
+            s.steps.push(ScheduleStep {
+                round,
+                mini: 0,
+                cache: CacheTarget::singles([c]),
+                executed: if per_round { vec![c] } else { vec![] },
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn aggregate_preserves_executed_jobs() {
+        // 4 jobs of D=4 at round 0, served by T on one resource.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 4).build();
+        let sched = single_color_schedule(4, ColorId(0), true);
+        let orig_cost = check_schedule(&t, &sched, CostModel::new(2)).unwrap();
+        assert_eq!(orig_cost.drop, 0);
+        let agg = aggregate(&t, &sched, 3, 2).unwrap();
+        assert_eq!(agg.cost.drop, 0, "Lemma 4.5: same drop cost");
+        assert_eq!(agg.schedule.executed_jobs(), 4);
+    }
+
+    #[test]
+    fn aggregate_splits_oversized_batches_across_labels() {
+        // A batch of 10 with D=4: I' has sub-colors of sizes 4,4,2. T (with
+        // enough resources) executes all 10 in the block; Aggregate must place
+        // 3 groups.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 10).build();
+        let mut sched = ExplicitSchedule::new(3, Speed::Uni);
+        for round in 0..4u64 {
+            let execs = if round < 3 { 3 } else { 1 }; // 3+3+3+1 = 10
+            sched.steps.push(ScheduleStep {
+                round,
+                mini: 0,
+                cache: CacheTarget::replicated([ColorId(0)], 3),
+                executed: vec![ColorId(0); execs],
+            });
+        }
+        assert_eq!(
+            check_schedule(&t, &sched, CostModel::new(1)).unwrap().drop,
+            0
+        );
+        let agg = aggregate(&t, &sched, 3, 1).unwrap();
+        assert_eq!(agg.cost.drop, 0);
+        // All three sub-colors appear in the output.
+        let used: std::collections::BTreeSet<ColorId> = agg
+            .schedule
+            .steps
+            .iter()
+            .flat_map(|s| s.executed.iter().copied())
+            .collect();
+        assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn label_inheritance_keeps_reconfig_cost_low() {
+        // T serves one steady color over many blocks on one resource. T' must
+        // not reconfigure per block: label 0 inherits its resource.
+        let t = TraceBuilder::with_delay_bounds(&[4])
+            .batched_jobs(0, 4, 0, 64)
+            .build();
+        let sched = single_color_schedule(64, ColorId(0), true);
+        let agg = aggregate(&t, &sched, 3, 5).unwrap();
+        assert_eq!(agg.cost.drop, 0);
+        assert_eq!(
+            agg.cost.reconfig, 5,
+            "a single configuration of (c0, label 0), inherited forever"
+        );
+    }
+
+    #[test]
+    fn rejects_double_speed_input() {
+        let t = TraceBuilder::with_delay_bounds(&[4]).build();
+        let s = ExplicitSchedule::new(1, Speed::Double);
+        assert!(aggregate(&t, &s, 3, 1).is_err());
+    }
+
+    #[test]
+    fn factor_one_can_fail_where_three_succeeds() {
+        // Two colors of different delay bounds interleaved on one resource in
+        // T; placing the split groups with factor 1 can run out of room, while
+        // a larger factor succeeds. (We only assert the larger factor works
+        // and never errs.)
+        let t = TraceBuilder::with_delay_bounds(&[2, 4])
+            .batched_jobs(0, 2, 0, 16)
+            .batched_jobs(1, 2, 0, 16)
+            .build();
+        // Offline: 2 resources, color per resource.
+        let mut sched = ExplicitSchedule::new(2, Speed::Uni);
+        for round in 0..16u64 {
+            let mut executed = vec![ColorId(0)];
+            if round % 4 < 2 {
+                executed.push(ColorId(1));
+            }
+            sched.steps.push(ScheduleStep {
+                round,
+                mini: 0,
+                cache: CacheTarget::singles([ColorId(0), ColorId(1)]),
+                executed,
+            });
+        }
+        assert_eq!(
+            check_schedule(&t, &sched, CostModel::new(1)).unwrap().drop,
+            0
+        );
+        let agg = aggregate(&t, &sched, 3, 1).unwrap();
+        assert_eq!(agg.cost.drop, 0);
+    }
+}

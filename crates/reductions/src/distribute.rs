@@ -1,0 +1,241 @@
+//! Algorithm Distribute (paper §4.1): reduces `[Δ | 1 | D_ℓ | D_ℓ]` (batched,
+//! unbounded batch sizes) to rate-limited `[Δ | 1 | D_ℓ | D_ℓ]`.
+//!
+//! Three steps:
+//!
+//! 1. **Split.** Each batch of color ℓ is split over *sub-colors* `(ℓ, j)`: the
+//!    job ranked `r` within the batch goes to sub-color `j = ⌊r / D_ℓ⌋`. Every
+//!    sub-color then receives at most `D_ℓ` jobs per multiple of `D_ℓ` — a
+//!    rate-limited instance `I′`. The split is online (it only looks at the
+//!    current round's request).
+//! 2. **Solve.** Run ΔLRU-EDF (or any policy for the rate-limited problem) on
+//!    `I′`.
+//! 3. **Project.** Whenever the inner schedule configures `(ℓ, j)`, configure
+//!    `ℓ`; whenever it executes an `(ℓ, j)` job, execute an `ℓ` job. The
+//!    projected cost never exceeds the inner cost (Lemma 4.2) — merging
+//!    sub-colors can only remove reconfigurations.
+//!
+//! Theorem 2: with ΔLRU-EDF inside, Distribute is resource competitive for
+//! `[Δ | 1 | D_ℓ | D_ℓ]` with power-of-two delay bounds.
+
+use rrs_algorithms::DlruEdf;
+use rrs_core::prelude::*;
+use rrs_core::schedule::{ExplicitSchedule, ScheduleStep};
+use rrs_core::{CostModel, Engine, EngineOptions};
+
+/// The color-splitting map from an instance `I` to its rate-limited `I′`.
+#[derive(Debug, Clone)]
+pub struct ColorSplit {
+    /// For each sub-color id (index), the original color it belongs to.
+    pub sub_to_orig: Vec<ColorId>,
+    /// For each original color, its sub-color ids in `j` order.
+    pub orig_to_subs: Vec<Vec<ColorId>>,
+}
+
+/// Splits `trace` into a rate-limited instance: sub-color `(ℓ, j)` receives
+/// `min(D_ℓ, batch − j·D_ℓ)` jobs of each color-ℓ batch. Returns the split
+/// trace and the color mapping.
+pub fn split_trace(trace: &Trace) -> (Trace, ColorSplit) {
+    let colors = trace.colors();
+    // Number of sub-colors per color: the largest ⌈batch/D⌉ over its batches
+    // (at least 1 so every color is represented).
+    let mut max_subs = vec![1u64; colors.len()];
+    for a in trace.iter() {
+        let d = colors.delay_bound(a.color);
+        let subs = a.count.div_ceil(d);
+        let e = &mut max_subs[a.color.index()];
+        *e = (*e).max(subs);
+    }
+    let mut sub_table = ColorTable::new();
+    let mut sub_to_orig = Vec::new();
+    let mut orig_to_subs = vec![Vec::new(); colors.len()];
+    for (c, info) in colors.iter() {
+        for _ in 0..max_subs[c.index()] {
+            let sub = sub_table.push(info);
+            sub_to_orig.push(c);
+            orig_to_subs[c.index()].push(sub);
+        }
+    }
+    let mut out = Trace::new(sub_table);
+    for a in trace.iter() {
+        let d = colors.delay_bound(a.color);
+        let mut remaining = a.count;
+        let mut j = 0usize;
+        while remaining > 0 {
+            let take = remaining.min(d);
+            let sub = orig_to_subs[a.color.index()][j];
+            out.add(a.round, sub, take).expect("sub-color exists");
+            remaining -= take;
+            j += 1;
+        }
+    }
+    (
+        out,
+        ColorSplit {
+            sub_to_orig,
+            orig_to_subs,
+        },
+    )
+}
+
+/// Projects a schedule for the split instance back onto the original colors
+/// (step 3 of Distribute).
+pub fn project_schedule(inner: &ExplicitSchedule, split: &ColorSplit) -> ExplicitSchedule {
+    let mut out = ExplicitSchedule::new(inner.n, inner.speed);
+    for step in &inner.steps {
+        let mut cache = CacheTarget::empty();
+        for (sub, copies) in step.cache.iter() {
+            cache.add(split.sub_to_orig[sub.index()], copies);
+        }
+        let executed = step
+            .executed
+            .iter()
+            .map(|sub| split.sub_to_orig[sub.index()])
+            .collect();
+        out.steps.push(ScheduleStep {
+            round: step.round,
+            mini: step.mini,
+            cache,
+            executed,
+        });
+    }
+    out
+}
+
+/// Outcome of running Distribute end to end.
+#[derive(Debug, Clone)]
+pub struct DistributeRun {
+    /// Cost of the inner (rate-limited) run of ΔLRU-EDF on `I′`.
+    pub inner: RunResult,
+    /// Cost of the projected schedule on the original instance, recomputed
+    /// independently by the schedule checker.
+    pub projected_cost: Cost,
+    /// The projected schedule itself.
+    pub schedule: ExplicitSchedule,
+    /// Number of sub-colors in `I′`.
+    pub sub_colors: usize,
+}
+
+/// Runs Distribute with ΔLRU-EDF inside: split `trace`, run ΔLRU-EDF with `n`
+/// resources on the split instance, project back and re-validate.
+///
+/// # Errors
+/// Propagates engine and validation errors (e.g. `n` not a multiple of 4).
+pub fn run_distribute(trace: &Trace, n: usize, delta: u64) -> Result<DistributeRun> {
+    let (split_t, split) = split_trace(trace);
+    let mut inner_policy = DlruEdf::new(split_t.colors(), n, delta)?;
+    let engine = Engine::with_options(EngineOptions {
+        speed: Speed::Uni,
+        record_schedule: true,
+        track_latency: false,
+    });
+    let inner = engine.run(&split_t, &mut inner_policy, n, CostModel::new(delta))?;
+    let inner_schedule = inner
+        .schedule
+        .as_ref()
+        .expect("record_schedule was enabled");
+    let schedule = project_schedule(inner_schedule, &split);
+    let projected_cost = rrs_core::schedule::check_schedule(trace, &schedule, CostModel::new(delta))?;
+    let sub_colors = split_t.colors().len();
+    Ok(DistributeRun {
+        inner,
+        projected_cost,
+        schedule,
+        sub_colors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_respects_rate_limit() {
+        // One batch of 10 with D = 4: sub-colors get 4, 4, 2.
+        let t = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 10).build();
+        let (t2, split) = split_trace(&t);
+        assert_eq!(t2.colors().len(), 3);
+        assert_eq!(t2.batch_class(), BatchClass::RateLimited);
+        assert_eq!(t2.total_jobs(), 10);
+        let counts: Vec<u64> = split.orig_to_subs[0]
+            .iter()
+            .map(|&s| t2.jobs_of_color(s))
+            .collect();
+        assert_eq!(counts, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn split_preserves_rate_limited_traces() {
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .batched_jobs(0, 3, 0, 32)
+            .batched_jobs(1, 8, 0, 32)
+            .build();
+        let (t2, _) = split_trace(&t);
+        assert_eq!(t2.colors().len(), 2, "already rate-limited: one sub each");
+        assert_eq!(t2.total_jobs(), t.total_jobs());
+    }
+
+    #[test]
+    fn sub_color_count_is_per_color_max() {
+        let t = TraceBuilder::with_delay_bounds(&[4, 4])
+            .jobs(0, 0, 9) // 3 subs
+            .jobs(4, 0, 2) // still 3
+            .jobs(0, 1, 4) // 1 sub
+            .build();
+        let (t2, split) = split_trace(&t);
+        assert_eq!(split.orig_to_subs[0].len(), 3);
+        assert_eq!(split.orig_to_subs[1].len(), 1);
+        assert_eq!(t2.colors().len(), 4);
+    }
+
+    #[test]
+    fn projection_merges_sub_colors() {
+        let t = TraceBuilder::with_delay_bounds(&[2]).jobs(0, 0, 4).build();
+        let (t2, split) = split_trace(&t);
+        assert_eq!(t2.colors().len(), 2);
+        let mut inner = ExplicitSchedule::new(4, Speed::Uni);
+        inner.steps.push(ScheduleStep {
+            round: 0,
+            mini: 0,
+            cache: CacheTarget::replicated([ColorId(0), ColorId(1)], 2),
+            executed: vec![ColorId(0), ColorId(0), ColorId(1), ColorId(1)],
+        });
+        let proj = project_schedule(&inner, &split);
+        assert_eq!(proj.steps[0].cache.copies_of(ColorId(0)), 4);
+        assert_eq!(proj.steps[0].executed, vec![ColorId(0); 4]);
+        // The projected schedule is feasible for the original trace.
+        let cost =
+            rrs_core::schedule::check_schedule(&t, &proj, CostModel::new(1)).unwrap();
+        assert_eq!(cost.drop, 0);
+    }
+
+    #[test]
+    fn end_to_end_projected_cost_never_exceeds_inner() {
+        // Lemma 4.2 on a bursty batched (not rate-limited) workload.
+        let t = TraceBuilder::with_delay_bounds(&[4, 8])
+            .jobs(0, 0, 10)
+            .jobs(4, 0, 6)
+            .jobs(0, 1, 20)
+            .jobs(16, 1, 3)
+            .build();
+        let run = run_distribute(&t, 8, 2).unwrap();
+        assert!(run.projected_cost.total() <= run.inner.cost.total());
+        assert_eq!(
+            run.projected_cost.drop, run.inner.cost.drop,
+            "drop cost is preserved exactly (Lemma 4.2)"
+        );
+    }
+
+    #[test]
+    fn distribute_serves_rate_limited_input_like_plain_dlru_edf() {
+        // On an already rate-limited trace the split is the identity, so
+        // Distribute == ΔLRU-EDF.
+        let t = TraceBuilder::with_delay_bounds(&[4])
+            .batched_jobs(0, 4, 0, 64)
+            .build();
+        let run = run_distribute(&t, 8, 2).unwrap();
+        let mut direct = DlruEdf::new(t.colors(), 8, 2).unwrap();
+        let direct_run = rrs_core::engine::run_policy(&t, &mut direct, 8, 2).unwrap();
+        assert_eq!(run.projected_cost.total(), direct_run.cost.total());
+    }
+}

@@ -1,0 +1,30 @@
+//! # rrs-reductions — the paper's layered reductions
+//!
+//! The paper solves the main problem `[Δ | 1 | D_ℓ | 1]` through two layers:
+//!
+//! * [`distribute`] (§4): batched → rate-limited batched, by splitting every
+//!   oversized batch across sub-colors `(ℓ, j)` and projecting the inner
+//!   schedule back (Theorem 2);
+//! * [`varbatch`] (§5): general arrivals → batched, by delaying every job to
+//!   the next half-block of its delay bound (Theorem 3); the §5.3 extension
+//!   handles arbitrary (non power-of-two) delay bounds;
+//! * [`aggregate`] (§4.3): the constructive offline transformation behind
+//!   Lemma 4.1, used to validate the reduction's offline side empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod distribute;
+pub mod varbatch;
+
+pub use aggregate::{aggregate, AggregateRun};
+pub use distribute::{run_distribute, split_trace, ColorSplit, DistributeRun};
+pub use varbatch::{batched_delay, delay_to_batches, run_varbatch, VarBatchRun};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::aggregate::{aggregate, AggregateRun};
+    pub use crate::distribute::{run_distribute, split_trace, DistributeRun};
+    pub use crate::varbatch::{delay_to_batches, run_varbatch, VarBatchRun};
+}

@@ -1,0 +1,158 @@
+//! Cross-model validation: running block-level policies on the round-level
+//! engine.
+//!
+//! [`UniformInstance::to_round_trace`] encodes a uniform-variant instance as
+//! an `rrs-core` trace (weighted colors, batched arrivals), and
+//! [`BlockAdapter`] lifts any [`BlockPolicy`] into an engine [`Policy`] that
+//! applies the block assignment at each block's first round and holds it for
+//! the block. Because no pending state crosses block boundaries, the two
+//! models must agree **exactly** on reconfiguration cost, weighted drop cost
+//! and served-job count — which the tests here verify for every block policy
+//! in the crate. This pins the hand-rolled block simulator to the
+//! independently-tested round engine.
+
+use crate::problem::{BlockPolicy, UniformInstance};
+use rrs_core::prelude::*;
+
+impl UniformInstance {
+    /// Encodes the instance as a round-level trace: color ℓ gets delay bound
+    /// `D` and drop cost `c_ℓ`; block `i`'s arrivals land at round `i·D`.
+    pub fn to_round_trace(&self) -> Trace {
+        let mut table = ColorTable::new();
+        for &c in &self.drop_costs {
+            table.push(ColorInfo::with_drop_cost(self.d, c));
+        }
+        let mut trace = Trace::new(table);
+        for (i, block) in self.blocks.iter().enumerate() {
+            let round = i as Round * self.d;
+            for &(c, count) in block {
+                trace.add(round, ColorId(c), count).expect("valid color");
+            }
+        }
+        trace
+    }
+}
+
+/// Lifts a [`BlockPolicy`] into a round-level engine [`Policy`].
+pub struct BlockAdapter<P> {
+    inner: P,
+    d: u64,
+    current: CacheTarget,
+    next_block: usize,
+}
+
+impl<P: BlockPolicy> BlockAdapter<P> {
+    /// Wraps `inner` for an instance with uniform delay bound `d`.
+    pub fn new(inner: P, d: u64) -> Self {
+        BlockAdapter {
+            inner,
+            d,
+            current: CacheTarget::empty(),
+            next_block: 0,
+        }
+    }
+}
+
+impl<P: BlockPolicy> Policy for BlockAdapter<P> {
+    fn name(&self) -> String {
+        format!("{}@rounds", self.inner.name())
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        if round.is_multiple_of(self.d) {
+            let block = (round / self.d) as usize;
+            // Feed skipped empty blocks so the inner policy's block counter
+            // stays aligned (its boundary bookkeeping runs per block).
+            while self.next_block < block {
+                let assignment = self.inner.assign(self.next_block, &[]);
+                self.current = to_target(&assignment);
+                self.next_block += 1;
+            }
+            let raw: Vec<(u32, u64)> = arrivals.iter().map(|&(c, k)| (c.0, k)).collect();
+            let assignment = self.inner.assign(block, &raw);
+            self.current = to_target(&assignment);
+            self.next_block = block + 1;
+        }
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, _view: &EngineView) -> CacheTarget {
+        self.current.clone()
+    }
+}
+
+fn to_target(assignment: &[(u32, u32)]) -> CacheTarget {
+    let mut t = CacheTarget::empty();
+    for &(c, slots) in assignment {
+        t.add(ColorId(c), slots);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::UniformWorkload;
+    use crate::problem::{run_block_policy, GreedyBlocks, StaticBlocks};
+    use crate::weighted_dlru::WeightedDlru;
+    use rrs_core::engine::run_policy;
+
+    fn workload(seed: u64) -> UniformInstance {
+        UniformWorkload {
+            d: 4,
+            ncolors: 4,
+            max_cost: 8,
+            blocks: 24,
+            activity: 0.7,
+            load: 0.9,
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn round_trace_shape() {
+        let inst = workload(1);
+        let trace = inst.to_round_trace();
+        assert_eq!(trace.total_jobs(), inst.total_jobs());
+        assert!(trace.colors().iter().all(|(_, i)| i.delay_bound == 4));
+        assert!(!trace.colors().unit_drop_costs() || inst.drop_costs.iter().all(|&c| c == 1));
+        assert_ne!(trace.batch_class(), BatchClass::General);
+    }
+
+    /// The core agreement property, checked for one policy constructor.
+    fn agree<P: BlockPolicy + Clone>(inst: &UniformInstance, policy: P, n: usize, delta: u64) {
+        let block_run = run_block_policy(inst, &mut policy.clone(), n, delta).unwrap();
+        let trace = inst.to_round_trace();
+        let mut adapted = BlockAdapter::new(policy, inst.d);
+        let round_run = run_policy(&trace, &mut adapted, n, delta).unwrap();
+        assert_eq!(
+            round_run.cost.reconfig, block_run.reconfig_cost,
+            "reconfiguration cost agrees"
+        );
+        assert_eq!(round_run.cost.drop, block_run.drop_cost, "drop cost agrees");
+        assert_eq!(round_run.executed, block_run.served, "served count agrees");
+    }
+
+    #[test]
+    fn static_blocks_agree_across_models() {
+        for seed in 0..5 {
+            let inst = workload(seed);
+            agree(&inst, StaticBlocks::spread(inst.ncolors(), 3), 3, 5);
+        }
+    }
+
+    #[test]
+    fn greedy_blocks_agree_across_models() {
+        for seed in 0..5 {
+            let inst = workload(seed);
+            agree(&inst, GreedyBlocks::new(&inst, 3), 3, 5);
+        }
+    }
+
+    #[test]
+    fn weighted_dlru_agrees_across_models() {
+        for seed in 0..5 {
+            let inst = workload(seed);
+            agree(&inst, WeightedDlru::new(&inst, 4, 6), 4, 6);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The file/weighted caching substrate.
+//!
+//! A cache holds up to `k` unit-size files. A request for file `f` costs
+//! nothing if `f` is cached; otherwise the algorithm must fetch `f` at cost
+//! `cost(f)` (evicting as needed). This is the *weighted caching* model —
+//! the reduction target of the SPAA 2006 uniform-delay-bound variant, and
+//! (with unit costs) the classic paging problem of Sleator and Tarjan.
+//!
+//! Implemented policies:
+//! * [`Landlord`] — Young's credit-based algorithm, `k/(k−h+1)`-competitive
+//!   against an `h`-file optimum;
+//! * [`LruCache`] and [`FifoCache`] — the classic marking-family baselines
+//!   (cost-oblivious; competitive for unit costs only);
+//! * [`Belady`] — the offline optimum for unit costs (furthest-in-future);
+//! * [`optimal_weighted`] — an exact DP for small weighted instances.
+
+use rrs_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A file id.
+pub type FileId = u32;
+
+/// A weighted caching instance: a request sequence plus per-file fetch costs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedCachingInstance {
+    /// Fetch cost per file (indexed by file id); length = number of files.
+    pub costs: Vec<u64>,
+    /// The request sequence.
+    pub requests: Vec<FileId>,
+}
+
+impl WeightedCachingInstance {
+    /// Creates an instance, validating that every request names a known file
+    /// and every cost is positive.
+    pub fn new(costs: Vec<u64>, requests: Vec<FileId>) -> Result<Self> {
+        if costs.contains(&0) {
+            return Err(Error::InvalidParameter("file costs must be positive".into()));
+        }
+        if let Some(&r) = requests.iter().find(|&&r| r as usize >= costs.len()) {
+            return Err(Error::InvalidParameter(format!("request for unknown file {r}")));
+        }
+        Ok(WeightedCachingInstance { costs, requests })
+    }
+
+    /// Unit-cost (classic paging) instance.
+    pub fn unit(nfiles: usize, requests: Vec<FileId>) -> Result<Self> {
+        Self::new(vec![1; nfiles], requests)
+    }
+
+    /// Number of distinct files.
+    pub fn nfiles(&self) -> usize {
+        self.costs.len()
+    }
+}
+
+/// An online caching policy: decides evictions; the driver charges the costs.
+pub trait CachePolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+    /// Called on every request. When `need_eviction` is true (a miss with a
+    /// full cache) the policy must return a currently-cached victim; the
+    /// driver handles all insertion bookkeeping. `cached` is the cache
+    /// content before the request is served.
+    fn on_request(
+        &mut self,
+        file: FileId,
+        hit: bool,
+        cached: &BTreeSet<FileId>,
+        need_eviction: bool,
+    ) -> Option<FileId>;
+}
+
+/// Runs `policy` with cache size `k` over `instance`; returns the total fetch
+/// cost.
+pub fn run_policy(
+    instance: &WeightedCachingInstance,
+    policy: &mut dyn CachePolicy,
+    k: usize,
+) -> u64 {
+    assert!(k > 0, "cache size must be positive");
+    let mut cached: BTreeSet<FileId> = BTreeSet::new();
+    let mut cost = 0u64;
+    for &f in &instance.requests {
+        let hit = cached.contains(&f);
+        if hit {
+            policy.on_request(f, true, &cached, false);
+            continue;
+        }
+        cost += instance.costs[f as usize];
+        if cached.len() == k {
+            let victim = policy
+                .on_request(f, false, &cached, true)
+                .expect("policy must name a victim when the cache is full");
+            assert!(cached.remove(&victim), "victim must be cached");
+        } else {
+            policy.on_request(f, false, &cached, false);
+        }
+        cached.insert(f);
+    }
+    cost
+}
+
+/// Young's Landlord algorithm (unit sizes): every cached file holds *credit*;
+/// on a miss with a full cache, all credits are decreased by the minimum
+/// credit and a zero-credit file is evicted; a fetched file starts with credit
+/// equal to its cost; on a hit the credit is restored to the cost.
+#[derive(Debug, Clone)]
+pub struct Landlord {
+    costs: Vec<u64>,
+    /// Fixed-point credits (per-file), scaled by 1 to stay integral: we use
+    /// u64 credits and subtract exact minima, which keeps everything integer
+    /// for integer costs.
+    credit: HashMap<FileId, u64>,
+}
+
+impl Landlord {
+    /// Creates Landlord for the given per-file costs.
+    pub fn new(costs: &[u64]) -> Self {
+        Landlord {
+            costs: costs.to_vec(),
+            credit: HashMap::new(),
+        }
+    }
+}
+
+impl CachePolicy for Landlord {
+    fn name(&self) -> &'static str {
+        "Landlord"
+    }
+
+    fn on_request(
+        &mut self,
+        file: FileId,
+        hit: bool,
+        cached: &BTreeSet<FileId>,
+        need_eviction: bool,
+    ) -> Option<FileId> {
+        if hit {
+            // Restore credit (the "reset to full rent" variant).
+            self.credit.insert(file, self.costs[file as usize]);
+            return None;
+        }
+        let mut victim = None;
+        if need_eviction {
+            // Decay every cached file's credit by the minimum, evict a zero.
+            let min = cached
+                .iter()
+                .map(|f| self.credit[f])
+                .min()
+                .expect("nonempty cache");
+            for f in cached {
+                *self.credit.get_mut(f).expect("cached files have credit") -= min;
+            }
+            // Deterministic tie-break: smallest id among zero-credit files.
+            victim = cached.iter().copied().find(|f| self.credit[f] == 0);
+            if let Some(v) = victim {
+                self.credit.remove(&v);
+            }
+        }
+        self.credit.insert(file, self.costs[file as usize]);
+        victim
+    }
+}
+
+/// Least-recently-used (cost-oblivious).
+#[derive(Debug, Clone, Default)]
+pub struct LruCache {
+    stamp: u64,
+    last_used: HashMap<FileId, u64>,
+}
+
+impl LruCache {
+    /// Creates an LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for LruCache {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+    fn on_request(
+        &mut self,
+        file: FileId,
+        hit: bool,
+        cached: &BTreeSet<FileId>,
+        need_eviction: bool,
+    ) -> Option<FileId> {
+        self.stamp += 1;
+        self.last_used.insert(file, self.stamp);
+        if hit || !need_eviction {
+            return None;
+        }
+        let victim = cached
+            .iter()
+            .copied()
+            .min_by_key(|f| self.last_used.get(f).copied().unwrap_or(0));
+        if let Some(v) = victim {
+            self.last_used.remove(&v);
+        }
+        victim
+    }
+}
+
+/// First-in-first-out (cost-oblivious).
+#[derive(Debug, Clone, Default)]
+pub struct FifoCache {
+    queue: VecDeque<FileId>,
+}
+
+impl FifoCache {
+    /// Creates a FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for FifoCache {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+    fn on_request(
+        &mut self,
+        file: FileId,
+        hit: bool,
+        _cached: &BTreeSet<FileId>,
+        need_eviction: bool,
+    ) -> Option<FileId> {
+        if hit {
+            return None;
+        }
+        let victim = if need_eviction {
+            self.queue.pop_front()
+        } else {
+            None
+        };
+        self.queue.push_back(file);
+        victim
+    }
+}
+
+/// The randomized Marking algorithm (Fiat et al.): on a hit, mark; on a miss
+/// when every cached file is marked, unmark all (a new *phase*); evict a
+/// uniformly random unmarked file. `2·H_k`-competitive for unit costs — the
+/// classic randomized counterpart of LRU, included as a baseline for the
+/// paging experiments.
+#[derive(Debug, Clone)]
+pub struct MarkingCache {
+    rng: rand::rngs::StdRng,
+    marked: std::collections::HashSet<FileId>,
+}
+
+impl MarkingCache {
+    /// Creates the policy with a seed (determinism for experiments).
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        MarkingCache {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            marked: Default::default(),
+        }
+    }
+}
+
+impl CachePolicy for MarkingCache {
+    fn name(&self) -> &'static str {
+        "Marking"
+    }
+    fn on_request(
+        &mut self,
+        file: FileId,
+        hit: bool,
+        cached: &BTreeSet<FileId>,
+        need_eviction: bool,
+    ) -> Option<FileId> {
+        use rand::Rng;
+        let mut victim = None;
+        if !hit && need_eviction {
+            let mut unmarked: Vec<FileId> = cached
+                .iter()
+                .copied()
+                .filter(|f| !self.marked.contains(f))
+                .collect();
+            if unmarked.is_empty() {
+                // Phase boundary: unmark everything (except the new request).
+                self.marked.clear();
+                unmarked = cached.iter().copied().collect();
+            }
+            let pick = self.rng.gen_range(0..unmarked.len());
+            victim = Some(unmarked[pick]);
+            self.marked.remove(&unmarked[pick]);
+        }
+        self.marked.insert(file);
+        victim
+    }
+}
+
+/// Belady's offline optimum for **unit** costs: evict the file whose next use
+/// is furthest in the future. Returns the number of faults.
+#[derive(Debug, Clone)]
+pub struct Belady;
+
+/// Computes Belady's optimal fault count for a unit-cost instance.
+pub fn belady_faults(instance: &WeightedCachingInstance, k: usize) -> u64 {
+    assert!(k > 0);
+    // Precompute next-use indices.
+    let n = instance.requests.len();
+    let mut next_use = vec![usize::MAX; n];
+    let mut last_seen: HashMap<FileId, usize> = HashMap::new();
+    for i in (0..n).rev() {
+        let f = instance.requests[i];
+        next_use[i] = last_seen.get(&f).copied().unwrap_or(usize::MAX);
+        last_seen.insert(f, i);
+    }
+    let mut cached: HashMap<FileId, usize> = HashMap::new(); // file -> next use
+    let mut faults = 0;
+    for (i, &f) in instance.requests.iter().enumerate() {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = cached.entry(f) {
+            e.insert(next_use[i]);
+            continue;
+        }
+        faults += 1;
+        if cached.len() == k {
+            let (&victim, _) = cached
+                .iter()
+                .max_by_key(|&(f, &nu)| (nu, *f))
+                .expect("nonempty");
+            cached.remove(&victim);
+        }
+        cached.insert(f, next_use[i]);
+    }
+    faults
+}
+
+/// Exact optimal cost for small **weighted** instances, by DP over cache
+/// contents (states: subsets of files of size ≤ k).
+///
+/// # Errors
+/// Rejects instances with more than 12 files (state-space guard).
+pub fn optimal_weighted(instance: &WeightedCachingInstance, k: usize) -> Result<u64> {
+    let nfiles = instance.nfiles();
+    if nfiles > 12 {
+        return Err(Error::InvalidParameter(
+            "weighted-caching DP caps at 12 files".into(),
+        ));
+    }
+    // State: bitmask of cached files. Requests must hit the requested file,
+    // so after serving request f, every reachable state contains f.
+    let mut frontier: HashMap<u16, u64> = HashMap::new();
+    frontier.insert(0, 0);
+    for &f in &instance.requests {
+        let fbit = 1u16 << f;
+        let mut next: HashMap<u16, u64> = HashMap::new();
+        for (&mask, &cost) in &frontier {
+            if mask & fbit != 0 {
+                // Hit: free.
+                merge_min(&mut next, mask, cost);
+                continue;
+            }
+            let fetched = cost + instance.costs[f as usize];
+            if (mask.count_ones() as usize) < k {
+                merge_min(&mut next, mask | fbit, fetched);
+            } else {
+                // Evict any cached file.
+                let mut m = mask;
+                while m != 0 {
+                    let v = m & m.wrapping_neg();
+                    merge_min(&mut next, (mask & !v) | fbit, fetched);
+                    m &= m - 1;
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier.values().copied().min().unwrap_or(0))
+}
+
+fn merge_min(map: &mut HashMap<u16, u64>, key: u16, val: u64) {
+    map.entry(key)
+        .and_modify(|v| *v = (*v).min(val))
+        .or_insert(val);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(requests: &[u32], nfiles: usize) -> WeightedCachingInstance {
+        WeightedCachingInstance::unit(nfiles, requests.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WeightedCachingInstance::new(vec![0], vec![]).is_err());
+        assert!(WeightedCachingInstance::new(vec![1], vec![1]).is_err());
+        assert!(WeightedCachingInstance::new(vec![1, 2], vec![0, 1]).is_ok());
+    }
+
+    #[test]
+    fn lru_classic_sequence() {
+        // k=2, requests 0,1,2,0: LRU evicts 0 at the miss on 2, so the final
+        // 0 faults again: 4 faults total.
+        let inst = seq(&[0, 1, 2, 0], 3);
+        let mut lru = LruCache::new();
+        assert_eq!(run_policy(&inst, &mut lru, 2), 4);
+    }
+
+    #[test]
+    fn belady_beats_lru_on_its_bad_case() {
+        // Cyclic access with k=2 over 3 files: LRU faults every time; Belady
+        // keeps one file pinned.
+        let reqs: Vec<u32> = (0..12).map(|i| i % 3).collect();
+        let inst = seq(&reqs, 3);
+        let mut lru = LruCache::new();
+        let lru_cost = run_policy(&inst, &mut lru, 2);
+        let opt = belady_faults(&inst, 2);
+        assert_eq!(lru_cost, 12, "LRU thrashes on a cycle");
+        assert!(opt <= 7, "Belady pins: {opt}");
+    }
+
+    #[test]
+    fn belady_matches_weighted_dp_on_unit_costs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let nfiles = rng.gen_range(2..6);
+            let reqs: Vec<u32> = (0..rng.gen_range(4..20))
+                .map(|_| rng.gen_range(0..nfiles as u32))
+                .collect();
+            let inst = seq(&reqs, nfiles);
+            let k = rng.gen_range(1..=3);
+            assert_eq!(
+                belady_faults(&inst, k),
+                optimal_weighted(&inst, k).unwrap(),
+                "reqs {reqs:?} k {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn landlord_respects_costs() {
+        // File 0 is expensive (10), files 1 and 2 are cheap (1). With k=2 and
+        // alternating cheap requests, Landlord keeps the expensive file.
+        let inst =
+            WeightedCachingInstance::new(vec![10, 1, 1], vec![0, 1, 2, 1, 2, 1, 2, 0]).unwrap();
+        let mut landlord = Landlord::new(&inst.costs);
+        let ll = run_policy(&inst, &mut landlord, 2);
+        let mut lru = LruCache::new();
+        let lru_cost = run_policy(&inst, &mut lru, 2);
+        assert!(ll < lru_cost, "Landlord {ll} vs LRU {lru_cost}");
+        // Landlord never pays for file 0 twice.
+        assert_eq!(ll, 10 + 6);
+    }
+
+    #[test]
+    fn landlord_at_least_opt() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..15 {
+            let nfiles = rng.gen_range(2..6);
+            let costs: Vec<u64> = (0..nfiles).map(|_| rng.gen_range(1..8)).collect();
+            let reqs: Vec<u32> = (0..rng.gen_range(5..25))
+                .map(|_| rng.gen_range(0..nfiles as u32))
+                .collect();
+            let inst = WeightedCachingInstance::new(costs, reqs).unwrap();
+            let k = rng.gen_range(1..=3);
+            let opt = optimal_weighted(&inst, k).unwrap();
+            let mut landlord = Landlord::new(&inst.costs);
+            let ll = run_policy(&inst, &mut landlord, k);
+            assert!(ll >= opt);
+            // Landlord with k resources vs OPT with 1: ratio k/(k-1+1) = k.
+            let opt1 = optimal_weighted(&inst, 1).unwrap();
+            assert!(ll <= k as u64 * opt1.max(1) * 2, "ll {ll} opt1 {opt1} k {k}");
+        }
+    }
+
+    #[test]
+    fn fifo_runs() {
+        let inst = seq(&[0, 1, 0, 2, 0, 1], 3);
+        let mut fifo = FifoCache::new();
+        let cost = run_policy(&inst, &mut fifo, 2);
+        assert!(cost >= belady_faults(&inst, 2));
+    }
+
+    #[test]
+    fn marking_beats_lru_on_cycles_in_expectation() {
+        // The cyclic adversary: LRU faults on every request; Marking faults
+        // roughly on a 2·H_k fraction.
+        let reqs: Vec<u32> = (0..300).map(|i| i % 3).collect();
+        let inst = seq(&reqs, 3);
+        let mut lru = LruCache::new();
+        let lru_cost = run_policy(&inst, &mut lru, 2);
+        let avg_marking: f64 = (0..10)
+            .map(|seed| run_policy(&inst, &mut MarkingCache::new(seed), 2) as f64)
+            .sum::<f64>()
+            / 10.0;
+        assert_eq!(lru_cost, 300);
+        assert!(
+            avg_marking < 0.9 * lru_cost as f64,
+            "marking {avg_marking} vs lru {lru_cost}"
+        );
+        // And it is never below the offline optimum.
+        let opt = belady_faults(&inst, 2) as f64;
+        assert!(avg_marking >= opt);
+    }
+
+    #[test]
+    fn marking_is_seeded() {
+        let reqs: Vec<u32> = (0..100).map(|i| (i * 7 % 5) as u32).collect();
+        let inst = seq(&reqs, 5);
+        let a = run_policy(&inst, &mut MarkingCache::new(9), 3);
+        let b = run_policy(&inst, &mut MarkingCache::new(9), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_requests_cost_nothing() {
+        let inst = seq(&[], 2);
+        let mut lru = LruCache::new();
+        assert_eq!(run_policy(&inst, &mut lru, 1), 0);
+        assert_eq!(belady_faults(&inst, 1), 0);
+        assert_eq!(optimal_weighted(&inst, 1).unwrap(), 0);
+    }
+}

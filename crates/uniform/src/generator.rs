@@ -1,0 +1,130 @@
+//! Seeded generators for uniform-variant instances.
+
+use crate::problem::UniformInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random `[Δ | c_ℓ | D | D]` workload with skewed drop costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformWorkload {
+    /// Uniform delay bound `D`.
+    pub d: u64,
+    /// Number of colors.
+    pub ncolors: usize,
+    /// Maximum drop cost (costs are drawn from `1..=max_cost`, geometrically
+    /// skewed so a few colors are much more valuable).
+    pub max_cost: u64,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Probability a color is active in a block.
+    pub activity: f64,
+    /// Mean batch size as a fraction of `D` while active.
+    pub load: f64,
+}
+
+impl Default for UniformWorkload {
+    fn default() -> Self {
+        UniformWorkload {
+            d: 8,
+            ncolors: 6,
+            max_cost: 16,
+            blocks: 128,
+            activity: 0.6,
+            load: 0.8,
+        }
+    }
+}
+
+impl UniformWorkload {
+    /// Generates the instance for `seed`.
+    pub fn generate(&self, seed: u64) -> UniformInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Geometric cost skew: halve the ceiling per rank (min 1), then
+        // shuffle so the valuable colors land on random ids (otherwise a
+        // round-robin static baseline accidentally covers exactly the most
+        // valuable colors).
+        let mut drop_costs: Vec<u64> = (0..self.ncolors)
+            .map(|i| {
+                let ceil = (self.max_cost >> i.min(8)).max(1);
+                rng.gen_range(1..=ceil)
+            })
+            .collect();
+        for i in (1..drop_costs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            drop_costs.swap(i, j);
+        }
+        let blocks = (0..self.blocks)
+            .map(|_| {
+                (0..self.ncolors as u32)
+                    .filter_map(|c| {
+                        if rng.gen::<f64>() < self.activity {
+                            let mean = self.load * self.d as f64;
+                            let count =
+                                crate_poisson(&mut rng, mean).max(1);
+                            Some((c, count))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        UniformInstance {
+            d: self.d,
+            drop_costs,
+            blocks,
+        }
+    }
+}
+
+/// Minimal Poisson sampler (Knuth), local to avoid a cross-crate dependency
+/// for one function.
+fn crate_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_seeded_instances() {
+        let g = UniformWorkload::default();
+        let a = g.generate(3);
+        let b = g.generate(3);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+        assert!(a.total_jobs() > 0);
+        assert_ne!(a, g.generate(4));
+    }
+
+    #[test]
+    fn costs_are_skewed() {
+        let g = UniformWorkload {
+            ncolors: 6,
+            max_cost: 64,
+            ..Default::default()
+        };
+        let inst = g.generate(1);
+        assert!(inst.drop_costs.iter().all(|&c| c >= 1));
+        // One rank has ceiling 2 and one has ceiling 64: after the shuffle
+        // the *spread* persists even though positions are randomized.
+        let min = inst.drop_costs.iter().min().unwrap();
+        let max = inst.drop_costs.iter().max().unwrap();
+        assert!(min <= &2);
+        assert!(max > min, "skew survives the shuffle: {:?}", inst.drop_costs);
+    }
+}

@@ -1,0 +1,56 @@
+//! # rrs-uniform — the `[Δ | c_ℓ | D | D]` variant and its caching substrate
+//!
+//! The paper's prior work (reference [14], *Reconfigurable resource
+//! scheduling*, SPAA 2006 — the class-introducing companion of the supplied
+//! text) solves the variant with a **uniform delay bound** `D` and
+//! **per-color drop costs** `c_ℓ` by reducing it to a *file caching* problem.
+//! This crate reproduces that layer:
+//!
+//! * [`filecache`] — the weighted-caching substrate: the classic paging /
+//!   weighted-caching model, Young's **Landlord** algorithm, LRU/FIFO
+//!   baselines, Belady's offline optimum for the unweighted case and an exact
+//!   DP for the weighted case;
+//! * [`paging`] — the Sleator–Tarjan special case the supplied paper calls
+//!   out in its related work (unit delay bound, unit reconfiguration cost,
+//!   infinite drop cost, single-job requests), with the classic
+//!   `k/(k−h+1)`-competitiveness experiment;
+//! * [`problem`] — the block-level model of `[Δ | c_ℓ | D | D]`: with a
+//!   uniform delay bound, rounds collapse into *blocks* of `D` rounds, and a
+//!   resource serving one color for a whole block executes exactly `D` of its
+//!   jobs — which is why the deadline aspect vanishes and caching machinery
+//!   alone suffices (exactly the structural fact that makes the
+//!   variable-delay-bound problem of the main crates strictly harder);
+//! * [`weighted_dlru`] — the online algorithm: ΔLRU with cost-weighted
+//!   counters (a color becomes eligible when the *drop value* it has
+//!   accumulated reaches Δ), which is the Landlord idea expressed in the
+//!   ΔLRU vocabulary of the main paper;
+//! * [`offline`] — per-block lower bounds and an exact block-level DP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod filecache;
+pub mod generator;
+pub mod offline;
+pub mod paging;
+pub mod problem;
+pub mod weighted_dlru;
+
+pub use adapter::BlockAdapter;
+pub use filecache::{Belady, CachePolicy, FifoCache, Landlord, LruCache, MarkingCache, WeightedCachingInstance};
+pub use generator::UniformWorkload;
+pub use offline::{block_lower_bound, optimal_uniform, UniformOptConfig};
+pub use paging::{lru_paging_faults, PagingInstance};
+pub use problem::{UniformInstance, UniformRun};
+pub use weighted_dlru::WeightedDlru;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::filecache::{Belady, CachePolicy, Landlord, LruCache, WeightedCachingInstance};
+    pub use crate::offline::{block_lower_bound, optimal_uniform};
+    pub use crate::paging::PagingInstance;
+    pub use crate::problem::{UniformInstance, UniformRun};
+    pub use crate::generator::UniformWorkload;
+    pub use crate::weighted_dlru::WeightedDlru;
+}

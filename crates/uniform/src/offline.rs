@@ -1,0 +1,264 @@
+//! Offline oracles for the uniform variant: lower bounds and an exact
+//! block-level DP.
+
+use crate::problem::UniformInstance;
+use rrs_core::{Error, Result};
+use std::collections::HashMap;
+
+/// Per-color lower bound: any schedule either configures color ℓ at least
+/// once (≥ Δ) or drops all its jobs (≥ `c_ℓ × jobs_ℓ`).
+pub fn per_color_bound(instance: &UniformInstance, delta: u64) -> u64 {
+    let mut weight = vec![0u64; instance.ncolors()];
+    for block in &instance.blocks {
+        for &(c, k) in block {
+            weight[c as usize] += k * instance.drop_costs[c as usize];
+        }
+    }
+    weight.iter().map(|&w| w.min(delta) * u64::from(w > 0)).sum()
+}
+
+/// Capacity lower bound on the weighted drop cost: in each block at most
+/// `n·D` jobs can execute (any colors, any reconfigurations), so at best the
+/// `n·D` most valuable jobs survive; everything else is dropped.
+pub fn capacity_drop_bound(instance: &UniformInstance, n: usize) -> u64 {
+    let capacity = n as u64 * instance.d;
+    let mut bound = 0u64;
+    for block in &instance.blocks {
+        // Serve the most valuable jobs first.
+        let mut per_value: Vec<(u64, u64)> = block
+            .iter()
+            .map(|&(c, k)| (instance.drop_costs[c as usize], k))
+            .collect();
+        per_value.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
+        let mut left = capacity;
+        let mut dropped_value = 0u64;
+        for (value, count) in per_value {
+            let served = count.min(left);
+            left -= served;
+            dropped_value += (count - served) * value;
+        }
+        bound += dropped_value;
+    }
+    bound
+}
+
+/// The best available lower bound.
+pub fn block_lower_bound(instance: &UniformInstance, n: usize, delta: u64) -> u64 {
+    per_color_bound(instance, delta).max(capacity_drop_bound(instance, n))
+}
+
+/// Configuration of the exact block-level DP.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformOptConfig {
+    /// Offline slots `m`.
+    pub m: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Frontier-size guard.
+    pub max_states: usize,
+}
+
+impl UniformOptConfig {
+    /// Defaults with a generous state guard.
+    pub fn new(m: usize, delta: u64) -> Self {
+        UniformOptConfig {
+            m,
+            delta,
+            max_states: 500_000,
+        }
+    }
+}
+
+/// Exact optimal cost over **block-aligned** schedules: DP whose state is the
+/// previous block's slot assignment (a multiset of colors of size ≤ m). Since
+/// no pending state crosses block boundaries, this is a clean polynomial DP
+/// in the number of assignments.
+///
+/// # Errors
+/// Rejects `m == 0` or a tripped state guard.
+pub fn optimal_uniform(instance: &UniformInstance, cfg: UniformOptConfig) -> Result<u64> {
+    instance.validate()?;
+    if cfg.m == 0 {
+        return Err(Error::InvalidParameter("need m >= 1".into()));
+    }
+    let ncolors = instance.ncolors() as u32;
+    // Assignments as sorted color multisets.
+    let mut assignments: Vec<Vec<u32>> = vec![vec![]];
+    fn rec(ncolors: u32, start: u32, left: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if left == 0 {
+            return;
+        }
+        for c in start..ncolors {
+            cur.push(c);
+            out.push(cur.clone());
+            rec(ncolors, c, left - 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(ncolors, 0, cfg.m, &mut Vec::new(), &mut assignments);
+
+    let gained = |old: &[u32], new: &[u32]| -> u64 {
+        let mut g = 0;
+        let mut i = 0;
+        for &c in new {
+            while i < old.len() && old[i] < c {
+                i += 1;
+            }
+            if i < old.len() && old[i] == c {
+                i += 1;
+            } else {
+                g += 1;
+            }
+        }
+        g
+    };
+
+    let mut frontier: HashMap<Vec<u32>, u64> = HashMap::new();
+    frontier.insert(vec![], 0);
+    for block in &instance.blocks {
+        let mut next: HashMap<Vec<u32>, u64> = HashMap::new();
+        for (prev, &cost) in &frontier {
+            for assignment in &assignments {
+                let mut c2 = cost + gained(prev, assignment) * cfg.delta;
+                for &(color, count) in block {
+                    let slots = assignment.iter().filter(|&&a| a == color).count() as u64;
+                    let served = count.min(slots * instance.d);
+                    c2 += (count - served) * instance.drop_costs[color as usize];
+                }
+                match next.get_mut(assignment) {
+                    Some(v) if *v <= c2 => {}
+                    Some(v) => *v = c2,
+                    None => {
+                        next.insert(assignment.clone(), c2);
+                    }
+                }
+            }
+        }
+        if next.len() > cfg.max_states {
+            return Err(Error::InvalidParameter(format!(
+                "uniform DP exceeded {} states",
+                cfg.max_states
+            )));
+        }
+        frontier = next;
+    }
+    frontier
+        .values()
+        .copied()
+        .min()
+        .ok_or_else(|| Error::InvalidParameter("empty frontier".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{run_block_policy, GreedyBlocks, StaticBlocks};
+    use crate::weighted_dlru::WeightedDlru;
+
+    fn simple() -> UniformInstance {
+        UniformInstance {
+            d: 4,
+            drop_costs: vec![1, 5],
+            blocks: vec![vec![(0, 4), (1, 2)], vec![(0, 4)], vec![(1, 6)]],
+        }
+    }
+
+    #[test]
+    fn lower_bounds_are_sound_vs_dp() {
+        let i = simple();
+        for m in 1..=2 {
+            for delta in [1u64, 3, 8] {
+                let opt = optimal_uniform(&i, UniformOptConfig::new(m, delta)).unwrap();
+                let lb = block_lower_bound(&i, m, delta);
+                assert!(lb <= opt, "m={m} Δ={delta}: lb {lb} > opt {opt}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_beats_every_policy() {
+        let i = simple();
+        let m = 2;
+        let delta = 3;
+        let opt = optimal_uniform(&i, UniformOptConfig::new(m, delta)).unwrap();
+        let mut s = StaticBlocks::spread(2, m);
+        assert!(run_block_policy(&i, &mut s, m, delta).unwrap().total() >= opt);
+        let mut g = GreedyBlocks::new(&i, m);
+        assert!(run_block_policy(&i, &mut g, m, delta).unwrap().total() >= opt);
+        let mut w = WeightedDlru::new(&i, m, delta);
+        assert!(run_block_policy(&i, &mut w, m, delta).unwrap().total() >= opt);
+    }
+
+    #[test]
+    fn dp_hand_checked() {
+        // One color, one block, 4 jobs × cost 2 = value 8, Δ = 3: serve (3)
+        // beats dropping (8).
+        let i = UniformInstance {
+            d: 4,
+            drop_costs: vec![2],
+            blocks: vec![vec![(0, 4)]],
+        };
+        assert_eq!(optimal_uniform(&i, UniformOptConfig::new(1, 3)).unwrap(), 3);
+        // Δ = 10: dropping (8) beats serving (10).
+        assert_eq!(optimal_uniform(&i, UniformOptConfig::new(1, 10)).unwrap(), 8);
+    }
+
+    #[test]
+    fn capacity_bound_counts_block_overflow() {
+        // 10 jobs of value 2 in one block, capacity 1×4: 6 must drop.
+        let i = UniformInstance {
+            d: 4,
+            drop_costs: vec![2],
+            blocks: vec![vec![(0, 10)]],
+        };
+        assert_eq!(capacity_drop_bound(&i, 1), 12);
+        assert_eq!(capacity_drop_bound(&i, 3), 0);
+    }
+
+    #[test]
+    fn per_color_bound_counts_cheap_colors_fully() {
+        let i = simple();
+        // Color 0: weight 8, min(Δ=100, 8) = 8; color 1: weight 40, min = 40.
+        assert_eq!(per_color_bound(&i, 100), 48);
+        assert_eq!(per_color_bound(&i, 3), 6);
+    }
+
+    #[test]
+    fn random_consistency_weighted_dlru_vs_opt() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let ncolors = rng.gen_range(1..4);
+            let inst = UniformInstance {
+                d: 4,
+                drop_costs: (0..ncolors).map(|_| rng.gen_range(1..6)).collect(),
+                blocks: (0..rng.gen_range(2..6))
+                    .map(|_| {
+                        (0..ncolors as u32)
+                            .flat_map(|c| {
+                                if rng.gen_bool(0.7) {
+                                    Some((c, rng.gen_range(1..8)))
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            };
+            let delta = rng.gen_range(1..6);
+            let m = 1;
+            let n = 4; // 4x augmentation for the online algorithm
+            let opt = optimal_uniform(&inst, UniformOptConfig::new(m, delta)).unwrap();
+            let mut w = WeightedDlru::new(&inst, n, delta);
+            let online = run_block_policy(&inst, &mut w, n, delta).unwrap();
+            // Resource-competitive shape: bounded multiple of the m=1 optimum.
+            assert!(
+                online.total() <= 8 * opt + 4 * delta * ncolors as u64,
+                "online {} vs opt {opt} (Δ={delta})",
+                online.total()
+            );
+        }
+    }
+}

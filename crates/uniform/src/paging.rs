@@ -1,0 +1,214 @@
+//! The Sleator–Tarjan paging special case.
+//!
+//! The supplied paper (Related Work) observes that classic disk paging is the
+//! special case of reconfigurable resource scheduling with unit delay bound,
+//! unit reconfiguration cost, infinite drop cost, and single-job requests.
+//! This module makes that embedding concrete: a [`PagingInstance`] converts
+//! to an `rrs-core` trace ([`PagingInstance::to_rrs_trace`]), and the
+//! [`PagingLru`] engine policy's reconfiguration count provably equals LRU's
+//! fault count (tested), closing the loop between the two models. The classic
+//! `k/(k−h+1)` resource-augmented competitiveness of LRU is measured by
+//! experiment E16.
+
+use crate::filecache::{belady_faults, run_policy as run_cache, LruCache, WeightedCachingInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A paging instance: a sequence of page requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PagingInstance {
+    /// Number of distinct pages.
+    pub npages: usize,
+    /// The request sequence.
+    pub requests: Vec<u32>,
+}
+
+impl PagingInstance {
+    /// Creates an instance.
+    pub fn new(npages: usize, requests: Vec<u32>) -> Self {
+        PagingInstance { npages, requests }
+    }
+
+    /// A seeded request sequence with working-set locality: at each step,
+    /// with probability `locality` request a page from the current window of
+    /// `ws` pages, otherwise jump the window.
+    pub fn with_locality(
+        npages: usize,
+        len: usize,
+        ws: usize,
+        locality: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut base = 0usize;
+        let ws = ws.clamp(1, npages);
+        let requests = (0..len)
+            .map(|_| {
+                if rng.gen::<f64>() >= locality {
+                    base = rng.gen_range(0..npages);
+                }
+                ((base + rng.gen_range(0..ws)) % npages) as u32
+            })
+            .collect();
+        PagingInstance { npages, requests }
+    }
+
+    /// The cyclic adversary that forces LRU to fault on every request with a
+    /// cache one page too small.
+    pub fn cyclic(npages: usize, len: usize) -> Self {
+        PagingInstance {
+            npages,
+            requests: (0..len).map(|i| (i % npages) as u32).collect(),
+        }
+    }
+
+    /// As a unit-cost weighted-caching instance.
+    pub fn to_caching(&self) -> WeightedCachingInstance {
+        WeightedCachingInstance::unit(self.npages, self.requests.clone())
+            .expect("paging instances are always valid")
+    }
+
+    /// Embeds the instance into the reconfigurable resource scheduling model
+    /// (paper Related Work): page `p` ↦ color `p` with `D = 1`; the request
+    /// at position `t` ↦ one unit job of that color at round `t`.
+    pub fn to_rrs_trace(&self) -> Trace {
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&vec![1; self.npages]));
+        for (t, &p) in self.requests.iter().enumerate() {
+            trace.add(t as Round, ColorId(p), 1).expect("valid page");
+        }
+        trace
+    }
+}
+
+/// LRU fault count with cache size `k`.
+pub fn lru_paging_faults(instance: &PagingInstance, k: usize) -> u64 {
+    run_cache(&instance.to_caching(), &mut LruCache::new(), k)
+}
+
+/// Belady (offline optimal) fault count with cache size `h`.
+pub fn opt_paging_faults(instance: &PagingInstance, h: usize) -> u64 {
+    belady_faults(&instance.to_caching(), h)
+}
+
+/// An `rrs-core` engine policy realizing demand-paging LRU in the scheduling
+/// model: on each request (a single D=1 job), cache the requested color,
+/// evicting the least recently requested one when all `n` locations are
+/// occupied. Its reconfiguration-event count equals LRU's fault count, and it
+/// never drops a job — the embedding the paper's related-work section claims.
+#[derive(Debug, Clone, Default)]
+pub struct PagingLru {
+    stamp: u64,
+    last_used: HashMap<ColorId, u64>,
+    cached: Vec<ColorId>,
+    current: Option<ColorId>,
+}
+
+impl PagingLru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for PagingLru {
+    fn name(&self) -> String {
+        "PagingLRU".into()
+    }
+
+    fn on_arrival_phase(&mut self, _round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        debug_assert!(arrivals.len() <= 1, "paging requests are single jobs");
+        self.current = arrivals.first().map(|&(c, _)| c);
+        if let Some(c) = self.current {
+            self.stamp += 1;
+            self.last_used.insert(c, self.stamp);
+        }
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        if let Some(c) = self.current {
+            if !self.cached.contains(&c) {
+                if self.cached.len() == view.n {
+                    let (idx, _) = self
+                        .cached
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, c)| self.last_used.get(c).copied().unwrap_or(0))
+                        .expect("cache is full, hence nonempty");
+                    self.cached.remove(idx);
+                }
+                self.cached.push(c);
+            }
+        }
+        CacheTarget::singles(self.cached.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::engine::run_policy;
+
+    #[test]
+    fn cyclic_thrashes_lru() {
+        let inst = PagingInstance::cyclic(3, 12);
+        assert_eq!(lru_paging_faults(&inst, 2), 12);
+        assert!(opt_paging_faults(&inst, 2) <= 7);
+    }
+
+    #[test]
+    fn locality_generator_is_seeded_and_local() {
+        let a = PagingInstance::with_locality(64, 500, 4, 0.9, 1);
+        let b = PagingInstance::with_locality(64, 500, 4, 0.9, 1);
+        assert_eq!(a, b);
+        // With high locality a small cache already hits a lot.
+        let faults = lru_paging_faults(&a, 8);
+        assert!(faults < 250, "faults {faults}");
+    }
+
+    #[test]
+    fn rrs_embedding_matches_lru_fault_count() {
+        for seed in 0..3 {
+            let inst = PagingInstance::with_locality(10, 200, 3, 0.8, seed);
+            let trace = inst.to_rrs_trace();
+            let k = 4;
+            let mut policy = PagingLru::new();
+            // Δ = 1 (unit reconfiguration cost), k locations.
+            let r = run_policy(&trace, &mut policy, k, 1).unwrap();
+            assert_eq!(r.cost.drop, 0, "demand paging never drops");
+            assert_eq!(
+                r.reconfig_events,
+                lru_paging_faults(&inst, k),
+                "seed {seed}: the embedding preserves the fault count"
+            );
+        }
+    }
+
+    #[test]
+    fn sleator_tarjan_bound_shape() {
+        // LRU(k) / OPT(h) <= k/(k-h+1) on every sequence; check on the cyclic
+        // adversary, where the bound is tight-ish.
+        let inst = PagingInstance::cyclic(9, 360);
+        for (k, h) in [(8, 8), (8, 5), (8, 2)] {
+            let lru = lru_paging_faults(&inst, k) as f64;
+            let opt = opt_paging_faults(&inst, h) as f64;
+            let bound = k as f64 / (k - h + 1) as f64;
+            assert!(
+                lru / opt.max(1.0) <= bound + 1e-9,
+                "k={k} h={h}: {lru}/{opt} > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_embedding_shape() {
+        let inst = PagingInstance::new(3, vec![0, 1, 2, 0]);
+        let t = inst.to_rrs_trace();
+        assert_eq!(t.total_jobs(), 4);
+        assert_eq!(t.colors().len(), 3);
+        assert!(t.colors().iter().all(|(_, i)| i.delay_bound == 1));
+        assert_eq!(t.horizon(), 4);
+    }
+}

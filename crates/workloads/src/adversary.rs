@@ -1,0 +1,281 @@
+//! The paper's lower-bound constructions (Appendices A and B).
+//!
+//! These deterministic request sequences witness that neither ΔLRU nor EDF
+//! alone is resource competitive:
+//!
+//! * **Appendix A** ([`DlruAdversary`]): `n/2` *short-term* colors with delay
+//!   bound `2^j` receive Δ jobs at every multiple of `2^j`, while one
+//!   *long-term* color with delay bound `2^k` receives `2^k` jobs at round 0,
+//!   with `2^k > 2^{j+1} > nΔ`. ΔLRU pins the perpetually-recent short colors
+//!   and starves the long color's backlog (cost ≥ `2^k` drops), while an
+//!   offline schedule that parks one resource on the long color pays only
+//!   `Δ + 2^{k-j-1}·n·Δ` — giving ratio `Ω(2^{j+1}/(nΔ))`.
+//!
+//! * **Appendix B** ([`EdfAdversary`]): one color with delay bound `2^j`
+//!   receives Δ jobs per multiple of `2^j` until round `2^{k-1}`, plus `n/2`
+//!   long colors with delay bounds `2^{k+p}` (`0 ≤ p < n/2`) each receiving
+//!   `2^{k+p-1}` jobs at round 0, with `2^k > 2^j > Δ > n`. EDF's idleness-first
+//!   ranking makes it repeatedly evict and re-cache long colors whenever the
+//!   short color alternates between idle and nonidle, thrashing on
+//!   reconfigurations (`≥ 2^{k-j-1}·Δ`), while an offline schedule pays only
+//!   `(n/2 + 1)·Δ` — giving ratio `≥ 2^{k-j-1}/(n/2 + 1)`.
+
+use rrs_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Appendix A: the adversary against ΔLRU.
+///
+/// ```
+/// use rrs_workloads::DlruAdversary;
+///
+/// let adv = DlruAdversary { n: 8, delta: 2, j: 6, k: 8 };
+/// adv.validate().unwrap();
+/// let trace = adv.generate();
+/// assert_eq!(trace.jobs_of_color(adv.long_color()), 1 << 8);
+/// assert!(adv.paper_ratio_bound() > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DlruAdversary {
+    /// Number of resources the online algorithm will be given (must be even).
+    pub n: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Short-term delay bound exponent: `D_short = 2^j`.
+    pub j: u32,
+    /// Long-term delay bound exponent: `D_long = 2^k`.
+    pub k: u32,
+}
+
+impl DlruAdversary {
+    /// Checks the construction's constraints `2^k > 2^{j+1} > nΔ`.
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 || !self.n.is_multiple_of(2) {
+            return Err(Error::InvalidParameter("n must be positive and even".into()));
+        }
+        if self.k <= self.j {
+            return Err(Error::InvalidParameter("need k > j".into()));
+        }
+        let n_delta = self.n as u64 * self.delta;
+        if (1u64 << (self.j + 1)) <= n_delta {
+            return Err(Error::InvalidParameter(format!(
+                "need 2^(j+1) > nΔ: 2^{} <= {}",
+                self.j + 1,
+                n_delta
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds the request sequence.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid; call [`DlruAdversary::validate`]
+    /// first for a recoverable check.
+    pub fn generate(&self) -> Trace {
+        self.validate().expect("invalid Appendix A parameters");
+        let d_short = 1u64 << self.j;
+        let d_long = 1u64 << self.k;
+        let num_short = self.n / 2;
+        let mut bounds = vec![d_short; num_short];
+        bounds.push(d_long);
+        let mut b = TraceBuilder::with_delay_bounds(&bounds);
+        // Δ jobs for each short color at every multiple of 2^j over 2^k rounds.
+        for c in 0..num_short {
+            b = b.batched_jobs(c as u32, self.delta, 0, d_long);
+        }
+        // 2^k jobs for the long color at the very beginning.
+        b = b.jobs(0, num_short as u32, d_long);
+        b.build()
+    }
+
+    /// Id of the long-term color in the generated trace.
+    pub fn long_color(&self) -> ColorId {
+        ColorId((self.n / 2) as u32)
+    }
+
+    /// The paper's lower bound on ΔLRU's competitive ratio for these
+    /// parameters: `(nΔ + 2^k) / (Δ + 2^{k-j-1}·n·Δ)`.
+    pub fn paper_ratio_bound(&self) -> f64 {
+        let n = self.n as f64;
+        let delta = self.delta as f64;
+        let two_k = (1u64 << self.k) as f64;
+        let dlru = n * delta + two_k;
+        let off = delta + 2f64.powi((self.k - self.j - 1) as i32) * n * delta;
+        dlru / off
+    }
+}
+
+/// Appendix B: the adversary against EDF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdfAdversary {
+    /// Number of resources the online algorithm will be given (must be even).
+    pub n: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Short color delay bound exponent: `D_short = 2^j`.
+    pub j: u32,
+    /// Base long delay bound exponent: long color `p` has `D = 2^{k+p}`.
+    pub k: u32,
+}
+
+impl EdfAdversary {
+    /// Checks the construction's constraints `2^k > 2^j > Δ > n`.
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 || !self.n.is_multiple_of(2) {
+            return Err(Error::InvalidParameter("n must be positive and even".into()));
+        }
+        if self.k <= self.j {
+            return Err(Error::InvalidParameter("need k > j".into()));
+        }
+        if (1u64 << self.j) <= self.delta {
+            return Err(Error::InvalidParameter("need 2^j > Δ".into()));
+        }
+        if self.delta <= self.n as u64 {
+            return Err(Error::InvalidParameter("need Δ > n".into()));
+        }
+        Ok(())
+    }
+
+    /// Builds the request sequence. The horizon is `2^{k + n/2 - 1}` rounds,
+    /// so keep `n` and `k` modest.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid.
+    pub fn generate(&self) -> Trace {
+        self.validate().expect("invalid Appendix B parameters");
+        let d_short = 1u64 << self.j;
+        let half_n = (self.n / 2) as u32;
+        let mut bounds = vec![d_short];
+        for p in 0..half_n {
+            bounds.push(1u64 << (self.k + p));
+        }
+        let mut b = TraceBuilder::with_delay_bounds(&bounds);
+        // Short color: Δ jobs at each multiple of 2^j until round 2^{k-1}.
+        b = b.batched_jobs(0, self.delta, 0, 1u64 << (self.k - 1));
+        // Long color p: 2^{k+p-1} jobs at the very beginning.
+        for p in 0..half_n {
+            b = b.jobs(0, 1 + p, 1u64 << (self.k + p - 1));
+        }
+        b.build()
+    }
+
+    /// The paper's lower bound on EDF's competitive ratio for these parameters:
+    /// `2^{k-j-1} / (n/2 + 1)`.
+    pub fn paper_ratio_bound(&self) -> f64 {
+        2f64.powi((self.k - self.j - 1) as i32) / (self.n as f64 / 2.0 + 1.0)
+    }
+
+    /// Cost of the offline schedule described in Appendix B:
+    /// `(n/2 + 1)·Δ` reconfigurations, zero drops (with one resource).
+    pub fn offline_cost(&self) -> u64 {
+        (self.n as u64 / 2 + 1) * self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlru_adversary_shape() {
+        let adv = DlruAdversary {
+            n: 4,
+            delta: 2,
+            j: 4, // 2^5 = 32 > nΔ = 8
+            k: 6,
+        };
+        adv.validate().unwrap();
+        let t = adv.generate();
+        assert_eq!(t.colors().len(), 3);
+        assert_eq!(t.colors().delay_bound(ColorId(0)), 16);
+        assert_eq!(t.colors().delay_bound(adv.long_color()), 64);
+        // Short colors: Δ jobs at each of 64/16 = 4 multiples.
+        assert_eq!(t.jobs_of_color(ColorId(0)), 2 * 4);
+        assert_eq!(t.jobs_of_color(adv.long_color()), 64);
+        assert_eq!(t.batch_class(), BatchClass::RateLimited);
+    }
+
+    #[test]
+    fn dlru_adversary_validation() {
+        // 2^(j+1) = 8 <= nΔ = 8: invalid.
+        let adv = DlruAdversary {
+            n: 4,
+            delta: 2,
+            j: 2,
+            k: 6,
+        };
+        assert!(adv.validate().is_err());
+        let adv = DlruAdversary {
+            n: 3,
+            delta: 1,
+            j: 4,
+            k: 6,
+        };
+        assert!(adv.validate().is_err(), "odd n rejected");
+    }
+
+    #[test]
+    fn dlru_ratio_grows_with_j() {
+        let mk = |j, k| DlruAdversary {
+            n: 4,
+            delta: 2,
+            j,
+            k,
+        };
+        // Growing j (with k = j + 2 fixed offset) increases the bound.
+        let r1 = mk(4, 6).paper_ratio_bound();
+        let r2 = mk(8, 10).paper_ratio_bound();
+        let r3 = mk(12, 14).paper_ratio_bound();
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn edf_adversary_shape() {
+        let adv = EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 3, // 2^3 = 8 > Δ = 6 > n = 4
+            k: 5,
+        };
+        adv.validate().unwrap();
+        let t = adv.generate();
+        assert_eq!(t.colors().len(), 3); // short + n/2 long colors
+        assert_eq!(t.colors().delay_bound(ColorId(1)), 32);
+        assert_eq!(t.colors().delay_bound(ColorId(2)), 64);
+        // Short color: Δ jobs at multiples of 8 in [0, 16): rounds 0 and 8.
+        assert_eq!(t.jobs_of_color(ColorId(0)), 12);
+        assert_eq!(t.jobs_of_color(ColorId(1)), 16); // 2^{k-1}
+        assert_eq!(t.jobs_of_color(ColorId(2)), 32); // 2^k
+        assert_eq!(t.batch_class(), BatchClass::RateLimited);
+    }
+
+    #[test]
+    fn edf_adversary_validation() {
+        let bad_delta = EdfAdversary {
+            n: 4,
+            delta: 4,
+            j: 3,
+            k: 5,
+        };
+        assert!(bad_delta.validate().is_err(), "needs Δ > n");
+        let bad_j = EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 2,
+            k: 5,
+        };
+        assert!(bad_j.validate().is_err(), "needs 2^j > Δ");
+    }
+
+    #[test]
+    fn edf_ratio_grows_with_k_minus_j() {
+        let mk = |k| EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 3,
+            k,
+        };
+        assert!(mk(6).paper_ratio_bound() > mk(5).paper_ratio_bound());
+        assert_eq!(mk(5).offline_cost(), 18);
+    }
+}

@@ -1,0 +1,194 @@
+//! Trace combinators: building composite workloads out of simpler ones.
+//!
+//! Real evaluations mix traffic classes — a diurnal base load plus a flash
+//! crowd, two tenants sharing a pool, a warmup prefix before an adversary.
+//! These functions compose [`Trace`]s structurally:
+//!
+//! * [`merge`] — union of several traces over a combined color table;
+//! * [`shift`] — delay every arrival by a fixed offset;
+//! * [`scale_counts`] — multiply every batch size (load scaling);
+//! * [`concat`] — play one trace after another (gap-separated);
+//! * [`flash_crowd`] — inject a burst spike into an existing trace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::prelude::*;
+
+/// Merges traces over a combined color table (colors are renumbered in input
+/// order). Returns the merged trace plus, per input trace, the id offset its
+/// colors were shifted by.
+pub fn merge(traces: &[&Trace]) -> (Trace, Vec<u32>) {
+    let mut table = ColorTable::new();
+    let mut offsets = Vec::with_capacity(traces.len());
+    for t in traces {
+        offsets.push(table.len() as u32);
+        for (_, info) in t.colors().iter() {
+            table.push(info);
+        }
+    }
+    let mut out = Trace::new(table);
+    for (t, &off) in traces.iter().zip(&offsets) {
+        for a in t.iter() {
+            out.add(a.round, ColorId(a.color.0 + off), a.count)
+                .expect("merged color exists");
+        }
+    }
+    (out, offsets)
+}
+
+/// Shifts every arrival `offset` rounds into the future.
+pub fn shift(trace: &Trace, offset: u64) -> Trace {
+    let mut out = Trace::new(trace.colors().clone());
+    for a in trace.iter() {
+        out.add(a.round + offset, a.color, a.count).expect("same colors");
+    }
+    out
+}
+
+/// Multiplies every batch size by `num/den` (rounding down, minimum 1 for
+/// nonzero batches when `num > 0`).
+pub fn scale_counts(trace: &Trace, num: u64, den: u64) -> Trace {
+    assert!(den > 0, "denominator must be positive");
+    let mut out = Trace::new(trace.colors().clone());
+    for a in trace.iter() {
+        let scaled = (a.count * num) / den;
+        let scaled = if num > 0 && scaled == 0 { 1 } else { scaled };
+        out.add(a.round, a.color, scaled).expect("same colors");
+    }
+    out
+}
+
+/// Plays `b` after `a` finishes (starting at `a`'s horizon rounded up to the
+/// next multiple of `gap_alignment`, which keeps batched traces batched when
+/// it is a common multiple of the delay bounds).
+pub fn concat(a: &Trace, b: &Trace, gap_alignment: u64) -> Trace {
+    assert_eq!(
+        a.colors(),
+        b.colors(),
+        "concat requires identical color tables"
+    );
+    let align = gap_alignment.max(1);
+    let start = a.horizon().div_ceil(align) * align;
+    let mut out = a.clone();
+    for arr in b.iter() {
+        out.add(start + arr.round, arr.color, arr.count)
+            .expect("same colors");
+    }
+    out
+}
+
+/// Injects a flash crowd: at `at_round`, `spike` extra jobs of a random
+/// existing color (seeded), spread over `width` consecutive multiples of that
+/// color's delay bound.
+pub fn flash_crowd(trace: &Trace, at_round: u64, spike: u64, width: u64, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = trace.clone();
+    if trace.colors().is_empty() || spike == 0 {
+        return out;
+    }
+    let color = ColorId(rng.gen_range(0..trace.colors().len() as u32));
+    let d = trace.colors().delay_bound(color);
+    let width = width.max(1);
+    let per_burst = spike.div_ceil(width);
+    let start = at_round.div_ceil(d) * d;
+    let mut remaining = spike;
+    for i in 0..width {
+        let burst = per_burst.min(remaining);
+        out.add(start + i * d, color, burst).expect("same colors");
+        remaining -= burst;
+        if remaining == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t1() -> Trace {
+        TraceBuilder::with_delay_bounds(&[4])
+            .jobs(0, 0, 2)
+            .jobs(4, 0, 3)
+            .build()
+    }
+
+    fn t2() -> Trace {
+        TraceBuilder::with_delay_bounds(&[8, 8])
+            .jobs(0, 0, 1)
+            .jobs(8, 1, 4)
+            .build()
+    }
+
+    #[test]
+    fn merge_renumbers_colors() {
+        let (m, offsets) = merge(&[&t1(), &t2()]);
+        assert_eq!(offsets, vec![0, 1]);
+        assert_eq!(m.colors().len(), 3);
+        assert_eq!(m.total_jobs(), 10);
+        assert_eq!(m.jobs_of_color(ColorId(0)), 5); // t1's color
+        assert_eq!(m.jobs_of_color(ColorId(2)), 4); // t2's second color
+        assert_eq!(m.colors().delay_bound(ColorId(1)), 8);
+    }
+
+    #[test]
+    fn shift_moves_arrivals() {
+        let s = shift(&t1(), 10);
+        assert_eq!(s.arrivals_at(10), vec![(ColorId(0), 2)]);
+        assert_eq!(s.arrivals_at(14), vec![(ColorId(0), 3)]);
+        assert_eq!(s.total_jobs(), 5);
+    }
+
+    #[test]
+    fn scale_counts_scales_with_floor() {
+        let s = scale_counts(&t1(), 3, 2);
+        assert_eq!(s.arrivals_at(0), vec![(ColorId(0), 3)]); // 2*3/2
+        assert_eq!(s.arrivals_at(4), vec![(ColorId(0), 4)]); // 3*3/2 floor
+        let tiny = scale_counts(&t1(), 1, 10);
+        assert_eq!(tiny.arrivals_at(0), vec![(ColorId(0), 1)], "min 1 kept");
+    }
+
+    #[test]
+    fn concat_plays_sequentially_and_keeps_batching() {
+        let a = TraceBuilder::with_delay_bounds(&[4]).batched_jobs(0, 2, 0, 8).build();
+        let b = TraceBuilder::with_delay_bounds(&[4]).batched_jobs(0, 3, 0, 8).build();
+        let c = concat(&a, &b, 4);
+        // a's horizon is 12 -> aligned start 12.
+        assert_eq!(c.arrivals_at(12), vec![(ColorId(0), 3)]);
+        assert_eq!(c.total_jobs(), a.total_jobs() + b.total_jobs());
+        assert_ne!(c.batch_class(), BatchClass::General, "alignment preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical color tables")]
+    fn concat_rejects_mismatched_tables() {
+        concat(&t1(), &t2(), 4);
+    }
+
+    #[test]
+    fn flash_crowd_injects_spike() {
+        let base = t1();
+        let spiked = flash_crowd(&base, 3, 20, 2, 7);
+        assert_eq!(spiked.total_jobs(), base.total_jobs() + 20);
+        // Spike lands on multiples of the color's delay bound.
+        let extra: Vec<_> = spiked
+            .iter()
+            .filter(|a| {
+                base.arrivals_at(a.round)
+                    .iter()
+                    .all(|&(c, k)| c != a.color || k != a.count)
+            })
+            .collect();
+        assert!(!extra.is_empty());
+        for a in extra {
+            assert_eq!(a.round % spiked.colors().delay_bound(a.color), 0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_zero_spike_is_identity() {
+        let base = t1();
+        assert_eq!(flash_crowd(&base, 0, 0, 4, 1), base);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fitting an arrival model to a trace and generating synthetic twins.
+//!
+//! Given any request sequence (e.g. one captured from a real system via
+//! `Trace::from_bytes`), [`fit`] estimates a simple per-color arrival model —
+//! batch rate, mean batch size and squared coefficient of variation — and
+//! [`ArrivalModel::synthesize`] regenerates statistically similar traffic
+//! with fresh randomness: the standard workflow for turning one captured
+//! trace into an unlimited family of test inputs.
+
+use crate::util::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Fitted per-color arrival statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColorModel {
+    /// Delay bound (copied from the source trace).
+    pub delay_bound: u64,
+    /// Drop cost (copied from the source trace).
+    pub drop_cost: u64,
+    /// Fraction of rounds with at least one arrival of this color.
+    pub arrival_rate: f64,
+    /// Mean batch size conditional on arrival.
+    pub mean_batch: f64,
+    /// Squared coefficient of variation of batch sizes (0 = deterministic,
+    /// 1 ≈ exponential/Poisson-like, >1 bursty).
+    pub batch_scv: f64,
+}
+
+/// A fitted arrival model for a whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    /// Per-color statistics.
+    pub colors: Vec<ColorModel>,
+    /// Number of rounds the source trace spanned.
+    pub horizon: Round,
+}
+
+/// Fits an [`ArrivalModel`] to `trace`.
+pub fn fit(trace: &Trace) -> ArrivalModel {
+    let span = trace.last_arrival_round().map(|r| r + 1).unwrap_or(1);
+    let colors = trace
+        .colors()
+        .iter()
+        .map(|(c, info)| {
+            let batches: Vec<u64> = trace
+                .iter()
+                .filter(|a| a.color == c)
+                .map(|a| a.count)
+                .collect();
+            let k = batches.len();
+            let mean = if k == 0 {
+                0.0
+            } else {
+                batches.iter().sum::<u64>() as f64 / k as f64
+            };
+            let var = if k < 2 {
+                0.0
+            } else {
+                batches
+                    .iter()
+                    .map(|&b| (b as f64 - mean).powi(2))
+                    .sum::<f64>()
+                    / (k - 1) as f64
+            };
+            ColorModel {
+                delay_bound: info.delay_bound,
+                drop_cost: info.drop_cost,
+                arrival_rate: k as f64 / span as f64,
+                mean_batch: mean,
+                batch_scv: if mean > 0.0 { var / (mean * mean) } else { 0.0 },
+            }
+        })
+        .collect();
+    ArrivalModel {
+        colors,
+        horizon: span,
+    }
+}
+
+impl ArrivalModel {
+    /// Generates a synthetic twin of the fitted trace: per round, each color
+    /// arrives with its fitted probability; batch sizes are Poisson at the
+    /// fitted mean, with an extra geometric multiplier when the fitted SCV
+    /// indicates burstiness (> 1).
+    pub fn synthesize(&self, horizon: Round, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut table = ColorTable::new();
+        for m in &self.colors {
+            table.push(ColorInfo::with_drop_cost(m.delay_bound, m.drop_cost));
+        }
+        let mut trace = Trace::new(table);
+        for round in 0..horizon {
+            for (i, m) in self.colors.iter().enumerate() {
+                if m.arrival_rate <= 0.0 || rng.gen::<f64>() >= m.arrival_rate {
+                    continue;
+                }
+                let mut count = if m.batch_scv > 1.0 {
+                    // Over-dispersed: geometric number of Poisson clumps.
+                    let clumps = 1 + (rng.gen::<f64>().ln()
+                        / (1.0 - 1.0 / m.batch_scv.max(1.001)).ln())
+                    .floor() as u64;
+                    let per = (m.mean_batch / m.batch_scv.max(1.0)).max(0.1);
+                    (0..clumps.min(64)).map(|_| poisson(&mut rng, per)).sum()
+                } else {
+                    poisson(&mut rng, m.mean_batch)
+                };
+                if count == 0 {
+                    count = 1; // conditional-on-arrival batches are nonempty
+                }
+                trace.add(round, ColorId(i as u32), count).expect("color");
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::RandomGeneral;
+
+    #[test]
+    fn fit_recovers_rates_and_sizes() {
+        let src = RandomGeneral {
+            delay_bounds: vec![8, 8],
+            rates: vec![0.8, 0.2],
+            horizon: 4000,
+        }
+        .generate(3);
+        let model = fit(&src);
+        // Poisson(0.8): P(arrival) = 1 - e^{-0.8} ≈ 0.55.
+        assert!(
+            (model.colors[0].arrival_rate - 0.55).abs() < 0.05,
+            "{}",
+            model.colors[0].arrival_rate
+        );
+        assert!(model.colors[1].arrival_rate < model.colors[0].arrival_rate);
+        assert!(model.colors[0].mean_batch >= 1.0);
+        assert_eq!(model.colors[0].delay_bound, 8);
+    }
+
+    #[test]
+    fn twin_matches_source_volume_roughly() {
+        let src = RandomGeneral {
+            delay_bounds: vec![4, 16],
+            rates: vec![0.5, 0.3],
+            horizon: 2000,
+        }
+        .generate(9);
+        let model = fit(&src);
+        let twin = model.synthesize(2000, 42);
+        let ratio = twin.total_jobs() as f64 / src.total_jobs() as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "twin volume ratio {ratio} (src {}, twin {})",
+            src.total_jobs(),
+            twin.total_jobs()
+        );
+        assert_eq!(twin.colors().len(), src.colors().len());
+    }
+
+    #[test]
+    fn twin_is_seeded() {
+        let src = RandomGeneral {
+            delay_bounds: vec![4],
+            rates: vec![0.4],
+            horizon: 200,
+        }
+        .generate(1);
+        let model = fit(&src);
+        assert_eq!(model.synthesize(200, 5), model.synthesize(200, 5));
+        assert_ne!(model.synthesize(200, 5), model.synthesize(200, 6));
+    }
+
+    #[test]
+    fn empty_trace_fits_and_synthesizes_empty() {
+        let src = Trace::new(ColorTable::from_delay_bounds(&[4]));
+        let model = fit(&src);
+        assert_eq!(model.colors[0].arrival_rate, 0.0);
+        assert_eq!(model.synthesize(100, 0).total_jobs(), 0);
+    }
+
+    #[test]
+    fn preserves_drop_costs() {
+        let mut table = ColorTable::new();
+        table.push(ColorInfo::with_drop_cost(4, 7));
+        let mut src = Trace::new(table);
+        src.add(0, ColorId(0), 3).unwrap();
+        let model = fit(&src);
+        assert_eq!(model.colors[0].drop_cost, 7);
+        let twin = model.synthesize(10, 0);
+        assert_eq!(twin.colors().drop_cost(ColorId(0)), 7);
+    }
+}

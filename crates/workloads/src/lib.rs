@@ -1,0 +1,40 @@
+//! # rrs-workloads — seeded workload generators
+//!
+//! Request-sequence generators for the reconfigurable resource scheduling
+//! experiments:
+//!
+//! * the paper's deterministic lower-bound constructions
+//!   ([`DlruAdversary`] from Appendix A, [`EdfAdversary`] from Appendix B);
+//! * random batched / rate-limited / general arrival processes
+//!   ([`RandomBatched`], [`RandomGeneral`], [`Bursty`]);
+//! * the introduction's application scenarios ([`Datacenter`], [`Router`],
+//!   [`BackgroundMix`]).
+//!
+//! Every generator is deterministic given `(parameters, seed)`, and
+//! [`WorkloadSpec`] makes the whole family serializable for experiment configs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod combinators;
+pub mod fit;
+pub mod scenarios;
+pub mod spec;
+pub mod synthetic;
+pub mod util;
+
+pub use adversary::{DlruAdversary, EdfAdversary};
+pub use combinators::{concat, flash_crowd, merge, scale_counts, shift};
+pub use fit::{fit, ArrivalModel, ColorModel};
+pub use scenarios::{BackgroundMix, Datacenter, Router};
+pub use spec::WorkloadSpec;
+pub use synthetic::{Bursty, RandomBatched, RandomGeneral};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::adversary::{DlruAdversary, EdfAdversary};
+    pub use crate::scenarios::{BackgroundMix, Datacenter, Router};
+    pub use crate::spec::WorkloadSpec;
+    pub use crate::synthetic::{Bursty, RandomBatched, RandomGeneral};
+}

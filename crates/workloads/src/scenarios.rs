@@ -1,0 +1,277 @@
+//! Application scenarios from the paper's introduction.
+//!
+//! The paper motivates reconfigurable resource scheduling with shared data
+//! centers and multi-service routers built on programmable multi-core network
+//! processors, plus the "background vs. short-term jobs" thought experiment.
+//! These generators synthesize those workloads (the paper has no traces of its
+//! own — it is theory-only — so these are the closest synthetic equivalents;
+//! see DESIGN.md for the substitution notes).
+
+use crate::util::{pareto, poisson};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A shared data center hosting several services with diurnal load patterns
+/// (paper §1, citing Chandra et al. and Chase et al.).
+///
+/// Services come in two delay classes — interactive (small `D`) and batch
+/// (large `D`) — and each service's arrival rate follows a sinusoid with a
+/// service-specific phase, so the workload composition shifts over time and
+/// processor allocations must follow it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Datacenter {
+    /// Number of interactive services (delay bound `interactive_delay`).
+    pub interactive_services: usize,
+    /// Number of batch services (delay bound `batch_delay`).
+    pub batch_services: usize,
+    /// Delay bound of interactive services (power of two).
+    pub interactive_delay: u64,
+    /// Delay bound of batch services (power of two).
+    pub batch_delay: u64,
+    /// Mean arrivals per round per service at peak.
+    pub peak_rate: f64,
+    /// Diurnal period in rounds.
+    pub period: u64,
+    /// Number of rounds.
+    pub horizon: Round,
+}
+
+impl Default for Datacenter {
+    fn default() -> Self {
+        Datacenter {
+            interactive_services: 6,
+            batch_services: 2,
+            interactive_delay: 8,
+            batch_delay: 256,
+            peak_rate: 1.0,
+            period: 512,
+            horizon: 2048,
+        }
+    }
+}
+
+impl Datacenter {
+    /// Generates the trace for `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bounds = vec![self.interactive_delay; self.interactive_services];
+        bounds.extend(std::iter::repeat_n(self.batch_delay, self.batch_services));
+        let ncolors = bounds.len();
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&bounds));
+        let phases: Vec<f64> = (0..ncolors)
+            .map(|i| i as f64 / ncolors as f64 * std::f64::consts::TAU)
+            .collect();
+        for r in 0..self.horizon {
+            for (c, &phase) in phases.iter().enumerate() {
+                let diurnal = 0.5
+                    + 0.5
+                        * ((std::f64::consts::TAU * r as f64 / self.period as f64 + phase).sin());
+                let rate = self.peak_rate * diurnal;
+                let count = poisson(&mut rng, rate);
+                trace.add(r, ColorId(c as u32), count).expect("color exists");
+            }
+        }
+        trace
+    }
+}
+
+/// A multi-service router on a programmable network processor (paper §1,
+/// citing Spalink et al., Srinivasan et al. and Kokku et al.).
+///
+/// Packet categories have per-category delay tolerances; traffic arrives as
+/// Poisson *flowlets* whose sizes are heavy-tailed (Pareto), so load per
+/// category fluctuates sharply and processor allocations must be reconfigured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Router {
+    /// Per-category delay tolerances (powers of two).
+    pub delay_bounds: Vec<u64>,
+    /// Mean flowlet arrivals per round per category.
+    pub flowlet_rate: f64,
+    /// Pareto shape of flowlet sizes (smaller = heavier tail).
+    pub pareto_alpha: f64,
+    /// Mean flowlet size scale.
+    pub pareto_scale: f64,
+    /// Flowlet size cap.
+    pub max_flowlet: u64,
+    /// Number of rounds.
+    pub horizon: Round,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router {
+            delay_bounds: vec![4, 8, 8, 16, 32, 64],
+            flowlet_rate: 0.1,
+            pareto_alpha: 1.5,
+            pareto_scale: 3.0,
+            max_flowlet: 64,
+            horizon: 2048,
+        }
+    }
+}
+
+impl Router {
+    /// Generates the trace for `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&self.delay_bounds));
+        for r in 0..self.horizon {
+            for c in 0..self.delay_bounds.len() {
+                let flowlets = poisson(&mut rng, self.flowlet_rate);
+                let mut count = 0;
+                for _ in 0..flowlets {
+                    count += pareto(&mut rng, self.pareto_scale, self.pareto_alpha, self.max_flowlet);
+                }
+                trace.add(r, ColorId(c as u32), count).expect("color exists");
+            }
+        }
+        trace
+    }
+}
+
+/// The introduction's thought experiment: *background* jobs with deadlines far
+/// in the future plus *short-term* jobs with small delay bounds arriving
+/// intermittently. This is the scenario where both naive approaches (always
+/// use idle cycles vs. wait for long idle periods) lose — thrashing or
+/// underutilization respectively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundMix {
+    /// Number of short-term colors.
+    pub short_colors: usize,
+    /// Short-term delay bound (power of two).
+    pub short_delay: u64,
+    /// Background delay bound (power of two, far larger).
+    pub background_delay: u64,
+    /// Background backlog injected at round 0, as a fraction of
+    /// `background_delay`.
+    pub background_backlog: f64,
+    /// Probability a short-term color bursts at a multiple of its delay bound.
+    pub burst_prob: f64,
+    /// Mean burst size as a fraction of `short_delay`.
+    pub burst_load: f64,
+    /// Number of rounds.
+    pub horizon: Round,
+}
+
+impl Default for BackgroundMix {
+    fn default() -> Self {
+        BackgroundMix {
+            short_colors: 3,
+            short_delay: 8,
+            background_delay: 1024,
+            background_backlog: 0.9,
+            burst_prob: 0.5,
+            burst_load: 0.8,
+            horizon: 2048,
+        }
+    }
+}
+
+impl BackgroundMix {
+    /// Generates the trace for `seed`. Color ids `0..short_colors` are the
+    /// short-term colors; the last color is the background color.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bounds = vec![self.short_delay; self.short_colors];
+        bounds.push(self.background_delay);
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&bounds));
+        let bg = ColorId(self.short_colors as u32);
+        // Background backlog at every multiple of its delay bound.
+        let backlog = (self.background_backlog * self.background_delay as f64) as u64;
+        let mut r = 0;
+        while r < self.horizon {
+            trace.add(r, bg, backlog).expect("color exists");
+            r += self.background_delay;
+        }
+        // Intermittent short-term bursts.
+        for c in 0..self.short_colors {
+            let mut r = 0;
+            while r < self.horizon {
+                if rng.gen::<f64>() < self.burst_prob {
+                    let count = poisson(&mut rng, self.burst_load * self.short_delay as f64);
+                    trace.add(r, ColorId(c as u32), count).expect("color exists");
+                }
+                r += self.short_delay;
+            }
+        }
+        trace
+    }
+
+    /// The background color's id.
+    pub fn background_color(&self) -> ColorId {
+        ColorId(self.short_colors as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datacenter_default_generates_work() {
+        let t = Datacenter::default().generate(1);
+        assert!(t.total_jobs() > 500);
+        assert_eq!(t.colors().len(), 8);
+        assert_eq!(t.batch_class(), BatchClass::General);
+    }
+
+    #[test]
+    fn datacenter_is_deterministic_per_seed() {
+        let g = Datacenter::default();
+        assert_eq!(g.generate(5), g.generate(5));
+        assert_ne!(g.generate(5), g.generate(6));
+    }
+
+    #[test]
+    fn datacenter_load_shifts_over_time() {
+        // With antiphase services, per-service load must vary across the period.
+        let g = Datacenter {
+            interactive_services: 2,
+            batch_services: 0,
+            period: 128,
+            horizon: 256,
+            peak_rate: 4.0,
+            ..Datacenter::default()
+        };
+        let t = g.generate(2);
+        // Compare color 0's jobs in the first and second half-period.
+        let mut first = 0u64;
+        let mut second = 0u64;
+        for a in t.iter() {
+            if a.color == ColorId(0) {
+                if a.round % 128 < 64 {
+                    first += a.count;
+                } else {
+                    second += a.count;
+                }
+            }
+        }
+        assert!(
+            (first as f64 - second as f64).abs() > 0.2 * (first + second) as f64,
+            "diurnal skew visible: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn router_bursts_are_heavy_tailed() {
+        let t = Router::default().generate(3);
+        assert!(t.total_jobs() > 0);
+        let max_batch = t.iter().map(|a| a.count).max().unwrap();
+        assert!(max_batch >= 8, "some large flowlets: {max_batch}");
+    }
+
+    #[test]
+    fn background_mix_shape() {
+        let g = BackgroundMix::default();
+        let t = g.generate(4);
+        let bg = g.background_color();
+        assert_eq!(t.colors().delay_bound(bg), 1024);
+        assert!(t.jobs_of_color(bg) >= 900, "backlog present");
+        assert!(
+            (0..g.short_colors).any(|c| t.jobs_of_color(ColorId(c as u32)) > 0),
+            "short-term bursts present"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Seeded random workload generators.
+//!
+//! Three families:
+//!
+//! * [`RandomBatched`] — batched arrivals (`[Δ|1|D_ℓ|D_ℓ]`), optionally clamped
+//!   to the rate-limited regime of paper §3;
+//! * [`RandomGeneral`] — Poisson arrivals at arbitrary rounds
+//!   (`[Δ|1|D_ℓ|1]`, the main problem of paper §5);
+//! * [`Bursty`] — per-color on/off Markov modulation, the "intermittent
+//!   short-term jobs" pattern from the paper's introduction.
+
+use crate::util::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Random batched workload: every color ℓ receives a Poisson-distributed batch
+/// at each multiple of `D_ℓ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomBatched {
+    /// Per-color delay bounds (use powers of two for the §3/§4 algorithms).
+    pub delay_bounds: Vec<u64>,
+    /// Expected batch size as a fraction of `D_ℓ` (1.0 = a full window's worth
+    /// of work per batch for a dedicated resource).
+    pub load: f64,
+    /// Probability that a color is active at a given multiple (inactivity
+    /// creates the idle/nonidle alternation that stresses EDF).
+    pub activity: f64,
+    /// Number of rounds to generate.
+    pub horizon: Round,
+    /// Clamp batch sizes to `D_ℓ` (the rate-limited regime of §3).
+    pub rate_limited: bool,
+}
+
+impl RandomBatched {
+    /// Generates the trace for `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&self.delay_bounds));
+        for (c, &d) in self.delay_bounds.iter().enumerate() {
+            let mut r = 0;
+            while r < self.horizon {
+                if rng.gen::<f64>() < self.activity {
+                    let mut count = poisson(&mut rng, self.load * d as f64);
+                    if self.rate_limited {
+                        count = count.min(d);
+                    }
+                    trace.add(r, ColorId(c as u32), count).expect("color exists");
+                }
+                r += d;
+            }
+        }
+        trace
+    }
+}
+
+/// Random general workload: per-round Poisson arrivals per color.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomGeneral {
+    /// Per-color delay bounds.
+    pub delay_bounds: Vec<u64>,
+    /// Per-color mean arrivals per round.
+    pub rates: Vec<f64>,
+    /// Number of rounds to generate.
+    pub horizon: Round,
+}
+
+impl RandomGeneral {
+    /// Generates the trace for `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rates.len() != delay_bounds.len()`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert_eq!(
+            self.rates.len(),
+            self.delay_bounds.len(),
+            "one rate per color"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&self.delay_bounds));
+        for r in 0..self.horizon {
+            for (c, &rate) in self.rates.iter().enumerate() {
+                let count = poisson(&mut rng, rate);
+                trace.add(r, ColorId(c as u32), count).expect("color exists");
+            }
+        }
+        trace
+    }
+}
+
+/// On/off Markov-modulated batched workload: each color alternates between an
+/// *on* state (busy batches) and an *off* state (silence), switching state at
+/// each multiple of its delay bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bursty {
+    /// Per-color delay bounds.
+    pub delay_bounds: Vec<u64>,
+    /// Mean batch size while on, as a fraction of `D_ℓ`.
+    pub on_load: f64,
+    /// Probability of switching off→on at a multiple.
+    pub p_on: f64,
+    /// Probability of switching on→off at a multiple.
+    pub p_off: f64,
+    /// Number of rounds.
+    pub horizon: Round,
+    /// Clamp to the rate-limited regime.
+    pub rate_limited: bool,
+}
+
+impl Bursty {
+    /// Generates the trace for `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&self.delay_bounds));
+        for (c, &d) in self.delay_bounds.iter().enumerate() {
+            let mut on = rng.gen::<f64>() < 0.5;
+            let mut r = 0;
+            while r < self.horizon {
+                if on {
+                    let mut count = poisson(&mut rng, self.on_load * d as f64).max(1);
+                    if self.rate_limited {
+                        count = count.min(d);
+                    }
+                    trace.add(r, ColorId(c as u32), count).expect("color exists");
+                }
+                let flip = if on { self.p_off } else { self.p_on };
+                if rng.gen::<f64>() < flip {
+                    on = !on;
+                }
+                r += d;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_batched_is_batched_and_seeded() {
+        let g = RandomBatched {
+            delay_bounds: vec![4, 8, 16],
+            load: 0.5,
+            activity: 0.8,
+            horizon: 256,
+            rate_limited: true,
+        };
+        let t1 = g.generate(7);
+        let t2 = g.generate(7);
+        assert_eq!(t1, t2, "same seed, same trace");
+        assert_ne!(t1, g.generate(8), "different seed, different trace");
+        assert_eq!(t1.batch_class(), BatchClass::RateLimited);
+        assert!(t1.total_jobs() > 0);
+    }
+
+    #[test]
+    fn rate_limit_clamps_batches() {
+        let g = RandomBatched {
+            delay_bounds: vec![2],
+            load: 10.0, // mean batch 20 >> D = 2
+            activity: 1.0,
+            horizon: 64,
+            rate_limited: true,
+        };
+        let t = g.generate(1);
+        for a in t.iter() {
+            assert!(a.count <= 2);
+        }
+        let unclamped = RandomBatched {
+            rate_limited: false,
+            ..g
+        };
+        let t = unclamped.generate(1);
+        assert!(t.iter().any(|a| a.count > 2));
+        assert_eq!(t.batch_class(), BatchClass::Batched);
+    }
+
+    #[test]
+    fn random_general_spreads_arrivals() {
+        let g = RandomGeneral {
+            delay_bounds: vec![8, 8],
+            rates: vec![0.7, 0.3],
+            horizon: 200,
+        };
+        let t = g.generate(3);
+        assert_eq!(t.batch_class(), BatchClass::General);
+        // Rate 0.7 over 200 rounds ≈ 140 jobs.
+        let c0 = t.jobs_of_color(ColorId(0)) as f64;
+        assert!((100.0..190.0).contains(&c0), "c0 jobs = {c0}");
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let g = Bursty {
+            delay_bounds: vec![4],
+            on_load: 1.0,
+            p_on: 0.5,
+            p_off: 0.5,
+            horizon: 400,
+            rate_limited: true,
+        };
+        let t = g.generate(11);
+        let active_multiples = t.iter().count() as u64;
+        let total_multiples = 100;
+        assert!(active_multiples > 10, "some on periods");
+        assert!(active_multiples < total_multiples, "some off periods");
+    }
+}

@@ -1,0 +1,110 @@
+//! Sampling utilities shared by the generators.
+//!
+//! Only `rand` is available offline, so the handful of distributions we need
+//! (Poisson, Pareto, normal) are implemented here directly with standard
+//! textbook samplers.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with mean `lambda`.
+///
+/// Uses Knuth's product-of-uniforms method for small means and a normal
+/// approximation (rounded, clamped at zero) for `lambda > 30`, which is more
+/// than accurate enough for workload generation.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = lambda + lambda.sqrt() * standard_normal(rng);
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: the loop terminates with probability 1, but a cap
+        // keeps adversarial float inputs from spinning.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a Pareto-distributed value with scale `xm > 0` and shape
+/// `alpha > 0` (heavy-tailed burst sizes), truncated at `cap`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64, cap: u64) -> u64 {
+    assert!(xm > 0.0 && alpha > 0.0, "Pareto needs positive parameters");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let x = xm / u.powf(1.0 / alpha);
+    (x.round() as u64).clamp(1, cap.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &lambda in &[0.5, 3.0, 12.0, 100.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda={lambda}, mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn pareto_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = pareto(&mut rng, 2.0, 1.5, 100);
+            assert!((1..=100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let big = (0..20_000)
+            .filter(|_| pareto(&mut rng, 1.0, 1.1, 10_000) > 50)
+            .count();
+        assert!(big > 50, "tail mass present: {big}");
+    }
+}

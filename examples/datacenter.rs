@@ -1,0 +1,57 @@
+//! Shared data center scenario (paper §1): several services with diurnal
+//! load patterns share a pool of processors; allocations must follow the
+//! shifting workload composition.
+//!
+//! ```sh
+//! cargo run --example datacenter
+//! ```
+
+use rrs::analysis::runner::{run_kind, PolicyKind};
+use rrs::analysis::table::Table;
+use rrs::prelude::*;
+
+fn main() {
+    let scenario = Datacenter {
+        interactive_services: 6,
+        batch_services: 2,
+        interactive_delay: 8,
+        batch_delay: 256,
+        peak_rate: 1.2,
+        period: 512,
+        horizon: 4096,
+    };
+    let trace = scenario.generate(42);
+    println!(
+        "data center: {} services, {} jobs over {} rounds\n",
+        trace.colors().len(),
+        trace.total_jobs(),
+        trace.horizon()
+    );
+
+    let (n, m, delta) = (16, 4, 4);
+    let lower = combined_bound(&trace, m, delta);
+    let mut table = Table::new(["policy", "total", "reconfig", "drops", "completion %", "ratio≤"]);
+    for kind in [
+        PolicyKind::VarBatch,
+        PolicyKind::Dlru,
+        PolicyKind::Edf,
+        PolicyKind::GreedyPending,
+        PolicyKind::StaticPartition,
+        PolicyKind::NeverReconfigure,
+        PolicyKind::HindsightGreedy,
+    ] {
+        let s = run_kind(kind, &trace, n, delta).expect("run");
+        let total_jobs = s.executed + s.cost.drop;
+        table.row([
+            kind.name().to_string(),
+            s.cost.total().to_string(),
+            s.cost.reconfig.to_string(),
+            s.cost.drop.to_string(),
+            format!("{:.1}", 100.0 * s.executed as f64 / total_jobs.max(1) as f64),
+            format!("{:.2}", s.cost.total() as f64 / lower.max(1) as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\n(ratios are against the m={m}-resource offline lower bound {lower};");
+    println!(" the online algorithms run with n={n} resources — resource augmentation)");
+}

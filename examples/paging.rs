@@ -1,0 +1,52 @@
+//! The paging special case (Sleator–Tarjan): LRU's k/(k−h+1) bound, the
+//! randomized Marking algorithm, and the embedding into the scheduling model.
+//!
+//! ```sh
+//! cargo run --release --example paging
+//! ```
+
+use rrs::analysis::table::Table;
+use rrs_uniform::filecache::{belady_faults, run_policy as run_cache, MarkingCache};
+use rrs_uniform::paging::PagingLru;
+use rrs_uniform::{lru_paging_faults, PagingInstance};
+
+fn main() {
+    println!("Paging = RRS with unit delay bound, unit Δ, infinite drop cost.\n");
+
+    // 1. Sleator–Tarjan on the cyclic adversary.
+    let npages = 9;
+    let inst = PagingInstance::cyclic(npages, 900);
+    let mut table = Table::new(["k", "h", "LRU(k)", "Marking(k)", "OPT(h)", "LRU ratio", "k/(k-h+1)"]);
+    for (k, h) in [(8, 8), (8, 6), (8, 4), (8, 2)] {
+        let lru = lru_paging_faults(&inst, k);
+        let marking: u64 = (0..5)
+            .map(|s| run_cache(&inst.to_caching(), &mut MarkingCache::new(s), k))
+            .sum::<u64>()
+            / 5;
+        let opt = belady_faults(&inst.to_caching(), h);
+        table.row([
+            k.to_string(),
+            h.to_string(),
+            lru.to_string(),
+            marking.to_string(),
+            opt.to_string(),
+            format!("{:.2}", lru as f64 / opt.max(1) as f64),
+            format!("{:.2}", k as f64 / (k - h + 1) as f64),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // 2. The embedding: run demand-paging LRU inside the scheduling engine.
+    let local = PagingInstance::with_locality(32, 2000, 4, 0.85, 7);
+    let trace = local.to_rrs_trace();
+    let k = 8;
+    let mut policy = PagingLru::new();
+    let run = rrs_core::engine::run_policy(&trace, &mut policy, k, 1).unwrap();
+    println!(
+        "\nembedding check (working-set trace, k = {k}): engine reconfigurations = {} \
+         == LRU faults = {}; drops = {}",
+        run.reconfig_events,
+        lru_paging_faults(&local, k),
+        run.cost.drop
+    );
+}

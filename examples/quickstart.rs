@@ -1,0 +1,61 @@
+//! Quickstart: build a workload, run ΔLRU-EDF, inspect the cost.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rrs::prelude::*;
+
+fn main() {
+    // Two service categories: interactive jobs must finish within 4 rounds,
+    // batch jobs within 64. Interactive traffic arrives steadily; the batch
+    // category shows up with a backlog.
+    let trace = TraceBuilder::with_delay_bounds(&[4, 64])
+        .batched_jobs(0, 3, 0, 256) // 3 interactive jobs every 4 rounds
+        .jobs(0, 1, 48) // a backlog of 48 batch jobs at round 0
+        .jobs(128, 1, 30) // and another at round 128
+        .build();
+    println!(
+        "trace: {} jobs over {} rounds ({:?} arrivals)",
+        trace.total_jobs(),
+        trace.horizon(),
+        trace.batch_class()
+    );
+
+    // ΔLRU-EDF with n = 8 resources and reconfiguration cost Δ = 4.
+    let (n, delta) = (8, 4);
+    let mut policy = DlruEdf::new(trace.colors(), n, delta).expect("n must be a multiple of 4");
+    let result = run_policy(&trace, &mut policy, n, delta).expect("run");
+
+    println!(
+        "ΔLRU-EDF: total cost {} (reconfig {}, drops {}), executed {}/{} jobs",
+        result.cost.total(),
+        result.cost.reconfig,
+        result.cost.drop,
+        result.executed,
+        trace.total_jobs()
+    );
+
+    // How good is that? Bracket the optimal offline cost for m = 1 resource.
+    let m = 1;
+    let lower = combined_bound(&trace, m, delta);
+    println!(
+        "offline lower bound (m = {m}): {lower}  →  ratio ≤ {:.2}",
+        result.cost.total() as f64 / lower.max(1) as f64
+    );
+
+    // Compare against the paper's two single-principle schemes.
+    for name in ["ΔLRU", "EDF"] {
+        let cost = match name {
+            "ΔLRU" => {
+                let mut p = Dlru::new(trace.colors(), n, delta).unwrap();
+                run_policy(&trace, &mut p, n, delta).unwrap().cost
+            }
+            _ => {
+                let mut p = Edf::new(trace.colors(), n, delta).unwrap();
+                run_policy(&trace, &mut p, n, delta).unwrap().cost
+            }
+        };
+        println!("{name}: total cost {} (reconfig {}, drops {})", cost.total(), cost.reconfig, cost.drop);
+    }
+}

@@ -1,0 +1,70 @@
+//! Embedding the scheduler in a live system: the streaming engine.
+//!
+//! A deployed multi-service router doesn't replay traces — packets arrive,
+//! a round elapses, the scheduler reacts. `StreamingEngine` exposes exactly
+//! that loop; here we drive ΔLRU-EDF live against a flash crowd injected
+//! mid-run, printing per-round outcomes around the spike.
+//!
+//! ```sh
+//! cargo run --release --example streaming
+//! ```
+
+use rrs::core::streaming::StreamingEngine;
+use rrs::core::CostModel;
+use rrs::prelude::*;
+use rrs::workloads::flash_crowd;
+
+fn main() {
+    // Base traffic: two steady categories...
+    let base = RandomBatched {
+        delay_bounds: vec![8, 16],
+        load: 0.4,
+        activity: 0.9,
+        horizon: 512,
+        rate_limited: true,
+    }
+    .generate(7);
+    // ...with a 400-job flash crowd injected around round 200.
+    let trace = flash_crowd(&base, 200, 400, 4, 1);
+    println!(
+        "live feed: {} jobs over {} rounds (flash crowd ≈ round 200)\n",
+        trace.total_jobs(),
+        trace.horizon()
+    );
+
+    let (n, delta) = (8, 4);
+    let policy = DlruEdf::new(trace.colors(), n, delta).expect("n multiple of 4");
+    let mut engine = StreamingEngine::new(
+        trace.colors().clone(),
+        Box::new(policy),
+        n,
+        CostModel::new(delta),
+    )
+    .expect("valid engine");
+
+    // The serving loop: one step per round, arrivals pushed as they happen.
+    for round in 0..=trace.last_arrival_round().unwrap_or(0) {
+        let arrivals = trace.arrivals_at(round);
+        let out = engine.step(&arrivals).expect("step");
+        // Report the rounds around the spike.
+        if (198..=212).contains(&round) {
+            println!(
+                "round {:>3}: +{:<3} arrivals  exec {:<2} drop {:<2} recolor {:<2} pending {}",
+                round,
+                arrivals.iter().map(|&(_, k)| k).sum::<u64>(),
+                out.executed,
+                out.dropped,
+                out.recolored,
+                engine.pending_jobs()
+            );
+        }
+    }
+    let result = engine.finish().expect("drain");
+    println!(
+        "\nfinal: cost {} (reconfig {}, drops {}), completion {:.1}%",
+        result.cost.total(),
+        result.cost.reconfig,
+        result.cost.drop,
+        100.0 * result.completion_rate()
+    );
+}

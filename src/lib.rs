@@ -1,0 +1,46 @@
+//! # rrs — Reconfigurable Resource Scheduling
+//!
+//! A complete Rust implementation of Plaxton, Sun, Tiwari and Vin,
+//! *Reconfigurable Resource Scheduling with Variable Delay Bounds* (the
+//! variable-delay-bound member of the reconfigurable resource scheduling class
+//! introduced at SPAA 2006): the ΔLRU-EDF online algorithm, the ΔLRU and EDF
+//! schemes it combines, the Distribute and VarBatch reductions that lift it to
+//! general arrivals, offline baselines (exact optimum, lower bounds, hindsight
+//! heuristics), seeded workload generators including the paper's Appendix A/B
+//! adversaries, and an analysis toolkit for measuring competitive ratios.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable paths.
+//!
+//! ```
+//! use rrs::prelude::*;
+//!
+//! // Two service categories: interactive (D=4) and batch (D=32).
+//! let trace = TraceBuilder::with_delay_bounds(&[4, 32])
+//!     .batched_jobs(0, 3, 0, 64) // 3 interactive jobs every 4 rounds
+//!     .jobs(0, 1, 20)            // a backlog of 20 batch jobs
+//!     .build();
+//!
+//! let mut policy = DlruEdf::new(trace.colors(), 8, 4).unwrap();
+//! let result = run_policy(&trace, &mut policy, 8, 4).unwrap();
+//! assert_eq!(result.executed + result.cost.drop, trace.total_jobs());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rrs_algorithms as algorithms;
+pub use rrs_analysis as analysis;
+pub use rrs_core as core;
+pub use rrs_offline as offline;
+pub use rrs_reductions as reductions;
+pub use rrs_uniform as uniform;
+pub use rrs_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rrs_algorithms::prelude::*;
+    pub use rrs_core::prelude::*;
+    pub use rrs_core::engine::run_policy;
+    pub use rrs_offline::prelude::*;
+    pub use rrs_reductions::prelude::*;
+    pub use rrs_workloads::prelude::*;
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the core invariants, using proptest.
+
+use proptest::prelude::*;
+use rrs::offline::{optimal, OptConfig};
+use rrs::prelude::*;
+use rrs_algorithms::par_edf;
+use rrs_core::engine::run_policy;
+use rrs_core::{check_schedule, CostModel, Engine, EngineOptions};
+use rrs_offline::combined_bound;
+use rrs_reductions::split_trace;
+
+/// Strategy: a small trace over power-of-two delay bounds.
+fn small_trace(max_colors: usize, max_round: u64, max_count: u64) -> impl Strategy<Value = Trace> {
+    let bounds = proptest::collection::vec(prop_oneof![Just(1u64), Just(2), Just(4), Just(8)], 1..=max_colors);
+    bounds.prop_flat_map(move |bounds| {
+        let ncolors = bounds.len() as u32;
+        let arrivals = proptest::collection::vec(
+            (0..max_round, 0..ncolors, 1..=max_count),
+            0..12,
+        );
+        arrivals.prop_map(move |arr| {
+            let mut t = Trace::new(ColorTable::from_delay_bounds(&bounds));
+            for (round, c, count) in arr {
+                t.add(round, ColorId(c), count).unwrap();
+            }
+            t
+        })
+    })
+}
+
+/// Strategy: a batched trace (arrivals snapped to multiples of D_ℓ).
+fn batched_trace(max_colors: usize) -> impl Strategy<Value = Trace> {
+    small_trace(max_colors, 32, 12).prop_map(|t| {
+        let mut out = Trace::new(t.colors().clone());
+        for a in t.iter() {
+            let d = t.colors().delay_bound(a.color);
+            out.add(a.round - a.round % d, a.color, a.count).unwrap();
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrip(trace in small_trace(4, 64, 1000)) {
+        let decoded = Trace::from_bytes(trace.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn engine_conserves_jobs(trace in small_trace(4, 32, 16), n in 1usize..6, delta in 1u64..5) {
+        let mut p = rrs_algorithms::GreedyPending::new();
+        let r = run_policy(&trace, &mut p, n, delta).unwrap();
+        prop_assert_eq!(r.executed + r.cost.drop, trace.total_jobs());
+    }
+
+    #[test]
+    fn recorded_schedule_replays_exactly(trace in batched_trace(3), delta in 1u64..4) {
+        let n = 8;
+        let mut p = DlruEdf::new(trace.colors(), n, delta).unwrap();
+        let engine = Engine::with_options(EngineOptions { speed: Speed::Uni, record_schedule: true, track_latency: false });
+        let r = engine.run(&trace, &mut p, n, CostModel::new(delta)).unwrap();
+        let replayed = check_schedule(&trace, r.schedule.as_ref().unwrap(), CostModel::new(delta)).unwrap();
+        prop_assert_eq!(replayed, r.cost);
+    }
+
+    #[test]
+    fn split_preserves_jobs_and_rate_limits(trace in batched_trace(3)) {
+        let (split, map) = split_trace(&trace);
+        prop_assert_eq!(split.total_jobs(), trace.total_jobs());
+        prop_assert_eq!(split.batch_class(), BatchClass::RateLimited);
+        // Every sub-color maps back to its original.
+        for (sub, &orig) in map.sub_to_orig.iter().enumerate() {
+            prop_assert_eq!(
+                split.colors().delay_bound(ColorId(sub as u32)),
+                trace.colors().delay_bound(orig)
+            );
+        }
+    }
+
+    #[test]
+    fn varbatch_delay_shrinks_windows(trace in small_trace(3, 32, 8)) {
+        let b = delay_to_batches(&trace);
+        prop_assert_eq!(b.total_jobs(), trace.total_jobs());
+        // Each delayed batch stays within the original window.
+        let mut orig: Vec<_> = trace.iter().flat_map(|a| std::iter::repeat_n(a, a.count as usize)).collect();
+        let mut newa: Vec<_> = b.iter().flat_map(|a| std::iter::repeat_n(a, a.count as usize)).collect();
+        orig.sort_by_key(|a| (a.color, a.round));
+        newa.sort_by_key(|a| (a.color, a.round));
+        for (o, d) in orig.iter().zip(&newa) {
+            prop_assert!(d.round >= o.round);
+            prop_assert!(d.round + b.colors().delay_bound(d.color) <= o.round + trace.colors().delay_bound(o.color));
+        }
+    }
+
+    #[test]
+    fn par_edf_drop_is_a_lower_bound(trace in small_trace(3, 24, 8), m in 1usize..4) {
+        // Lemma 3.7: no m-resource schedule drops fewer jobs than Par-EDF.
+        let par = par_edf(&trace, m).dropped;
+        let mut p = rrs_algorithms::GreedyPending::new();
+        let greedy = run_policy(&trace, &mut p, m, 1).unwrap();
+        prop_assert!(par <= greedy.cost.drop, "par {} > greedy {}", par, greedy.cost.drop);
+        let mut p = rrs_algorithms::StaticPartition::new(trace.colors(), m);
+        let stat = run_policy(&trace, &mut p, m, 1).unwrap();
+        prop_assert!(par <= stat.cost.drop);
+    }
+
+    #[test]
+    fn opt_is_bracketed_and_minimal(trace in batched_trace(2), delta in 1u64..4) {
+        let m = 1;
+        let opt = optimal(&trace, OptConfig { m, delta, max_states: 400_000 });
+        prop_assume!(opt.is_ok());
+        let opt = opt.unwrap();
+        // Lower bound <= OPT.
+        prop_assert!(combined_bound(&trace, m, delta) <= opt.cost);
+        // The optimal schedule replays to exactly its claimed cost.
+        let replayed = check_schedule(&trace, &opt.schedule, CostModel::new(delta)).unwrap();
+        prop_assert_eq!(replayed.total(), opt.cost);
+        // No other policy with the same resources beats it.
+        let mut p = rrs_algorithms::GreedyPending::new();
+        let greedy = run_policy(&trace, &mut p, m, delta).unwrap();
+        prop_assert!(greedy.cost.total() >= opt.cost);
+        let mut h = rrs::offline::HindsightGreedy::new(trace.clone(), 8);
+        let hind = run_policy(&trace, &mut h, m, delta).unwrap();
+        prop_assert!(hind.cost.total() >= opt.cost);
+    }
+
+    #[test]
+    fn lemma_33_34_hold_on_random_batched(trace in batched_trace(3), delta in 1u64..4) {
+        let n = 8;
+        let mut p = DlruEdf::new(trace.colors(), n, delta).unwrap();
+        run_policy(&trace, &mut p, n, delta).unwrap();
+        let st = p.state();
+        let epochs = st.num_epochs();
+        let reconfig_events: u64 = {
+            // Rerun to count events precisely (policy state is consumed above).
+            let mut p2 = DlruEdf::new(trace.colors(), n, delta).unwrap();
+            run_policy(&trace, &mut p2, n, delta).unwrap().reconfig_events
+        };
+        // Lemma 3.3: reconfig cost (= events × Δ) ≤ 4 · epochs · Δ.
+        prop_assert!(reconfig_events <= 4 * epochs, "Lemma 3.3: {} events vs 4×{} epochs", reconfig_events, epochs);
+        // Lemma 3.4 scope: exclude never-eligible colors.
+        let in_scope: u64 = trace.colors().ids()
+            .filter(|&c| st.color(c).became_eligible > 0)
+            .map(|c| st.color(c).ineligible_drops)
+            .sum();
+        prop_assert!(in_scope <= epochs * delta, "Lemma 3.4: {} > {} * {}", in_scope, epochs, delta);
+    }
+}

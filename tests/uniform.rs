@@ -1,0 +1,125 @@
+//! Integration tests spanning the uniform-variant crate and the core engine.
+
+use rrs::prelude::*;
+use rrs::uniform::problem::{run_block_policy, GreedyBlocks, StaticBlocks};
+use rrs::uniform::{
+    block_lower_bound, optimal_uniform, BlockAdapter, UniformOptConfig, UniformWorkload,
+    WeightedDlru,
+};
+
+fn workloads() -> Vec<rrs::uniform::UniformInstance> {
+    (0..6)
+        .map(|seed| {
+            UniformWorkload {
+                d: 8,
+                ncolors: 5,
+                max_cost: 12,
+                blocks: 64,
+                activity: 0.7,
+                load: 0.8,
+            }
+            .generate(seed)
+        })
+        .collect()
+}
+
+#[test]
+fn block_and_round_models_agree_for_all_policies() {
+    for inst in workloads() {
+        let n = 3;
+        let delta = 5;
+        for (name, block_run, policy) in [
+            ("static", {
+                let mut p = StaticBlocks::spread(inst.ncolors(), n);
+                run_block_policy(&inst, &mut p, n, delta).unwrap()
+            }, {
+                let p: Box<dyn rrs_core::Policy> = Box::new(BlockAdapter::new(
+                    StaticBlocks::spread(inst.ncolors(), n),
+                    inst.d,
+                ));
+                p
+            }),
+            ("greedy", {
+                let mut p = GreedyBlocks::new(&inst, n);
+                run_block_policy(&inst, &mut p, n, delta).unwrap()
+            }, {
+                let p: Box<dyn rrs_core::Policy> =
+                    Box::new(BlockAdapter::new(GreedyBlocks::new(&inst, n), inst.d));
+                p
+            }),
+            ("wdlru", {
+                let mut p = WeightedDlru::new(&inst, n, delta);
+                run_block_policy(&inst, &mut p, n, delta).unwrap()
+            }, {
+                let p: Box<dyn rrs_core::Policy> =
+                    Box::new(BlockAdapter::new(WeightedDlru::new(&inst, n, delta), inst.d));
+                p
+            }),
+        ] {
+            let trace = inst.to_round_trace();
+            let mut policy = policy;
+            let round_run = run_policy(&trace, policy.as_mut(), n, delta).unwrap();
+            assert_eq!(round_run.cost.reconfig, block_run.reconfig_cost, "{name}");
+            assert_eq!(round_run.cost.drop, block_run.drop_cost, "{name}");
+        }
+    }
+}
+
+#[test]
+fn uniform_opt_sandwich_holds() {
+    for inst in workloads() {
+        let m = 1;
+        let delta = 6;
+        let opt = optimal_uniform(&inst, UniformOptConfig::new(m, delta)).unwrap();
+        let lb = block_lower_bound(&inst, m, delta);
+        assert!(lb <= opt);
+        // Every policy with the same resources is at least OPT.
+        let mut g = GreedyBlocks::new(&inst, m);
+        assert!(run_block_policy(&inst, &mut g, m, delta).unwrap().total() >= opt);
+    }
+}
+
+#[test]
+fn weighted_dlru_is_resource_competitive_on_the_suite() {
+    // With 4x slots, the online cost stays within a small factor of the
+    // 1-slot block optimum across the whole suite.
+    let mut worst = 0.0f64;
+    for inst in workloads() {
+        let delta = 6;
+        let opt = optimal_uniform(&inst, UniformOptConfig::new(1, delta)).unwrap();
+        let mut w = WeightedDlru::new(&inst, 4, delta);
+        let online = run_block_policy(&inst, &mut w, 4, delta).unwrap();
+        worst = worst.max(online.total() as f64 / opt.max(1) as f64);
+    }
+    assert!(worst < 6.0, "worst ratio {worst}");
+}
+
+#[test]
+fn round_trace_checker_agrees_with_block_drop_accounting() {
+    // Run the weighted instance through the round engine with a recorded
+    // schedule and re-validate with the independent checker.
+    use rrs_core::{check_schedule, CostModel, Engine, EngineOptions};
+    let inst = workloads().remove(0);
+    let trace = inst.to_round_trace();
+    let engine = Engine::with_options(EngineOptions {
+        speed: Speed::Uni,
+        record_schedule: true,
+        track_latency: false,
+    });
+    let mut p = BlockAdapter::new(WeightedDlru::new(&inst, 3, 5), inst.d);
+    let r = engine.run(&trace, &mut p, 3, CostModel::new(5)).unwrap();
+    let replayed = check_schedule(&trace, r.schedule.as_ref().unwrap(), CostModel::new(5)).unwrap();
+    assert_eq!(replayed, r.cost, "weighted drop costs replay exactly");
+}
+
+#[test]
+fn paging_embedding_runs_through_prelude() {
+    use rrs::uniform::paging::PagingLru;
+    use rrs::uniform::{lru_paging_faults, PagingInstance};
+    let inst = PagingInstance::with_locality(16, 300, 3, 0.8, 42);
+    let trace = inst.to_rrs_trace();
+    let mut p = PagingLru::new();
+    let r = run_policy(&trace, &mut p, 6, 1).unwrap();
+    assert_eq!(r.reconfig_events, lru_paging_faults(&inst, 6));
+    assert_eq!(r.cost.drop, 0);
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the uniform-variant crate.
+
+use proptest::prelude::*;
+use rrs::uniform::filecache::{
+    belady_faults, optimal_weighted, run_policy as run_cache, Landlord, LruCache,
+    WeightedCachingInstance,
+};
+use rrs::uniform::problem::{run_block_policy, GreedyBlocks, StaticBlocks};
+use rrs::uniform::{
+    block_lower_bound, optimal_uniform, BlockAdapter, UniformInstance, UniformOptConfig,
+    WeightedDlru,
+};
+use rrs_core::engine::run_policy;
+
+/// Strategy: a small uniform-variant instance.
+fn small_instance() -> impl Strategy<Value = UniformInstance> {
+    let d = prop_oneof![Just(2u64), Just(4), Just(8)];
+    let costs = proptest::collection::vec(1u64..8, 1..4);
+    (d, costs).prop_flat_map(|(d, drop_costs)| {
+        let ncolors = drop_costs.len() as u32;
+        let blocks = proptest::collection::vec(
+            proptest::collection::btree_map(0..ncolors, 1u64..10, 0..3),
+            1..6,
+        );
+        blocks.prop_map(move |blocks| UniformInstance {
+            d,
+            drop_costs: drop_costs.clone(),
+            blocks: blocks
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect(),
+        })
+    })
+}
+
+/// Strategy: a small unit-cost caching instance.
+fn caching_instance() -> impl Strategy<Value = (WeightedCachingInstance, usize)> {
+    (2usize..6, 1usize..4).prop_flat_map(|(nfiles, k)| {
+        proptest::collection::vec(0..nfiles as u32, 0..30).prop_map(move |reqs| {
+            (
+                WeightedCachingInstance::unit(nfiles, reqs).unwrap(),
+                k,
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn block_round_agreement_is_universal(inst in small_instance(), n in 1usize..4, delta in 1u64..6) {
+        inst.validate().unwrap();
+        // Weighted ΔLRU agrees across the two execution models.
+        let block = {
+            let mut p = WeightedDlru::new(&inst, n, delta);
+            run_block_policy(&inst, &mut p, n, delta).unwrap()
+        };
+        let trace = inst.to_round_trace();
+        let mut adapted = BlockAdapter::new(WeightedDlru::new(&inst, n, delta), inst.d);
+        let round = run_policy(&trace, &mut adapted, n, delta).unwrap();
+        prop_assert_eq!(round.cost.reconfig, block.reconfig_cost);
+        prop_assert_eq!(round.cost.drop, block.drop_cost);
+    }
+
+    #[test]
+    fn uniform_dp_is_a_true_minimum(inst in small_instance(), delta in 1u64..6) {
+        let m = 2;
+        let opt = optimal_uniform(&inst, UniformOptConfig::new(m, delta)).unwrap();
+        prop_assert!(block_lower_bound(&inst, m, delta) <= opt);
+        let mut s = StaticBlocks::spread(inst.ncolors(), m);
+        prop_assert!(run_block_policy(&inst, &mut s, m, delta).unwrap().total() >= opt);
+        let mut g = GreedyBlocks::new(&inst, m);
+        prop_assert!(run_block_policy(&inst, &mut g, m, delta).unwrap().total() >= opt);
+        let mut w = WeightedDlru::new(&inst, m, delta);
+        prop_assert!(run_block_policy(&inst, &mut w, m, delta).unwrap().total() >= opt);
+    }
+
+    #[test]
+    fn belady_is_optimal_and_lru_within_k(args in caching_instance()) {
+        let (inst, k) = args;
+        let opt = belady_faults(&inst, k);
+        // Belady equals the weighted DP on unit costs.
+        prop_assert_eq!(opt, optimal_weighted(&inst, k).unwrap());
+        // LRU never beats Belady and is within the k-competitive bound
+        // against the same cache size (h = k → ratio ≤ k).
+        let lru = run_cache(&inst, &mut LruCache::new(), k);
+        prop_assert!(lru >= opt);
+        prop_assert!(lru <= (k as u64) * opt.max(1) + k as u64, "lru {} opt {} k {}", lru, opt, k);
+    }
+
+    #[test]
+    fn landlord_never_beats_weighted_opt(args in caching_instance()) {
+        let (inst, k) = args;
+        let opt = optimal_weighted(&inst, k).unwrap();
+        let ll = run_cache(&inst, &mut Landlord::new(&inst.costs), k);
+        prop_assert!(ll >= opt);
+    }
+
+    #[test]
+    fn round_trace_conserves_weight(inst in small_instance()) {
+        let trace = inst.to_round_trace();
+        prop_assert_eq!(trace.total_jobs(), inst.total_jobs());
+        // Dropping everything in the round model costs exactly the total weight.
+        struct Idle;
+        impl rrs_core::Policy for Idle {
+            fn name(&self) -> String { "idle".into() }
+            fn reconfigure(&mut self, _: rrs_core::Round, _: u32, _: &rrs_core::EngineView) -> rrs_core::CacheTarget {
+                rrs_core::CacheTarget::empty()
+            }
+        }
+        let r = run_policy(&trace, &mut Idle, 1, 1).unwrap();
+        prop_assert_eq!(r.cost.drop, inst.total_weight());
+    }
+}
