@@ -1,0 +1,86 @@
+//! Par-EDF's two load-bearing properties as explicit tests (Lemma 3.7):
+//! its drop count is monotonically non-increasing in the resource count `m`,
+//! and it lower-bounds the drops of every baseline policy run with the same
+//! resources.
+
+use rrs_algorithms::{par_edf, GreedyPending, NeverReconfigure, StaticPartition};
+use rrs_core::engine::run_policy;
+use rrs_core::prelude::*;
+use rrs_workloads::prelude::*;
+
+fn workload_traces() -> Vec<(String, Trace)> {
+    let mut out = vec![
+        (
+            "handcrafted-overload".into(),
+            TraceBuilder::with_delay_bounds(&[2, 4, 8])
+                .jobs(0, 0, 9)
+                .jobs(0, 1, 6)
+                .jobs(2, 2, 12)
+                .jobs(5, 0, 4)
+                .jobs(8, 1, 8)
+                .build(),
+        ),
+        (
+            "single-color-burst".into(),
+            TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 40).build(),
+        ),
+    ];
+    for seed in 0..3 {
+        let t = RandomBatched {
+            delay_bounds: vec![2, 4, 8, 16],
+            load: 1.4, // overloaded so drops actually occur
+            activity: 0.9,
+            horizon: 256,
+            rate_limited: false,
+        }
+        .generate(seed);
+        out.push((format!("random-batched/s{seed}"), t));
+    }
+    out
+}
+
+#[test]
+fn par_edf_drops_non_increasing_in_m() {
+    for (name, trace) in workload_traces() {
+        let mut prev = u64::MAX;
+        for m in 1..=12 {
+            let r = par_edf(&trace, m);
+            assert!(
+                r.dropped <= prev,
+                "{name}: drops rose from {prev} to {} at m={m}",
+                r.dropped
+            );
+            assert_eq!(
+                r.executed + r.dropped,
+                trace.total_jobs(),
+                "{name}: Par-EDF conserves jobs at m={m}"
+            );
+            prev = r.dropped;
+        }
+        // With resources for every pending job no drop is forced.
+        let saturated = par_edf(&trace, trace.total_jobs().max(1) as usize);
+        assert_eq!(saturated.dropped, 0, "{name}: saturation clears all drops");
+    }
+}
+
+#[test]
+fn par_edf_lower_bounds_every_baseline_policy() {
+    for (name, trace) in workload_traces() {
+        for m in [1usize, 2, 4, 8] {
+            let bound = par_edf(&trace, m).dropped;
+            let mut baselines: Vec<(&str, Box<dyn Policy>)> = vec![
+                ("greedy", Box::new(GreedyPending::new())),
+                ("never", Box::new(NeverReconfigure::new())),
+                ("static", Box::new(StaticPartition::new(trace.colors(), m))),
+            ];
+            for (bname, policy) in baselines.iter_mut() {
+                let r = run_policy(&trace, policy.as_mut(), m, 2).unwrap();
+                assert!(
+                    bound <= r.dropped_jobs,
+                    "{name}/{bname} m={m}: Par-EDF bound {bound} exceeds policy drops {}",
+                    r.dropped_jobs
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Memoised offline lower bounds, keyed by `(trace fingerprint, m)`.
+//!
+//! A sweep grid evaluates every policy kind against the same handful of
+//! traces, and each cell's competitive-ratio column needs the OPT lower
+//! bound — whose expensive component is the Par-EDF simulation (linear in
+//! the trace, but re-run per cell it dominates small sweeps). [`BoundCache`]
+//! computes Par-EDF once per `(trace, m)` pair and serves every later lookup
+//! from a [`parking_lot::RwLock`]-guarded map; the cheap `O(colors)`
+//! per-color and capacity bounds are recomputed on the fly so the cached
+//! entry stays independent of `Δ`.
+//!
+//! Traces are identified by an FNV-1a fingerprint of their canonical byte
+//! encoding ([`Trace::to_bytes`]), so structurally equal traces share an
+//! entry even across clones. Concurrent misses on the same key may race to
+//! compute the value — both arrive at the same deterministic answer, so the
+//! last insert simply wins and the duplicate work is bounded by the thread
+//! count.
+
+use parking_lot::RwLock;
+use rrs_algorithms::par_edf::{par_edf, ParEdfResult};
+use rrs_core::prelude::*;
+use rrs_offline::bounds;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// FNV-1a hash of a trace's canonical byte encoding.
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in trace.to_bytes().as_ref() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Hit/miss counters and current size of a [`BoundCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that had to run Par-EDF.
+    pub misses: u64,
+    /// Distinct `(fingerprint, m)` entries resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Counter deltas accumulated since an earlier snapshot.
+    pub fn since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            entries: self.entries,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "bound cache: {} hits, {} misses, {} entries",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+/// Concurrent memo of Par-EDF results keyed by `(trace fingerprint, m)`.
+#[derive(Debug, Default)]
+pub struct BoundCache {
+    entries: RwLock<HashMap<(u64, usize), ParEdfResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BoundCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        BoundCache::default()
+    }
+
+    /// The Par-EDF outcome for `(trace, m)`, computed at most once per key.
+    pub fn par_edf(&self, trace: &Trace, m: usize) -> ParEdfResult {
+        let key = (trace_fingerprint(trace), m);
+        if let Some(&r) = self.entries.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return r;
+        }
+        // Compute outside any lock: Par-EDF is the expensive part and a
+        // racing duplicate is deterministic, so blocking readers would only
+        // serialise the sweep.
+        let r = par_edf(trace, m);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries.write().insert(key, r);
+        r
+    }
+
+    /// [`bounds::combined_bound`] with the Par-EDF component served from the
+    /// cache. Identical to the uncached function for every input.
+    pub fn combined_bound(&self, trace: &Trace, m: usize, delta: u64) -> u64 {
+        let par_edf_part = if trace.total_jobs() == 0 {
+            0
+        } else {
+            self.par_edf(trace, m).dropped * trace.colors().min_drop_cost().max(1)
+        };
+        bounds::per_color_bound(trace, delta)
+            .max(par_edf_part)
+            .max(bounds::capacity_bound(trace, m))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.read().len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept; they are cumulative).
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+}
+
+/// The process-global cache used by [`crate::ratio::estimate_opt`].
+pub fn bound_cache() -> &'static BoundCache {
+    static CACHE: OnceLock<BoundCache> = OnceLock::new();
+    CACHE.get_or_init(BoundCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace(seed: u64) -> Trace {
+        TraceBuilder::with_delay_bounds(&[4, 8])
+            .jobs(0, 0, 3 + seed)
+            .jobs(1, 1, 2)
+            .jobs(3, 0, 5)
+            .build()
+    }
+
+    #[test]
+    fn cached_matches_uncached() {
+        let cache = BoundCache::new();
+        for seed in 0..4 {
+            let t = small_trace(seed);
+            for m in 1..=3 {
+                for delta in [1, 4, 16] {
+                    assert_eq!(
+                        cache.combined_bound(&t, m, delta),
+                        bounds::combined_bound(&t, m, delta),
+                        "seed={seed} m={m} delta={delta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = BoundCache::new();
+        let t = small_trace(0);
+        cache.par_edf(&t, 2);
+        let before = cache.stats();
+        assert_eq!(before.misses, 1);
+        cache.par_edf(&t, 2);
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.entries, 1);
+    }
+
+    #[test]
+    fn clones_share_an_entry_but_m_does_not() {
+        let cache = BoundCache::new();
+        let t = small_trace(1);
+        cache.par_edf(&t.clone(), 1);
+        cache.par_edf(&t.clone(), 1);
+        assert_eq!(cache.stats().entries, 1, "clones must share a fingerprint");
+        cache.par_edf(&t, 2);
+        assert_eq!(cache.stats().entries, 2, "m is part of the key");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_traces() {
+        assert_ne!(
+            trace_fingerprint(&small_trace(0)),
+            trace_fingerprint(&small_trace(1))
+        );
+        assert_eq!(
+            trace_fingerprint(&small_trace(2)),
+            trace_fingerprint(&small_trace(2).clone())
+        );
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let a = CacheStats { hits: 2, misses: 3, entries: 3 };
+        let b = CacheStats { hits: 7, misses: 4, entries: 4 };
+        assert_eq!(b.since(&a), CacheStats { hits: 5, misses: 1, entries: 4 });
+    }
+}

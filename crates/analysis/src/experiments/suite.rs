@@ -1,83 +1,134 @@
 //! Shared workload suites used by several experiments.
+//!
+//! Suite generation fans out over the [`crate::sweep::ParallelRunner`]: each
+//! named (generator, seed) cell produces its trace on the worker pool, and
+//! the canonical-order merge keeps the returned suite identical for every
+//! thread count (generation is deterministic per seed).
 
 use super::ExpOptions;
+use crate::sweep::ParallelRunner;
 use rrs_core::prelude::*;
 use rrs_workloads::prelude::*;
+
+/// A named, boxed trace generator cell.
+type SuiteCell = (String, Box<dyn Fn() -> Trace + Send + Sync>);
+
+fn generate_all(cells: Vec<SuiteCell>, opts: ExpOptions) -> Vec<(String, Trace)> {
+    ParallelRunner::new(opts.threads)
+        .run(cells, |(name, gen)| (name.clone(), gen()))
+        .results
+}
 
 /// A named suite of **rate-limited batched** traces (the Theorem 1 regime).
 pub fn rate_limited_suite(opts: ExpOptions) -> Vec<(String, Trace)> {
     let horizon = if opts.quick { 256 } else { 2048 };
-    let mut out = Vec::new();
+    let mut cells: Vec<SuiteCell> = Vec::new();
     for (name, bounds, load, activity) in [
         ("uniform-2c", vec![4u64, 8], 0.6, 1.0),
         ("uniform-6c", vec![2, 4, 4, 8, 16, 32], 0.5, 1.0),
         ("sparse-6c", vec![2, 4, 4, 8, 16, 32], 0.7, 0.5),
         ("hot-cold", vec![4, 4, 64, 64], 0.8, 0.9),
     ] {
-        let g = RandomBatched {
-            delay_bounds: bounds,
-            load,
-            activity,
-            horizon,
-            rate_limited: true,
-        };
         for s in 0..if opts.quick { 1 } else { 3 } {
-            out.push((format!("{name}/s{s}"), g.generate(opts.seed + s)));
+            let bounds = bounds.clone();
+            let seed = opts.seed + s;
+            cells.push((
+                format!("{name}/s{s}"),
+                Box::new(move || {
+                    RandomBatched {
+                        delay_bounds: bounds.clone(),
+                        load,
+                        activity,
+                        horizon,
+                        rate_limited: true,
+                    }
+                    .generate(seed)
+                }),
+            ));
         }
     }
-    let bursty = Bursty {
-        delay_bounds: vec![4, 8, 16, 32],
-        on_load: 0.9,
-        p_on: 0.3,
-        p_off: 0.3,
-        horizon,
-        rate_limited: true,
-    };
-    out.push(("bursty".into(), bursty.generate(opts.seed)));
-    out
+    let seed = opts.seed;
+    cells.push((
+        "bursty".into(),
+        Box::new(move || {
+            Bursty {
+                delay_bounds: vec![4, 8, 16, 32],
+                on_load: 0.9,
+                p_on: 0.3,
+                p_off: 0.3,
+                horizon,
+                rate_limited: true,
+            }
+            .generate(seed)
+        }),
+    ));
+    generate_all(cells, opts)
 }
 
 /// A named suite of **batched but not rate-limited** traces (Theorem 2 regime).
 pub fn batched_suite(opts: ExpOptions) -> Vec<(String, Trace)> {
     let horizon = if opts.quick { 256 } else { 2048 };
-    let mut out = Vec::new();
+    let seed = opts.seed;
+    let mut cells: Vec<SuiteCell> = Vec::new();
     for (name, bounds, load) in [
         ("burst-2c", vec![4u64, 8], 2.5),
         ("burst-4c", vec![2, 8, 16, 64], 3.0),
     ] {
-        let g = RandomBatched {
-            delay_bounds: bounds,
-            load,
-            activity: 0.7,
-            horizon,
-            rate_limited: false,
-        };
-        out.push((name.to_string(), g.generate(opts.seed)));
+        cells.push((
+            name.to_string(),
+            Box::new(move || {
+                RandomBatched {
+                    delay_bounds: bounds.clone(),
+                    load,
+                    activity: 0.7,
+                    horizon,
+                    rate_limited: false,
+                }
+                .generate(seed)
+            }),
+        ));
     }
-    out
+    generate_all(cells, opts)
 }
 
 /// A named suite of **general-arrival** traces (Theorem 3 regime).
 pub fn general_suite(opts: ExpOptions) -> Vec<(String, Trace)> {
     let horizon = if opts.quick { 256 } else { 2048 };
-    let mut out = Vec::new();
-    let g = RandomGeneral {
-        delay_bounds: vec![4, 8, 16, 64],
-        rates: vec![0.5, 0.4, 0.3, 0.2],
-        horizon,
-    };
-    out.push(("poisson-4c".into(), g.generate(opts.seed)));
-    let bg = BackgroundMix {
-        horizon,
-        ..BackgroundMix::default()
-    };
-    out.push(("background-mix".into(), bg.generate(opts.seed)));
-    let dc = Datacenter {
-        horizon,
-        ..Datacenter::default()
-    };
-    out.push(("datacenter".into(), dc.generate(opts.seed)));
-    out
+    let seed = opts.seed;
+    let cells: Vec<SuiteCell> = vec![
+        (
+            "poisson-4c".into(),
+            Box::new(move || {
+                RandomGeneral {
+                    delay_bounds: vec![4, 8, 16, 64],
+                    rates: vec![0.5, 0.4, 0.3, 0.2],
+                    horizon,
+                }
+                .generate(seed)
+            }),
+        ),
+        (
+            "background-mix".into(),
+            Box::new(move || {
+                BackgroundMix {
+                    horizon,
+                    ..BackgroundMix::default()
+                }
+                .generate(seed)
+            }),
+        ),
+        (
+            "datacenter".into(),
+            Box::new(move || {
+                Datacenter {
+                    horizon,
+                    ..Datacenter::default()
+                }
+                .generate(seed)
+            }),
+        ),
+    ];
+    generate_all(cells, opts)
 }
 
 #[cfg(test)]
@@ -95,5 +146,17 @@ mod tests {
             assert_ne!(t.batch_class(), BatchClass::General, "{name}");
         }
         assert_eq!(general_suite(o).len(), 3);
+    }
+
+    #[test]
+    fn suites_are_identical_across_thread_counts() {
+        let base = ExpOptions::quick();
+        let serial = rate_limited_suite(ExpOptions { threads: 1, ..base });
+        let parallel = rate_limited_suite(ExpOptions { threads: 4, ..base });
+        assert_eq!(serial.len(), parallel.len());
+        for ((an, at), (bn, bt)) in serial.iter().zip(&parallel) {
+            assert_eq!(an, bn);
+            assert_eq!(at.to_bytes().as_ref(), bt.to_bytes().as_ref(), "{an}");
+        }
     }
 }

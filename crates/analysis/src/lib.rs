@@ -4,7 +4,11 @@
 //!   scheduler in the workspace;
 //! * [`ratio`] — competitive-ratio estimation against the OPT sandwich
 //!   (lower bounds ≤ exact DP ≤ hindsight-greedy upper bound);
-//! * [`sweep`] — parallel parameter sweeps (crossbeam scoped threads);
+//! * [`cache`] — memoised offline lower bounds keyed by
+//!   `(trace fingerprint, m)` so Par-EDF runs once per trace per sweep;
+//! * [`sweep`] — the work-stealing parallel sweep executor
+//!   ([`sweep::ParallelRunner`]) with canonical-order merge and
+//!   per-phase statistics;
 //! * [`table`] — plain-text and CSV tables;
 //! * [`experiments`] — one function per paper claim (E1–E14); see
 //!   EXPERIMENTS.md for the claim ↔ measurement mapping.
@@ -12,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiments;
 pub mod ratio;
 pub mod runner;
@@ -20,10 +25,13 @@ pub mod sweep;
 pub mod table;
 pub mod viz;
 
+pub use cache::{bound_cache, BoundCache, CacheStats};
 pub use experiments::{run_experiment, ExpOptions, ExpReport, ALL_IDS};
 pub use ratio::{estimate_opt, ratio, EstimateOptions, OptEstimate};
-pub use runner::{run_kind, PolicyKind, RunSummary};
+pub use runner::{
+    run_cells, run_kind, CellOutcome, CellRow, GridSpec, PolicyKind, RunSummary, SweepCell,
+};
 pub use stats::{bootstrap_ci, summarize, ConfidenceInterval, Summary};
-pub use sweep::par_map;
+pub use sweep::{par_map, ParallelRunner, Sweep, SweepStats};
 pub use table::Table;
 pub use viz::{render_timeline, trace_stats, TraceStats};

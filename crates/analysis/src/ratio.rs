@@ -8,9 +8,10 @@
 //! against the upper bound are lower bounds on it; the two together bound the
 //! truth.
 
+use crate::cache::bound_cache;
 use rrs_core::prelude::*;
 use rrs_core::{CostModel, Engine, EngineOptions};
-use rrs_offline::{bounds, improve_schedule, optimal, HindsightGreedy, OptConfig};
+use rrs_offline::{improve_schedule, optimal, HindsightGreedy, OptConfig};
 use serde::{Deserialize, Serialize};
 
 /// An estimate of the optimal offline cost for `m` resources.
@@ -58,8 +59,12 @@ impl Default for EstimateOptions {
 }
 
 /// Estimates `OPT(trace, m)` under reconfiguration cost `delta`.
+///
+/// The lower bound's Par-EDF component is served from the process-global
+/// [`bound_cache`], so sweeping many cells over the same trace pays for the
+/// simulation once per `(trace, m)` pair.
 pub fn estimate_opt(trace: &Trace, m: usize, delta: u64, opts: EstimateOptions) -> OptEstimate {
-    let lower = bounds::combined_bound(trace, m, delta);
+    let lower = bound_cache().combined_bound(trace, m, delta);
     let exact = if opts.try_exact {
         let cfg = OptConfig {
             m,

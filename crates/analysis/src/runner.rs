@@ -90,7 +90,10 @@ impl PolicyKind {
 }
 
 /// The flattened outcome of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq`/`Eq` compare every field; the determinism tests rely on this
+/// to assert that sweeps are bit-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Which algorithm ran.
     pub kind: PolicyKind,
@@ -113,7 +116,7 @@ pub struct RunSummary {
 
 /// Quantities from the paper's analysis (§3.2–§3.4), captured when the policy
 /// maintains the shared batch state.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Instrumentation {
     /// Number of epochs (per the §3.2 definition).
     pub num_epochs: u64,
@@ -254,6 +257,105 @@ pub fn run_kind(kind: PolicyKind, trace: &Trace, n: usize, delta: u64) -> Result
     }
 }
 
+/// One cell of a sweep grid: which policy runs on which trace with which
+/// resource count and reconfiguration cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Algorithm under test.
+    pub kind: PolicyKind,
+    /// Index into the grid's trace list.
+    pub trace: usize,
+    /// Resources given to the online algorithm.
+    pub n: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+}
+
+/// The cross-product description of a sweep grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec<'a> {
+    /// Algorithms to run.
+    pub kinds: &'a [PolicyKind],
+    /// Traces to run them on (cells refer to these by index).
+    pub traces: &'a [Trace],
+    /// Resource counts.
+    pub ns: &'a [usize],
+    /// Reconfiguration costs.
+    pub deltas: &'a [u64],
+}
+
+impl GridSpec<'_> {
+    /// The grid's cells in canonical order: kind-major, then trace, then
+    /// `n`, then `Δ`. Sweep output rows always follow this order regardless
+    /// of execution schedule.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut out =
+            Vec::with_capacity(self.kinds.len() * self.traces.len() * self.ns.len() * self.deltas.len());
+        for &kind in self.kinds {
+            for trace in 0..self.traces.len() {
+                for &n in self.ns {
+                    for &delta in self.deltas {
+                        out.push(SweepCell { kind, trace, n, delta });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One finished grid cell: the run outcome plus the cached OPT lower bound
+/// for the cell's `(trace, n, Δ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRow {
+    /// The cell's coordinates.
+    pub cell: SweepCell,
+    /// The run summary, or the error message if the configuration was
+    /// infeasible (e.g. fewer resources than colors for a partition policy).
+    pub summary: std::result::Result<RunSummary, String>,
+    /// `combined_bound(trace, n, Δ)` served through the global
+    /// [`crate::cache::BoundCache`].
+    pub opt_lower: u64,
+}
+
+/// A finished sweep over a [`GridSpec`].
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// Per-cell rows in canonical [`GridSpec::cells`] order — identical for
+    /// every thread count.
+    pub rows: Vec<CellRow>,
+    /// Executor timing statistics (these vary run to run).
+    pub stats: crate::sweep::SweepStats,
+    /// Bound-cache activity attributable to this sweep.
+    pub cache: crate::cache::CacheStats,
+}
+
+/// Executes every cell of `spec` on a work-stealing pool of `threads`
+/// workers (`0` = auto) and merges the rows in canonical order.
+///
+/// Each cell also computes its OPT lower bound through the global
+/// [`crate::cache::bound_cache`], so the expensive Par-EDF component runs
+/// once per `(trace, n)` no matter how many kinds and Δs the grid crosses
+/// it with.
+pub fn run_cells(spec: &GridSpec, threads: usize) -> CellOutcome {
+    let cache_before = crate::cache::bound_cache().stats();
+    let cells = spec.cells();
+    let traces = spec.traces;
+    let sweep = crate::sweep::ParallelRunner::new(threads).run(cells, |&cell| {
+        let trace = &traces[cell.trace];
+        CellRow {
+            cell,
+            summary: run_kind(cell.kind, trace, cell.n, cell.delta).map_err(|e| e.to_string()),
+            opt_lower: crate::cache::bound_cache().combined_bound(trace, cell.n, cell.delta),
+        }
+    });
+    CellOutcome {
+        rows: sweep.results,
+        stats: sweep.stats,
+        cache: crate::cache::bound_cache().stats().since(&cache_before),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +408,56 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(PolicyKind::DlruEdf.name(), "ΔLRU-EDF");
         assert_eq!(PolicyKind::comparison_set().len(), 6);
+    }
+
+    #[test]
+    fn grid_cells_are_canonical_kind_major() {
+        let traces = [demo_trace()];
+        let spec = GridSpec {
+            kinds: &[PolicyKind::Edf, PolicyKind::Dlru],
+            traces: &traces,
+            ns: &[4, 8],
+            deltas: &[1, 2],
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(
+            cells[0],
+            SweepCell { kind: PolicyKind::Edf, trace: 0, n: 4, delta: 1 }
+        );
+        assert_eq!(
+            cells[1],
+            SweepCell { kind: PolicyKind::Edf, trace: 0, n: 4, delta: 2 }
+        );
+        assert_eq!(cells[4].kind, PolicyKind::Dlru);
+    }
+
+    #[test]
+    fn run_cells_rows_match_grid_and_reuse_bounds() {
+        let traces = [demo_trace()];
+        let spec = GridSpec {
+            kinds: PolicyKind::paper_online(),
+            traces: &traces,
+            ns: &[8],
+            deltas: &[2, 4],
+        };
+        let out = run_cells(&spec, 2);
+        assert_eq!(out.rows.len(), spec.cells().len());
+        for (row, cell) in out.rows.iter().zip(spec.cells()) {
+            assert_eq!(row.cell, cell);
+            let s = row.summary.as_ref().expect("feasible configuration");
+            assert_eq!(s.kind, cell.kind);
+            assert!(
+                s.cost.total() >= row.opt_lower || s.cost.total() == 0,
+                "online never beats the OPT lower bound"
+            );
+        }
+        // 3 kinds × 2 deltas share one (trace, n=8) Par-EDF computation.
+        assert!(
+            out.cache.hits >= 4,
+            "expected cache reuse across kinds/deltas: {:?}",
+            out.cache
+        );
+        assert_eq!(out.stats.cells, out.rows.len());
     }
 }

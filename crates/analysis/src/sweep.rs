@@ -1,58 +1,283 @@
-//! Parallel parameter sweeps.
+//! Parallel sweep executor.
 //!
-//! Experiments fan out over (workload, seed, n, Δ, algorithm) grids;
-//! [`par_map`] evaluates a pure function over such a grid on all cores using
-//! crossbeam scoped threads with a shared atomic work index (no unsafe, no
-//! data races — results return through per-thread vectors that are stitched
-//! back in input order).
+//! Experiments fan out over (workload, seed, n, Δ, algorithm) grids.
+//! [`ParallelRunner`] evaluates a pure function over such a grid with a
+//! work-stealing thread pool: cells start in a shared [`Injector`], each
+//! worker keeps a local FIFO deque and falls back to batch-stealing from the
+//! injector and then from sibling [`Stealer`]s, so a straggler cell never
+//! idles the rest of the pool. Finished cells flow back through a lock-free
+//! channel tagged with their grid index and are merged in canonical cell
+//! order, which makes the output **bit-identical regardless of the thread
+//! count** — only the [`SweepStats`] timing side-channel varies between runs.
+//!
+//! [`par_map`] is the original order-preserving map API, kept as a thin
+//! wrapper over the runner for existing callers.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Work-stealing executor for sweep grids.
+///
+/// `threads = 0` (the [`Default`]) resolves to the machine's available
+/// parallelism; any other value pins the pool size. The pool never exceeds
+/// the number of cells.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        ParallelRunner::new(0)
+    }
+}
+
+impl ParallelRunner {
+    /// A runner with a fixed pool size (`0` = auto-detect).
+    pub fn new(threads: usize) -> Self {
+        ParallelRunner { threads }
+    }
+
+    /// Pool size after resolving `0 = auto` and capping at `cells`.
+    pub fn resolved_threads(&self, cells: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.min(cells).max(1)
+    }
+
+    /// Applies `f` to every cell, returning outputs in input order plus
+    /// execution statistics. The result vector is identical for every thread
+    /// count (the merge is by grid index, not completion order).
+    pub fn run<I, O, F>(&self, items: Vec<I>, f: F) -> Sweep<O>
+    where
+        I: Send + Sync,
+        O: Send,
+        F: Fn(&I) -> O + Sync,
+    {
+        let cells = items.len();
+        let start = Instant::now();
+        if cells == 0 {
+            return Sweep {
+                results: Vec::new(),
+                stats: SweepStats {
+                    threads: self.resolved_threads(0),
+                    ..SweepStats::default()
+                },
+            };
+        }
+        let threads = self.resolved_threads(cells);
+        if threads <= 1 {
+            return run_serial(items, f, start);
+        }
+
+        let injector = Injector::new();
+        for i in 0..cells {
+            injector.push(i);
+        }
+        let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+        let completed = AtomicUsize::new(0);
+        let steals = AtomicU64::new(0);
+        let busy_ns = AtomicU64::new(0);
+        let max_cell_ns = AtomicU64::new(0);
+        let (tx, rx) = channel::unbounded();
+
+        std::thread::scope(|scope| {
+            for (wid, local) in locals.into_iter().enumerate() {
+                let tx = tx.clone();
+                let (injector, stealers) = (&injector, &stealers);
+                let (items, f) = (&items, &f);
+                let (completed, steals) = (&completed, &steals);
+                let (busy_ns, max_cell_ns) = (&busy_ns, &max_cell_ns);
+                scope.spawn(move || loop {
+                    let task = local.pop().or_else(|| {
+                        find_task(wid, injector, stealers, steals, &local)
+                    });
+                    match task {
+                        Some(i) => {
+                            let t0 = Instant::now();
+                            let out = f(&items[i]);
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            busy_ns.fetch_add(ns, Ordering::Relaxed);
+                            max_cell_ns.fetch_max(ns, Ordering::Relaxed);
+                            tx.send((i, out)).expect("collector outlives workers");
+                            completed.fetch_add(1, Ordering::Release);
+                        }
+                        None => {
+                            // Every cell is in the injector, in some live
+                            // worker's deque, or running — so spinning here
+                            // always terminates once `completed` catches up.
+                            if completed.load(Ordering::Acquire) >= cells {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            drop(tx);
+        });
+
+        // Canonical-order merge: slot every output by its grid index.
+        let mut slots: Vec<Option<O>> = (0..cells).map(|_| None).collect();
+        for (i, out) in rx {
+            debug_assert!(slots[i].is_none(), "cell {i} produced twice");
+            slots[i] = Some(out);
+        }
+        let results = slots
+            .into_iter()
+            .map(|o| o.expect("every cell completed"))
+            .collect();
+        Sweep {
+            results,
+            stats: SweepStats {
+                cells,
+                threads,
+                steals: steals.load(Ordering::Relaxed),
+                wall: start.elapsed(),
+                busy: Duration::from_nanos(busy_ns.load(Ordering::Relaxed)),
+                max_cell: Duration::from_nanos(max_cell_ns.load(Ordering::Relaxed)),
+            },
+        }
+    }
+}
+
+/// Non-local work acquisition: batch-steal from the injector first (half its
+/// backlog lands in our deque), then raid sibling deques.
+fn find_task(
+    wid: usize,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+    steals: &AtomicU64,
+    local: &Worker<usize>,
+) -> Option<usize> {
+    if let Steal::Success(i) = injector.steal_batch_and_pop(local) {
+        return Some(i);
+    }
+    for (sid, s) in stealers.iter().enumerate() {
+        if sid == wid {
+            continue;
+        }
+        if let Steal::Success(i) = s.steal() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn run_serial<I, O, F>(items: Vec<I>, f: F, start: Instant) -> Sweep<O>
+where
+    F: Fn(&I) -> O,
+{
+    let cells = items.len();
+    let mut busy = Duration::ZERO;
+    let mut max_cell = Duration::ZERO;
+    let mut results = Vec::with_capacity(cells);
+    for item in &items {
+        let t0 = Instant::now();
+        results.push(f(item));
+        let dt = t0.elapsed();
+        busy += dt;
+        max_cell = max_cell.max(dt);
+    }
+    Sweep {
+        results,
+        stats: SweepStats {
+            cells,
+            threads: 1,
+            steals: 0,
+            wall: start.elapsed(),
+            busy,
+            max_cell,
+        },
+    }
+}
+
+/// A finished sweep: outputs in canonical (input) order plus timing stats.
+#[derive(Debug)]
+pub struct Sweep<O> {
+    /// One output per input cell, in input order — independent of thread
+    /// count and completion order.
+    pub results: Vec<O>,
+    /// Execution statistics (wall/busy time, steals); these DO vary run to
+    /// run and are deliberately kept out of `results`.
+    pub stats: SweepStats,
+}
+
+/// Timing and scheduling statistics for one sweep execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Grid cells executed.
+    pub cells: usize,
+    /// Worker threads used (after resolving `0 = auto`).
+    pub threads: usize,
+    /// Successful steals from sibling deques (0 on the serial path).
+    pub steals: u64,
+    /// End-to-end wall time of the sweep.
+    pub wall: Duration,
+    /// Sum of per-cell execution times across all workers.
+    pub busy: Duration,
+    /// The slowest single cell.
+    pub max_cell: Duration,
+}
+
+impl SweepStats {
+    /// `busy / wall` — approaches the thread count when the pool is saturated
+    /// and 1.0 on a serial run.
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 1.0;
+        }
+        self.busy.as_secs_f64() / self.wall.as_secs_f64()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells on {} thread{} in {:.1?} (busy {:.1?}, {:.2}x, max cell {:.1?}, {} steals)",
+            self.cells,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.wall,
+            self.busy,
+            self.parallel_efficiency(),
+            self.max_cell,
+            self.steals,
+        )
+    }
+
+    /// Merges stats from a sub-sweep (cells/steals/busy add; wall/max take
+    /// the max; threads takes the max).
+    pub fn absorb(&mut self, other: &SweepStats) {
+        self.cells += other.cells;
+        self.threads = self.threads.max(other.threads);
+        self.steals += other.steals;
+        self.wall = self.wall.max(other.wall);
+        self.busy += other.busy;
+        self.max_cell = self.max_cell.max(other.max_cell);
+    }
+}
 
 /// Applies `f` to every item in parallel, preserving input order in the
 /// output. `threads = 0` uses the available parallelism.
+///
+/// Compatibility wrapper over [`ParallelRunner::run`] that discards the
+/// [`SweepStats`].
 pub fn par_map<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.min(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&items[i]);
-                results.lock()[i] = Some(out);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every index was processed"))
-        .collect()
+    ParallelRunner::new(threads).run(items, f).results
 }
 
 #[cfg(test)]
@@ -89,5 +314,33 @@ mod tests {
         });
         assert_eq!(out[10], 55);
         assert_eq!(out[63], 63 * 64 / 2);
+    }
+
+    #[test]
+    fn stats_account_for_every_cell() {
+        let sweep = ParallelRunner::new(4).run((0..200u64).collect(), |&x| x + 1);
+        assert_eq!(sweep.results.len(), 200);
+        assert_eq!(sweep.stats.cells, 200);
+        assert!(sweep.stats.threads >= 1 && sweep.stats.threads <= 4);
+        assert!(sweep.stats.busy >= sweep.stats.max_cell);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = ParallelRunner::new(1).run(items.clone(), |&x| x.wrapping_mul(x) ^ 0xABCD);
+        for threads in [2, 3, 8] {
+            let par = ParallelRunner::new(threads)
+                .run(items.clone(), |&x| x.wrapping_mul(x) ^ 0xABCD);
+            assert_eq!(serial.results, par.results, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stats_summary_mentions_cells_and_threads() {
+        let sweep = ParallelRunner::new(1).run(vec![1u32, 2, 3], |&x| x);
+        let s = sweep.stats.summary();
+        assert!(s.contains("3 cells"), "{s}");
+        assert!(s.contains("1 thread"), "{s}");
     }
 }

@@ -1,0 +1,76 @@
+//! The executor's headline guarantee: a sweep's result table is
+//! **bit-identical for every worker-thread count**. Runs the same grid with
+//! 1, 2 and 8 threads and compares both the typed rows and their JSON
+//! serialization.
+
+use rrs_analysis::experiments::{run_experiment, ExpOptions};
+use rrs_analysis::{run_cells, CellRow, GridSpec, PolicyKind};
+use rrs_core::prelude::*;
+use rrs_workloads::prelude::*;
+
+fn grid_traces() -> Vec<Trace> {
+    (0..3)
+        .map(|s| {
+            RandomBatched {
+                delay_bounds: vec![2, 4, 8, 16],
+                load: 0.7,
+                activity: 0.8,
+                horizon: 128,
+                rate_limited: true,
+            }
+            .generate(0xD5EED + s)
+        })
+        .collect()
+}
+
+fn run_grid(traces: &[Trace], threads: usize) -> Vec<CellRow> {
+    let spec = GridSpec {
+        kinds: PolicyKind::comparison_set(),
+        traces,
+        ns: &[4, 8],
+        deltas: &[2, 8],
+    };
+    run_cells(&spec, threads).rows
+}
+
+#[test]
+fn sweep_rows_identical_across_thread_counts() {
+    let traces = grid_traces();
+    let baseline = run_grid(&traces, 1);
+    assert!(!baseline.is_empty());
+    for threads in [2, 8] {
+        let rows = run_grid(&traces, threads);
+        assert_eq!(baseline, rows, "rows diverged at {threads} threads");
+        // Belt and braces: the serialized tables match byte for byte, so no
+        // field outside PartialEq's reach (or a future skipped one) differs.
+        for (a, b) in baseline.iter().zip(&rows) {
+            let (sa, sb) = (a.summary.as_ref().unwrap(), b.summary.as_ref().unwrap());
+            assert_eq!(
+                serde_json::to_string(sa).unwrap(),
+                serde_json::to_string(sb).unwrap(),
+                "serialized summary diverged at {threads} threads for {:?}",
+                a.cell
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_reports_identical_across_thread_counts() {
+    // End-to-end through an experiment that sweeps policies in parallel:
+    // the rendered table (not the timing notes) must not depend on threads.
+    let render = |threads| {
+        let opts = ExpOptions {
+            threads,
+            ..ExpOptions::quick()
+        };
+        let report = run_experiment("e13", opts).expect("known experiment id");
+        (report.table.render(), report.pass)
+    };
+    let (table1, pass1) = render(1);
+    for threads in [2, 8] {
+        let (table, pass) = render(threads);
+        assert_eq!(table1, table, "E13 table diverged at {threads} threads");
+        assert_eq!(pass1, pass);
+    }
+}

@@ -1,0 +1,80 @@
+//! E12f — sweep executor throughput: the same policy × Δ × n grid executed
+//! serially and on the work-stealing pool, plus the effect of the bound
+//! cache on repeated OPT lower-bound queries.
+//!
+//! On a multi-core machine the `parallel/auto` rows should come in well under
+//! the `serial` rows (the acceptance target is ≥2× on 4+ cores); on a
+//! single-core container they degrade gracefully to serial speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_analysis::cache::BoundCache;
+use rrs_analysis::runner::{run_cells, GridSpec, PolicyKind};
+use rrs_analysis::sweep::ParallelRunner;
+use rrs_bench::bench_trace;
+use rrs_offline::bounds;
+use std::hint::black_box;
+
+fn grid_traces() -> Vec<rrs_core::Trace> {
+    (0..2).map(|s| bench_trace(8, 512, s)).collect()
+}
+
+fn bench_sweep_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    let traces = grid_traces();
+    let spec = GridSpec {
+        kinds: PolicyKind::comparison_set(),
+        traces: &traces,
+        ns: &[8, 16],
+        deltas: &[2, 8],
+    };
+    let cells = spec.cells().len() as u64;
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+    for (label, threads) in [("serial", 1usize), ("parallel/auto", 0)] {
+        group.bench_function(BenchmarkId::new(label, cells), |b| {
+            b.iter(|| black_box(run_cells(&spec, threads)).rows.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_runner_overhead(c: &mut Criterion) {
+    // Pure scheduling overhead: near-empty cells expose the cost of the
+    // deques, channel and merge relative to a plain serial loop.
+    let mut group = c.benchmark_group("sweep-overhead");
+    let items: Vec<u64> = (0..4096).collect();
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for (label, threads) in [("serial", 1usize), ("parallel/auto", 0)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                ParallelRunner::new(threads)
+                    .run(items.clone(), |&x| x.wrapping_mul(0x9E37_79B9))
+                    .results
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bound_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound-cache");
+    let trace = bench_trace(8, 2048, 7);
+    group.bench_function("combined_bound/uncached", |b| {
+        b.iter(|| bounds::combined_bound(black_box(&trace), 4, 4));
+    });
+    group.bench_function("combined_bound/cached", |b| {
+        let cache = BoundCache::new();
+        cache.par_edf(&trace, 4); // warm the (trace, m) entry
+        b.iter(|| cache.combined_bound(black_box(&trace), 4, 4));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_executor,
+    bench_runner_overhead,
+    bench_bound_cache
+);
+criterion_main!(benches);

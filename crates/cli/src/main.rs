@@ -8,7 +8,7 @@
 //! rrs stats --workload <name> [--seed S]
 //! rrs timeline --workload <name> --policy <name> [--n N] [--delta D] [--width W]
 //! rrs sweep --workload <name> --policy <name> [--n-list 4,8,16]
-//!           [--delta-list 2,4,8] [--seeds K] [--csv]
+//!           [--delta-list 2,4,8] [--seeds K] [--threads N] [--csv]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs list
 //! ```
@@ -40,7 +40,7 @@ fn main() -> ExitCode {
                  rrs gen --workload <name> --out <path> [--seed S] [--json]\n  \
                  rrs stats --workload <name> [--seed S]\n  \
                  rrs timeline --workload <name> --policy <name> [--n N] [--delta D] [--width W]\n  \
-                 rrs sweep --workload <name> --policy <name> [--n-list ..] [--delta-list ..] [--seeds K] [--csv]\n  \
+                 rrs sweep --workload <name> --policy <name> [--n-list ..] [--delta-list ..] [--seeds K] [--threads N] [--csv]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs list"
             );
@@ -435,11 +435,17 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         eprintln!("unknown policy '{pname}'; options: {POLICY_NAMES:?}");
         return ExitCode::from(2);
     };
-    let ns = parse_list(args, "--n-list", &[4, 8, 16]);
+    let ns: Vec<usize> = parse_list(args, "--n-list", &[4, 8, 16])
+        .into_iter()
+        .map(|n| n as usize)
+        .collect();
     let deltas = parse_list(args, "--delta-list", &[2, 4, 8]);
     let seeds: u64 = opt_value(args, "--seeds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let threads: usize = opt_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     // Pre-generate the traces (one per seed).
     let traces: Vec<rrs_core::Trace> = (0..seeds)
         .filter_map(|s| parse_workload(wname, s))
@@ -448,24 +454,23 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         eprintln!("unknown workload '{wname}'");
         return ExitCode::from(2);
     }
-    let nseeds = traces.len();
-    let grid: Vec<(u64, u64, usize)> = ns
-        .iter()
-        .flat_map(|&n| {
-            deltas
-                .iter()
-                .flat_map(move |&d| (0..nseeds).map(move |s| (n, d, s)))
-        })
-        .collect();
-    let results = rrs_analysis::par_map(grid, 0, |&(n, delta, s)| {
-        let summary = run_kind(kind, &traces[s], n as usize, delta);
-        (n, delta, s, summary.map(|r| (r.cost.total(), r.cost.reconfig, r.cost.drop)))
-    });
+    let spec = rrs_analysis::GridSpec {
+        kinds: &[kind],
+        traces: &traces,
+        ns: &ns,
+        deltas: &deltas,
+    };
+    let out = rrs_analysis::run_cells(&spec, threads);
     // Aggregate over seeds with summary statistics and a bootstrap CI.
-    let mut agg: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64, u64)>> = Default::default();
-    for (n, delta, _, res) in results {
-        match res {
-            Ok(sample) => agg.entry((n, delta)).or_default().push(sample),
+    type Sample = (u64, u64, u64, u64); // (total, reconfig, drop, opt lower)
+    let mut agg: std::collections::BTreeMap<(usize, u64), Vec<Sample>> = Default::default();
+    for row in &out.rows {
+        let (n, delta) = (row.cell.n, row.cell.delta);
+        match &row.summary {
+            Ok(s) => agg
+                .entry((n, delta))
+                .or_default()
+                .push((s.cost.total(), s.cost.reconfig, s.cost.drop, row.opt_lower)),
             Err(e) => eprintln!("n={n} Δ={delta}: {e}"),
         }
     }
@@ -476,16 +481,21 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         "stddev",
         "mean reconfig",
         "mean drops",
+        "mean ratio≤",
         "runs",
     ]);
     for ((n, delta), samples) in &agg {
-        let totals: Vec<f64> = samples.iter().map(|&(t, _, _)| t as f64).collect();
+        let totals: Vec<f64> = samples.iter().map(|&(t, _, _, _)| t as f64).collect();
         let summary = rrs_analysis::summarize(&totals);
         let ci = rrs_analysis::bootstrap_ci(&totals, 0.95, 400, 0);
-        let reconfig: f64 =
-            samples.iter().map(|&(_, r, _)| r as f64).sum::<f64>() / samples.len() as f64;
-        let drops: f64 =
-            samples.iter().map(|&(_, _, d)| d as f64).sum::<f64>() / samples.len() as f64;
+        let k = samples.len() as f64;
+        let reconfig: f64 = samples.iter().map(|&(_, r, _, _)| r as f64).sum::<f64>() / k;
+        let drops: f64 = samples.iter().map(|&(_, _, d, _)| d as f64).sum::<f64>() / k;
+        let mean_ratio: f64 = samples
+            .iter()
+            .map(|&(t, _, _, lo)| rrs_analysis::ratio(t, lo))
+            .sum::<f64>()
+            / k;
         table.row([
             n.to_string(),
             delta.to_string(),
@@ -493,10 +503,17 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             format!("{:.1}", summary.stddev),
             format!("{reconfig:.1}"),
             format!("{drops:.1}"),
+            if mean_ratio.is_finite() {
+                format!("{mean_ratio:.2}")
+            } else {
+                "∞".into()
+            },
             samples.len().to_string(),
         ]);
     }
-    println!("sweep: {} on {wname} over {} seeds\n", kind.name(), seeds);
+    println!("sweep: {} on {wname} over {} seeds", kind.name(), seeds);
+    println!("  {}", out.stats.summary());
+    println!("  {}\n", out.cache.summary());
     if flag(args, "--csv") {
         print!("{}", table.to_csv());
     } else {

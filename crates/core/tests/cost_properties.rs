@@ -1,0 +1,99 @@
+//! Property tests for the engine's conservation and cost-accounting
+//! invariants, on traces with **variable drop costs** and policies that
+//! reconfigure at varying cadences:
+//!
+//! * every arrived job is either executed or dropped (nothing is lost or
+//!   double-counted), per color and in total;
+//! * the total cost decomposes exactly as
+//!   `Δ · reconfig_events + Σ_ℓ drops_ℓ · c_ℓ`.
+
+use proptest::prelude::*;
+use rrs_core::engine::run_policy;
+use rrs_core::prelude::*;
+
+/// Strategy: a trace over 1–3 colors with drop costs in 1..=3 and arrivals
+/// in the first 16 rounds.
+fn costed_trace() -> impl Strategy<Value = Trace> {
+    let colors = proptest::collection::vec(
+        (prop_oneof![Just(1u64), Just(2), Just(4), Just(8)], 1u64..=3),
+        1..=3,
+    );
+    colors.prop_flat_map(|specs| {
+        let ncolors = specs.len() as u32;
+        let arrivals = proptest::collection::vec((0u64..16, 0..ncolors, 1u64..=9), 0..14);
+        arrivals.prop_map(move |arr| {
+            let mut table = ColorTable::new();
+            for &(d, c) in &specs {
+                table.push(ColorInfo::with_drop_cost(d, c));
+            }
+            let mut t = Trace::new(table);
+            for (round, color, count) in arr {
+                t.add(round, ColorId(color), count).unwrap();
+            }
+            t
+        })
+    })
+}
+
+/// A policy that recolors its whole cache every `period` rounds, cycling
+/// through the colors — enough churn to exercise reconfiguration charging,
+/// partial coverage and drops in the same run.
+struct CyclePolicy {
+    ncolors: u32,
+    period: u64,
+}
+
+impl Policy for CyclePolicy {
+    fn name(&self) -> String {
+        "cycle".into()
+    }
+
+    fn reconfigure(&mut self, round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let first = ((round / self.period) % self.ncolors as u64) as u32;
+        CacheTarget::singles(
+            (0..view.n.min(self.ncolors as usize) as u32)
+                .map(|i| ColorId((first + i) % self.ncolors)),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_job_is_executed_or_dropped(
+        trace in costed_trace(),
+        n in 1usize..5,
+        delta in 1u64..6,
+        period in 1u64..5,
+    ) {
+        let mut p = CyclePolicy { ncolors: trace.colors().len() as u32, period };
+        let r = run_policy(&trace, &mut p, n, delta).unwrap();
+        prop_assert_eq!(r.executed + r.dropped_jobs, trace.total_jobs());
+        prop_assert_eq!(r.executed_by_color.iter().sum::<u64>(), r.executed);
+        prop_assert_eq!(r.drops_by_color.iter().sum::<u64>(), r.dropped_jobs);
+        for (i, (&e, &d)) in r.executed_by_color.iter().zip(&r.drops_by_color).enumerate() {
+            prop_assert_eq!(e + d, trace.jobs_of_color(ColorId(i as u32)), "color {}", i);
+        }
+    }
+
+    #[test]
+    fn total_cost_decomposes_exactly(
+        trace in costed_trace(),
+        n in 1usize..5,
+        delta in 1u64..6,
+        period in 1u64..5,
+    ) {
+        let mut p = CyclePolicy { ncolors: trace.colors().len() as u32, period };
+        let r = run_policy(&trace, &mut p, n, delta).unwrap();
+        let drop_cost: u64 = r
+            .drops_by_color
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| d * trace.colors().drop_cost(ColorId(i as u32)))
+            .sum();
+        prop_assert_eq!(r.cost.reconfig, delta * r.reconfig_events);
+        prop_assert_eq!(r.cost.drop, drop_cost);
+        prop_assert_eq!(r.cost.total(), delta * r.reconfig_events + drop_cost);
+    }
+}

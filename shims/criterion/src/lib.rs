@@ -1,0 +1,223 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the bench crate uses — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock loop that prints mean ns/iter
+//! (plus derived throughput) to stdout. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples (shim: scales the measuring budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Finishes the group (upstream writes reports here; the shim prints
+    /// per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let Some(mean_ns) = b.mean_ns() else {
+            println!("{}/{}: no measurement (iter never called)", self.name, id.id);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 * 1e9 / mean_ns)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  {:.0} B/s", n as f64 * 1e9 / mean_ns)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.1} ns/iter ({} iters){}",
+            self.name, id.id, mean_ns, b.iters, rate
+        );
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times repeated calls of `f` and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single-iteration cost.
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+
+        // Budget ~5ms per sample_size unit, capped; enough for a smoke
+        // signal without making `cargo bench` crawl under the shim.
+        let budget = Duration::from_millis((5 * self.sample_size as u64).min(500));
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn mean_ns(&self) -> Option<f64> {
+        if self.iters == 0 {
+            return None;
+        }
+        Some(self.total.as_nanos() as f64 / self.iters as f64)
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(1);
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", 3), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the subset used by `rrs-analysis`: [`scope`] (scoped threads over
+//! `std::thread::scope`), [`deque`] (an injector/worker/stealer work-stealing
+//! deque; lock-based but API-compatible), and [`channel`] (MPMC-ish channels
+//! over `std::sync::mpsc`).
+//!
+//! Semantic difference from upstream: a panic in a scoped thread propagates
+//! out of [`scope`] directly instead of surfacing as an `Err`, so the
+//! idiomatic `crossbeam::scope(..).expect(..)` still aborts loudly.
+
+use std::thread;
+
+/// Scoped-thread handle wrapper passed to spawn closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread bound to the scope. The closure receives the scope so
+    /// it can spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Creates a scope in which threads may borrow non-`'static` data.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+/// Work-stealing deques (injector + per-worker queues).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Transient contention; retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Converts to `Option`, mapping both `Empty` and `Retry` to `None`.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether this is `Empty`.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// Global FIFO injector queue.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `worker`'s local queue and pops one task.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().expect("injector poisoned");
+            let n = q.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            // Take roughly half, capped like crossbeam's batch limit.
+            let take = ((n + 1) / 2).min(32);
+            let mut local = worker.q.lock().expect("worker poisoned");
+            for _ in 0..take {
+                if let Some(t) = q.pop_front() {
+                    local.push_back(t);
+                }
+            }
+            match local.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// A worker's local queue.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Creates a LIFO worker queue (shim: same backing as FIFO; `pop`
+        /// takes from the front either way, which only affects task order,
+        /// never correctness).
+        pub fn new_lifo() -> Self {
+            Self::new_fifo()
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().expect("worker poisoned").pop_front()
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("worker poisoned").is_empty()
+        }
+
+        /// Creates a stealer handle for other workers.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: self.q.clone() }
+        }
+    }
+
+    /// Handle for stealing from another worker's queue.
+    #[derive(Debug, Clone)]
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("worker poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+/// Channels (over `std::sync::mpsc`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half (cloneable).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors if the receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), mpsc::SendError<T>> {
+            self.inner.send(t)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterates until all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn injector_steal_batch() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let Steal::Success(first) = inj.steal_batch_and_pop(&w) else {
+            panic!("expected a task");
+        };
+        assert_eq!(first, 0);
+        let stealer = w.stealer();
+        let mut seen = vec![first];
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        while let Steal::Success(t) = inj.steal() {
+            seen.push(t);
+        }
+        assert!(stealer.steal().is_empty());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by parsing
+//! the item's token stream directly (no `syn`/`quote` available offline) and
+//! emitting impls of the shim `Serialize`/`Deserialize` traits, which funnel
+//! through the shim's `Value` tree. Generated code fully qualifies `Result`,
+//! `Ok`, `Err`, `Option` and `Default` so crate-local aliases (e.g. a
+//! one-parameter `Result<T>`) can't capture the emitted names.
+//!
+//! Supported shapes: unit/tuple/named structs and enums whose variants are
+//! unit, tuple or struct-like. Generic parameters are not supported (nothing
+//! in the workspace derives on a generic type). Recognized field attributes:
+//! `#[serde(skip)]` and `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String, // field name, or the index for tuple fields
+    skip: bool,
+    default_fn: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Serde-relevant info gathered from `#[serde(...)]` attribute groups.
+#[derive(Default)]
+struct AttrInfo {
+    skip: bool,
+    default_fn: Option<String>,
+}
+
+/// Consumes leading `#[...]` attribute groups from `toks[*pos..]`, extracting
+/// serde options.
+fn take_attrs(toks: &[TokenTree], pos: &mut usize) -> AttrInfo {
+    let mut info = AttrInfo::default();
+    while *pos + 1 < toks.len() {
+        let TokenTree::Punct(p) = &toks[*pos] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &toks[*pos + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_serde_attr(&g.stream(), &mut info);
+        *pos += 2;
+    }
+    info
+}
+
+/// Parses the inside of one `#[...]`; records options if it is `serde(...)`.
+fn parse_serde_attr(stream: &TokenStream, info: &mut AttrInfo) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(args)] = toks.as_slice() else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(opt) if opt.to_string() == "skip" => {
+                info.skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(opt) if opt.to_string() == "default" => {
+                // `default = "path"` or bare `default`.
+                if i + 2 < args.len() {
+                    if let (TokenTree::Punct(eq), TokenTree::Literal(lit)) =
+                        (&args[i + 1], &args[i + 2])
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            info.default_fn = Some(s.trim_matches('"').to_string());
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                info.default_fn = Some(String::from("Default::default"));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Skip past any separator commas is handled by the outer loop shape.
+}
+
+/// Splits `toks` at top-level commas, tracking `<...>` nesting so commas
+/// inside generic arguments don't split fields. `->` is recognized so its
+/// `>` doesn't unbalance the depth.
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if prev_dash => {} // the `>` of `->`
+                '>' if depth > 0 => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses one named field chunk: `[attrs] [pub[(..)]] name : Type`.
+fn parse_named_field(chunk: &[TokenTree]) -> Field {
+    let mut pos = 0;
+    let info = take_attrs(chunk, &mut pos);
+    skip_vis(chunk, &mut pos);
+    let TokenTree::Ident(name) = &chunk[pos] else {
+        panic!("serde_derive shim: expected field name in {chunk:?}");
+    };
+    Field {
+        name: name.to_string(),
+        skip: info.skip,
+        default_fn: info.default_fn,
+    }
+}
+
+/// Parses one tuple field chunk (index assigned by caller).
+fn parse_tuple_field(chunk: &[TokenTree], index: usize) -> Field {
+    let mut pos = 0;
+    let info = take_attrs(chunk, &mut pos);
+    Field {
+        name: index.to_string(),
+        skip: info.skip,
+        default_fn: info.default_fn,
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&toks)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| parse_named_field(c))
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&toks)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .enumerate()
+        .map(|(i, c)| parse_tuple_field(c, i))
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        let before = pos;
+        take_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        if pos == before {
+            break;
+        }
+    }
+    let TokenTree::Ident(kw) = &toks[pos] else {
+        panic!("serde_derive shim: expected struct/enum keyword");
+    };
+    let kind = kw.to_string();
+    pos += 1;
+    let TokenTree::Ident(name) = &toks[pos] else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(pos) else {
+                panic!("serde_derive shim: expected enum body");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_top_level(&body)
+                .iter()
+                .filter(|c| !c.is_empty())
+                .map(|chunk| {
+                    let mut p = 0;
+                    take_attrs(chunk, &mut p);
+                    let TokenTree::Ident(vname) = &chunk[p] else {
+                        panic!("serde_derive shim: expected variant name");
+                    };
+                    let shape = match chunk.get(p + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Shape::Named(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Shape::Tuple(parse_tuple_fields(g.stream()))
+                        }
+                        Some(other) => panic!(
+                            "serde_derive shim: unsupported variant syntax after {vname}: {other}"
+                        ),
+                        None => Shape::Unit,
+                    };
+                    Variant {
+                        name: vname.to_string(),
+                        shape,
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive on `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) => ser_tuple_body(fields, |f| format!("&self.{}", f.name)),
+                Shape::Named(fields) => ser_named_body(fields, |f| format!("&self.{}", f.name)),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn ser_named_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(\"{}\".to_string(), ::serde::Serialize::to_value({}))",
+                f.name,
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn ser_tuple_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if live.len() == 1 {
+        // Newtype: serialize transparently as the inner value.
+        format!("::serde::Serialize::to_value({})", access(live[0]))
+    } else {
+        let items: Vec<String> = live
+            .iter()
+            .map(|f| format!("::serde::Serialize::to_value({})", access(f)))
+            .collect();
+        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    }
+}
+
+/// Expression reconstructing one named field from object `__obj` (a
+/// `&::serde::Value` known to be the enclosing object).
+fn de_named_field(f: &Field, ty_name: &str) -> String {
+    if f.skip {
+        return format!("{}: ::core::default::Default::default()", f.name);
+    }
+    let missing = match &f.default_fn {
+        Some(path) => format!("{path}()"),
+        None => format!(
+            "return ::core::result::Result::Err(::serde::Error::msg(\"missing field `{}` in {}\"))",
+            f.name, ty_name
+        ),
+    };
+    format!(
+        "{0}: match __v.get_field(\"{0}\") {{\n\
+             ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::core::option::Option::None => {missing},\n\
+         }}",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::core::result::Result::Ok({name})"),
+                Shape::Tuple(fields) => {
+                    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    if fields.iter().any(|f| f.skip) {
+                        panic!("serde_derive shim: #[serde(skip)] unsupported on tuple fields");
+                    }
+                    if live.len() == 1 {
+                        format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                    } else {
+                        let items: Vec<String> = (0..live.len())
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        format!(
+                            "let __a = __v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                             if __a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::msg(\"wrong arity for {name}\")); }}\n\
+                             ::core::result::Result::Ok({name}({items}))",
+                            n = live.len(),
+                            items = items.join(", ")
+                        )
+                    }
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> =
+                        fields.iter().map(|f| de_named_field(f, name)).collect();
+                    format!(
+                        "if __v.as_object().is_none() {{ return ::core::result::Result::Err(::serde::Error::msg(\"expected object for {name}\")); }}\n\
+                         ::core::result::Result::Ok({name} {{ {} }})",
+                        items.join(",\n")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let body = if fields.len() == 1 {
+                            format!("::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?))")
+                        } else {
+                            let items: Vec<String> = (0..fields.len())
+                                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            format!(
+                                "let __a = __payload.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array payload for {name}::{vn}\"))?;\n\
+                                 if __a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({items}))",
+                                n = fields.len(),
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {{ let __v = __payload; {body} }}\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> =
+                            fields.iter().map(|f| de_named_field(f, name)).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __v = __payload;\n\
+                               if __v.as_object().is_none() {{ return ::core::result::Result::Err(::serde::Error::msg(\"expected object payload for {name}::{vn}\")); }}\n\
+                               ::core::result::Result::Ok({name}::{vn} {{ {} }}) }}\n",
+                            items.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::core::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__tag, __payload) = (&__pairs[0].0, &__pairs[0].1);\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => ::core::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::core::result::Result::Err(::serde::Error::msg(format!(\"expected enum {name}, found {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's [`Value`]
+//! data model. Output is real JSON; maps appear as arrays of `[key, value]`
+//! pairs (see the serde shim docs), which round-trips through this parser.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// JSON error (serialization or parse).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes to a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to a pretty-printed JSON byte vector.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserializes from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Deserializes from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Keep integral floats distinguishable from integers so they
+                // parse back as F64.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    self.pos = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| Error::new("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error::new("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected , or ] at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::new(format!("expected , or }} at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::U64(1 << 40),
+            Value::I64(-7),
+            Value::F64(1.5),
+            Value::Str("hé\"\\\n".into()),
+        ] {
+            let s = to_string(&v).unwrap();
+            assert_eq!(parse(&s).unwrap(), v, "{s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::U64(1), Value::Null])),
+            ("b".into(), Value::Object(vec![])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+}
