@@ -1,0 +1,144 @@
+//! E12g — service shard scaling: the same multi-tenant open-loop load driven
+//! through `rrs-service` at 1, 2, 4 and 8 shards, with and without a mid-run
+//! shard kill/restore.
+//!
+//! On a multi-core machine throughput should grow with the shard count until
+//! tenants-per-shard stops amortizing the command queue; on a single-core
+//! container the curves collapse to the 1-shard line plus queue overhead.
+//! Before timing anything, the harness asserts kill/restore conformance:
+//! every shard count (with a kill/restore in the middle) must produce final
+//! per-tenant results identical to the 1-shard uninterrupted run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_service::{PolicySpec, Service, ServiceConfig, TenantSpec};
+use rrs_workloads::{MultiTenantLoad, OpenLoopDriver, RandomBatched, WorkloadSpec};
+use std::hint::black_box;
+
+const TENANTS: u64 = 16;
+const N: usize = 8;
+const DELTA: u64 = 4;
+
+fn bench_load(horizon: u64) -> MultiTenantLoad {
+    MultiTenantLoad::new(
+        WorkloadSpec::RandomBatched(RandomBatched {
+            delay_bounds: vec![4, 8, 16, 32],
+            load: 0.6,
+            activity: 0.8,
+            horizon,
+            rate_limited: true,
+        }),
+        TENANTS,
+        12,
+    )
+}
+
+/// Drives the whole load through a service; optionally kills and restores
+/// one shard halfway. Returns the final per-tenant results (tenant order).
+fn drive(driver: &OpenLoopDriver, shards: usize, kill_mid_run: bool) -> Vec<rrs_core::RunResult> {
+    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 64 });
+    for t in 0..driver.tenants() {
+        let spec = TenantSpec::new(
+            PolicySpec::DlruEdf,
+            driver.trace(t).colors().clone(),
+            N,
+            DELTA,
+        );
+        svc.add_tenant(t, spec).expect("add tenant");
+    }
+    let horizon = driver.horizon();
+    for round in 0..=horizon {
+        for t in 0..driver.tenants() {
+            let arrivals = driver.arrivals(t, round);
+            if !arrivals.is_empty() {
+                svc.submit(t, arrivals).expect("submit");
+            }
+        }
+        svc.tick().expect("tick");
+        if kill_mid_run && round == horizon / 2 {
+            let victim = 0;
+            let snap = svc.snapshot_shard(victim).expect("snapshot");
+            assert!(snap.conserves_jobs(), "conservation before kill");
+            svc.kill_shard(victim).expect("kill");
+            svc.restore_shard(snap).expect("restore");
+        }
+    }
+    let results = svc.finish().expect("finish");
+    (0..driver.tenants()).map(|t| results[&t].clone()).collect()
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let load = bench_load(256);
+    let driver = OpenLoopDriver::new(&load);
+    let jobs: u64 = (0..TENANTS).map(|t| driver.trace(t).total_jobs()).sum();
+
+    // Kill/restore conformance gate: all shard counts, kill or not, must
+    // agree with the 1-shard uninterrupted reference bit for bit.
+    let reference = drive(&driver, 1, false);
+    for shards in [1usize, 2, 4, 8] {
+        let with_kill = drive(&driver, shards, true);
+        assert_eq!(
+            with_kill, reference,
+            "kill/restore at {shards} shards changed results"
+        );
+    }
+    println!(
+        "service: kill/restore conformance OK at 1/2/4/8 shards \
+         ({TENANTS} tenants, {jobs} jobs)"
+    );
+
+    let mut group = c.benchmark_group("service-shard-scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("steady", shards), |b| {
+            b.iter(|| black_box(drive(&driver, shards, false)).len());
+        });
+        group.bench_function(BenchmarkId::new("kill-restore", shards), |b| {
+            b.iter(|| black_box(drive(&driver, shards, true)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_restore(c: &mut Criterion) {
+    // Cost of the snapshot and of the replay-based restore as the run gets
+    // longer (restore replays the whole arrival log).
+    let mut group = c.benchmark_group("service-snapshot");
+    for horizon in [64u64, 256] {
+        let load = bench_load(horizon);
+        let driver = OpenLoopDriver::new(&load);
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 64 });
+        for t in 0..driver.tenants() {
+            let spec = TenantSpec::new(
+                PolicySpec::DlruEdf,
+                driver.trace(t).colors().clone(),
+                N,
+                DELTA,
+            );
+            svc.add_tenant(t, spec).expect("add tenant");
+        }
+        for round in 0..=driver.horizon() {
+            for t in 0..driver.tenants() {
+                let arrivals = driver.arrivals(t, round);
+                if !arrivals.is_empty() {
+                    svc.submit(t, arrivals).expect("submit");
+                }
+            }
+            svc.tick().expect("tick");
+        }
+        group.bench_function(BenchmarkId::new("snapshot", horizon), |b| {
+            b.iter(|| black_box(svc.snapshot_shard(0).expect("snapshot")));
+        });
+        let snap = svc.snapshot_shard(0).expect("snapshot");
+        group.bench_function(BenchmarkId::new("restore-replay", horizon), |b| {
+            b.iter(|| {
+                rrs_service::restore_tenants(black_box(snap.clone())).expect("restore").len()
+            });
+        });
+        svc.finish().expect("finish");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_snapshot_restore);
+criterion_main!(benches);

@@ -9,6 +9,9 @@
 //! rrs timeline --workload <name> --policy <name> [--n N] [--delta D] [--width W]
 //! rrs sweep --workload <name> --policy <name> [--n-list 4,8,16]
 //!           [--delta-list 2,4,8] [--seeds K] [--threads N] [--csv]
+//! rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>]
+//!               [--policy <name>] [--n N] [--delta D] [--seed S]
+//!               [--queue-cap C] [--kill-round R [--kill-shard I]]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs list
 //! ```
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("list") => {
             cmd_list();
@@ -41,6 +45,8 @@ fn main() -> ExitCode {
                  rrs stats --workload <name> [--seed S]\n  \
                  rrs timeline --workload <name> --policy <name> [--n N] [--delta D] [--width W]\n  \
                  rrs sweep --workload <name> --policy <name> [--n-list ..] [--delta-list ..] [--seeds K] [--threads N] [--csv]\n  \
+                 rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>] [--policy <name>]\n  \
+                               [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs list"
             );
@@ -110,6 +116,10 @@ fn cmd_exp(args: &[String]) -> ExitCode {
 }
 
 fn parse_workload(name: &str, seed: u64) -> Option<rrs_core::Trace> {
+    parse_workload_spec(name).map(|spec| spec.generate(seed))
+}
+
+fn parse_workload_spec(name: &str) -> Option<WorkloadSpec> {
     let spec = match name {
         "datacenter" => WorkloadSpec::Datacenter(Datacenter::default()),
         "router" => WorkloadSpec::Router(Router::default()),
@@ -148,7 +158,7 @@ fn parse_workload(name: &str, seed: u64) -> Option<rrs_core::Trace> {
         }),
         _ => return None,
     };
-    Some(spec.generate(seed))
+    Some(spec)
 }
 
 const WORKLOAD_NAMES: &[&str] = &[
@@ -520,6 +530,150 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         print!("{}", table.render());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve_sim(args: &[String]) -> ExitCode {
+    use rrs_service::{PolicySpec, Service, ServiceConfig, TenantSpec};
+    use rrs_workloads::{MultiTenantLoad, OpenLoopDriver};
+
+    let tenants: u64 = opt_value(args, "--tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let shards: usize = opt_value(args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let n: usize = opt_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let delta: u64 = opt_value(args, "--delta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let seed: u64 = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let queue_cap: usize = opt_value(args, "--queue-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let kill_round: Option<u64> = opt_value(args, "--kill-round").and_then(|v| v.parse().ok());
+    let kill_shard: Option<usize> = opt_value(args, "--kill-shard").and_then(|v| v.parse().ok());
+    let wname = opt_value(args, "--workload").unwrap_or("random-batched");
+    let pname = opt_value(args, "--policy").unwrap_or("dlru-edf");
+    let Some(policy) = PolicySpec::parse(pname) else {
+        eprintln!("serve-sim: unknown or non-streamable policy '{pname}'");
+        return ExitCode::from(2);
+    };
+    let Some(wspec) = parse_workload_spec(wname) else {
+        eprintln!("serve-sim: unknown workload '{wname}'; options: {WORKLOAD_NAMES:?}");
+        return ExitCode::from(2);
+    };
+
+    let load = MultiTenantLoad::new(wspec, tenants, seed);
+    let driver = OpenLoopDriver::new(&load);
+    let horizon = opt_value(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .map(|r: u64| r.min(driver.horizon()))
+        .unwrap_or_else(|| driver.horizon());
+
+    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: queue_cap });
+    for t in 0..tenants {
+        let spec = TenantSpec::new(policy, driver.trace(t).colors().clone(), n, delta);
+        if let Err(e) = svc.add_tenant(t, spec) {
+            eprintln!("serve-sim: tenant {t}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "serve-sim: {tenants} tenants x {} ({wname}, seed {seed}) on {shards} shards, \
+         {} rounds, n={n} Δ={delta}, queue {queue_cap}",
+        policy.name(),
+        horizon + 1
+    );
+
+    let started = std::time::Instant::now();
+    for round in 0..=horizon {
+        for t in 0..tenants {
+            let arrivals = driver.arrivals(t, round);
+            if !arrivals.is_empty() {
+                if let Err(e) = svc.submit(t, arrivals) {
+                    eprintln!("serve-sim: submit to tenant {t} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = svc.tick() {
+            eprintln!("serve-sim: tick {round} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        if kill_round == Some(round) {
+            let victim = kill_shard.unwrap_or(0).min(shards - 1);
+            let outcome = svc
+                .snapshot_shard(victim)
+                .and_then(|snap| {
+                    svc.kill_shard(victim)?;
+                    svc.restore_shard(snap)
+                });
+            match outcome {
+                Ok(()) => println!("  killed and restored shard {victim} after round {round}"),
+                Err(e) => {
+                    eprintln!("serve-sim: kill/restore shard {victim} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let stats = match svc.stats() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-sim: stats failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = match svc.finish() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-sim: finish failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    let mut table = Table::new([
+        "tenant", "shard", "rounds", "arrived", "executed", "dropped", "reconfig", "total cost",
+    ]);
+    let progress: std::collections::BTreeMap<u64, _> = stats.tenants.iter().cloned().collect();
+    for (id, r) in &results {
+        let arrived = progress.get(id).map(|p| p.arrived).unwrap_or(0);
+        table.row([
+            id.to_string(),
+            svc_shard_of(*id, shards).to_string(),
+            r.rounds.to_string(),
+            arrived.to_string(),
+            r.executed.to_string(),
+            r.dropped_jobs.to_string(),
+            r.cost.reconfig.to_string(),
+            r.cost.total().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    for s in &stats.shards {
+        println!("{s}");
+    }
+    let lat = stats.step_latency();
+    println!(
+        "drove {} rounds in {elapsed:?}: {} executed, {} dropped, step p50 {}ns p99 {}ns",
+        horizon + 1,
+        stats.executed(),
+        stats.dropped(),
+        lat.p50(),
+        lat.p99()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Mirror of `Service::shard_of` for reporting after the service is consumed.
+fn svc_shard_of(id: u64, shards: usize) -> usize {
+    ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
 }
 
 fn cmd_opt(args: &[String]) -> ExitCode {

@@ -47,7 +47,11 @@ pub struct EngineView<'a> {
 /// The engine calls the three hooks in phase order each round. Only
 /// [`Policy::reconfigure`] affects the run; the other hooks let policies maintain
 /// per-color state (counters, eligibility, timestamps).
-pub trait Policy {
+///
+/// Policies must be `Send` so an engine can be owned by a worker thread (the
+/// service layer runs one engine per tenant inside shard workers). Policies
+/// are plain data structures, so this costs implementors nothing.
+pub trait Policy: Send {
     /// Human-readable policy name (used in reports).
     fn name(&self) -> String;
 

@@ -52,7 +52,7 @@ pub use pending::PendingJobs;
 pub use resource::{CacheState, CacheTarget};
 pub use schedule::{check_schedule, ExplicitSchedule, ScheduleStep};
 pub use stats::RunResult;
-pub use streaming::{StepOutcome, StreamingEngine};
+pub use streaming::{EngineSnapshot, StepOutcome, StreamingEngine};
 pub use time::{Phase, Round, Speed};
 pub use trace::{Arrival, BatchClass, Trace, TraceBuilder};
 

@@ -10,11 +10,12 @@
 
 use crate::color::ColorId;
 use crate::time::Round;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Pending jobs of one color: a deadline-ordered queue of `(deadline, count)`
 /// runs with strictly increasing deadlines.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct ColorQueue {
     runs: VecDeque<(Round, u64)>,
     total: u64,
@@ -74,7 +75,7 @@ impl ColorQueue {
 }
 
 /// Pending-job state for all colors.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PendingJobs {
     queues: Vec<ColorQueue>,
 }

@@ -7,7 +7,10 @@ use crate::time::Round;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of running a policy over a trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq`/`Eq` compare every field; the streaming≡batch conformance and
+/// snapshot/restore tests rely on this to assert bit-identical runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Policy name.
     pub policy: String,

@@ -35,6 +35,7 @@ use crate::pending::PendingJobs;
 use crate::resource::CacheState;
 use crate::stats::RunResult;
 use crate::time::{Round, Speed};
+use serde::{Deserialize, Serialize};
 
 /// Per-round outcome of a streaming step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,41 @@ pub struct StepOutcome {
     pub executed: u64,
     /// Resource recolorings in this round.
     pub recolored: u64,
+}
+
+/// A serializable point-in-time capture of a [`StreamingEngine`]'s state.
+///
+/// Holds everything the engine itself owns: pending jobs, cache content, the
+/// accumulated [`RunResult`], the round counter and the drain horizon. It does
+/// **not** capture the policy — policies are arbitrary trait objects. Callers
+/// that need bit-identical continuation after a restore must supply a policy
+/// whose internal state matches the snapshot point: either a stateless policy,
+/// or one rebuilt by replaying the same arrival log through a fresh engine
+/// (every policy in this workspace is deterministic, so a replay reproduces
+/// the state exactly — `rrs-service` uses precisely that scheme and verifies
+/// the rebuilt engine against the stored snapshot).
+///
+/// `PartialEq` compares every field, which makes a snapshot double as a
+/// determinism witness: replaying the same arrivals must reproduce an equal
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Number of resources.
+    pub n: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Uni- or double-speed execution.
+    pub speed: Speed,
+    /// The next round to be simulated.
+    pub round: Round,
+    /// Largest deadline seen so far (how far `finish` must drain).
+    pub max_deadline: Round,
+    /// Pending jobs at the snapshot point.
+    pub pending: PendingJobs,
+    /// Cache content at the snapshot point.
+    pub cache: CacheState,
+    /// Accumulated results at the snapshot point.
+    pub result: RunResult,
 }
 
 /// The streaming counterpart of [`crate::Engine`].
@@ -117,6 +153,76 @@ impl StreamingEngine {
     /// Number of currently pending jobs.
     pub fn pending_jobs(&self) -> u64 {
         self.pending.total()
+    }
+
+    /// The largest deadline seen so far — the last round [`Self::finish`]
+    /// will simulate.
+    pub fn drain_horizon(&self) -> Round {
+        self.max_deadline
+    }
+
+    /// Captures the engine's own state (not the policy's; see
+    /// [`EngineSnapshot`] for the contract).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            n: self.n,
+            delta: self.cost_model.delta,
+            speed: self.speed,
+            round: self.round,
+            max_deadline: self.max_deadline,
+            pending: self.pending.clone(),
+            cache: self.cache.clone(),
+            result: self.result.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot and a policy.
+    ///
+    /// The caller is responsible for the policy's internal state matching the
+    /// snapshot point (see [`EngineSnapshot`]); stateless policies always
+    /// qualify. Continuation is then bit-identical to the run the snapshot
+    /// was taken from.
+    pub fn restore(
+        colors: ColorTable,
+        policy: Box<dyn Policy>,
+        snapshot: EngineSnapshot,
+    ) -> Result<Self> {
+        if snapshot.n == 0 {
+            return Err(Error::InvalidParameter(
+                "streaming engine needs at least one resource".into(),
+            ));
+        }
+        if snapshot.delta == 0 {
+            return Err(Error::InvalidParameter(
+                "snapshot has Δ = 0 (Δ must be positive)".into(),
+            ));
+        }
+        if snapshot.cache.capacity() != snapshot.n {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot cache capacity {} does not match n = {}",
+                snapshot.cache.capacity(),
+                snapshot.n
+            )));
+        }
+        if snapshot.pending.ncolors() != colors.len() {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot tracks {} colors but the color table has {}",
+                snapshot.pending.ncolors(),
+                colors.len()
+            )));
+        }
+        Ok(StreamingEngine {
+            colors,
+            policy,
+            n: snapshot.n,
+            cost_model: CostModel::new(snapshot.delta),
+            speed: snapshot.speed,
+            pending: snapshot.pending,
+            cache: snapshot.cache,
+            result: snapshot.result,
+            round: snapshot.round,
+            max_deadline: snapshot.max_deadline,
+        })
     }
 
     /// Simulates one round with the given arrivals (`(color, count)` pairs in
@@ -206,10 +312,44 @@ impl StreamingEngine {
         })
     }
 
-    /// Runs empty rounds until every pending job has been executed or
-    /// dropped, then returns the final result.
-    pub fn finish(mut self) -> Result<RunResult> {
-        while self.round <= self.max_deadline && self.pending.total() > 0 {
+    /// Runs empty rounds through the drain horizon (the largest deadline seen
+    /// so far), then returns the final result. Every job — including one that
+    /// arrived in the final pushed round with the maximum delay bound — is
+    /// executed or dropped by then, never silently lost.
+    ///
+    /// The drain deliberately does **not** stop early when the pending set
+    /// empties: policies may keep reconfiguring on idle rounds, and a batch
+    /// [`crate::Engine`] replay of the same arrivals simulates those rounds
+    /// too. An early exit would report a different round count (and, for such
+    /// policies, a different reconfiguration cost) than the batch run.
+    pub fn finish(self) -> Result<RunResult> {
+        let horizon = self.max_deadline;
+        self.finish_to(horizon)
+    }
+
+    /// Runs empty rounds while `round <= horizon`, then returns the final
+    /// result.
+    ///
+    /// Use this instead of [`Self::finish`] to match a batch replay exactly
+    /// when the batch engine's horizon exceeds the streaming drain horizon:
+    /// [`crate::Trace::horizon`] is the maximum deadline over *arrivals
+    /// present in the trace*, which coincides with the drain horizon, but a
+    /// caller comparing against an engine run over `0..=h` for any larger `h`
+    /// can drain to the same `h` here.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] if `horizon` is smaller than the
+    /// drain horizon while jobs are still pending — finishing there would
+    /// silently lose them.
+    pub fn finish_to(mut self, horizon: Round) -> Result<RunResult> {
+        if horizon < self.max_deadline && self.pending.total() > 0 {
+            return Err(Error::InvalidParameter(format!(
+                "finish_to({horizon}) would lose {} pending jobs (drain horizon {})",
+                self.pending.total(),
+                self.max_deadline
+            )));
+        }
+        while self.round <= horizon {
             self.step(&[])?;
         }
         Ok(self.result)
@@ -267,10 +407,149 @@ mod tests {
             streaming.step(&trace.arrivals_at(round)).unwrap();
         }
         let stream = streaming.finish().unwrap();
-        assert_eq!(stream.cost, batch.cost);
-        assert_eq!(stream.executed, batch.executed);
-        assert_eq!(stream.dropped_jobs, batch.dropped_jobs);
-        assert_eq!(stream.drops_by_color, batch.drops_by_color);
+        assert_eq!(stream, batch, "streaming replay is bit-identical");
+    }
+
+    /// Regression test for the `finish` drain horizon: a job arriving in the
+    /// *final* pushed round with the *maximum* delay bound must still be
+    /// scheduled or counted dropped — never silently lost — and the drain
+    /// must simulate exactly the rounds a batch replay would.
+    #[test]
+    fn finish_resolves_final_round_max_delay_job() {
+        let bounds = [2u64, 16];
+        // Color 1 (D = 16) arrives only in the last pushed round.
+        let trace = TraceBuilder::with_delay_bounds(&bounds)
+            .jobs(0, 0, 3)
+            .jobs(5, 1, 4)
+            .build();
+        assert_eq!(trace.last_arrival_round(), Some(5));
+        for policy in [true, false] {
+            // Once with a policy that executes (TopPending), once with one
+            // that never does (empty target) so every job must be dropped.
+            struct Idle;
+            impl Policy for Idle {
+                fn name(&self) -> String {
+                    "idle".into()
+                }
+                fn reconfigure(&mut self, _: Round, _: u32, _: &EngineView) -> CacheTarget {
+                    CacheTarget::empty()
+                }
+            }
+            let p: Box<dyn Policy> = if policy { Box::new(TopPending) } else { Box::new(Idle) };
+            let mut s = StreamingEngine::new(
+                trace.colors().clone(),
+                p,
+                1,
+                CostModel::new(1),
+            )
+            .unwrap();
+            for round in 0..=trace.last_arrival_round().unwrap() {
+                s.step(&trace.arrivals_at(round)).unwrap();
+            }
+            assert_eq!(s.drain_horizon(), 5 + 16);
+            let r = s.finish().unwrap();
+            assert_eq!(
+                r.executed + r.dropped_jobs,
+                trace.total_jobs(),
+                "no job silently lost (executing policy: {policy})"
+            );
+            assert_eq!(r.rounds, trace.horizon() + 1, "drains exactly to the horizon");
+        }
+    }
+
+    #[test]
+    fn finish_to_matches_longer_batch_horizon_and_rejects_lossy_ones() {
+        let trace = demo_trace();
+        let mut s = StreamingEngine::new(
+            trace.colors().clone(),
+            Box::new(TopPending),
+            2,
+            CostModel::new(2),
+        )
+        .unwrap();
+        s.step(&trace.arrivals_at(0)).unwrap();
+        let lossy = s.finish_to(0);
+        assert!(lossy.is_err(), "finishing below the drain horizon loses jobs");
+
+        let mut s = StreamingEngine::new(
+            trace.colors().clone(),
+            Box::new(TopPending),
+            2,
+            CostModel::new(2),
+        )
+        .unwrap();
+        for round in 0..=trace.last_arrival_round().unwrap() {
+            s.step(&trace.arrivals_at(round)).unwrap();
+        }
+        let r = s.finish_to(trace.horizon() + 7).unwrap();
+        assert_eq!(r.rounds, trace.horizon() + 8);
+        assert_eq!(r.executed + r.dropped_jobs, trace.total_jobs());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        // TopPending is stateless, so a fresh instance is a valid companion
+        // for any snapshot; stateful policies are covered by the replay-based
+        // conformance suite in rrs-service.
+        let trace = demo_trace();
+        let mk = || {
+            StreamingEngine::new(
+                trace.colors().clone(),
+                Box::new(TopPending),
+                2,
+                CostModel::new(3),
+            )
+            .unwrap()
+        };
+        let last = trace.last_arrival_round().unwrap();
+        for cut in 0..=last {
+            let mut full = mk();
+            let mut prefix = mk();
+            for round in 0..=last {
+                if round <= cut {
+                    prefix.step(&trace.arrivals_at(round)).unwrap();
+                }
+                full.step(&trace.arrivals_at(round)).unwrap();
+            }
+            let snap = prefix.snapshot();
+            assert_eq!(snap.round, cut + 1);
+            let mut restored = StreamingEngine::restore(
+                trace.colors().clone(),
+                Box::new(TopPending),
+                snap.clone(),
+            )
+            .unwrap();
+            assert_eq!(restored.snapshot(), snap, "restore is lossless");
+            for round in cut + 1..=last {
+                restored.step(&trace.arrivals_at(round)).unwrap();
+            }
+            let a = full.finish().unwrap();
+            let b = restored.finish().unwrap();
+            assert_eq!(a, b, "kill-and-restore at round {cut} diverged");
+        }
+    }
+
+    #[test]
+    fn restore_validates_snapshot_shape() {
+        let colors = crate::color::ColorTable::from_delay_bounds(&[4]);
+        let s = StreamingEngine::new(
+            colors.clone(),
+            Box::new(TopPending),
+            2,
+            CostModel::new(1),
+        )
+        .unwrap();
+        let snap = s.snapshot();
+        // Wrong color table arity.
+        let bad = crate::color::ColorTable::from_delay_bounds(&[4, 8]);
+        assert!(StreamingEngine::restore(bad, Box::new(TopPending), snap.clone()).is_err());
+        // Corrupted resource count.
+        let mut corrupt = snap.clone();
+        corrupt.n = 0;
+        assert!(StreamingEngine::restore(colors.clone(), Box::new(TopPending), corrupt).is_err());
+        let mut corrupt = snap;
+        corrupt.n = 3; // cache capacity still 2
+        assert!(StreamingEngine::restore(colors, Box::new(TopPending), corrupt).is_err());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Service-level errors.
+
+use crate::shard::TenantId;
+use std::fmt;
+
+/// Result alias using [`ServiceError`].
+pub type ServiceResult<T> = std::result::Result<T, ServiceError>;
+
+/// Errors raised by the service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// An engine or policy construction error bubbled up from `rrs-core`.
+    Engine(rrs_core::Error),
+    /// The target shard's worker is gone (killed or panicked).
+    ShardDown(usize),
+    /// A shard index outside `0..shards`.
+    UnknownShard(usize),
+    /// A command referenced a tenant the shard does not own.
+    UnknownTenant(TenantId),
+    /// A tenant id was registered twice.
+    DuplicateTenant(TenantId),
+    /// Replaying a snapshot did not reproduce the recorded engine state —
+    /// the snapshot is corrupt or the policy is nondeterministic.
+    Divergence(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::ShardDown(i) => write!(f, "shard {i} is down"),
+            ServiceError::UnknownShard(i) => write!(f, "no such shard: {i}"),
+            ServiceError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServiceError::DuplicateTenant(t) => write!(f, "tenant {t} already registered"),
+            ServiceError::Divergence(msg) => write!(f, "snapshot divergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<rrs_core::Error> for ServiceError {
+    fn from(e: rrs_core::Error) -> Self {
+        ServiceError::Engine(e)
+    }
+}

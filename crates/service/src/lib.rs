@@ -1,0 +1,41 @@
+//! # rrs-service — sharded multi-tenant streaming scheduler service
+//!
+//! Runs many independent [`rrs_core::StreamingEngine`] instances (one per
+//! *tenant*) behind a sharded command-queue front end:
+//!
+//! * tenants are hash-partitioned across a fixed set of **shards**
+//!   ([`Service::shard_of`]); each shard is one worker thread draining a
+//!   bounded MPSC queue of [`Command`]s (`Submit`, `Tick`, `Snapshot`,
+//!   `Stats`, `Restore`, `Finish`) with blocking backpressure when the
+//!   queue fills;
+//! * every tenant keeps its full **arrival log**, so a [`TenantSnapshot`] —
+//!   spec + log + inbox + [`rrs_core::EngineSnapshot`] — is serializable and
+//!   a killed shard can be rebuilt mid-run with **bit-identical**
+//!   continuation ([`Service::kill_shard`] / [`Service::restore_shard`]):
+//!   the log is replayed through a fresh engine and the result verified
+//!   against the recorded state;
+//! * per-shard and per-tenant counters (rounds, executed, dropped,
+//!   reconfiguration cost, queue depth, backpressure waits, p50/p99 step
+//!   latency) are exposed through [`Service::stats`] as a [`ServiceStats`].
+//!
+//! Because every [`PolicySpec`] policy is deterministic, a tenant's final
+//! [`rrs_core::RunResult`] is independent of the shard count, of command
+//! interleaving across tenants, and of any kill/restore cycles — the
+//! conformance and fuzz tests in this crate check exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod policy;
+pub mod service;
+pub mod shard;
+pub mod stats;
+pub mod tenant;
+
+pub use error::{ServiceError, ServiceResult};
+pub use policy::PolicySpec;
+pub use service::{Service, ServiceConfig, ServiceSnapshot};
+pub use shard::{restore_tenants, spawn_shard, Command, ShardHandle, ShardSnapshot, TenantId};
+pub use stats::{LatencyHistogramNs, ServiceStats, ShardStats};
+pub use tenant::{Tenant, TenantProgress, TenantSnapshot, TenantSpec};

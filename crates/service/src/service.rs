@@ -1,0 +1,322 @@
+//! The multi-tenant scheduler service: a fixed set of shards, each a worker
+//! thread, with tenants hash-partitioned across them.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::shard::{
+    restore_tenants, spawn_shard, Command, ShardHandle, ShardSnapshot, TenantId,
+};
+use crate::stats::ServiceStats;
+use crate::tenant::TenantSpec;
+use rrs_core::{ColorId, RunResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Service topology parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Number of shard workers.
+    pub shards: usize,
+    /// Bounded command-queue capacity per shard.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 4, queue_capacity: 128 }
+    }
+}
+
+/// Full-service snapshot: one [`ShardSnapshot`] per shard, in shard order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// The topology at capture time.
+    pub config: ServiceConfig,
+    /// Per-shard captures.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Job conservation across every tenant of every shard.
+    pub fn conserves_jobs(&self) -> bool {
+        self.shards.iter().all(ShardSnapshot::conserves_jobs)
+    }
+}
+
+/// A sharded multi-tenant streaming scheduler service.
+///
+/// Tenant placement is `hash(tenant id) % shards` (Fibonacci hashing), so a
+/// tenant's shard is a pure function of its id and the shard count — restores
+/// and cross-topology comparisons place tenants identically.
+pub struct Service {
+    config: ServiceConfig,
+    shards: Vec<Option<ShardHandle>>,
+    /// Tenant directory: id → shard. Kept service-side so routing does not
+    /// require asking workers.
+    tenants: BTreeMap<TenantId, usize>,
+}
+
+impl Service {
+    /// Starts `config.shards` empty shard workers.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|i| Some(spawn_shard(i, config.queue_capacity, BTreeMap::new())))
+            .collect();
+        Service { config, shards, tenants: BTreeMap::new() }
+    }
+
+    /// The shard a tenant id maps to.
+    pub fn shard_of(&self, id: TenantId) -> usize {
+        // Fibonacci hashing: multiply by 2^64/φ and keep the high bits, which
+        // spreads sequential ids evenly across small shard counts.
+        let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) % self.shards.len()
+    }
+
+    /// The service topology.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    fn handle(&self, shard: usize) -> ServiceResult<&ShardHandle> {
+        self.shards
+            .get(shard)
+            .ok_or(ServiceError::UnknownShard(shard))?
+            .as_ref()
+            .ok_or(ServiceError::ShardDown(shard))
+    }
+
+    /// Registers a tenant on its home shard.
+    pub fn add_tenant(&mut self, id: TenantId, spec: TenantSpec) -> ServiceResult<()> {
+        if self.tenants.contains_key(&id) {
+            return Err(ServiceError::DuplicateTenant(id));
+        }
+        let shard = self.shard_of(id);
+        self.handle(shard)?.add_tenant(id, spec)?;
+        self.tenants.insert(id, shard);
+        Ok(())
+    }
+
+    /// Buffers arrivals for a tenant's next tick.
+    pub fn submit(&self, id: TenantId, arrivals: Vec<(ColorId, u64)>) -> ServiceResult<()> {
+        let &shard = self.tenants.get(&id).ok_or(ServiceError::UnknownTenant(id))?;
+        self.handle(shard)?.send(Command::Submit { tenant: id, arrivals })
+    }
+
+    /// Advances every tenant on every live shard one round.
+    pub fn tick(&self) -> ServiceResult<()> {
+        for shard in self.shards.iter().flatten() {
+            shard.send(Command::Tick)?;
+        }
+        Ok(())
+    }
+
+    /// Captures one shard's state.
+    pub fn snapshot_shard(&self, shard: usize) -> ServiceResult<ShardSnapshot> {
+        self.handle(shard)?.snapshot()
+    }
+
+    /// Captures the whole service.
+    pub fn snapshot(&self) -> ServiceResult<ServiceSnapshot> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            shards.push(self.snapshot_shard(i)?);
+        }
+        Ok(ServiceSnapshot { config: self.config, shards })
+    }
+
+    /// Kills a shard worker without draining it. In-queue commands are
+    /// processed, then the thread exits and its tenants are discarded; use
+    /// [`Service::restore_shard`] with an earlier snapshot to rebuild.
+    pub fn kill_shard(&mut self, shard: usize) -> ServiceResult<()> {
+        let slot = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServiceError::UnknownShard(shard))?;
+        match slot.take() {
+            Some(h) => {
+                h.kill();
+                Ok(())
+            }
+            None => Err(ServiceError::ShardDown(shard)),
+        }
+    }
+
+    /// Rebuilds a killed shard from a snapshot: every tenant is replayed from
+    /// its log, verified against the recorded engine state, and handed to a
+    /// fresh worker thread.
+    pub fn restore_shard(&mut self, snapshot: ShardSnapshot) -> ServiceResult<()> {
+        let shard = snapshot.shard;
+        match self.shards.get(shard) {
+            None => return Err(ServiceError::UnknownShard(shard)),
+            Some(Some(_)) => {
+                return Err(ServiceError::Divergence(format!(
+                    "shard {shard} is still running; kill it before restoring"
+                )))
+            }
+            Some(None) => {}
+        }
+        for (id, _) in &snapshot.tenants {
+            if self.tenants.get(id) != Some(&shard) {
+                return Err(ServiceError::Divergence(format!(
+                    "snapshot places tenant {id} on shard {shard}, directory disagrees"
+                )));
+            }
+        }
+        let tenants = restore_tenants(snapshot)?;
+        self.shards[shard] = Some(spawn_shard(shard, self.config.queue_capacity, tenants));
+        Ok(())
+    }
+
+    /// Rolls a **live** shard back to a snapshot in place: the worker thread
+    /// and its counters survive, but its tenants are rebuilt from the
+    /// snapshot (replay + verification, like [`Service::restore_shard`]).
+    pub fn rollback_shard(&self, snapshot: ShardSnapshot) -> ServiceResult<()> {
+        let shard = snapshot.shard;
+        for (id, _) in &snapshot.tenants {
+            if self.tenants.get(id) != Some(&shard) {
+                return Err(ServiceError::Divergence(format!(
+                    "snapshot places tenant {id} on shard {shard}, directory disagrees"
+                )));
+            }
+        }
+        self.handle(shard)?.restore(snapshot)
+    }
+
+    /// Collects service-wide counters (one snapshot + stats round-trip per
+    /// live shard).
+    pub fn stats(&self) -> ServiceResult<ServiceStats> {
+        let mut shards = Vec::new();
+        let mut tenants = Vec::new();
+        for shard in self.shards.iter().flatten() {
+            shards.push(shard.stats()?);
+            for (id, t) in shard.snapshot()?.tenants {
+                let r = &t.engine.result;
+                tenants.push((
+                    id,
+                    crate::tenant::TenantProgress {
+                        rounds: r.rounds,
+                        arrived: t.arrived(),
+                        executed: r.executed,
+                        dropped: r.dropped_jobs,
+                        pending: t.engine.pending.total(),
+                        inbox: t.inbox.iter().map(|&(_, k)| k).sum(),
+                        cost: r.cost,
+                        reconfig_events: r.reconfig_events,
+                    },
+                ));
+            }
+        }
+        tenants.sort_by_key(|&(id, _)| id);
+        Ok(ServiceStats { shards, tenants })
+    }
+
+    /// Drains every tenant to its horizon, joins all workers, and returns the
+    /// final per-tenant results in ascending tenant order.
+    pub fn finish(self) -> ServiceResult<BTreeMap<TenantId, RunResult>> {
+        let mut results = BTreeMap::new();
+        for handle in self.shards.into_iter().flatten() {
+            for (id, r) in handle.finish()? {
+                results.insert(id, r);
+            }
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySpec;
+    use rrs_core::ColorTable;
+
+    fn spec() -> TenantSpec {
+        TenantSpec::new(PolicySpec::DlruEdf, ColorTable::from_delay_bounds(&[2, 4]), 4, 2)
+    }
+
+    #[test]
+    fn tenants_route_by_id_and_run_independently() {
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 });
+        for id in 0..6 {
+            svc.add_tenant(id, spec()).unwrap();
+        }
+        assert!(matches!(svc.add_tenant(3, spec()), Err(ServiceError::DuplicateTenant(3))));
+        for round in 0..4u64 {
+            for id in 0..6 {
+                svc.submit(id, vec![(ColorId((id % 2) as u32), 1 + round % 2)]).unwrap();
+            }
+            svc.tick().unwrap();
+        }
+        let stats = svc.stats().unwrap();
+        assert_eq!(stats.tenants.len(), 6);
+        assert!(stats.conserves_jobs());
+        let results = svc.finish().unwrap();
+        assert_eq!(results.len(), 6);
+        // All tenants saw the same per-parity workload, so results pair up.
+        assert_eq!(results[&0], results[&2]);
+        assert_eq!(results[&1], results[&3]);
+    }
+
+    #[test]
+    fn kill_and_restore_shard_is_lossless() {
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 });
+        for id in 0..4 {
+            svc.add_tenant(id, spec()).unwrap();
+        }
+        for _ in 0..3 {
+            for id in 0..4 {
+                svc.submit(id, vec![(ColorId(0), 2)]).unwrap();
+            }
+            svc.tick().unwrap();
+        }
+        let victim = svc.shard_of(0);
+        let snap = svc.snapshot_shard(victim).unwrap();
+        assert!(snap.conserves_jobs());
+        svc.kill_shard(victim).unwrap();
+        assert!(matches!(svc.snapshot_shard(victim), Err(ServiceError::ShardDown(_))));
+        svc.restore_shard(snap.clone()).unwrap();
+        assert_eq!(svc.snapshot_shard(victim).unwrap(), snap);
+        let results = svc.finish().unwrap();
+        assert_eq!(results.len(), 4);
+        let baseline = &results[&0];
+        for id in 1..4 {
+            assert_eq!(&results[&id], baseline, "tenant {id} diverged");
+        }
+    }
+
+    #[test]
+    fn rollback_rewinds_a_live_shard() {
+        let mut svc = Service::new(ServiceConfig { shards: 1, queue_capacity: 8 });
+        svc.add_tenant(0, spec()).unwrap();
+        for _ in 0..3 {
+            svc.submit(0, vec![(ColorId(0), 2)]).unwrap();
+            svc.tick().unwrap();
+        }
+        let snap = svc.snapshot_shard(0).unwrap();
+        // Diverge past the snapshot, then roll back in place.
+        for _ in 0..4 {
+            svc.submit(0, vec![(ColorId(1), 3)]).unwrap();
+            svc.tick().unwrap();
+        }
+        assert_ne!(svc.snapshot_shard(0).unwrap(), snap);
+        svc.rollback_shard(snap.clone()).unwrap();
+        assert_eq!(svc.snapshot_shard(0).unwrap(), snap, "rollback is exact");
+        let results = svc.finish().unwrap();
+        assert_eq!(results[&0].executed + results[&0].dropped_jobs, 6);
+    }
+
+    #[test]
+    fn restore_refuses_wrong_target() {
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 });
+        svc.add_tenant(0, spec()).unwrap();
+        let shard = svc.shard_of(0);
+        let snap = svc.snapshot_shard(shard).unwrap();
+        // Live shard: must kill first.
+        assert!(svc.restore_shard(snap.clone()).is_err());
+        svc.kill_shard(shard).unwrap();
+        let mut bad = snap.clone();
+        bad.shard = 99;
+        assert!(matches!(svc.restore_shard(bad), Err(ServiceError::UnknownShard(99))));
+        svc.restore_shard(snap).unwrap();
+        svc.finish().unwrap();
+    }
+}

@@ -1,0 +1,388 @@
+//! Shard workers: each shard is one OS thread owning a disjoint set of
+//! tenants, drained from a bounded MPSC command queue.
+//!
+//! Senders first `try_send`; when the queue is full they count a backpressure
+//! wait and fall back to a blocking `send`, so producers slow down to the
+//! shard's drain rate instead of growing an unbounded buffer. Queue depth is
+//! tracked with a shared atomic (incremented on enqueue, decremented when the
+//! worker pops), which keeps the hot path lock-free.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::stats::{LatencyHistogramNs, ShardStats};
+use crate::tenant::{Tenant, TenantSnapshot, TenantSpec};
+use rrs_core::{ColorId, RunResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tenants are identified service-wide by an opaque integer id.
+pub type TenantId = u64;
+
+/// Commands a shard worker understands.
+pub enum Command {
+    /// Registers a new tenant at round 0.
+    AddTenant {
+        /// Service-wide tenant id.
+        id: TenantId,
+        /// Instance parameters for the tenant's engine.
+        spec: TenantSpec,
+        /// Acknowledgement channel.
+        reply: SyncSender<ServiceResult<()>>,
+    },
+    /// Buffers arrivals into a tenant's inbox for its next tick.
+    Submit {
+        /// Target tenant.
+        tenant: TenantId,
+        /// `(color, count)` pairs; counts merge per color.
+        arrivals: Vec<(ColorId, u64)>,
+    },
+    /// Advances every owned tenant one round.
+    Tick,
+    /// Captures a serializable snapshot of every owned tenant.
+    Snapshot {
+        /// Reply channel for the captured state.
+        reply: SyncSender<ShardSnapshot>,
+    },
+    /// Reports the shard's counters.
+    Stats {
+        /// Reply channel for the counters.
+        reply: SyncSender<ShardStats>,
+    },
+    /// Replaces the worker's tenants with a snapshot's (in-place rollback;
+    /// the worker thread and its counters survive).
+    Restore {
+        /// The state to roll back to.
+        snapshot: ShardSnapshot,
+        /// Acknowledgement channel.
+        reply: SyncSender<ServiceResult<()>>,
+    },
+    /// Drains every tenant to its horizon and shuts the worker down.
+    Finish {
+        /// Reply channel for the final per-tenant results.
+        reply: SyncSender<ServiceResult<Vec<(TenantId, RunResult)>>>,
+    },
+}
+
+/// Serializable capture of one shard: every owned tenant's snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// The shard index the snapshot was taken from.
+    pub shard: usize,
+    /// `(tenant id, snapshot)` in ascending tenant order.
+    pub tenants: Vec<(TenantId, TenantSnapshot)>,
+}
+
+impl ShardSnapshot {
+    /// Job conservation over every tenant in the shard.
+    pub fn conserves_jobs(&self) -> bool {
+        self.tenants.iter().all(|(_, t)| t.conserves_jobs())
+    }
+}
+
+/// Sender side of a shard: the command queue plus its shared gauges.
+pub struct ShardHandle {
+    shard: usize,
+    tx: SyncSender<Command>,
+    depth: Arc<AtomicUsize>,
+    backpressure: Arc<AtomicU64>,
+    join: JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// The shard index this handle talks to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Commands currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a command, blocking (and counting a backpressure wait) when
+    /// the bounded queue is full.
+    pub fn send(&self, cmd: Command) -> ServiceResult<()> {
+        // Count the slot before the worker can pop it, so depth never reads
+        // negative under a fast consumer.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let res = match self.tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(cmd)) => {
+                self.backpressure.fetch_add(1, Ordering::Relaxed);
+                self.tx.send(cmd).map_err(|_| ())
+            }
+            Err(TrySendError::Disconnected(_)) => Err(()),
+        };
+        res.map_err(|()| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            ServiceError::ShardDown(self.shard)
+        })
+    }
+
+    /// Sends a command and waits for its reply.
+    fn round_trip<T>(
+        &self,
+        make: impl FnOnce(SyncSender<T>) -> Command,
+    ) -> ServiceResult<T> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.send(make(reply_tx))?;
+        reply_rx.recv().map_err(|_| ServiceError::ShardDown(self.shard))
+    }
+
+    /// Registers a tenant and waits for the acknowledgement.
+    pub fn add_tenant(&self, id: TenantId, spec: TenantSpec) -> ServiceResult<()> {
+        self.round_trip(|reply| Command::AddTenant { id, spec, reply })?
+    }
+
+    /// Captures the shard's state.
+    pub fn snapshot(&self) -> ServiceResult<ShardSnapshot> {
+        self.round_trip(|reply| Command::Snapshot { reply })
+    }
+
+    /// Rolls the live worker back to a snapshot and waits for the
+    /// acknowledgement.
+    pub fn restore(&self, snapshot: ShardSnapshot) -> ServiceResult<()> {
+        self.round_trip(|reply| Command::Restore { snapshot, reply })?
+    }
+
+    /// Reads the shard's counters.
+    pub fn stats(&self) -> ServiceResult<ShardStats> {
+        self.round_trip(|reply| Command::Stats { reply })
+    }
+
+    /// Drains every tenant and joins the worker.
+    pub fn finish(self) -> ServiceResult<Vec<(TenantId, RunResult)>> {
+        let results = self.round_trip(|reply| Command::Finish { reply })?;
+        let _ = self.join.join();
+        results
+    }
+
+    /// Kills the worker without draining: the queue is closed and the thread
+    /// joined. Owned tenants are discarded — restore them from a snapshot.
+    pub fn kill(self) {
+        drop(self.tx);
+        let _ = self.join.join();
+    }
+}
+
+/// Spawns a shard worker owning `tenants` (empty for a fresh shard, restored
+/// tenants when rebuilding a killed shard).
+pub fn spawn_shard(
+    shard: usize,
+    queue_capacity: usize,
+    tenants: BTreeMap<TenantId, Tenant>,
+) -> ShardHandle {
+    let (tx, rx) = sync_channel(queue_capacity.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+    let backpressure = Arc::new(AtomicU64::new(0));
+    let worker = Worker {
+        tenants,
+        stats: ShardStats { shard, ..ShardStats::default() },
+        depth: Arc::clone(&depth),
+        backpressure: Arc::clone(&backpressure),
+    };
+    let join = std::thread::Builder::new()
+        .name(format!("rrs-shard-{shard}"))
+        .spawn(move || worker.run(rx))
+        .expect("spawn shard worker");
+    ShardHandle { shard, tx, depth, backpressure, join }
+}
+
+struct Worker {
+    tenants: BTreeMap<TenantId, Tenant>,
+    stats: ShardStats,
+    depth: Arc<AtomicUsize>,
+    backpressure: Arc<AtomicU64>,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Command>) {
+        while let Ok(cmd) = rx.recv() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            self.stats.commands += 1;
+            if self.handle(cmd) {
+                return; // Finish processed — shut down.
+            }
+        }
+        // All senders dropped: the shard was killed. Owned tenants are
+        // discarded; a restore path rebuilds them from the last snapshot.
+    }
+
+    /// Returns `true` when the worker should shut down.
+    fn handle(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::AddTenant { id, spec, reply } => {
+                let res = if self.tenants.contains_key(&id) {
+                    Err(ServiceError::DuplicateTenant(id))
+                } else {
+                    Tenant::new(spec).map(|t| {
+                        self.tenants.insert(id, t);
+                    })
+                };
+                if res.is_err() {
+                    self.stats.command_errors += 1;
+                }
+                let _ = reply.send(res);
+            }
+            Command::Submit { tenant, arrivals } => {
+                self.stats.submits += 1;
+                match self.tenants.get_mut(&tenant) {
+                    Some(t) => {
+                        if t.submit(&arrivals).is_err() {
+                            self.stats.command_errors += 1;
+                        }
+                    }
+                    None => self.stats.command_errors += 1,
+                }
+            }
+            Command::Tick => {
+                self.stats.ticks += 1;
+                let mut latency = LatencyHistogramNs::new();
+                for t in self.tenants.values_mut() {
+                    let start = Instant::now();
+                    if t.tick().is_err() {
+                        self.stats.command_errors += 1;
+                    }
+                    latency.record(start.elapsed().as_nanos() as u64);
+                }
+                self.stats.step_latency.merge(&latency);
+            }
+            Command::Snapshot { reply } => {
+                let snap = ShardSnapshot {
+                    shard: self.stats.shard,
+                    tenants: self
+                        .tenants
+                        .iter()
+                        .map(|(&id, t)| (id, t.snapshot()))
+                        .collect(),
+                };
+                let _ = reply.send(snap);
+            }
+            Command::Stats { reply } => {
+                let _ = reply.send(self.current_stats());
+            }
+            Command::Restore { snapshot, reply } => {
+                let res = restore_tenants(snapshot).map(|tenants| {
+                    self.tenants = tenants;
+                });
+                if res.is_err() {
+                    self.stats.command_errors += 1;
+                }
+                let _ = reply.send(res);
+            }
+            Command::Finish { reply } => {
+                let tenants = std::mem::take(&mut self.tenants);
+                let mut results = Vec::with_capacity(tenants.len());
+                let res = (|| {
+                    for (id, t) in tenants {
+                        results.push((id, t.finish()?));
+                    }
+                    Ok(std::mem::take(&mut results))
+                })();
+                let _ = reply.send(res);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn current_stats(&self) -> ShardStats {
+        let mut s = self.stats.clone();
+        s.tenants = self.tenants.len();
+        s.queue_depth = self.depth.load(Ordering::Relaxed);
+        s.backpressure_waits = self.backpressure.load(Ordering::Relaxed);
+        let (mut executed, mut dropped, mut reconfig) = (0, 0, 0);
+        for t in self.tenants.values() {
+            let p = t.progress();
+            executed += p.executed;
+            dropped += p.dropped;
+            reconfig += p.cost.reconfig;
+        }
+        s.executed = executed;
+        s.dropped = dropped;
+        s.reconfig_cost = reconfig;
+        s
+    }
+}
+
+/// Rebuilds the tenants of a [`ShardSnapshot`] (replay + verification per
+/// tenant), ready to hand to [`spawn_shard`].
+pub fn restore_tenants(
+    snapshot: ShardSnapshot,
+) -> ServiceResult<BTreeMap<TenantId, Tenant>> {
+    let mut tenants = BTreeMap::new();
+    for (id, snap) in snapshot.tenants {
+        if tenants.insert(id, Tenant::restore(snap)?).is_some() {
+            return Err(ServiceError::DuplicateTenant(id));
+        }
+    }
+    Ok(tenants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySpec;
+    use rrs_core::ColorTable;
+
+    fn spec() -> TenantSpec {
+        TenantSpec::new(PolicySpec::DlruEdf, ColorTable::from_delay_bounds(&[2, 4]), 4, 2)
+    }
+
+    #[test]
+    fn worker_processes_commands_and_finishes() {
+        let h = spawn_shard(0, 4, BTreeMap::new());
+        h.add_tenant(7, spec()).unwrap();
+        assert!(matches!(
+            h.add_tenant(7, spec()),
+            Err(ServiceError::DuplicateTenant(7))
+        ));
+        h.send(Command::Submit { tenant: 7, arrivals: vec![(ColorId(0), 3)] }).unwrap();
+        h.send(Command::Tick).unwrap();
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.tenants.len(), 1);
+        assert!(snap.conserves_jobs());
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.ticks, 1);
+        assert_eq!(stats.submits, 1);
+        let results = h.finish().unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0].1;
+        assert_eq!(r.executed + r.dropped_jobs, 3);
+    }
+
+    #[test]
+    fn kill_then_restore_continues_from_snapshot() {
+        let h = spawn_shard(1, 4, BTreeMap::new());
+        h.add_tenant(1, spec()).unwrap();
+        for _ in 0..5 {
+            h.send(Command::Submit { tenant: 1, arrivals: vec![(ColorId(1), 2)] }).unwrap();
+            h.send(Command::Tick).unwrap();
+        }
+        let snap = h.snapshot().unwrap();
+        h.kill();
+        let rebuilt = restore_tenants(snap.clone()).unwrap();
+        let h2 = spawn_shard(1, 4, rebuilt);
+        let snap2 = h2.snapshot().unwrap();
+        assert_eq!(snap2, snap, "restored shard state is bit-identical");
+        let results = h2.finish().unwrap();
+        assert_eq!(results[0].1.executed + results[0].1.dropped_jobs, 10);
+    }
+
+    #[test]
+    fn send_to_dead_shard_reports_shard_down() {
+        let ShardHandle { shard, tx, depth, backpressure, join } =
+            spawn_shard(2, 4, BTreeMap::new());
+        let (reply_tx, reply_rx) = sync_channel(1);
+        depth.fetch_add(1, Ordering::Relaxed);
+        tx.send(Command::Finish { reply: reply_tx }).unwrap();
+        reply_rx.recv().unwrap().unwrap();
+        join.join().unwrap(); // worker exited; its receiver is gone
+        let dead = ShardHandle { shard, tx, depth, backpressure, join: std::thread::spawn(|| {}) };
+        assert!(matches!(dead.send(Command::Tick), Err(ServiceError::ShardDown(2))));
+    }
+}

@@ -1,0 +1,294 @@
+//! One tenant: a [`StreamingEngine`] plus the bookkeeping that makes it
+//! restartable.
+//!
+//! A tenant buffers submitted arrivals in an inbox until the next tick, and
+//! keeps the per-round arrival log of everything already ticked. A
+//! [`TenantSnapshot`] is therefore fully serializable — spec, log, inbox and
+//! the engine's own [`EngineSnapshot`] — and [`Tenant::restore`] rebuilds a
+//! bit-identical tenant by replaying the log through a fresh engine (which
+//! also reconstructs the policy's internal state, since every
+//! [`crate::PolicySpec`] policy is deterministic). The rebuilt engine state is
+//! verified against the stored snapshot, so corruption or nondeterminism is
+//! detected at restore time instead of corrupting results silently.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::policy::PolicySpec;
+use rrs_core::streaming::{EngineSnapshot, StreamingEngine};
+use rrs_core::{ColorId, ColorTable, Cost, CostModel, Round, RunResult, StepOutcome};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything needed to create a tenant's engine from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// The policy the tenant runs.
+    pub policy: PolicySpec,
+    /// The tenant's service categories.
+    pub colors: ColorTable,
+    /// Resources given to the tenant's engine.
+    pub n: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+}
+
+impl TenantSpec {
+    /// Convenience constructor.
+    pub fn new(policy: PolicySpec, colors: ColorTable, n: usize, delta: u64) -> Self {
+        TenantSpec { policy, colors, n, delta }
+    }
+}
+
+/// Point-in-time capture of one tenant, sufficient to rebuild it exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// The tenant's instance parameters.
+    pub spec: TenantSpec,
+    /// Arrivals of every round already ticked, in round order.
+    pub log: Vec<Vec<(ColorId, u64)>>,
+    /// Buffered arrivals not yet ticked, in ascending color order.
+    pub inbox: Vec<(ColorId, u64)>,
+    /// The engine state at the snapshot point (used to verify the replay).
+    pub engine: EngineSnapshot,
+}
+
+impl TenantSnapshot {
+    /// Jobs that have entered ticked rounds (arrived from the engine's point
+    /// of view). Inbox jobs are submitted but not yet part of any round.
+    pub fn arrived(&self) -> u64 {
+        self.log.iter().flatten().map(|&(_, k)| k).sum()
+    }
+
+    /// Job conservation at the snapshot point:
+    /// `arrived = executed + dropped + pending`.
+    pub fn conserves_jobs(&self) -> bool {
+        self.arrived()
+            == self.engine.result.executed
+                + self.engine.result.dropped_jobs
+                + self.engine.pending.total()
+    }
+}
+
+/// A live tenant.
+pub struct Tenant {
+    spec: TenantSpec,
+    engine: StreamingEngine,
+    log: Vec<Vec<(ColorId, u64)>>,
+    inbox: BTreeMap<ColorId, u64>,
+}
+
+impl Tenant {
+    /// Creates a tenant at round 0 with a fresh policy.
+    pub fn new(spec: TenantSpec) -> ServiceResult<Self> {
+        if spec.delta == 0 {
+            return Err(ServiceError::Engine(rrs_core::Error::InvalidParameter(
+                "tenant Δ must be positive".into(),
+            )));
+        }
+        let policy = spec.policy.build(&spec.colors, spec.n, spec.delta)?;
+        let engine = StreamingEngine::with_speed(
+            spec.colors.clone(),
+            policy,
+            spec.n,
+            CostModel::new(spec.delta),
+            spec.policy.speed(),
+        )?;
+        Ok(Tenant { spec, engine, log: Vec::new(), inbox: BTreeMap::new() })
+    }
+
+    /// The tenant's instance parameters.
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    /// The next round a tick will simulate.
+    pub fn current_round(&self) -> Round {
+        self.engine.current_round()
+    }
+
+    /// Buffers arrivals for the next tick (counts merge per color).
+    pub fn submit(&mut self, arrivals: &[(ColorId, u64)]) -> ServiceResult<()> {
+        for &(c, k) in arrivals {
+            if c.index() >= self.spec.colors.len() {
+                return Err(ServiceError::Engine(rrs_core::Error::UnknownColor(c)));
+            }
+            if k > 0 {
+                *self.inbox.entry(c).or_insert(0) += k;
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates one round with the buffered arrivals.
+    pub fn tick(&mut self) -> ServiceResult<StepOutcome> {
+        let arrivals: Vec<(ColorId, u64)> =
+            std::mem::take(&mut self.inbox).into_iter().collect();
+        let outcome = self.engine.step(&arrivals)?;
+        self.log.push(arrivals);
+        Ok(outcome)
+    }
+
+    /// Captures the tenant's full state.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            spec: self.spec.clone(),
+            log: self.log.clone(),
+            inbox: self.inbox.iter().map(|(&c, &k)| (c, k)).collect(),
+            engine: self.engine.snapshot(),
+        }
+    }
+
+    /// Rebuilds a tenant from a snapshot with bit-identical continuation.
+    ///
+    /// The arrival log is replayed through a fresh engine and policy, and the
+    /// rebuilt engine state is compared against the snapshot's recorded
+    /// [`EngineSnapshot`]; a mismatch yields [`ServiceError::Divergence`].
+    pub fn restore(snapshot: TenantSnapshot) -> ServiceResult<Self> {
+        let mut tenant = Tenant::new(snapshot.spec.clone())?;
+        for arrivals in &snapshot.log {
+            tenant.engine.step(arrivals)?;
+        }
+        tenant.log = snapshot.log;
+        let rebuilt = tenant.engine.snapshot();
+        if rebuilt != snapshot.engine {
+            return Err(ServiceError::Divergence(format!(
+                "replayed {} rounds of tenant log but engine state differs \
+                 (round {} vs {}, cost {:?} vs {:?})",
+                tenant.log.len(),
+                rebuilt.round,
+                snapshot.engine.round,
+                rebuilt.result.cost,
+                snapshot.engine.result.cost,
+            )));
+        }
+        tenant.inbox = snapshot.inbox.into_iter().collect();
+        Ok(tenant)
+    }
+
+    /// Ticked arrivals so far (inbox not included).
+    pub fn arrived(&self) -> u64 {
+        self.log.iter().flatten().map(|&(_, k)| k).sum()
+    }
+
+    /// Live cost/progress counters.
+    pub fn progress(&self) -> TenantProgress {
+        let r = self.engine.partial_result();
+        TenantProgress {
+            rounds: r.rounds,
+            arrived: self.arrived(),
+            executed: r.executed,
+            dropped: r.dropped_jobs,
+            pending: self.engine.pending_jobs(),
+            inbox: self.inbox.values().sum(),
+            cost: r.cost,
+            reconfig_events: r.reconfig_events,
+        }
+    }
+
+    /// Drains the engine to its horizon and returns the final result.
+    pub fn finish(mut self) -> ServiceResult<RunResult> {
+        // Flush any still-buffered arrivals first so they are not lost.
+        if !self.inbox.is_empty() {
+            self.tick()?;
+        }
+        Ok(self.engine.finish()?)
+    }
+}
+
+/// Live per-tenant counters (see [`Tenant::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TenantProgress {
+    /// Rounds simulated so far.
+    pub rounds: Round,
+    /// Jobs that entered ticked rounds.
+    pub arrived: u64,
+    /// Jobs executed.
+    pub executed: u64,
+    /// Jobs dropped.
+    pub dropped: u64,
+    /// Jobs pending inside the engine.
+    pub pending: u64,
+    /// Jobs buffered in the inbox (submitted, not yet ticked).
+    pub inbox: u64,
+    /// Accumulated cost.
+    pub cost: Cost,
+    /// Individual resource recolorings.
+    pub reconfig_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TenantSpec {
+        TenantSpec::new(
+            PolicySpec::DlruEdf,
+            ColorTable::from_delay_bounds(&[2, 4, 8]),
+            4,
+            2,
+        )
+    }
+
+    #[test]
+    fn submit_merges_and_tick_consumes() {
+        let mut t = Tenant::new(spec()).unwrap();
+        t.submit(&[(ColorId(0), 2), (ColorId(2), 1)]).unwrap();
+        t.submit(&[(ColorId(0), 1)]).unwrap();
+        assert_eq!(t.progress().inbox, 4);
+        t.tick().unwrap();
+        assert_eq!(t.progress().inbox, 0);
+        assert_eq!(t.arrived(), 4);
+        assert_eq!(t.current_round(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_is_lossless_and_continues_identically() {
+        let mut a = Tenant::new(spec()).unwrap();
+        for round in 0..12u64 {
+            a.submit(&[(ColorId((round % 3) as u32), 1 + round % 4)]).unwrap();
+            a.tick().unwrap();
+        }
+        a.submit(&[(ColorId(1), 5)]).unwrap(); // leave something in the inbox
+        let snap = a.snapshot();
+        assert!(snap.conserves_jobs());
+        let mut b = Tenant::restore(snap.clone()).unwrap();
+        assert_eq!(b.snapshot(), snap, "restore is lossless");
+        // Continue both identically.
+        for t in [&mut a, &mut b] {
+            t.submit(&[(ColorId(0), 3)]).unwrap();
+            t.tick().unwrap();
+        }
+        assert_eq!(a.finish().unwrap(), b.finish().unwrap());
+    }
+
+    #[test]
+    fn restore_detects_corruption() {
+        let mut t = Tenant::new(spec()).unwrap();
+        for _ in 0..4 {
+            t.submit(&[(ColorId(0), 2)]).unwrap();
+            t.tick().unwrap();
+        }
+        let mut snap = t.snapshot();
+        snap.engine.result.executed += 1; // corrupt the recorded state
+        assert!(matches!(
+            Tenant::restore(snap),
+            Err(ServiceError::Divergence(_))
+        ));
+    }
+
+    #[test]
+    fn finish_flushes_inbox() {
+        let mut t = Tenant::new(spec()).unwrap();
+        t.submit(&[(ColorId(0), 3)]).unwrap();
+        let r = t.finish().unwrap();
+        assert_eq!(r.executed + r.dropped_jobs, 3, "buffered jobs are not lost");
+    }
+
+    #[test]
+    fn rejects_unknown_color_and_zero_delta() {
+        let mut t = Tenant::new(spec()).unwrap();
+        assert!(t.submit(&[(ColorId(9), 1)]).is_err());
+        let mut bad = spec();
+        bad.delta = 0;
+        assert!(Tenant::new(bad).is_err());
+    }
+}

@@ -74,7 +74,11 @@ impl UniformInstance {
 }
 
 /// A block-level online policy: assigns slots to colors at each block start.
-pub trait BlockPolicy {
+///
+/// `Send` mirrors the bound on [`rrs_core::Policy`] (which
+/// [`crate::BlockAdapter`] implements): block policies are plain data and may
+/// be moved into worker threads.
+pub trait BlockPolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> String;
     /// Returns the slot assignment for `block` given its arrivals: a

@@ -19,6 +19,7 @@
 pub mod adversary;
 pub mod combinators;
 pub mod fit;
+pub mod multi_tenant;
 pub mod scenarios;
 pub mod spec;
 pub mod synthetic;
@@ -27,6 +28,7 @@ pub mod util;
 pub use adversary::{DlruAdversary, EdfAdversary};
 pub use combinators::{concat, flash_crowd, merge, scale_counts, shift};
 pub use fit::{fit, ArrivalModel, ColorModel};
+pub use multi_tenant::{MultiTenantLoad, OpenLoopDriver};
 pub use scenarios::{BackgroundMix, Datacenter, Router};
 pub use spec::WorkloadSpec;
 pub use synthetic::{Bursty, RandomBatched, RandomGeneral};
@@ -34,6 +36,7 @@ pub use synthetic::{Bursty, RandomBatched, RandomGeneral};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::adversary::{DlruAdversary, EdfAdversary};
+    pub use crate::multi_tenant::{MultiTenantLoad, OpenLoopDriver};
     pub use crate::scenarios::{BackgroundMix, Datacenter, Router};
     pub use crate::spec::WorkloadSpec;
     pub use crate::synthetic::{Bursty, RandomBatched, RandomGeneral};
