@@ -8,9 +8,19 @@
 //! Before timing anything, the harness asserts kill/restore conformance:
 //! every shard count (with a kill/restore in the middle) must produce final
 //! per-tenant results identical to the 1-shard uninterrupted run.
+//!
+//! E13b — supervised recovery and overload shedding: the same load through a
+//! [`Supervisor`], steady vs a fault plan that kills every shard's worker
+//! once (the steady/faulted gap is the checkpoint + WAL recovery cost), and
+//! a 4× overload drive with and without an inbox watermark (the shedding
+//! fast-path vs buffering everything). Both are gated on bit-identical
+//! results against the unsupervised reference before timing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rrs_service::{PolicySpec, Service, ServiceConfig, TenantSpec};
+use rrs_service::{
+    FaultPlan, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig, Supervisor,
+    SupervisorConfig, TenantSpec,
+};
 use rrs_workloads::{MultiTenantLoad, OpenLoopDriver, RandomBatched, WorkloadSpec};
 use std::hint::black_box;
 
@@ -35,7 +45,7 @@ fn bench_load(horizon: u64) -> MultiTenantLoad {
 /// Drives the whole load through a service; optionally kills and restores
 /// one shard halfway. Returns the final per-tenant results (tenant order).
 fn drive(driver: &OpenLoopDriver, shards: usize, kill_mid_run: bool) -> Vec<rrs_core::RunResult> {
-    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 64 });
+    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 64 }).expect("service start");
     for t in 0..driver.tenants() {
         let spec = TenantSpec::new(
             PolicySpec::DlruEdf,
@@ -107,7 +117,7 @@ fn bench_snapshot_restore(c: &mut Criterion) {
     for horizon in [64u64, 256] {
         let load = bench_load(horizon);
         let driver = OpenLoopDriver::new(&load);
-        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 64 });
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 64 }).expect("service start");
         for t in 0..driver.tenants() {
             let spec = TenantSpec::new(
                 PolicySpec::DlruEdf,
@@ -140,5 +150,166 @@ fn bench_snapshot_restore(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_scaling, bench_snapshot_restore);
+/// Drives the whole load through a supervisor under a fault plan. Returns
+/// the final per-tenant results (tenant order).
+fn drive_supervised(
+    driver: &OpenLoopDriver,
+    shards: usize,
+    plan: &FaultPlan,
+    shed: ShedConfig,
+) -> Vec<rrs_core::RunResult> {
+    let config = SupervisorConfig {
+        shards,
+        queue_capacity: 64,
+        checkpoint_every: 32,
+        retry: RetryPolicy::default(),
+        shed,
+    };
+    let mut sup = Supervisor::with_faults(config, plan).expect("supervisor start");
+    for t in 0..driver.tenants() {
+        let spec = TenantSpec::new(
+            PolicySpec::DlruEdf,
+            driver.trace(t).colors().clone(),
+            N,
+            DELTA,
+        );
+        sup.add_tenant(t, spec).expect("add tenant");
+    }
+    for round in 0..=driver.horizon() {
+        for t in 0..driver.tenants() {
+            sup.submit(t, driver.arrivals(t, round)).expect("submit");
+        }
+        sup.tick().expect("tick");
+    }
+    let results = sup.finish().expect("finish");
+    (0..driver.tenants()).map(|t| results[&t].clone()).collect()
+}
+
+/// Injected panics are expected during the recovery bench; keep them quiet.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("injected fault"))
+            .or_else(|| info.payload().downcast_ref::<&str>().map(|s| s.contains("injected fault")))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+fn bench_supervised_recovery(c: &mut Criterion) {
+    quiet_injected_panics();
+    let load = bench_load(192);
+    let driver = OpenLoopDriver::new(&load);
+    let jobs: u64 = (0..TENANTS).map(|t| driver.trace(t).total_jobs()).sum();
+    let no_shed = ShedConfig::default();
+
+    // Conformance gate: supervised steady and supervised-with-kills must both
+    // match the unsupervised reference bit for bit.
+    let reference = drive(&driver, 2, false);
+    for shards in [2usize, 4] {
+        let plan = FaultPlan::kill_each_shard_once(shards, driver.horizon() + 1, 7);
+        assert_eq!(
+            drive_supervised(&driver, shards, &FaultPlan::none(), no_shed),
+            reference,
+            "supervised steady run diverged at {shards} shards"
+        );
+        assert_eq!(
+            drive_supervised(&driver, shards, &plan, no_shed),
+            reference,
+            "recovery at {shards} shards changed results"
+        );
+    }
+    println!("service: supervised recovery conformance OK at 2/4 shards");
+
+    let mut group = c.benchmark_group("service-recovery");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs));
+    for shards in [2usize, 4] {
+        let plan = FaultPlan::kill_each_shard_once(shards, driver.horizon() + 1, 7);
+        group.bench_function(BenchmarkId::new("supervised-steady", shards), |b| {
+            b.iter(|| {
+                black_box(drive_supervised(&driver, shards, &FaultPlan::none(), no_shed)).len()
+            });
+        });
+        group.bench_function(BenchmarkId::new("kill-each-shard", shards), |b| {
+            b.iter(|| black_box(drive_supervised(&driver, shards, &plan, no_shed)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shedding_throughput(c: &mut Criterion) {
+    // A 4× overload drive: every tenant submits a fixed burst per round that
+    // is four times the inbox watermark. With shedding on, excess jobs take
+    // the counted fast-path; with shedding off they all buffer and tick.
+    const ROUNDS: u64 = 128;
+    const WATERMARK: u64 = 8;
+    const BURST: u64 = 4 * WATERMARK;
+    let drive_overload = |shed: ShedConfig| {
+        let config = SupervisorConfig {
+            shards: 2,
+            queue_capacity: 64,
+            checkpoint_every: 32,
+            retry: RetryPolicy::default(),
+            shed,
+        };
+        let mut sup = Supervisor::new(config).expect("supervisor start");
+        let colors = rrs_core::ColorTable::from_delay_bounds(&[4, 8, 16, 32]);
+        for t in 0..TENANTS {
+            sup.add_tenant(t, TenantSpec::new(PolicySpec::DlruEdf, colors.clone(), N, DELTA))
+                .expect("add tenant");
+        }
+        for _ in 0..ROUNDS {
+            for t in 0..TENANTS {
+                sup.submit(t, vec![(rrs_core::ColorId(0), BURST)]).expect("submit");
+            }
+            sup.tick().expect("tick");
+        }
+        let stats = sup.stats().expect("stats");
+        sup.finish().expect("finish");
+        stats
+    };
+
+    // Gate: under overload the watermark sheds exactly the excess.
+    let stats = drive_overload(ShedConfig {
+        inbox_watermark: Some(WATERMARK),
+        queue_watermark: None,
+    });
+    assert_eq!(
+        stats.shed(),
+        TENANTS * ROUNDS * (BURST - WATERMARK),
+        "inbox watermark must shed exactly the per-round excess"
+    );
+    println!("service: overload shedding accounts for the excess exactly");
+
+    let mut group = c.benchmark_group("service-shedding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TENANTS * ROUNDS * BURST));
+    group.bench_function("overload-no-shed", |b| {
+        b.iter(|| black_box(drive_overload(ShedConfig::default())).shed());
+    });
+    group.bench_function("overload-inbox-watermark", |b| {
+        b.iter(|| {
+            black_box(drive_overload(ShedConfig {
+                inbox_watermark: Some(WATERMARK),
+                queue_watermark: None,
+            }))
+            .shed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shard_scaling,
+    bench_snapshot_restore,
+    bench_supervised_recovery,
+    bench_shedding_throughput
+);
 criterion_main!(benches);

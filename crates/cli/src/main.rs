@@ -12,6 +12,8 @@
 //! rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>]
 //!               [--policy <name>] [--n N] [--delta D] [--seed S]
 //!               [--queue-cap C] [--kill-round R [--kill-shard I]]
+//!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
+//!               [--shed-watermark W] [--shed-queue Q]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs list
 //! ```
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
                  rrs sweep --workload <name> --policy <name> [--n-list ..] [--delta-list ..] [--seeds K] [--threads N] [--csv]\n  \
                  rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>] [--policy <name>]\n  \
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
+                               [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs list"
             );
@@ -533,7 +536,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
 }
 
 fn cmd_serve_sim(args: &[String]) -> ExitCode {
-    use rrs_service::{PolicySpec, Service, ServiceConfig, TenantSpec};
+    use rrs_service::{
+        FaultPlan, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig, Supervisor,
+        SupervisorConfig, TenantSpec,
+    };
     use rrs_workloads::{MultiTenantLoad, OpenLoopDriver};
 
     let tenants: u64 = opt_value(args, "--tenants")
@@ -556,6 +562,17 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         .unwrap_or(128);
     let kill_round: Option<u64> = opt_value(args, "--kill-round").and_then(|v| v.parse().ok());
     let kill_shard: Option<usize> = opt_value(args, "--kill-shard").and_then(|v| v.parse().ok());
+    let shed_watermark: Option<u64> =
+        opt_value(args, "--shed-watermark").and_then(|v| v.parse().ok());
+    let shed_queue: Option<usize> = opt_value(args, "--shed-queue").and_then(|v| v.parse().ok());
+    let checkpoint_every: u64 = opt_value(args, "--checkpoint-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let fault_spec = opt_value(args, "--fault-plan");
+    let supervised = flag(args, "--supervised")
+        || fault_spec.is_some()
+        || shed_watermark.is_some()
+        || shed_queue.is_some();
     let wname = opt_value(args, "--workload").unwrap_or("random-batched");
     let pname = opt_value(args, "--policy").unwrap_or("dlru-edf");
     let Some(policy) = PolicySpec::parse(pname) else {
@@ -574,82 +591,166 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         .map(|r: u64| r.min(driver.horizon()))
         .unwrap_or_else(|| driver.horizon());
 
-    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: queue_cap });
-    for t in 0..tenants {
-        let spec = TenantSpec::new(policy, driver.trace(t).colors().clone(), n, delta);
-        if let Err(e) = svc.add_tenant(t, spec) {
-            eprintln!("serve-sim: tenant {t}: {e}");
-            return ExitCode::from(2);
-        }
-    }
     println!(
         "serve-sim: {tenants} tenants x {} ({wname}, seed {seed}) on {shards} shards, \
-         {} rounds, n={n} Δ={delta}, queue {queue_cap}",
+         {} rounds, n={n} Δ={delta}, queue {queue_cap}{}",
         policy.name(),
-        horizon + 1
+        horizon + 1,
+        if supervised { " [supervised]" } else { "" }
     );
 
-    let started = std::time::Instant::now();
-    for round in 0..=horizon {
-        for t in 0..tenants {
-            let arrivals = driver.arrivals(t, round);
-            if !arrivals.is_empty() {
-                if let Err(e) = svc.submit(t, arrivals) {
-                    eprintln!("serve-sim: submit to tenant {t} failed: {e}");
-                    return ExitCode::FAILURE;
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|t| TenantSpec::new(policy, driver.trace(t).colors().clone(), n, delta))
+        .collect();
+
+    let (stats, results, elapsed) = if supervised {
+        let plan = match fault_spec {
+            Some(spec) => match FaultPlan::parse(spec, shards, horizon + 1) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("serve-sim: --fault-plan: {e}");
+                    return ExitCode::from(2);
                 }
+            },
+            None => FaultPlan::none(),
+        };
+        if !plan.faults.is_empty() {
+            println!("  fault plan: {} scheduled faults", plan.faults.len());
+            suppress_injected_panic_output();
+        }
+        let config = SupervisorConfig {
+            shards,
+            queue_capacity: queue_cap,
+            checkpoint_every,
+            retry: RetryPolicy::default(),
+            shed: ShedConfig { queue_watermark: shed_queue, inbox_watermark: shed_watermark },
+        };
+        let mut sup = match Supervisor::with_faults(config, &plan) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve-sim: supervisor start failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (t, spec) in specs.into_iter().enumerate() {
+            if let Err(e) = sup.add_tenant(t as u64, spec) {
+                eprintln!("serve-sim: tenant {t}: {e}");
+                return ExitCode::from(2);
             }
         }
-        if let Err(e) = svc.tick() {
-            eprintln!("serve-sim: tick {round} failed: {e}");
-            return ExitCode::FAILURE;
+        let started = std::time::Instant::now();
+        for round in 0..=horizon {
+            for t in 0..tenants {
+                let arrivals = driver.arrivals(t, round);
+                if !arrivals.is_empty() {
+                    if let Err(e) = sup.submit(t, arrivals) {
+                        eprintln!("serve-sim: submit to tenant {t} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Err(e) = sup.tick() {
+                eprintln!("serve-sim: tick {round} failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        if kill_round == Some(round) {
-            let victim = kill_shard.unwrap_or(0).min(shards - 1);
-            let outcome = svc
-                .snapshot_shard(victim)
-                .and_then(|snap| {
+        let stats = match sup.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve-sim: stats failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for ev in sup.recovery_events() {
+            println!(
+                "  shard {} recovered ({} WAL records replayed): {}",
+                ev.shard, ev.replayed, ev.cause
+            );
+        }
+        let results = match sup.finish() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve-sim: finish failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (stats, results, started.elapsed())
+    } else {
+        let mut svc = match Service::new(ServiceConfig { shards, queue_capacity: queue_cap }) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve-sim: service start failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (t, spec) in specs.into_iter().enumerate() {
+            if let Err(e) = svc.add_tenant(t as u64, spec) {
+                eprintln!("serve-sim: tenant {t}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        let started = std::time::Instant::now();
+        for round in 0..=horizon {
+            for t in 0..tenants {
+                let arrivals = driver.arrivals(t, round);
+                if !arrivals.is_empty() {
+                    if let Err(e) = svc.submit(t, arrivals) {
+                        eprintln!("serve-sim: submit to tenant {t} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Err(e) = svc.tick() {
+                eprintln!("serve-sim: tick {round} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            if kill_round == Some(round) {
+                let victim = kill_shard.unwrap_or(0).min(shards - 1);
+                let outcome = svc.snapshot_shard(victim).and_then(|snap| {
                     svc.kill_shard(victim)?;
                     svc.restore_shard(snap)
                 });
-            match outcome {
-                Ok(()) => println!("  killed and restored shard {victim} after round {round}"),
-                Err(e) => {
-                    eprintln!("serve-sim: kill/restore shard {victim} failed: {e}");
-                    return ExitCode::FAILURE;
+                match outcome {
+                    Ok(()) => println!("  killed and restored shard {victim} after round {round}"),
+                    Err(e) => {
+                        eprintln!("serve-sim: kill/restore shard {victim} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
-    }
-    let stats = match svc.stats() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("serve-sim: stats failed: {e}");
-            return ExitCode::FAILURE;
-        }
+        let stats = match svc.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve-sim: stats failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let results = match svc.finish() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve-sim: finish failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (stats, results, started.elapsed())
     };
-    let results = match svc.finish() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("serve-sim: finish failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let elapsed = started.elapsed();
 
     let mut table = Table::new([
-        "tenant", "shard", "rounds", "arrived", "executed", "dropped", "reconfig", "total cost",
+        "tenant", "shard", "rounds", "arrived", "executed", "dropped", "shed", "reconfig",
+        "total cost",
     ]);
     let progress: std::collections::BTreeMap<u64, _> = stats.tenants.iter().cloned().collect();
     for (id, r) in &results {
-        let arrived = progress.get(id).map(|p| p.arrived).unwrap_or(0);
+        let p = progress.get(id);
         table.row([
             id.to_string(),
-            svc_shard_of(*id, shards).to_string(),
+            rrs_service::shard_for(*id, shards).to_string(),
             r.rounds.to_string(),
-            arrived.to_string(),
+            p.map(|p| p.arrived).unwrap_or(0).to_string(),
             r.executed.to_string(),
             r.dropped_jobs.to_string(),
+            p.map(|p| p.shed).unwrap_or(0).to_string(),
             r.cost.reconfig.to_string(),
             r.cost.total().to_string(),
         ]);
@@ -661,19 +762,34 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     }
     let lat = stats.step_latency();
     println!(
-        "drove {} rounds in {elapsed:?}: {} executed, {} dropped, step p50 {}ns p99 {}ns",
+        "drove {} rounds in {elapsed:?}: {} executed, {} dropped, {} shed, \
+         {} recoveries, step p50 {}ns p99 {}ns",
         horizon + 1,
         stats.executed(),
         stats.dropped(),
+        stats.shed(),
+        stats.recoveries(),
         lat.p50(),
         lat.p99()
     );
     ExitCode::SUCCESS
 }
 
-/// Mirror of `Service::shard_of` for reporting after the service is consumed.
-fn svc_shard_of(id: u64, shards: usize) -> usize {
-    ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+/// Keeps expected injected-fault panics off stderr while letting real panics
+/// through to the default hook.
+fn suppress_injected_panic_output() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("injected fault"))
+            .or_else(|| info.payload().downcast_ref::<&str>().map(|s| s.contains("injected fault")))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
 }
 
 fn cmd_opt(args: &[String]) -> ExitCode {

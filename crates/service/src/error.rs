@@ -13,12 +13,30 @@ pub enum ServiceError {
     Engine(rrs_core::Error),
     /// The target shard's worker is gone (killed or panicked).
     ShardDown(usize),
+    /// A command to a shard did not complete within its deadline (worker
+    /// stalled, queue full past the deadline, or a reply was lost).
+    Timeout(usize),
     /// A shard index outside `0..shards`.
     UnknownShard(usize),
     /// A command referenced a tenant the shard does not own.
     UnknownTenant(TenantId),
     /// A tenant id was registered twice.
     DuplicateTenant(TenantId),
+    /// A snapshot places a tenant on a shard the routing function disagrees
+    /// with — applying it would silently adopt a foreign tenant.
+    MisroutedTenant {
+        /// The misplaced tenant.
+        tenant: TenantId,
+        /// The shard the snapshot claims.
+        shard: usize,
+        /// The shard the routing function assigns.
+        expected: usize,
+    },
+    /// A snapshot failed structural validation (unsorted tenants, job
+    /// conservation violated, shard index mismatch).
+    Corrupt(String),
+    /// Spawning a worker thread failed.
+    Spawn(String),
     /// Replaying a snapshot did not reproduce the recorded engine state —
     /// the snapshot is corrupt or the policy is nondeterministic.
     Divergence(String),
@@ -29,9 +47,16 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
             ServiceError::ShardDown(i) => write!(f, "shard {i} is down"),
+            ServiceError::Timeout(i) => write!(f, "command to shard {i} timed out"),
             ServiceError::UnknownShard(i) => write!(f, "no such shard: {i}"),
             ServiceError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
             ServiceError::DuplicateTenant(t) => write!(f, "tenant {t} already registered"),
+            ServiceError::MisroutedTenant { tenant, shard, expected } => write!(
+                f,
+                "snapshot places tenant {tenant} on shard {shard}, routing says {expected}"
+            ),
+            ServiceError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            ServiceError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
             ServiceError::Divergence(msg) => write!(f, "snapshot divergence: {msg}"),
         }
     }

@@ -1,0 +1,306 @@
+//! Deterministic fault injection at shard boundaries.
+//!
+//! A [`FaultPlan`] is a seeded, fully explicit list of faults; every fault
+//! names its shard, the shard-local tick it arms at, and what happens. The
+//! plan is split per shard into [`ShardFaults`] handed to the workers, so
+//! injection points are keyed on the worker's own deterministic command
+//! counters — never on wall-clock time — and a failing chaos run reproduces
+//! from its seed alone. Each fault fires **once**: consumption is recorded
+//! in the shared [`ShardFaults`], so a worker respawned by the supervisor
+//! does not re-trip the fault that killed its predecessor (and WAL replay
+//! bypasses injection entirely).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics while processing the arming tick (captured by the
+    /// worker's `catch_unwind` wrapper; the supervisor rebuilds the shard).
+    Panic,
+    /// The worker sleeps this long before processing the arming tick,
+    /// simulating a stalled shard (detected via command deadlines).
+    Stall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// The worker processes the next reply-bearing command at/after the
+    /// arming tick but never replies (the sender times out).
+    DropReply,
+    /// The worker corrupts the next snapshot reply at/after the arming tick
+    /// (checkpoint validation must catch and reject it).
+    CorruptSnapshot,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The shard whose worker misbehaves.
+    pub shard: usize,
+    /// The shard-local tick count (1-based) the fault arms at.
+    pub at_tick: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A reproducible chaos schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in no particular order.
+    pub faults: Vec<Fault>,
+}
+
+/// SplitMix64 — the same tiny deterministic generator the fuzz tests use.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kills every shard's worker exactly once, at seed-chosen distinct
+    /// ticks strictly inside `1..=ticks` — the acceptance chaos schedule.
+    pub fn kill_each_shard_once(shards: usize, ticks: u64, seed: u64) -> Self {
+        let mut state = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+        let span = ticks.max(1);
+        let faults = (0..shards)
+            .map(|shard| Fault {
+                shard,
+                at_tick: 1 + splitmix(&mut state) % span,
+                kind: FaultKind::Panic,
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// `count` random faults over `shards` shards and `ticks` ticks, drawn
+    /// deterministically from `seed` (panics, stalls, dropped replies and
+    /// corrupted snapshots, weighted toward panics).
+    pub fn random(seed: u64, shards: usize, ticks: u64, count: usize) -> Self {
+        let mut state = seed;
+        let span = ticks.max(1);
+        let faults = (0..count)
+            .map(|_| {
+                let shard = (splitmix(&mut state) % shards.max(1) as u64) as usize;
+                let at_tick = 1 + splitmix(&mut state) % span;
+                let kind = match splitmix(&mut state) % 10 {
+                    0..=4 => FaultKind::Panic,
+                    5 | 6 => FaultKind::Stall { millis: 20 + splitmix(&mut state) % 60 },
+                    7 | 8 => FaultKind::DropReply,
+                    _ => FaultKind::CorruptSnapshot,
+                };
+                Fault { shard, at_tick, kind }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Parses a CLI fault-plan spec: comma-separated entries of
+    ///
+    /// * `panic@TICK[:SHARD]`
+    /// * `stall@TICK[:SHARD[:MILLIS]]` (default 50 ms)
+    /// * `drop-reply@TICK[:SHARD]`
+    /// * `corrupt-snapshot@TICK[:SHARD]`
+    /// * `kill-each-shard[:SEED]` — one panic per shard inside `1..=ticks`
+    /// * `random:SEED[:COUNT]` — [`FaultPlan::random`] (default 4 faults)
+    ///
+    /// `shards`/`ticks` bound the generated schedules.
+    pub fn parse(spec: &str, shards: usize, ticks: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            if let Some(rest) = entry.strip_prefix("random:") {
+                let mut parts = rest.split(':');
+                let seed = parse_num(parts.next(), entry)?;
+                let count = match parts.next() {
+                    Some(c) => parse_num(Some(c), entry)? as usize,
+                    None => 4,
+                };
+                plan.faults.extend(FaultPlan::random(seed, shards, ticks, count).faults);
+                continue;
+            }
+            if let Some(rest) = entry.strip_prefix("kill-each-shard") {
+                let seed = match rest.strip_prefix(':') {
+                    Some(s) => parse_num(Some(s), entry)?,
+                    None => 1,
+                };
+                plan.faults
+                    .extend(FaultPlan::kill_each_shard_once(shards, ticks, seed).faults);
+                continue;
+            }
+            let (kind_name, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry '{entry}': expected KIND@TICK[:SHARD]"))?;
+            let mut parts = rest.split(':');
+            let at_tick = parse_num(parts.next(), entry)?;
+            let shard = match parts.next() {
+                Some(s) => parse_num(Some(s), entry)? as usize,
+                None => 0,
+            };
+            if shard >= shards {
+                return Err(format!("fault entry '{entry}': shard {shard} out of 0..{shards}"));
+            }
+            let kind = match kind_name {
+                "panic" | "kill" => FaultKind::Panic,
+                "stall" => FaultKind::Stall {
+                    millis: match parts.next() {
+                        Some(ms) => parse_num(Some(ms), entry)?,
+                        None => 50,
+                    },
+                },
+                "drop-reply" => FaultKind::DropReply,
+                "corrupt-snapshot" => FaultKind::CorruptSnapshot,
+                other => return Err(format!("unknown fault kind '{other}' in '{entry}'")),
+            };
+            plan.faults.push(Fault { shard, at_tick, kind });
+        }
+        Ok(plan)
+    }
+
+    /// Splits the plan into one shared [`ShardFaults`] per shard (the form
+    /// workers and the supervisor consume).
+    pub fn per_shard(&self, shards: usize) -> Vec<Arc<ShardFaults>> {
+        (0..shards)
+            .map(|s| {
+                Arc::new(ShardFaults::new(
+                    self.faults.iter().copied().filter(|f| f.shard == s).collect(),
+                ))
+            })
+            .collect()
+    }
+}
+
+fn parse_num(part: Option<&str>, entry: &str) -> Result<u64, String> {
+    part.and_then(|p| p.parse().ok())
+        .ok_or_else(|| format!("fault entry '{entry}': expected a number"))
+}
+
+/// Shared, consume-once fault state for one shard. The supervisor keeps the
+/// `Arc` across worker respawns, so a fault fires exactly once shard-wide.
+#[derive(Debug, Default)]
+pub struct ShardFaults {
+    pending: Mutex<Vec<Fault>>,
+    injected: AtomicU64,
+}
+
+impl ShardFaults {
+    /// Fault state armed with `faults`.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        ShardFaults { pending: Mutex::new(faults), injected: AtomicU64::new(0) }
+    }
+
+    /// A shard with no faults.
+    pub fn none() -> Arc<Self> {
+        Arc::new(ShardFaults::default())
+    }
+
+    /// Faults fired so far on this shard.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Faults still pending on this shard.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    fn take(&self, matches: impl Fn(&Fault) -> bool) -> Option<Fault> {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        // Earliest arming tick first, so overdue faults fire in order.
+        let hit = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches(f))
+            .min_by_key(|(_, f)| f.at_tick)
+            .map(|(i, _)| i)?;
+        let fault = pending.swap_remove(hit);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(fault)
+    }
+
+    /// A panic or stall armed at or before `tick`, consumed.
+    pub fn take_tick_fault(&self, tick: u64) -> Option<FaultKind> {
+        self.take(|f| {
+            f.at_tick <= tick
+                && matches!(f.kind, FaultKind::Panic | FaultKind::Stall { .. })
+        })
+        .map(|f| f.kind)
+    }
+
+    /// Consumes a pending reply-drop armed at or before `tick`.
+    pub fn take_reply_drop(&self, tick: u64) -> bool {
+        self.take(|f| f.at_tick <= tick && f.kind == FaultKind::DropReply)
+            .is_some()
+    }
+
+    /// Consumes a pending snapshot-corruption armed at or before `tick`.
+    pub fn take_snapshot_corruption(&self, tick: u64) -> bool {
+        self.take(|f| f.at_tick <= tick && f.kind == FaultKind::CorruptSnapshot)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_fire_once() {
+        let a = FaultPlan::random(7, 4, 100, 8);
+        let b = FaultPlan::random(7, 4, 100, 8);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.faults.len(), 8);
+
+        let kill = FaultPlan::kill_each_shard_once(3, 50, 9);
+        assert_eq!(kill.faults.len(), 3);
+        for (s, f) in kill.faults.iter().enumerate() {
+            assert_eq!(f.shard, s);
+            assert!((1..=50).contains(&f.at_tick));
+            assert_eq!(f.kind, FaultKind::Panic);
+        }
+
+        let per = kill.per_shard(3);
+        assert!(per[0].take_tick_fault(u64::MAX).is_some());
+        assert!(per[0].take_tick_fault(u64::MAX).is_none(), "fires once");
+        assert_eq!(per[0].injected(), 1);
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "panic@5, stall@7:1:80, drop-reply@3:1, corrupt-snapshot@9",
+            2,
+            100,
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0], Fault { shard: 0, at_tick: 5, kind: FaultKind::Panic });
+        assert_eq!(
+            plan.faults[1],
+            Fault { shard: 1, at_tick: 7, kind: FaultKind::Stall { millis: 80 } }
+        );
+        assert_eq!(FaultPlan::parse("kill-each-shard:3", 4, 10).unwrap().faults.len(), 4);
+        assert_eq!(FaultPlan::parse("random:11:6", 4, 10).unwrap().faults.len(), 6);
+        assert!(FaultPlan::parse("panic@5:9", 2, 100).is_err(), "shard out of range");
+        assert!(FaultPlan::parse("frobnicate@5", 2, 100).is_err());
+        assert!(FaultPlan::parse("panic@", 2, 100).is_err());
+    }
+
+    #[test]
+    fn earliest_pending_fault_fires_first() {
+        let f = ShardFaults::new(vec![
+            Fault { shard: 0, at_tick: 9, kind: FaultKind::Panic },
+            Fault { shard: 0, at_tick: 4, kind: FaultKind::Stall { millis: 1 } },
+        ]);
+        assert_eq!(f.take_tick_fault(10), Some(FaultKind::Stall { millis: 1 }));
+        assert_eq!(f.take_tick_fault(10), Some(FaultKind::Panic));
+        assert_eq!(f.pending(), 0);
+    }
+}

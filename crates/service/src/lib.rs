@@ -14,28 +14,54 @@
 //!   continuation ([`Service::kill_shard`] / [`Service::restore_shard`]):
 //!   the log is replayed through a fresh engine and the result verified
 //!   against the recorded state;
-//! * per-shard and per-tenant counters (rounds, executed, dropped,
-//!   reconfiguration cost, queue depth, backpressure waits, p50/p99 step
-//!   latency) are exposed through [`Service::stats`] as a [`ServiceStats`].
+//! * a [`Supervisor`] adds **automatic fault tolerance** on top: it journals
+//!   every state-changing command into a per-shard write-ahead log
+//!   ([`Wal`]) before enqueueing, takes periodic validated [`Checkpoint`]s,
+//!   detects dead or stalled workers (captured panics, join-handle
+//!   monitoring, reply deadlines) and rebuilds them from checkpoint + WAL
+//!   replay — bit-identical to an unfailed run; cross-shard commands retry
+//!   with deadline-aware backoff ([`RetryPolicy`]) and overload **sheds**
+//!   arrivals at configurable watermarks ([`ShedConfig`]) instead of
+//!   blocking, counted per tenant as service-level drops;
+//! * deterministic **fault injection** ([`FaultPlan`]) arms seeded panics,
+//!   stalls, dropped replies and snapshot corruption at exact shard
+//!   lifetimes, for chaos tests that stay reproducible;
+//! * per-shard and per-tenant counters (rounds, executed, dropped, shed,
+//!   recoveries, reconfiguration cost, queue depth, backpressure waits,
+//!   p50/p99 step latency) are exposed through [`Service::stats`] /
+//!   [`Supervisor::stats`] as a [`ServiceStats`].
 //!
 //! Because every [`PolicySpec`] policy is deterministic, a tenant's final
 //! [`rrs_core::RunResult`] is independent of the shard count, of command
-//! interleaving across tenants, and of any kill/restore cycles — the
-//! conformance and fuzz tests in this crate check exactly that.
+//! interleaving across tenants, and of any kill/restore or crash/recover
+//! cycles — the conformance, fuzz and chaos tests in this crate check
+//! exactly that.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod error;
+pub mod faults;
 pub mod policy;
 pub mod service;
 pub mod shard;
 pub mod stats;
+pub mod supervisor;
 pub mod tenant;
+pub mod wal;
 
 pub use error::{ServiceError, ServiceResult};
+pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
 pub use policy::PolicySpec;
-pub use service::{Service, ServiceConfig, ServiceSnapshot};
-pub use shard::{restore_tenants, spawn_shard, Command, ShardHandle, ShardSnapshot, TenantId};
+pub use service::{shard_for, Service, ServiceConfig, ServiceSnapshot};
+pub use shard::{
+    restore_tenants, spawn_shard, spawn_shard_with, Command, ShardHandle, ShardSnapshot,
+    TenantId, WorkerConfig,
+};
 pub use stats::{LatencyHistogramNs, ServiceStats, ShardStats};
+pub use supervisor::{
+    RecoveryEvent, RetryPolicy, ShedConfig, Supervisor, SupervisorConfig,
+};
 pub use tenant::{Tenant, TenantProgress, TenantSnapshot, TenantSpec};
+pub use wal::{replay, Checkpoint, Wal, WalRecord};

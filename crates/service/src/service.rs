@@ -42,6 +42,18 @@ impl ServiceSnapshot {
     }
 }
 
+/// The shard a tenant id maps to under a given shard count.
+///
+/// Fibonacci hashing: multiply by 2^64/φ and keep the high bits, which
+/// spreads sequential ids evenly across small shard counts. Routing is a pure
+/// function of `(id, shards)`, shared by [`Service`] and
+/// [`crate::Supervisor`] so restores and cross-topology comparisons place
+/// tenants identically.
+pub fn shard_for(id: TenantId, shards: usize) -> usize {
+    let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (h as usize) % shards.max(1)
+}
+
 /// A sharded multi-tenant streaming scheduler service.
 ///
 /// Tenant placement is `hash(tenant id) % shards` (Fibonacci hashing), so a
@@ -57,19 +69,17 @@ pub struct Service {
 
 impl Service {
     /// Starts `config.shards` empty shard workers.
-    pub fn new(config: ServiceConfig) -> Self {
-        let shards = (0..config.shards.max(1))
-            .map(|i| Some(spawn_shard(i, config.queue_capacity, BTreeMap::new())))
-            .collect();
-        Service { config, shards, tenants: BTreeMap::new() }
+    pub fn new(config: ServiceConfig) -> ServiceResult<Self> {
+        let mut shards = Vec::with_capacity(config.shards.max(1));
+        for i in 0..config.shards.max(1) {
+            shards.push(Some(spawn_shard(i, config.queue_capacity, BTreeMap::new())?));
+        }
+        Ok(Service { config, shards, tenants: BTreeMap::new() })
     }
 
-    /// The shard a tenant id maps to.
+    /// The shard a tenant id maps to (see [`shard_for`]).
     pub fn shard_of(&self, id: TenantId) -> usize {
-        // Fibonacci hashing: multiply by 2^64/φ and keep the high bits, which
-        // spreads sequential ids evenly across small shard counts.
-        let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        (h as usize) % self.shards.len()
+        shard_for(id, self.shards.len())
     }
 
     /// The service topology.
@@ -141,45 +151,44 @@ impl Service {
         }
     }
 
-    /// Rebuilds a killed shard from a snapshot: every tenant is replayed from
-    /// its log, verified against the recorded engine state, and handed to a
-    /// fresh worker thread.
-    pub fn restore_shard(&mut self, snapshot: ShardSnapshot) -> ServiceResult<()> {
-        let shard = snapshot.shard;
-        match self.shards.get(shard) {
-            None => return Err(ServiceError::UnknownShard(shard)),
-            Some(Some(_)) => {
-                return Err(ServiceError::Divergence(format!(
-                    "shard {shard} is still running; kill it before restoring"
-                )))
-            }
-            Some(None) => {}
-        }
+    /// Validates a snapshot's structure against this service's topology:
+    /// shard index in range, tenants sorted and unique, every tenant routed
+    /// to the snapshot's shard by [`shard_for`], jobs conserved, and every
+    /// tenant registered in the service's directory.
+    fn validate_snapshot(&self, snapshot: &ShardSnapshot) -> ServiceResult<()> {
+        let shards = self.shards.len();
+        snapshot.validate(shards, |id| shard_for(id, shards))?;
         for (id, _) in &snapshot.tenants {
-            if self.tenants.get(id) != Some(&shard) {
-                return Err(ServiceError::Divergence(format!(
-                    "snapshot places tenant {id} on shard {shard}, directory disagrees"
-                )));
+            if self.tenants.get(id) != Some(&snapshot.shard) {
+                return Err(ServiceError::UnknownTenant(*id));
             }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a killed shard from a snapshot: the snapshot is structurally
+    /// validated against the topology and routing function, then every tenant
+    /// is replayed from its log, verified against the recorded engine state,
+    /// and handed to a fresh worker thread.
+    pub fn restore_shard(&mut self, snapshot: ShardSnapshot) -> ServiceResult<()> {
+        self.validate_snapshot(&snapshot)?;
+        let shard = snapshot.shard;
+        if self.shards[shard].is_some() {
+            return Err(ServiceError::Divergence(format!(
+                "shard {shard} is still running; kill it before restoring"
+            )));
         }
         let tenants = restore_tenants(snapshot)?;
-        self.shards[shard] = Some(spawn_shard(shard, self.config.queue_capacity, tenants));
+        self.shards[shard] = Some(spawn_shard(shard, self.config.queue_capacity, tenants)?);
         Ok(())
     }
 
     /// Rolls a **live** shard back to a snapshot in place: the worker thread
     /// and its counters survive, but its tenants are rebuilt from the
-    /// snapshot (replay + verification, like [`Service::restore_shard`]).
+    /// snapshot (validation + replay, like [`Service::restore_shard`]).
     pub fn rollback_shard(&self, snapshot: ShardSnapshot) -> ServiceResult<()> {
-        let shard = snapshot.shard;
-        for (id, _) in &snapshot.tenants {
-            if self.tenants.get(id) != Some(&shard) {
-                return Err(ServiceError::Divergence(format!(
-                    "snapshot places tenant {id} on shard {shard}, directory disagrees"
-                )));
-            }
-        }
-        self.handle(shard)?.restore(snapshot)
+        self.validate_snapshot(&snapshot)?;
+        self.handle(snapshot.shard)?.restore(snapshot)
     }
 
     /// Collects service-wide counters (one snapshot + stats round-trip per
@@ -200,6 +209,7 @@ impl Service {
                         dropped: r.dropped_jobs,
                         pending: t.engine.pending.total(),
                         inbox: t.inbox.iter().map(|&(_, k)| k).sum(),
+                        shed: t.shed,
                         cost: r.cost,
                         reconfig_events: r.reconfig_events,
                     },
@@ -235,7 +245,7 @@ mod tests {
 
     #[test]
     fn tenants_route_by_id_and_run_independently() {
-        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 });
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 }).unwrap();
         for id in 0..6 {
             svc.add_tenant(id, spec()).unwrap();
         }
@@ -258,7 +268,7 @@ mod tests {
 
     #[test]
     fn kill_and_restore_shard_is_lossless() {
-        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 });
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 }).unwrap();
         for id in 0..4 {
             svc.add_tenant(id, spec()).unwrap();
         }
@@ -285,7 +295,7 @@ mod tests {
 
     #[test]
     fn rollback_rewinds_a_live_shard() {
-        let mut svc = Service::new(ServiceConfig { shards: 1, queue_capacity: 8 });
+        let mut svc = Service::new(ServiceConfig { shards: 1, queue_capacity: 8 }).unwrap();
         svc.add_tenant(0, spec()).unwrap();
         for _ in 0..3 {
             svc.submit(0, vec![(ColorId(0), 2)]).unwrap();
@@ -306,7 +316,7 @@ mod tests {
 
     #[test]
     fn restore_refuses_wrong_target() {
-        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 });
+        let mut svc = Service::new(ServiceConfig { shards: 2, queue_capacity: 8 }).unwrap();
         svc.add_tenant(0, spec()).unwrap();
         let shard = svc.shard_of(0);
         let snap = svc.snapshot_shard(shard).unwrap();

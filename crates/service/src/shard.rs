@@ -2,22 +2,31 @@
 //! tenants, drained from a bounded MPSC command queue.
 //!
 //! Senders first `try_send`; when the queue is full they count a backpressure
-//! wait and fall back to a blocking `send`, so producers slow down to the
-//! shard's drain rate instead of growing an unbounded buffer. Queue depth is
-//! tracked with a shared atomic (incremented on enqueue, decremented when the
-//! worker pops), which keeps the hot path lock-free.
+//! wait and fall back to a blocking `send` (or a deadline-bounded spin via
+//! [`ShardHandle::send_deadline`]), so producers slow down to the shard's
+//! drain rate instead of growing an unbounded buffer. Queue depth is tracked
+//! with a shared atomic (incremented on enqueue, decremented when the worker
+//! pops), which keeps the hot path lock-free.
+//!
+//! The worker's whole run loop executes under `catch_unwind`: a panic —
+//! injected via [`crate::ShardFaults`] or real — is captured into a shared
+//! slot ([`ShardHandle::panic_message`]) and the thread exits cleanly, so a
+//! supervisor can detect the death ([`ShardHandle::is_finished`], send
+//! failures, reply timeouts) and rebuild the shard from checkpoint + WAL.
 
 use crate::error::{ServiceError, ServiceResult};
+use crate::faults::ShardFaults;
 use crate::stats::{LatencyHistogramNs, ShardStats};
 use crate::tenant::{Tenant, TenantSnapshot, TenantSpec};
 use rrs_core::{ColorId, RunResult};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tenants are identified service-wide by an opaque integer id.
 pub type TenantId = u64;
@@ -81,6 +90,74 @@ impl ShardSnapshot {
     pub fn conserves_jobs(&self) -> bool {
         self.tenants.iter().all(|(_, t)| t.conserves_jobs())
     }
+
+    /// Structural validation against a topology: the shard index must be in
+    /// range, tenant entries strictly ascending (no duplicates), every
+    /// tenant must route to this shard under `route`, and every tenant must
+    /// conserve jobs. Returns the first violation as a typed error.
+    pub fn validate(
+        &self,
+        shards: usize,
+        route: impl Fn(TenantId) -> usize,
+    ) -> ServiceResult<()> {
+        if self.shard >= shards {
+            return Err(ServiceError::UnknownShard(self.shard));
+        }
+        let mut prev: Option<TenantId> = None;
+        for (id, t) in &self.tenants {
+            match prev {
+                Some(p) if p == *id => return Err(ServiceError::DuplicateTenant(*id)),
+                Some(p) if p > *id => {
+                    return Err(ServiceError::Corrupt(format!(
+                        "tenant entries out of order ({p} before {id})"
+                    )))
+                }
+                _ => {}
+            }
+            prev = Some(*id);
+            let expected = route(*id);
+            if expected != self.shard {
+                return Err(ServiceError::MisroutedTenant {
+                    tenant: *id,
+                    shard: self.shard,
+                    expected,
+                });
+            }
+            if !t.conserves_jobs() {
+                return Err(ServiceError::Corrupt(format!(
+                    "tenant {id} violates job conservation \
+                     (arrived {} != executed {} + dropped {} + pending {})",
+                    t.arrived(),
+                    t.engine.result.executed,
+                    t.engine.result.dropped_jobs,
+                    t.engine.pending.total(),
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters for one worker thread.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// The shard index.
+    pub shard: usize,
+    /// Bounded command-queue capacity.
+    pub queue_capacity: usize,
+    /// Inbox watermark for submit-time load shedding (`None` = never shed).
+    pub inbox_watermark: Option<u64>,
+    /// Ticks already applied to the handed-over tenants (non-zero when a
+    /// supervisor respawns a shard), so fault arming and tick counters stay
+    /// in absolute shard-lifetime ticks.
+    pub ticks_done: u64,
+}
+
+impl WorkerConfig {
+    /// A fresh worker for `shard` with the given queue capacity.
+    pub fn new(shard: usize, queue_capacity: usize) -> Self {
+        WorkerConfig { shard, queue_capacity, inbox_watermark: None, ticks_done: 0 }
+    }
 }
 
 /// Sender side of a shard: the command queue plus its shared gauges.
@@ -89,6 +166,7 @@ pub struct ShardHandle {
     tx: SyncSender<Command>,
     depth: Arc<AtomicUsize>,
     backpressure: Arc<AtomicU64>,
+    panic_slot: Arc<Mutex<Option<String>>>,
     join: JoinHandle<()>,
 }
 
@@ -101,6 +179,19 @@ impl ShardHandle {
     /// Commands currently queued.
     pub fn queue_depth(&self) -> usize {
         self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether the worker thread has exited (finished, killed or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+
+    /// The captured panic message, if the worker died panicking.
+    pub fn panic_message(&self) -> Option<String> {
+        self.panic_slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Enqueues a command, blocking (and counting a backpressure wait) when
@@ -123,6 +214,37 @@ impl ShardHandle {
         })
     }
 
+    /// Enqueues a command without ever blocking past `deadline`: a full
+    /// queue is retried (one counted backpressure wait) until the deadline,
+    /// then reported as [`ServiceError::Timeout`] — a stalled worker cannot
+    /// hang the sender.
+    pub fn send_deadline(&self, cmd: Command, deadline: Instant) -> ServiceResult<()> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let mut cmd = cmd;
+        let mut counted = false;
+        loop {
+            match self.tx.try_send(cmd) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(c)) => {
+                    if !counted {
+                        self.backpressure.fetch_add(1, Ordering::Relaxed);
+                        counted = true;
+                    }
+                    if Instant::now() >= deadline {
+                        self.depth.fetch_sub(1, Ordering::Relaxed);
+                        return Err(ServiceError::Timeout(self.shard));
+                    }
+                    cmd = c;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    return Err(ServiceError::ShardDown(self.shard));
+                }
+            }
+        }
+    }
+
     /// Sends a command and waits for its reply.
     fn round_trip<T>(
         &self,
@@ -131,6 +253,27 @@ impl ShardHandle {
         let (reply_tx, reply_rx) = sync_channel(1);
         self.send(make(reply_tx))?;
         reply_rx.recv().map_err(|_| ServiceError::ShardDown(self.shard))
+    }
+
+    /// Sends a command and waits at most `timeout` (covering both the
+    /// enqueue and the reply) for its answer. A missing reply — dead worker,
+    /// stalled worker, dropped reply — becomes a typed
+    /// [`ServiceError::Timeout`] / [`ServiceError::ShardDown`] instead of a
+    /// hang.
+    pub fn round_trip_deadline<T>(
+        &self,
+        make: impl FnOnce(SyncSender<T>) -> Command,
+        timeout: Duration,
+    ) -> ServiceResult<T> {
+        let deadline = Instant::now() + timeout;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.send_deadline(make(reply_tx), deadline)?;
+        reply_rx
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => ServiceError::Timeout(self.shard),
+                RecvTimeoutError::Disconnected => ServiceError::ShardDown(self.shard),
+            })
     }
 
     /// Registers a tenant and waits for the acknowledgement.
@@ -154,6 +297,16 @@ impl ShardHandle {
         self.round_trip(|reply| Command::Stats { reply })
     }
 
+    /// Drains every tenant without consuming the handle: the worker shuts
+    /// down after replying, bounded by `timeout`. The supervisor's retryable
+    /// flavor of [`ShardHandle::finish`].
+    pub fn finish_timeout(
+        &self,
+        timeout: Duration,
+    ) -> ServiceResult<Vec<(TenantId, RunResult)>> {
+        self.round_trip_deadline(|reply| Command::Finish { reply }, timeout)?
+    }
+
     /// Drains every tenant and joins the worker.
     pub fn finish(self) -> ServiceResult<Vec<(TenantId, RunResult)>> {
         let results = self.round_trip(|reply| Command::Finish { reply })?;
@@ -167,6 +320,15 @@ impl ShardHandle {
         drop(self.tx);
         let _ = self.join.join();
     }
+
+    /// Drops the handle without joining the worker — for replacing a worker
+    /// that may be stalled (joining it would block the supervisor). The
+    /// orphan exits on its own once it drains the closed queue or wakes from
+    /// its stall; its tenants are discarded.
+    pub fn abandon(self) {
+        drop(self.tx);
+        // JoinHandle dropped: the thread is detached.
+    }
 }
 
 /// Spawns a shard worker owning `tenants` (empty for a fresh shard, restored
@@ -175,21 +337,48 @@ pub fn spawn_shard(
     shard: usize,
     queue_capacity: usize,
     tenants: BTreeMap<TenantId, Tenant>,
-) -> ShardHandle {
-    let (tx, rx) = sync_channel(queue_capacity.max(1));
+) -> ServiceResult<ShardHandle> {
+    spawn_shard_with(WorkerConfig::new(shard, queue_capacity), ShardFaults::none(), tenants)
+}
+
+/// Spawns a shard worker with full control over watermarks, fault injection
+/// and the starting tick count.
+pub fn spawn_shard_with(
+    config: WorkerConfig,
+    faults: Arc<ShardFaults>,
+    tenants: BTreeMap<TenantId, Tenant>,
+) -> ServiceResult<ShardHandle> {
+    let shard = config.shard;
+    let (tx, rx) = sync_channel(config.queue_capacity.max(1));
     let depth = Arc::new(AtomicUsize::new(0));
     let backpressure = Arc::new(AtomicU64::new(0));
+    let panic_slot = Arc::new(Mutex::new(None));
     let worker = Worker {
         tenants,
         stats: ShardStats { shard, ..ShardStats::default() },
         depth: Arc::clone(&depth),
         backpressure: Arc::clone(&backpressure),
+        inbox_watermark: config.inbox_watermark,
+        ticks_done: config.ticks_done,
+        faults,
     };
+    let slot = Arc::clone(&panic_slot);
     let join = std::thread::Builder::new()
         .name(format!("rrs-shard-{shard}"))
-        .spawn(move || worker.run(rx))
-        .expect("spawn shard worker");
-    ShardHandle { shard, tx, depth, backpressure, join }
+        .spawn(move || {
+            // Capture panics — injected or real — so the thread exits
+            // cleanly and the supervisor can read the cause.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(move || worker.run(rx))) {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked (non-string payload)".into());
+                *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(msg);
+            }
+        })
+        .map_err(|e| ServiceError::Spawn(format!("shard {shard}: {e}")))?;
+    Ok(ShardHandle { shard, tx, depth, backpressure, panic_slot, join })
 }
 
 struct Worker {
@@ -197,6 +386,9 @@ struct Worker {
     stats: ShardStats,
     depth: Arc<AtomicUsize>,
     backpressure: Arc<AtomicU64>,
+    inbox_watermark: Option<u64>,
+    ticks_done: u64,
+    faults: Arc<ShardFaults>,
 }
 
 impl Worker {
@@ -212,27 +404,42 @@ impl Worker {
         // discarded; a restore path rebuilds them from the last snapshot.
     }
 
+    /// Sends a reply unless a reply-drop fault eats it. A receiver that
+    /// already gave up (timed out) is not an error.
+    fn reply<T>(&mut self, ch: SyncSender<T>, value: T) {
+        if self.faults.take_reply_drop(self.ticks_done) {
+            self.stats.faults_injected += 1;
+            return;
+        }
+        let _ = ch.send(value);
+    }
+
     /// Returns `true` when the worker should shut down.
     fn handle(&mut self, cmd: Command) -> bool {
         match cmd {
             Command::AddTenant { id, spec, reply } => {
-                let res = if self.tenants.contains_key(&id) {
-                    Err(ServiceError::DuplicateTenant(id))
-                } else {
-                    Tenant::new(spec).map(|t| {
-                        self.tenants.insert(id, t);
-                    })
+                let res = match self.tenants.entry(id) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        Err(ServiceError::DuplicateTenant(id))
+                    }
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        Tenant::new(spec).map(|t| {
+                            slot.insert(t);
+                        })
+                    }
                 };
                 if res.is_err() {
                     self.stats.command_errors += 1;
                 }
-                let _ = reply.send(res);
+                self.reply(reply, res);
             }
             Command::Submit { tenant, arrivals } => {
                 self.stats.submits += 1;
                 match self.tenants.get_mut(&tenant) {
+                    // The tenant's own shed counter tracks the drop; stats
+                    // aggregate it lazily in `current_stats`.
                     Some(t) => {
-                        if t.submit(&arrivals).is_err() {
+                        if t.submit_shedding(&arrivals, self.inbox_watermark).is_err() {
                             self.stats.command_errors += 1;
                         }
                     }
@@ -240,6 +447,18 @@ impl Worker {
                 }
             }
             Command::Tick => {
+                self.ticks_done += 1;
+                match self.faults.take_tick_fault(self.ticks_done) {
+                    Some(crate::faults::FaultKind::Panic) => {
+                        self.stats.faults_injected += 1;
+                        panic!("injected fault: panic at tick {}", self.ticks_done);
+                    }
+                    Some(crate::faults::FaultKind::Stall { millis }) => {
+                        self.stats.faults_injected += 1;
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    _ => {}
+                }
                 self.stats.ticks += 1;
                 let mut latency = LatencyHistogramNs::new();
                 for t in self.tenants.values_mut() {
@@ -252,7 +471,7 @@ impl Worker {
                 self.stats.step_latency.merge(&latency);
             }
             Command::Snapshot { reply } => {
-                let snap = ShardSnapshot {
+                let mut snap = ShardSnapshot {
                     shard: self.stats.shard,
                     tenants: self
                         .tenants
@@ -260,19 +479,35 @@ impl Worker {
                         .map(|(&id, t)| (id, t.snapshot()))
                         .collect(),
                 };
-                let _ = reply.send(snap);
+                if self.faults.take_snapshot_corruption(self.ticks_done) {
+                    self.stats.faults_injected += 1;
+                    // Silent bit-flip: inflate one executed count, breaking
+                    // job conservation (checkpoint validation must reject).
+                    if let Some((_, t)) = snap.tenants.first_mut() {
+                        t.engine.result.executed += 1;
+                    }
+                }
+                self.reply(reply, snap);
             }
             Command::Stats { reply } => {
-                let _ = reply.send(self.current_stats());
+                let stats = self.current_stats();
+                self.reply(reply, stats);
             }
             Command::Restore { snapshot, reply } => {
-                let res = restore_tenants(snapshot).map(|tenants| {
-                    self.tenants = tenants;
-                });
+                let res = if snapshot.shard != self.stats.shard {
+                    Err(ServiceError::Corrupt(format!(
+                        "snapshot of shard {} sent to shard {}",
+                        snapshot.shard, self.stats.shard
+                    )))
+                } else {
+                    restore_tenants(snapshot).map(|tenants| {
+                        self.tenants = tenants;
+                    })
+                };
                 if res.is_err() {
                     self.stats.command_errors += 1;
                 }
-                let _ = reply.send(res);
+                self.reply(reply, res);
             }
             Command::Finish { reply } => {
                 let tenants = std::mem::take(&mut self.tenants);
@@ -283,7 +518,7 @@ impl Worker {
                     }
                     Ok(std::mem::take(&mut results))
                 })();
-                let _ = reply.send(res);
+                self.reply(reply, res);
                 return true;
             }
         }
@@ -295,16 +530,18 @@ impl Worker {
         s.tenants = self.tenants.len();
         s.queue_depth = self.depth.load(Ordering::Relaxed);
         s.backpressure_waits = self.backpressure.load(Ordering::Relaxed);
-        let (mut executed, mut dropped, mut reconfig) = (0, 0, 0);
+        let (mut executed, mut dropped, mut reconfig, mut shed) = (0, 0, 0, 0);
         for t in self.tenants.values() {
             let p = t.progress();
             executed += p.executed;
             dropped += p.dropped;
             reconfig += p.cost.reconfig;
+            shed += p.shed;
         }
         s.executed = executed;
         s.dropped = dropped;
         s.reconfig_cost = reconfig;
+        s.shed_jobs = shed;
         s
     }
 }
@@ -335,7 +572,7 @@ mod tests {
 
     #[test]
     fn worker_processes_commands_and_finishes() {
-        let h = spawn_shard(0, 4, BTreeMap::new());
+        let h = spawn_shard(0, 4, BTreeMap::new()).unwrap();
         h.add_tenant(7, spec()).unwrap();
         assert!(matches!(
             h.add_tenant(7, spec()),
@@ -357,7 +594,7 @@ mod tests {
 
     #[test]
     fn kill_then_restore_continues_from_snapshot() {
-        let h = spawn_shard(1, 4, BTreeMap::new());
+        let h = spawn_shard(1, 4, BTreeMap::new()).unwrap();
         h.add_tenant(1, spec()).unwrap();
         for _ in 0..5 {
             h.send(Command::Submit { tenant: 1, arrivals: vec![(ColorId(1), 2)] }).unwrap();
@@ -366,7 +603,7 @@ mod tests {
         let snap = h.snapshot().unwrap();
         h.kill();
         let rebuilt = restore_tenants(snap.clone()).unwrap();
-        let h2 = spawn_shard(1, 4, rebuilt);
+        let h2 = spawn_shard(1, 4, rebuilt).unwrap();
         let snap2 = h2.snapshot().unwrap();
         assert_eq!(snap2, snap, "restored shard state is bit-identical");
         let results = h2.finish().unwrap();
@@ -375,14 +612,87 @@ mod tests {
 
     #[test]
     fn send_to_dead_shard_reports_shard_down() {
-        let ShardHandle { shard, tx, depth, backpressure, join } =
-            spawn_shard(2, 4, BTreeMap::new());
+        let h = spawn_shard(2, 4, BTreeMap::new()).unwrap();
         let (reply_tx, reply_rx) = sync_channel(1);
-        depth.fetch_add(1, Ordering::Relaxed);
-        tx.send(Command::Finish { reply: reply_tx }).unwrap();
+        h.send(Command::Finish { reply: reply_tx }).unwrap();
         reply_rx.recv().unwrap().unwrap();
-        join.join().unwrap(); // worker exited; its receiver is gone
-        let dead = ShardHandle { shard, tx, depth, backpressure, join: std::thread::spawn(|| {}) };
-        assert!(matches!(dead.send(Command::Tick), Err(ServiceError::ShardDown(2))));
+        // Wait for the worker to actually exit so the queue is closed.
+        while !h.is_finished() {
+            std::thread::yield_now();
+        }
+        assert!(matches!(h.send(Command::Tick), Err(ServiceError::ShardDown(2))));
+        assert!(h.panic_message().is_none());
+    }
+
+    #[test]
+    fn injected_panic_is_captured_not_propagated() {
+        use crate::faults::{Fault, FaultKind, ShardFaults};
+        let faults = Arc::new(ShardFaults::new(vec![Fault {
+            shard: 3,
+            at_tick: 2,
+            kind: FaultKind::Panic,
+        }]));
+        let h = spawn_shard_with(
+            WorkerConfig::new(3, 4),
+            Arc::clone(&faults),
+            BTreeMap::new(),
+        )
+        .unwrap();
+        h.add_tenant(1, spec()).unwrap();
+        h.send(Command::Tick).unwrap();
+        h.send(Command::Tick).unwrap(); // fault arms at tick 2
+        while !h.is_finished() {
+            std::thread::yield_now();
+        }
+        assert_eq!(faults.injected(), 1);
+        let msg = h.panic_message().expect("panic captured");
+        assert!(msg.contains("injected fault"), "unexpected message: {msg}");
+        assert!(matches!(h.send(Command::Tick), Err(ServiceError::ShardDown(3))));
+    }
+
+    #[test]
+    fn round_trip_deadline_times_out_on_stall() {
+        use crate::faults::{Fault, FaultKind, ShardFaults};
+        let faults = Arc::new(ShardFaults::new(vec![Fault {
+            shard: 4,
+            at_tick: 1,
+            kind: FaultKind::Stall { millis: 200 },
+        }]));
+        let h =
+            spawn_shard_with(WorkerConfig::new(4, 4), faults, BTreeMap::new()).unwrap();
+        h.send(Command::Tick).unwrap();
+        let started = Instant::now();
+        let res: ServiceResult<ShardSnapshot> = h
+            .round_trip_deadline(|reply| Command::Snapshot { reply }, Duration::from_millis(30));
+        assert!(matches!(res, Err(ServiceError::Timeout(4))), "got {res:?}");
+        assert!(started.elapsed() < Duration::from_millis(190), "deadline was honored");
+        h.abandon(); // never join a stalled worker
+    }
+
+    #[test]
+    fn snapshot_validation_catches_structural_corruption() {
+        let h = spawn_shard(0, 4, BTreeMap::new()).unwrap();
+        h.add_tenant(2, spec()).unwrap();
+        let snap = h.snapshot().unwrap();
+        h.kill();
+
+        assert!(snap.validate(1, |_| 0).is_ok());
+        assert!(matches!(snap.validate(0, |_| 0), Err(ServiceError::UnknownShard(0))));
+        assert!(matches!(
+            snap.validate(1, |_| 5),
+            Err(ServiceError::MisroutedTenant { tenant: 2, shard: 0, expected: 5 })
+        ));
+
+        let mut dup = snap.clone();
+        dup.tenants.push(dup.tenants[0].clone());
+        assert!(matches!(dup.validate(1, |_| 0), Err(ServiceError::DuplicateTenant(2))));
+
+        let mut unsorted = snap.clone();
+        unsorted.tenants.insert(0, (9, snap.tenants[0].1.clone()));
+        assert!(matches!(unsorted.validate(1, |_| 0), Err(ServiceError::Corrupt(_))));
+
+        let mut lossy = snap;
+        lossy.tenants[0].1.engine.result.executed += 1;
+        assert!(matches!(lossy.validate(1, |_| 0), Err(ServiceError::Corrupt(_))));
     }
 }

@@ -92,6 +92,9 @@ pub struct ShardStats {
     pub executed: u64,
     /// Jobs dropped across all owned tenants.
     pub dropped: u64,
+    /// Jobs shed at the inbox watermark across all owned tenants
+    /// (service-level drops: they never entered a round).
+    pub shed_jobs: u64,
     /// Total reconfiguration cost across all owned tenants.
     pub reconfig_cost: u64,
     /// Commands sitting in the shard's queue when the stats were taken.
@@ -100,6 +103,12 @@ pub struct ShardStats {
     pub backpressure_waits: u64,
     /// Commands that failed inside the worker (unknown tenant, engine error).
     pub command_errors: u64,
+    /// Faults fired inside this worker (injected panics, stalls, dropped
+    /// replies, corrupted snapshots). Worker-lifetime, reset on respawn.
+    pub faults_injected: u64,
+    /// Times a supervisor rebuilt this shard from checkpoint + WAL (filled
+    /// in by the supervisor; a bare [`crate::Service`] reports 0).
+    pub recoveries: u64,
     /// Per-tenant-step latency histogram (one sample per tenant per tick).
     pub step_latency: LatencyHistogramNs,
 }
@@ -108,17 +117,19 @@ impl fmt::Display for ShardStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {}: {} tenants, {} cmds ({} ticks), exec {}, drop {}, reconfig {}, \
-             queue {}, bp {}, step p50 {}ns p99 {}ns",
+            "shard {}: {} tenants, {} cmds ({} ticks), exec {}, drop {}, shed {}, \
+             reconfig {}, queue {}, bp {}, recoveries {}, step p50 {}ns p99 {}ns",
             self.shard,
             self.tenants,
             self.commands,
             self.ticks,
             self.executed,
             self.dropped,
+            self.shed_jobs,
             self.reconfig_cost,
             self.queue_depth,
             self.backpressure_waits,
+            self.recoveries,
             self.step_latency.p50(),
             self.step_latency.p99(),
         )
@@ -143,6 +154,17 @@ impl ServiceStats {
     /// Jobs dropped service-wide.
     pub fn dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Jobs shed service-wide (inbox watermark + queue watermark drops;
+    /// per-tenant attribution lives in [`crate::TenantProgress::shed`]).
+    pub fn shed(&self) -> u64 {
+        self.tenants.iter().map(|(_, p)| p.shed).sum()
+    }
+
+    /// Shard recoveries service-wide (supervised runs only).
+    pub fn recoveries(&self) -> u64 {
+        self.shards.iter().map(|s| s.recoveries).sum()
     }
 
     /// Service-wide step-latency histogram (merged over shards).

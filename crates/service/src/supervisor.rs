@@ -1,0 +1,643 @@
+//! Automatic shard supervision: checkpoint + WAL recovery, fault detection,
+//! bounded retries, and overload shedding.
+//!
+//! A [`Supervisor`] owns its shard workers the way [`crate::Service`] does,
+//! but journals every state-changing command into a per-shard [`Wal`] before
+//! enqueueing it and takes periodic validated [`Checkpoint`]s. When a worker
+//! dies (panic captured by the worker's `catch_unwind`, detected through
+//! join-handle monitoring, send failures or reply deadlines) the supervisor
+//! rebuilds the shard automatically: restore the newest checkpoint
+//! (replay-verified), re-apply the WAL suffix, respawn the worker —
+//! bit-identical to a run that never failed, because every policy is
+//! deterministic and the WAL holds every command, including those lost in
+//! the dead worker's queue.
+//!
+//! Overload degrades gracefully instead of stalling: a full shard queue past
+//! [`ShedConfig::queue_watermark`] or a tenant inbox past
+//! [`ShedConfig::inbox_watermark`] turns arrivals into counted
+//! **service-level drops** (the paper's unit drop cost applied at the door)
+//! rather than blocking the caller; [`crate::ServiceStats`] reports shed
+//! counts per tenant. Cross-shard commands that need a reply retry with
+//! deadline-aware exponential backoff, bounded by
+//! [`RetryPolicy::attempts`], and surface as typed
+//! [`ServiceError::Timeout`] / [`ServiceError::ShardDown`] instead of
+//! unwraps or hangs.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::faults::{FaultPlan, ShardFaults};
+use crate::service::shard_for;
+use crate::shard::{
+    restore_tenants, spawn_shard_with, Command, ShardHandle, ShardSnapshot, TenantId,
+    WorkerConfig,
+};
+use crate::stats::ServiceStats;
+use crate::tenant::{Tenant, TenantSpec};
+use crate::wal::{replay, Checkpoint, Wal, WalRecord};
+use rrs_core::{ColorId, RunResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bounded-retry parameters for cross-shard commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per command (1 = no retry).
+    pub attempts: u32,
+    /// Per-attempt deadline covering enqueue + reply.
+    pub op_timeout: Duration,
+    /// Base backoff between attempts; doubles per retry, capped at
+    /// `op_timeout` so the worst case stays within
+    /// `attempts × 2 × op_timeout`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            op_timeout: Duration::from_secs(2),
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Load-shedding watermarks (both default to off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Shed a tenant's submit when its shard queue holds at least this many
+    /// commands (checked supervisor-side, before journaling).
+    pub queue_watermark: Option<usize>,
+    /// Shed the jobs that would push a tenant's inbox past this many
+    /// buffered jobs (applied inside the worker and during WAL replay, so
+    /// recovery reproduces the same shedding decisions).
+    pub inbox_watermark: Option<u64>,
+}
+
+/// Supervisor topology and robustness parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Number of shard workers.
+    pub shards: usize,
+    /// Bounded command-queue capacity per shard.
+    pub queue_capacity: usize,
+    /// Ticks between checkpoints (0 = only the genesis checkpoint; recovery
+    /// then replays the whole WAL).
+    pub checkpoint_every: u64,
+    /// Retry/backoff/deadline policy for reply-bearing commands.
+    pub retry: RetryPolicy,
+    /// Overload shedding watermarks.
+    pub shed: ShedConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            shards: 4,
+            queue_capacity: 128,
+            checkpoint_every: 32,
+            retry: RetryPolicy::default(),
+            shed: ShedConfig::default(),
+        }
+    }
+}
+
+/// One recovery, for the record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// The rebuilt shard.
+    pub shard: usize,
+    /// Why the supervisor intervened (detection path + captured panic).
+    pub cause: String,
+    /// WAL records replayed past the checkpoint.
+    pub replayed: u64,
+}
+
+/// Per-shard supervision state.
+struct Seat {
+    handle: ShardHandle,
+    wal: Wal,
+    /// Oldest → newest; at most [`Seat::RETAINED`] entries. Recovery tries
+    /// the newest first and falls back, so one corrupted checkpoint cannot
+    /// brick the shard.
+    checkpoints: Vec<Checkpoint>,
+    /// Tick records journaled over the shard's lifetime.
+    ticks: u64,
+    recoveries: u64,
+    checkpoints_rejected: u64,
+    faults: Arc<ShardFaults>,
+}
+
+impl Seat {
+    const RETAINED: usize = 2;
+}
+
+/// A sharded multi-tenant scheduler service that survives worker death,
+/// stalls and overload automatically. Same tenant routing as
+/// [`crate::Service`] (`hash(tenant id) % shards`).
+pub struct Supervisor {
+    config: SupervisorConfig,
+    seats: Vec<Seat>,
+    /// Tenant directory: id → shard.
+    tenants: BTreeMap<TenantId, usize>,
+    /// Queue-watermark sheds, attributed per tenant (inbox-watermark sheds
+    /// live in the tenants themselves and survive recovery via snapshots).
+    queue_shed: BTreeMap<TenantId, u64>,
+    events: Vec<RecoveryEvent>,
+}
+
+impl Supervisor {
+    /// Starts `config.shards` supervised empty shard workers.
+    pub fn new(config: SupervisorConfig) -> ServiceResult<Self> {
+        Supervisor::with_faults(config, &FaultPlan::none())
+    }
+
+    /// Starts a supervisor whose workers run under a deterministic
+    /// [`FaultPlan`] — the chaos-testing entry point.
+    pub fn with_faults(config: SupervisorConfig, plan: &FaultPlan) -> ServiceResult<Self> {
+        let shards = config.shards.max(1);
+        let config = SupervisorConfig { shards, ..config };
+        let fault_state = plan.per_shard(shards);
+        let mut seats = Vec::with_capacity(shards);
+        for (shard, faults) in fault_state.into_iter().enumerate() {
+            let handle = spawn_shard_with(
+                Supervisor::worker_config(&config, shard, 0),
+                Arc::clone(&faults),
+                BTreeMap::new(),
+            )?;
+            seats.push(Seat {
+                handle,
+                wal: Wal::new(),
+                checkpoints: vec![Checkpoint::genesis(shard)],
+                ticks: 0,
+                recoveries: 0,
+                checkpoints_rejected: 0,
+                faults,
+            });
+        }
+        Ok(Supervisor {
+            config,
+            seats,
+            tenants: BTreeMap::new(),
+            queue_shed: BTreeMap::new(),
+            events: Vec::new(),
+        })
+    }
+
+    fn worker_config(config: &SupervisorConfig, shard: usize, ticks_done: u64) -> WorkerConfig {
+        WorkerConfig {
+            shard,
+            queue_capacity: config.queue_capacity,
+            inbox_watermark: config.shed.inbox_watermark,
+            ticks_done,
+        }
+    }
+
+    /// The supervisor topology.
+    pub fn config(&self) -> SupervisorConfig {
+        self.config
+    }
+
+    /// The shard a tenant id maps to.
+    pub fn shard_of(&self, id: TenantId) -> usize {
+        shard_for(id, self.seats.len())
+    }
+
+    /// Shard rebuilds so far, across all shards.
+    pub fn recoveries(&self) -> u64 {
+        self.seats.iter().map(|s| s.recoveries).sum()
+    }
+
+    /// Checkpoints rejected by validation (corrupted snapshot replies).
+    pub fn checkpoints_rejected(&self) -> u64 {
+        self.seats.iter().map(|s| s.checkpoints_rejected).sum()
+    }
+
+    /// The recovery log, in order of occurrence.
+    pub fn recovery_events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Registers a tenant on its home shard.
+    ///
+    /// The registration is validated supervisor-side (duplicate id, engine
+    /// construction) **before** it is journaled, so a WAL never replays a
+    /// failing `AddTenant`.
+    pub fn add_tenant(&mut self, id: TenantId, spec: TenantSpec) -> ServiceResult<()> {
+        if self.tenants.contains_key(&id) {
+            return Err(ServiceError::DuplicateTenant(id));
+        }
+        // Proves the spec constructs; the throwaway instance is dropped.
+        Tenant::new(spec.clone())?;
+        let shard = self.shard_of(id);
+        self.ensure_live(shard, "liveness check before add_tenant")?;
+        self.seats[shard].wal.append(WalRecord::AddTenant { id, spec: spec.clone() });
+        let sent = self.seats[shard].handle.round_trip_deadline(
+            |reply| Command::AddTenant { id, spec, reply },
+            self.config.retry.op_timeout,
+        );
+        match sent {
+            Ok(ack) => ack?,
+            // Already journaled: recovery replays the registration, so the
+            // command is in effect either way.
+            Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                self.recover(shard, "add_tenant did not acknowledge")?;
+            }
+            Err(e) => return Err(e),
+        }
+        self.tenants.insert(id, shard);
+        Ok(())
+    }
+
+    /// Buffers arrivals for a tenant's next tick, shedding instead of
+    /// blocking when the shard queue is past the watermark.
+    pub fn submit(&mut self, id: TenantId, arrivals: Vec<(ColorId, u64)>) -> ServiceResult<()> {
+        let &shard = self.tenants.get(&id).ok_or(ServiceError::UnknownTenant(id))?;
+        let jobs: u64 = arrivals.iter().map(|&(_, k)| k).sum();
+        if jobs == 0 {
+            return Ok(());
+        }
+        if let Some(w) = self.config.shed.queue_watermark {
+            if self.seats[shard].handle.queue_depth() >= w {
+                *self.queue_shed.entry(id).or_insert(0) += jobs;
+                return Ok(());
+            }
+        }
+        self.seats[shard]
+            .wal
+            .append(WalRecord::Submit { tenant: id, arrivals: arrivals.clone() });
+        let deadline = Instant::now() + self.config.retry.op_timeout;
+        match self.seats[shard]
+            .handle
+            .send_deadline(Command::Submit { tenant: id, arrivals }, deadline)
+        {
+            Ok(()) => Ok(()),
+            // Journaled: the rebuilt shard replays this submit.
+            Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                self.recover(shard, "submit did not enqueue")
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Advances every tenant on every shard one round, checkpointing on the
+    /// configured cadence.
+    pub fn tick(&mut self) -> ServiceResult<()> {
+        for shard in 0..self.seats.len() {
+            // Join-handle monitoring: catch a silently dead worker before
+            // wasting the queue deadline on it.
+            if self.seats[shard].handle.is_finished() {
+                self.recover(shard, "worker found dead before tick")?;
+            }
+            self.seats[shard].wal.append(WalRecord::Tick);
+            self.seats[shard].ticks += 1;
+            let deadline = Instant::now() + self.config.retry.op_timeout;
+            match self.seats[shard].handle.send_deadline(Command::Tick, deadline) {
+                Ok(()) => {}
+                Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                    self.recover(shard, "tick did not enqueue")?;
+                    continue; // the replay applied this tick; skip checkpoint
+                }
+                Err(e) => return Err(e),
+            }
+            let every = self.config.checkpoint_every;
+            if every > 0 && self.seats[shard].ticks.is_multiple_of(every) {
+                self.checkpoint(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes, validates and adopts a checkpoint of one shard now. A corrupt
+    /// snapshot reply is rejected (the previous checkpoints stay); a dead or
+    /// stalled worker triggers recovery instead.
+    pub fn checkpoint(&mut self, shard: usize) -> ServiceResult<()> {
+        if shard >= self.seats.len() {
+            return Err(ServiceError::UnknownShard(shard));
+        }
+        let offset = self.seats[shard].wal.end();
+        let ticks = self.seats[shard].ticks;
+        let snap = match self.seats[shard].handle.round_trip_deadline(
+            |reply| Command::Snapshot { reply },
+            self.config.retry.op_timeout,
+        ) {
+            Ok(snap) => snap,
+            Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                return self.recover(shard, "checkpoint snapshot did not answer");
+            }
+            Err(e) => return Err(e),
+        };
+        if let Err(e) = self.validate_checkpoint(shard, &snap) {
+            self.seats[shard].checkpoints_rejected += 1;
+            self.events.push(RecoveryEvent {
+                shard,
+                cause: format!("checkpoint rejected: {e}"),
+                replayed: 0,
+            });
+            return Ok(());
+        }
+        let seat = &mut self.seats[shard];
+        seat.checkpoints.push(Checkpoint { snapshot: snap, wal_offset: offset, ticks });
+        if seat.checkpoints.len() > Seat::RETAINED {
+            seat.checkpoints.remove(0);
+        }
+        if let Some(oldest) = seat.checkpoints.first() {
+            seat.wal.truncate_to(oldest.wal_offset);
+        }
+        Ok(())
+    }
+
+    /// Cheap structural validation of a would-be checkpoint: topology,
+    /// routing, job conservation, and agreement with the tenant directory.
+    /// (Full replay verification happens at recovery, with fallback.)
+    fn validate_checkpoint(&self, shard: usize, snap: &ShardSnapshot) -> ServiceResult<()> {
+        if snap.shard != shard {
+            return Err(ServiceError::Corrupt(format!(
+                "snapshot claims shard {}, expected {shard}",
+                snap.shard
+            )));
+        }
+        snap.validate(self.seats.len(), |id| shard_for(id, self.seats.len()))?;
+        for (id, _) in &snap.tenants {
+            if self.tenants.get(id) != Some(&shard) {
+                return Err(ServiceError::UnknownTenant(*id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a dead, stalled or misbehaving shard from its newest
+    /// checkpoint plus the WAL suffix, falling back to older checkpoints if
+    /// replay verification reports divergence. The old worker is abandoned,
+    /// never joined — a stalled thread cannot hang the supervisor.
+    fn recover(&mut self, shard: usize, cause: &str) -> ServiceResult<()> {
+        let panic_msg = self.seats[shard].handle.panic_message();
+        let seat = &self.seats[shard];
+        let mut rebuilt: Option<(BTreeMap<TenantId, Tenant>, u64)> = None;
+        let mut last_err = ServiceError::ShardDown(shard);
+        for ck in seat.checkpoints.iter().rev() {
+            let restored = restore_tenants(ck.snapshot.clone()).and_then(|mut tenants| {
+                replay(
+                    &mut tenants,
+                    seat.wal.iter_from(ck.wal_offset),
+                    self.config.shed.inbox_watermark,
+                )
+                .map(|replayed| (tenants, replayed))
+            });
+            match restored {
+                Ok(done) => {
+                    rebuilt = Some(done);
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some((tenants, replayed)) = rebuilt else {
+            return Err(last_err);
+        };
+        let replacement = spawn_shard_with(
+            Supervisor::worker_config(&self.config, shard, self.seats[shard].ticks),
+            Arc::clone(&self.seats[shard].faults),
+            tenants,
+        )?;
+        let old = std::mem::replace(&mut self.seats[shard].handle, replacement);
+        old.abandon();
+        self.seats[shard].recoveries += 1;
+        let cause = match panic_msg {
+            Some(msg) => format!("{cause}; worker panicked: {msg}"),
+            None => cause.to_string(),
+        };
+        self.events.push(RecoveryEvent { shard, cause, replayed });
+        Ok(())
+    }
+
+    /// Recovers `shard` if its worker thread has exited.
+    fn ensure_live(&mut self, shard: usize, cause: &str) -> ServiceResult<()> {
+        if self.seats[shard].handle.is_finished() {
+            self.recover(shard, cause)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a reply-bearing command against a shard with bounded retries:
+    /// each timeout or dead worker triggers a recovery, then an
+    /// exponentially backed-off retry (capped at the op deadline), up to
+    /// [`RetryPolicy::attempts`].
+    fn with_retry<T>(
+        &mut self,
+        shard: usize,
+        what: &str,
+        op: impl Fn(&ShardHandle, Duration) -> ServiceResult<T>,
+    ) -> ServiceResult<T> {
+        let RetryPolicy { attempts, op_timeout, backoff } = self.config.retry;
+        let mut pause = backoff;
+        let mut last = ServiceError::ShardDown(shard);
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(pause.min(op_timeout));
+                pause = pause.saturating_mul(2);
+            }
+            match op(&self.seats[shard].handle, op_timeout) {
+                Ok(v) => return Ok(v),
+                Err(e @ (ServiceError::Timeout(_) | ServiceError::ShardDown(_))) => {
+                    last = e;
+                    self.recover(shard, what)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Captures one shard's state (with retry + recovery).
+    pub fn snapshot_shard(&mut self, shard: usize) -> ServiceResult<ShardSnapshot> {
+        if shard >= self.seats.len() {
+            return Err(ServiceError::UnknownShard(shard));
+        }
+        self.with_retry(shard, "snapshot did not answer", |h, t| {
+            h.round_trip_deadline(|reply| Command::Snapshot { reply }, t)
+        })
+    }
+
+    /// Collects service-wide counters; shed counts are per tenant
+    /// (inbox-watermark sheds from the tenants themselves, queue-watermark
+    /// sheds from the supervisor's ledger) and each shard carries its
+    /// recovery count.
+    pub fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        let mut shards = Vec::new();
+        let mut tenants = Vec::new();
+        for shard in 0..self.seats.len() {
+            let mut s = self.with_retry(shard, "stats did not answer", |h, t| {
+                h.round_trip_deadline(|reply| Command::Stats { reply }, t)
+            })?;
+            let snap = self.snapshot_shard(shard)?;
+            s.recoveries = self.seats[shard].recoveries;
+            for (id, t) in snap.tenants {
+                let queue_shed = self.queue_shed.get(&id).copied().unwrap_or(0);
+                s.shed_jobs += queue_shed;
+                let r = &t.engine.result;
+                tenants.push((
+                    id,
+                    crate::tenant::TenantProgress {
+                        rounds: r.rounds,
+                        arrived: t.arrived(),
+                        executed: r.executed,
+                        dropped: r.dropped_jobs,
+                        pending: t.engine.pending.total(),
+                        inbox: t.inbox.iter().map(|&(_, k)| k).sum(),
+                        shed: t.shed + queue_shed,
+                        cost: r.cost,
+                        reconfig_events: r.reconfig_events,
+                    },
+                ));
+            }
+            shards.push(s);
+        }
+        tenants.sort_by_key(|&(id, _)| id);
+        Ok(ServiceStats { shards, tenants })
+    }
+
+    /// Drains every tenant to its horizon (with retry + recovery per shard)
+    /// and returns the final per-tenant results in ascending tenant order.
+    pub fn finish(mut self) -> ServiceResult<BTreeMap<TenantId, RunResult>> {
+        let mut results = BTreeMap::new();
+        for shard in 0..self.seats.len() {
+            let finished =
+                self.with_retry(shard, "finish did not answer", |h, t| h.finish_timeout(t))?;
+            for (id, r) in finished {
+                results.insert(id, r);
+            }
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Fault, FaultKind};
+    use crate::policy::PolicySpec;
+    use rrs_core::{ColorId, ColorTable};
+
+    fn spec() -> TenantSpec {
+        TenantSpec::new(PolicySpec::DlruEdf, ColorTable::from_delay_bounds(&[2, 4]), 4, 2)
+    }
+
+    fn quick_config(shards: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            shards,
+            queue_capacity: 8,
+            checkpoint_every: 4,
+            retry: RetryPolicy {
+                attempts: 3,
+                op_timeout: Duration::from_millis(500),
+                backoff: Duration::from_millis(1),
+            },
+            shed: ShedConfig::default(),
+        }
+    }
+
+    fn drive(sup: &mut Supervisor, tenants: u64, rounds: u64) {
+        for round in 0..rounds {
+            for id in 0..tenants {
+                sup.submit(id, vec![(ColorId((id % 2) as u32), 1 + round % 3)]).unwrap();
+            }
+            sup.tick().unwrap();
+        }
+    }
+
+    #[test]
+    fn supervised_run_matches_plain_run_without_faults() {
+        let mut a = Supervisor::new(quick_config(2)).unwrap();
+        let mut b = Supervisor::new(SupervisorConfig {
+            checkpoint_every: 0, // genesis-only: recovery would replay all
+            ..quick_config(2)
+        })
+        .unwrap();
+        for sup in [&mut a, &mut b] {
+            for id in 0..4 {
+                sup.add_tenant(id, spec()).unwrap();
+            }
+            drive(sup, 4, 6);
+        }
+        assert_eq!(a.finish().unwrap(), b.finish().unwrap());
+    }
+
+    #[test]
+    fn panic_mid_run_recovers_bit_identically() {
+        let mut clean = Supervisor::new(quick_config(2)).unwrap();
+        let plan = FaultPlan {
+            faults: vec![
+                Fault { shard: 0, at_tick: 3, kind: FaultKind::Panic },
+                Fault { shard: 1, at_tick: 5, kind: FaultKind::Panic },
+            ],
+        };
+        let mut chaotic = Supervisor::with_faults(quick_config(2), &plan).unwrap();
+        for sup in [&mut clean, &mut chaotic] {
+            for id in 0..4 {
+                sup.add_tenant(id, spec()).unwrap();
+            }
+            drive(sup, 4, 8);
+        }
+        assert!(chaotic.recoveries() >= 2, "both injected panics recovered");
+        let events = chaotic.recovery_events().to_vec();
+        assert!(
+            events.iter().any(|e| e.cause.contains("injected fault")),
+            "panic message captured: {events:?}"
+        );
+        assert_eq!(chaotic.finish().unwrap(), clean.finish().unwrap());
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_rejected_and_survivable() {
+        let plan = FaultPlan {
+            faults: vec![
+                // Corrupt the first periodic checkpoint (tick 4)...
+                Fault { shard: 0, at_tick: 4, kind: FaultKind::CorruptSnapshot },
+                // ...then kill the worker so recovery must use older state.
+                Fault { shard: 0, at_tick: 6, kind: FaultKind::Panic },
+            ],
+        };
+        let mut clean = Supervisor::new(quick_config(1)).unwrap();
+        let mut chaotic = Supervisor::with_faults(quick_config(1), &plan).unwrap();
+        for sup in [&mut clean, &mut chaotic] {
+            sup.add_tenant(0, spec()).unwrap();
+            drive(sup, 1, 10);
+        }
+        assert_eq!(chaotic.checkpoints_rejected(), 1);
+        assert!(chaotic.recoveries() >= 1);
+        assert_eq!(chaotic.finish().unwrap(), clean.finish().unwrap());
+    }
+
+    #[test]
+    fn inbox_watermark_sheds_deterministically() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            shed: ShedConfig { inbox_watermark: Some(2), queue_watermark: None },
+            ..quick_config(1)
+        })
+        .unwrap();
+        sup.add_tenant(0, spec()).unwrap();
+        for _ in 0..5 {
+            // 6 jobs per round against a watermark of 2 → 4 shed per round.
+            sup.submit(0, vec![(ColorId(0), 6)]).unwrap();
+            sup.tick().unwrap();
+        }
+        let stats = sup.stats().unwrap();
+        assert_eq!(stats.shed(), 20);
+        assert_eq!(stats.tenants[0].1.shed, 20);
+        assert_eq!(stats.tenants[0].1.arrived, 10, "watermark admits 2 per round");
+        assert!(stats.conserves_jobs());
+        sup.finish().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tenants_are_typed_errors() {
+        let mut sup = Supervisor::new(quick_config(2)).unwrap();
+        sup.add_tenant(1, spec()).unwrap();
+        assert!(matches!(sup.add_tenant(1, spec()), Err(ServiceError::DuplicateTenant(1))));
+        assert!(matches!(
+            sup.submit(9, vec![(ColorId(0), 1)]),
+            Err(ServiceError::UnknownTenant(9))
+        ));
+        sup.finish().unwrap();
+    }
+}

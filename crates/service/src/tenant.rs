@@ -47,6 +47,10 @@ pub struct TenantSnapshot {
     pub log: Vec<Vec<(ColorId, u64)>>,
     /// Buffered arrivals not yet ticked, in ascending color order.
     pub inbox: Vec<(ColorId, u64)>,
+    /// Jobs shed at the inbox watermark (service-level drops; they never
+    /// entered a round, so they are outside job conservation).
+    #[serde(default)]
+    pub shed: u64,
     /// The engine state at the snapshot point (used to verify the replay).
     pub engine: EngineSnapshot,
 }
@@ -74,6 +78,7 @@ pub struct Tenant {
     engine: StreamingEngine,
     log: Vec<Vec<(ColorId, u64)>>,
     inbox: BTreeMap<ColorId, u64>,
+    shed: u64,
 }
 
 impl Tenant {
@@ -92,7 +97,7 @@ impl Tenant {
             CostModel::new(spec.delta),
             spec.policy.speed(),
         )?;
-        Ok(Tenant { spec, engine, log: Vec::new(), inbox: BTreeMap::new() })
+        Ok(Tenant { spec, engine, log: Vec::new(), inbox: BTreeMap::new(), shed: 0 })
     }
 
     /// The tenant's instance parameters.
@@ -118,6 +123,48 @@ impl Tenant {
         Ok(())
     }
 
+    /// Buffers arrivals up to an optional inbox watermark: jobs that would
+    /// push the buffered total past `watermark` are **shed** — counted as
+    /// service-level drops (the paper's unit drop cost applied at the door)
+    /// and never entered into any round. Returns the number shed.
+    ///
+    /// Shedding decisions depend only on the tenant's own state and the
+    /// arrival order, so WAL replay with the same watermark reproduces them
+    /// exactly.
+    pub fn submit_shedding(
+        &mut self,
+        arrivals: &[(ColorId, u64)],
+        watermark: Option<u64>,
+    ) -> ServiceResult<u64> {
+        let Some(w) = watermark else {
+            self.submit(arrivals)?;
+            return Ok(0);
+        };
+        let mut buffered: u64 = self.inbox.values().sum();
+        let mut shed = 0u64;
+        for &(c, k) in arrivals {
+            if c.index() >= self.spec.colors.len() {
+                return Err(ServiceError::Engine(rrs_core::Error::UnknownColor(c)));
+            }
+            if k == 0 {
+                continue;
+            }
+            let take = k.min(w.saturating_sub(buffered));
+            if take > 0 {
+                *self.inbox.entry(c).or_insert(0) += take;
+                buffered += take;
+            }
+            shed += k - take;
+        }
+        self.shed += shed;
+        Ok(shed)
+    }
+
+    /// Jobs shed at the inbox watermark so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
     /// Simulates one round with the buffered arrivals.
     pub fn tick(&mut self) -> ServiceResult<StepOutcome> {
         let arrivals: Vec<(ColorId, u64)> =
@@ -133,6 +180,7 @@ impl Tenant {
             spec: self.spec.clone(),
             log: self.log.clone(),
             inbox: self.inbox.iter().map(|(&c, &k)| (c, k)).collect(),
+            shed: self.shed,
             engine: self.engine.snapshot(),
         }
     }
@@ -161,6 +209,9 @@ impl Tenant {
             )));
         }
         tenant.inbox = snapshot.inbox.into_iter().collect();
+        // Shed jobs never entered the log, so the replay cannot reproduce
+        // the counter; carry it over from the snapshot.
+        tenant.shed = snapshot.shed;
         Ok(tenant)
     }
 
@@ -179,6 +230,7 @@ impl Tenant {
             dropped: r.dropped_jobs,
             pending: self.engine.pending_jobs(),
             inbox: self.inbox.values().sum(),
+            shed: self.shed,
             cost: r.cost,
             reconfig_events: r.reconfig_events,
         }
@@ -209,6 +261,8 @@ pub struct TenantProgress {
     pub pending: u64,
     /// Jobs buffered in the inbox (submitted, not yet ticked).
     pub inbox: u64,
+    /// Jobs shed at a watermark (service-level drops, never arrived).
+    pub shed: u64,
     /// Accumulated cost.
     pub cost: Cost,
     /// Individual resource recolorings.

@@ -115,7 +115,7 @@ fn service_run(
     kill_round: u64,
 ) -> Vec<RunResult> {
     let driver = OpenLoopDriver::new(load);
-    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 16 });
+    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 16 }).unwrap();
     for t in 0..driver.tenants() {
         let tspec = TenantSpec::new(spec, driver.trace(t).colors().clone(), N, DELTA);
         svc.add_tenant(t, tspec).unwrap();

@@ -96,7 +96,7 @@ fn reference_results(scripts: &[Script]) -> Vec<RunResult> {
 /// `interleave_seed`, returning final results in tenant order.
 fn service_run(scripts: &[Script], shards: usize, interleave_seed: u64) -> Vec<RunResult> {
     let mut rng = Rng(interleave_seed);
-    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 2 });
+    let mut svc = Service::new(ServiceConfig { shards, queue_capacity: 2 }).unwrap();
     for (id, s) in scripts.iter().enumerate() {
         svc.add_tenant(id as u64, tenant_spec(s)).unwrap();
     }

@@ -231,7 +231,7 @@ pub mod rngs {
 
 /// A process-global convenience RNG (deterministic in this shim).
 pub fn thread_rng() -> rngs::StdRng {
-    SeedableRng::seed_from_u64(0x5EED_0F_7472656E)
+    SeedableRng::seed_from_u64(0x005E_ED0F_7472_656E)
 }
 
 #[cfg(test)]
