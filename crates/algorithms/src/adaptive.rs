@@ -16,7 +16,7 @@
 //! the adaptive split matching the fixed one on the paper's adversaries while
 //! improving on skewed mixes.
 
-use crate::ranking::rank_key;
+use crate::ranking::{RankIndex, RecencyIndex};
 use crate::state::BatchState;
 use rrs_core::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -27,6 +27,12 @@ pub struct AdaptiveDlruEdf {
     state: BatchState,
     cached: BTreeSet<ColorId>,
     lru_set: BTreeSet<ColorId>,
+    /// Eligible colors in recency order, maintained incrementally.
+    recency: RecencyIndex,
+    /// Eligible colors in EDF rank order, maintained incrementally.
+    rank: RankIndex,
+    /// Scratch: colors whose cached membership changed in a reconfiguration.
+    changed: Vec<ColorId>,
     n: usize,
     /// Current LRU quota (distinct colors), in `[1, capacity - 1]`.
     lru_quota: usize,
@@ -52,6 +58,9 @@ impl AdaptiveDlruEdf {
             state: BatchState::new(table, delta),
             cached: BTreeSet::new(),
             lru_set: BTreeSet::new(),
+            recency: RecencyIndex::new(table.len()),
+            rank: RankIndex::new(table.len()),
+            changed: Vec::new(),
             n,
             lru_quota: n / 4, // start at the paper's split
             evicted_at: BTreeMap::new(),
@@ -63,6 +72,22 @@ impl AdaptiveDlruEdf {
 
     fn capacity(&self) -> usize {
         self.n / 2
+    }
+
+    /// Re-derives both indices' entries for the most recent phase's touched
+    /// colors (eligibility, timestamps and deadlines only change there).
+    fn refresh_touched(&mut self, pending: &PendingJobs) {
+        let (state, recency, rank, cached) = (
+            &self.state,
+            &mut self.recency,
+            &mut self.rank,
+            &self.cached,
+        );
+        for &c in state.touched() {
+            let s = state.color(c);
+            recency.refresh(c, s.eligible.then(|| (s.timestamp, cached.contains(&c))));
+            rank.refresh(state, pending, c);
+        }
     }
 
     /// Diagnostic: how often each adaptation signal fired.
@@ -86,7 +111,7 @@ impl Policy for AdaptiveDlruEdf {
         "Adaptive-ΔLRU-EDF".into()
     }
 
-    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], _view: &EngineView) {
+    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], view: &EngineView) {
         // Starvation signal: eligible colors dropping jobs while uncached.
         for &(c, _) in dropped {
             if self.state.color(c).eligible && !self.cached.contains(&c) {
@@ -99,30 +124,34 @@ impl Policy for AdaptiveDlruEdf {
         let cached = &self.cached;
         self.state
             .drop_phase(round, dropped, &|c| cached.contains(&c));
+        self.refresh_touched(view.pending);
+        // Dropped colors may have flipped their idle bit (an EDF rank
+        // component) without an eligibility change.
+        let (state, rank) = (&self.state, &mut self.rank);
+        rank.refresh_many(state, view.pending, dropped.iter().map(|&(c, _)| c));
     }
 
-    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], view: &EngineView) {
         self.state.arrival_phase(round, arrivals);
+        self.refresh_touched(view.pending);
     }
 
     fn reconfigure(&mut self, round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
-        let eligible = self.state.eligible_colors();
+        // Execution drains cached colors' queues without a policy hook, so
+        // their EDF rank (idle bit) may be stale: re-derive before selecting.
+        self.rank
+            .refresh_many(&self.state, view.pending, self.cached.iter().copied());
+        self.changed.clear();
         let capacity = self.capacity();
         let lru_quota = self.lru_quota.min(capacity - 1).max(1);
 
-        // LRU half.
-        let mut by_ts = eligible.clone();
-        by_ts.sort_by_key(|&c| {
-            (
-                std::cmp::Reverse(self.state.color(c).timestamp),
-                !self.cached.contains(&c),
-                c,
-            )
-        });
-        by_ts.truncate(lru_quota);
-        self.lru_set = by_ts.into_iter().collect();
+        // LRU half, read straight off the recency index.
+        self.lru_set.clear();
+        let (recency, lru_set) = (&self.recency, &mut self.lru_set);
+        lru_set.extend(recency.iter().take(lru_quota));
         for &c in &self.lru_set {
             if self.cached.insert(c) {
+                self.changed.push(c);
                 // Thrash signal: this color was evicted only recently.
                 if let Some(&t) = self.evicted_at.get(&c) {
                     if round.saturating_sub(t) <= self.window {
@@ -137,36 +166,50 @@ impl Policy for AdaptiveDlruEdf {
 
         // EDF half over the remaining capacity.
         let edf_quota = capacity - lru_quota;
-        let mut non_lru: Vec<ColorId> = eligible
-            .iter()
-            .copied()
-            .filter(|c| !self.lru_set.contains(c))
-            .collect();
-        non_lru.sort_by_key(|&c| rank_key(&self.state, view.pending, c));
-        for &c in non_lru.iter().take(edf_quota) {
-            if !view.pending.is_idle(c)
-                && self.cached.insert(c) {
-                    if let Some(&t) = self.evicted_at.get(&c) {
-                        if round.saturating_sub(t) <= self.window {
-                            self.thrash_signals += 1;
-                            if self.lru_quota < capacity - 1 {
-                                self.lru_quota += 1;
-                            }
+        let (rank, lru_set, cached, changed) = (
+            &self.rank,
+            &self.lru_set,
+            &mut self.cached,
+            &mut self.changed,
+        );
+        for c in rank.iter().filter(|c| !lru_set.contains(c)).take(edf_quota) {
+            if !view.pending.is_idle(c) && cached.insert(c) {
+                changed.push(c);
+                if let Some(&t) = self.evicted_at.get(&c) {
+                    if round.saturating_sub(t) <= self.window {
+                        self.thrash_signals += 1;
+                        if self.lru_quota < capacity - 1 {
+                            self.lru_quota += 1;
                         }
                     }
                 }
+            }
         }
 
         // Evictions.
         while self.cached.len() > capacity {
-            let worst = non_lru
-                .iter()
-                .rev()
+            let worst = self
+                .rank
+                .iter_rev()
+                .filter(|c| !self.lru_set.contains(c))
                 .find(|c| self.cached.contains(c))
-                .copied()
                 .expect("over capacity implies a cached non-LRU color");
             self.cached.remove(&worst);
+            self.changed.push(worst);
             self.evicted_at.insert(worst, round);
+        }
+
+        // The cached-first tie-break is part of the recency key: re-derive the
+        // entries of every color whose membership changed.
+        let (state, recency, cached, changed) = (
+            &self.state,
+            &mut self.recency,
+            &self.cached,
+            &self.changed,
+        );
+        for &c in changed {
+            let s = state.color(c);
+            recency.refresh(c, s.eligible.then(|| (s.timestamp, cached.contains(&c))));
         }
 
         CacheTarget::replicated(self.cached.iter().copied(), 2)

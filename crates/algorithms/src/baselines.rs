@@ -5,6 +5,7 @@
 //! drops under shifting workloads) versus fully greedy adaptation (good
 //! utilization, heavy thrashing). ΔLRU-EDF must beat both on adversarial mixes.
 
+use crate::ranking::{colors_by_pending, PendingCountIndex};
 use rrs_core::prelude::*;
 
 /// Statically partitions the `n` resources over all colors round-robin at round
@@ -66,11 +67,10 @@ impl Policy for NeverReconfigure {
         if let Some(t) = &self.target {
             return t.clone();
         }
-        let mut colors = view.pending.nonidle_colors();
+        let mut colors = colors_by_pending(view.pending);
         if colors.is_empty() {
             return CacheTarget::empty();
         }
-        colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
         colors.truncate(view.n);
         // Fill all n slots by cycling through the chosen colors.
         let mut target = CacheTarget::empty();
@@ -85,13 +85,31 @@ impl Policy for NeverReconfigure {
 /// Fully greedy: every round, allocate all `n` slots to the colors with the
 /// most pending jobs (one slot per color, cycling while slots remain). Maximally
 /// adaptive and maximally thrash-prone.
-#[derive(Debug, Clone, Default)]
-pub struct GreedyPending;
+#[derive(Debug, Clone)]
+pub struct GreedyPending {
+    /// Nonidle colors by backlog, maintained incrementally from phase deltas.
+    counts: PendingCountIndex,
+    /// Colors the last reconfiguration allocated slots to — the only colors
+    /// the subsequent execution phase can drain.
+    selected: Vec<ColorId>,
+    /// Scratch: chosen colors with their unallocated pending counts.
+    remaining: Vec<(ColorId, u64)>,
+}
 
 impl GreedyPending {
     /// Creates the policy.
     pub fn new() -> Self {
-        Self
+        GreedyPending {
+            counts: PendingCountIndex::new(0),
+            selected: Vec::new(),
+            remaining: Vec::new(),
+        }
+    }
+}
+
+impl Default for GreedyPending {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -100,22 +118,40 @@ impl Policy for GreedyPending {
         "GreedyPending".into()
     }
 
+    fn on_drop_phase(&mut self, _round: Round, dropped: &[(ColorId, u64)], view: &EngineView) {
+        for &(c, _) in dropped {
+            self.counts.refresh(view.pending, c);
+        }
+    }
+
+    fn on_arrival_phase(&mut self, _round: Round, arrivals: &[(ColorId, u64)], view: &EngineView) {
+        for &(c, _) in arrivals {
+            self.counts.refresh(view.pending, c);
+        }
+    }
+
     fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
-        let mut colors = view.pending.nonidle_colors();
-        colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
-        colors.truncate(view.n);
+        // Execution drains only the colors the previous target configured, with
+        // no policy hook: re-derive their counts before selecting.
+        for i in 0..self.selected.len() {
+            self.counts.refresh(view.pending, self.selected[i]);
+        }
         let mut target = CacheTarget::empty();
-        if colors.is_empty() {
+        // Chosen colors (largest backlog first) with their pending counts,
+        // straight off the index.
+        self.remaining.clear();
+        self.remaining.extend(self.counts.iter().take(view.n));
+        self.selected.clear();
+        self.selected.extend(self.remaining.iter().map(|&(c, _)| c));
+        if self.remaining.is_empty() {
             return target;
         }
         // Allocate slots proportionally-ish: round-robin over the chosen colors,
         // but never more slots for a color than it has pending jobs.
-        let mut remaining: Vec<(ColorId, u64)> =
-            colors.iter().map(|&c| (c, view.pending.count(c))).collect();
         let mut slots = view.n;
         while slots > 0 {
             let mut progressed = false;
-            for (c, left) in remaining.iter_mut() {
+            for (c, left) in self.remaining.iter_mut() {
                 if slots == 0 {
                     break;
                 }

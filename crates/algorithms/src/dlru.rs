@@ -11,6 +11,7 @@
 //! but idle short-term colors while a long-term color with an enormous backlog
 //! starves. The Appendix A adversary in `rrs-workloads` exhibits exactly this.
 
+use crate::ranking::RecencyIndex;
 use crate::state::BatchState;
 use rrs_core::prelude::*;
 use std::collections::BTreeSet;
@@ -20,6 +21,11 @@ use std::collections::BTreeSet;
 pub struct Dlru {
     state: BatchState,
     cached: BTreeSet<ColorId>,
+    /// Eligible colors in recency order, maintained incrementally from the
+    /// phase deltas instead of re-sorted every mini-round.
+    recency: RecencyIndex,
+    /// Scratch: colors whose cached membership changed in a reconfiguration.
+    changed: Vec<ColorId>,
     n: usize,
     /// Copies per cached color (2 = the paper's replication invariant).
     replication: u32,
@@ -51,9 +57,21 @@ impl Dlru {
         Ok(Dlru {
             state: BatchState::new(table, delta),
             cached: BTreeSet::new(),
+            recency: RecencyIndex::new(table.len()),
+            changed: Vec::new(),
             n,
             replication,
         })
+    }
+
+    /// Re-derives the recency entries of the most recent phase's touched
+    /// colors (eligibility and timestamps only change there).
+    fn refresh_touched(&mut self) {
+        let (state, recency, cached) = (&self.state, &mut self.recency, &self.cached);
+        for &c in state.touched() {
+            let s = state.color(c);
+            recency.refresh(c, s.eligible.then(|| (s.timestamp, cached.contains(&c))));
+        }
     }
 
     /// Number of distinct colors the cache holds.
@@ -71,20 +89,6 @@ impl Dlru {
         self.cached.iter().copied()
     }
 
-    /// Selects the top `quota` eligible colors by (timestamp desc, cached-first,
-    /// color id asc) — the ΔLRU invariant set.
-    fn lru_set(&self) -> Vec<ColorId> {
-        let mut eligible = self.state.eligible_colors();
-        eligible.sort_by_key(|&c| {
-            (
-                std::cmp::Reverse(self.state.color(c).timestamp),
-                !self.cached.contains(&c), // prefer keeping cached colors on ties
-                c,
-            )
-        });
-        eligible.truncate(self.quota());
-        eligible
-    }
 }
 
 impl Policy for Dlru {
@@ -96,15 +100,33 @@ impl Policy for Dlru {
         let cached = &self.cached;
         self.state
             .drop_phase(round, dropped, &|c| cached.contains(&c));
+        self.refresh_touched();
     }
 
     fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
         self.state.arrival_phase(round, arrivals);
+        self.refresh_touched();
     }
 
     fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
         debug_assert_eq!(view.n, self.n, "engine and policy disagree on n");
-        self.cached = self.lru_set().into_iter().collect();
+        // The ΔLRU invariant set: the top `quota` eligible colors by
+        // (timestamp desc, cached-first, color id asc) — read straight off the
+        // recency index.
+        let quota = self.quota();
+        let new_cached: BTreeSet<ColorId> = self.recency.iter().take(quota).collect();
+        self.changed.clear();
+        self.changed
+            .extend(new_cached.symmetric_difference(&self.cached));
+        self.cached = new_cached;
+        // The cached-first tie-break is part of the recency key: re-derive the
+        // entries of every color whose membership changed.
+        let (state, recency, cached, changed) =
+            (&self.state, &mut self.recency, &self.cached, &self.changed);
+        for &c in changed {
+            let s = state.color(c);
+            recency.refresh(c, s.eligible.then(|| (s.timestamp, cached.contains(&c))));
+        }
         CacheTarget::replicated(self.cached.iter().copied(), self.replication)
     }
 }

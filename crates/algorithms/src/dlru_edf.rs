@@ -20,7 +20,7 @@
 //! `[Δ | 1 | D_ℓ | D_ℓ]` sequence (power-of-two delay bounds) is within a
 //! constant factor of an optimal offline schedule using `m` resources.
 
-use crate::ranking::rank_key;
+use crate::ranking::{RankIndex, RecencyIndex};
 use crate::state::BatchState;
 use rrs_core::prelude::*;
 use std::collections::BTreeSet;
@@ -74,6 +74,12 @@ pub struct DlruEdf {
     cached: BTreeSet<ColorId>,
     /// The current LRU set (recomputed every reconfiguration phase).
     lru_set: BTreeSet<ColorId>,
+    /// Eligible colors in recency order (step 1), maintained incrementally.
+    recency: RecencyIndex,
+    /// Eligible colors in EDF rank order (steps 2–3), maintained incrementally.
+    rank: RankIndex,
+    /// Scratch: colors whose cached membership changed in a reconfiguration.
+    changed: Vec<ColorId>,
     n: usize,
     config: DlruEdfConfig,
 }
@@ -119,9 +125,28 @@ impl DlruEdf {
             state: BatchState::new(table, delta),
             cached: BTreeSet::new(),
             lru_set: BTreeSet::new(),
+            recency: RecencyIndex::new(table.len()),
+            rank: RankIndex::new(table.len()),
+            changed: Vec::new(),
             n,
             config,
         })
+    }
+
+    /// Re-derives both indices' entries for the most recent phase's touched
+    /// colors (eligibility, timestamps and deadlines only change there).
+    fn refresh_touched(&mut self, pending: &PendingJobs) {
+        let (state, recency, rank, cached) = (
+            &self.state,
+            &mut self.recency,
+            &mut self.rank,
+            &self.cached,
+        );
+        for &c in state.touched() {
+            let s = state.color(c);
+            recency.refresh(c, s.eligible.then(|| (s.timestamp, cached.contains(&c))));
+            rank.refresh(state, pending, c);
+        }
     }
 
     /// Distinct colors in the LRU set.
@@ -177,59 +202,80 @@ impl Policy for DlruEdf {
         }
     }
 
-    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], _view: &EngineView) {
+    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], view: &EngineView) {
         let cached = &self.cached;
         self.state
             .drop_phase(round, dropped, &|c| cached.contains(&c));
+        self.refresh_touched(view.pending);
+        // Dropped colors may have flipped their idle bit (an EDF rank
+        // component) without an eligibility change.
+        let (state, rank) = (&self.state, &mut self.rank);
+        rank.refresh_many(state, view.pending, dropped.iter().map(|&(c, _)| c));
     }
 
-    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], view: &EngineView) {
         self.state.arrival_phase(round, arrivals);
+        self.refresh_touched(view.pending);
     }
 
     fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
         debug_assert_eq!(view.n, self.n, "engine and policy disagree on n");
-        let eligible = self.state.eligible_colors();
+        // Execution drains cached colors' queues without a policy hook, so
+        // their EDF rank (idle bit) may be stale: re-derive before selecting.
+        self.rank
+            .refresh_many(&self.state, view.pending, self.cached.iter().copied());
+        self.changed.clear();
+        let (lru_quota, edf_quota) = (self.lru_quota(), self.edf_quota());
 
         // Step 1 (ΔLRU): the lru_quota eligible colors with the most recent
-        // timestamps, ties in favour of already-cached colors then color order.
-        let mut by_ts = eligible.clone();
-        by_ts.sort_by_key(|&c| {
-            (
-                std::cmp::Reverse(self.state.color(c).timestamp),
-                !self.cached.contains(&c),
-                c,
-            )
-        });
-        by_ts.truncate(self.lru_quota());
-        self.lru_set = by_ts.into_iter().collect();
+        // timestamps, ties in favour of already-cached colors then color order
+        // — read straight off the recency index.
+        self.lru_set.clear();
+        let (recency, lru_set) = (&self.recency, &mut self.lru_set);
+        lru_set.extend(recency.iter().take(lru_quota));
         for &c in &self.lru_set {
-            self.cached.insert(c);
+            if self.cached.insert(c) {
+                self.changed.push(c);
+            }
         }
 
         // Step 2 (EDF): rank the non-LRU eligible colors; bring in the nonidle
         // ones in the top edf_quota rankings that are not yet cached.
-        let mut non_lru: Vec<ColorId> = eligible
-            .iter()
-            .copied()
-            .filter(|c| !self.lru_set.contains(c))
-            .collect();
-        non_lru.sort_by_key(|&c| rank_key(&self.state, view.pending, c));
-        for &c in non_lru.iter().take(self.edf_quota()) {
-            if !view.pending.is_idle(c) {
-                self.cached.insert(c);
+        let (rank, lru_set, cached, changed) = (
+            &self.rank,
+            &self.lru_set,
+            &mut self.cached,
+            &mut self.changed,
+        );
+        for c in rank.iter().filter(|c| !lru_set.contains(c)).take(edf_quota) {
+            if !view.pending.is_idle(c) && cached.insert(c) {
+                changed.push(c);
             }
         }
 
         // Step 3: evict the lowest-ranked non-LRU colors while over capacity.
         while self.cached.len() > self.capacity() {
-            let worst = non_lru
-                .iter()
-                .rev()
+            let worst = self
+                .rank
+                .iter_rev()
+                .filter(|c| !self.lru_set.contains(c))
                 .find(|c| self.cached.contains(c))
-                .copied()
                 .expect("over capacity implies a cached non-LRU color exists");
             self.cached.remove(&worst);
+            self.changed.push(worst);
+        }
+
+        // The cached-first tie-break is part of the recency key: re-derive the
+        // entries of every color whose membership changed.
+        let (state, recency, cached, changed) = (
+            &self.state,
+            &mut self.recency,
+            &self.cached,
+            &self.changed,
+        );
+        for &c in changed {
+            let s = state.color(c);
+            recency.refresh(c, s.eligible.then(|| (s.timestamp, cached.contains(&c))));
         }
 
         CacheTarget::replicated(self.cached.iter().copied(), self.config.replication)

@@ -9,6 +9,7 @@
 //! this is a recency-only scheme and inherits its Appendix A pathology; it
 //! exists for the E17 ablation.
 
+use crate::ranking::RecencyIndex;
 use crate::state::BatchState;
 use rrs_core::prelude::*;
 use std::collections::{BTreeSet, VecDeque};
@@ -22,8 +23,24 @@ pub struct DlruK {
     history: Vec<VecDeque<Round>>,
     /// Last wrap round already folded into `history` per color.
     folded: Vec<Option<Round>>,
+    /// Eligible colors by K-th timestamp, maintained incrementally.
+    recency: RecencyIndex,
+    /// Scratch: colors whose cached membership changed in a reconfiguration.
+    changed: Vec<ColorId>,
     n: usize,
     k: usize,
+}
+
+/// The K-th most recent qualifying wrap round recorded in `history` (0 if
+/// fewer than K wraps have qualified). Free function so index refreshes can
+/// borrow `history` alongside the other policy fields.
+fn kth(history: &[VecDeque<Round>], k: usize, color: ColorId) -> Round {
+    let h = &history[color.index()];
+    if h.len() < k {
+        0
+    } else {
+        h[k - 1]
+    }
 }
 
 impl DlruK {
@@ -42,6 +59,8 @@ impl DlruK {
             cached: BTreeSet::new(),
             history: vec![VecDeque::new(); table.len()],
             folded: vec![None; table.len()],
+            recency: RecencyIndex::new(table.len()),
+            changed: Vec::new(),
             n,
             k,
         })
@@ -49,12 +68,27 @@ impl DlruK {
 
     /// The K-th most recent qualifying wrap round of `color` (0 if fewer than
     /// K wraps have qualified).
-    fn kth_timestamp(&self, color: ColorId) -> Round {
-        let h = &self.history[color.index()];
-        if h.len() < self.k {
-            0
-        } else {
-            h[self.k - 1]
+    pub fn kth_timestamp(&self, color: ColorId) -> Round {
+        kth(&self.history, self.k, color)
+    }
+
+    /// Re-derives the recency entries of the most recent phase's touched
+    /// colors (eligibility and timestamps only change there).
+    fn refresh_touched(&mut self) {
+        let (state, recency, cached, history, k) = (
+            &self.state,
+            &mut self.recency,
+            &self.cached,
+            &self.history,
+            self.k,
+        );
+        for &c in state.touched() {
+            let s = state.color(c);
+            recency.refresh(
+                c,
+                s.eligible
+                    .then(|| (kth(history, k, c), cached.contains(&c))),
+            );
         }
     }
 
@@ -73,15 +107,20 @@ impl Policy for DlruK {
         let cached = &self.cached;
         self.state
             .drop_phase(round, dropped, &|c| cached.contains(&c));
+        self.refresh_touched();
     }
 
     fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
         self.state.arrival_phase(round, arrivals);
         // Fold newly-qualifying wraps into the history. The shared state's
         // `timestamp` is exactly "the latest wrap strictly before the most
-        // recent multiple", so whenever it advances we record it.
-        for i in 0..self.history.len() {
-            let c = ColorId(i as u32);
+        // recent multiple", so whenever it advances we record it. Timestamps
+        // only advance during the arrival phase's delay-bound refresh, and
+        // every refreshed color is reported in `touched`, so folding over the
+        // touched set visits every advanced timestamp (for the rest the
+        // `folded` guard would skip the fold anyway).
+        for &c in self.state.touched() {
+            let i = c.index();
             let ts = self.state.color(c).timestamp;
             if ts > 0 && self.folded[i] != Some(ts) {
                 self.folded[i] = Some(ts);
@@ -89,20 +128,37 @@ impl Policy for DlruK {
                 self.history[i].truncate(self.k);
             }
         }
+        self.refresh_touched();
     }
 
     fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
         debug_assert_eq!(view.n, self.n);
-        let mut eligible = self.state.eligible_colors();
-        eligible.sort_by_key(|&c| {
-            (
-                std::cmp::Reverse(self.kth_timestamp(c)),
-                !self.cached.contains(&c),
+        // Top n/2 eligible colors by (K-th timestamp desc, cached-first,
+        // color asc), read straight off the recency index.
+        let quota = self.n / 2;
+        let new_cached: BTreeSet<ColorId> = self.recency.iter().take(quota).collect();
+        self.changed.clear();
+        self.changed
+            .extend(new_cached.symmetric_difference(&self.cached));
+        self.cached = new_cached;
+        // The cached-first tie-break is part of the recency key: re-derive the
+        // entries of every color whose membership changed.
+        let (state, recency, cached, history, k, changed) = (
+            &self.state,
+            &mut self.recency,
+            &self.cached,
+            &self.history,
+            self.k,
+            &self.changed,
+        );
+        for &c in changed {
+            let s = state.color(c);
+            recency.refresh(
                 c,
-            )
-        });
-        eligible.truncate(self.n / 2);
-        self.cached = eligible.into_iter().collect();
+                s.eligible
+                    .then(|| (kth(history, k, c), cached.contains(&c))),
+            );
+        }
         CacheTarget::replicated(self.cached.iter().copied(), 2)
     }
 }

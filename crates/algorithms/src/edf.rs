@@ -14,7 +14,7 @@
 //! ranking but no replication, all locations caching distinct colors. Running it
 //! on a double-speed engine gives DS-Seq-EDF.
 
-use crate::ranking::rank_key;
+use crate::ranking::RankIndex;
 use crate::state::BatchState;
 use rrs_core::prelude::*;
 use std::collections::BTreeSet;
@@ -24,6 +24,9 @@ use std::collections::BTreeSet;
 pub struct Edf {
     state: BatchState,
     cached: BTreeSet<ColorId>,
+    /// Eligible colors in EDF rank order, maintained incrementally from the
+    /// phase deltas instead of re-sorted every mini-round.
+    rank: RankIndex,
     n: usize,
     replication: u32,
 }
@@ -55,6 +58,7 @@ impl Edf {
         Ok(Edf {
             state: BatchState::new(table, delta),
             cached: BTreeSet::new(),
+            rank: RankIndex::new(table.len()),
             n,
             replication,
         })
@@ -90,38 +94,47 @@ impl Policy for Edf {
         }
     }
 
-    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], _view: &EngineView) {
+    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], view: &EngineView) {
         let cached = &self.cached;
         self.state
             .drop_phase(round, dropped, &|c| cached.contains(&c));
+        // Touched colors changed eligibility; dropped colors may have flipped
+        // their idle bit without an eligibility change.
+        let (state, rank) = (&self.state, &mut self.rank);
+        rank.refresh_many(state, view.pending, state.touched().iter().copied());
+        rank.refresh_many(state, view.pending, dropped.iter().map(|&(c, _)| c));
     }
 
-    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], view: &EngineView) {
         self.state.arrival_phase(round, arrivals);
+        let (state, rank) = (&self.state, &mut self.rank);
+        rank.refresh_many(state, view.pending, state.touched().iter().copied());
     }
 
     fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
         debug_assert_eq!(view.n, self.n, "engine and policy disagree on n");
-        let mut eligible = self.state.eligible_colors();
-        eligible.sort_by_key(|&c| rank_key(&self.state, view.pending, c));
+        // Execution drains cached colors' queues without a policy hook, so
+        // their rank (idle bit) may be stale: re-derive before selecting.
+        self.rank
+            .refresh_many(&self.state, view.pending, self.cached.iter().copied());
 
         // Bring in every nonidle eligible color ranked in the top `quota` that
         // is not yet cached.
         let quota = self.quota();
-        for &c in eligible.iter().take(quota) {
+        let (rank, cached) = (&self.rank, &mut self.cached);
+        for c in rank.iter().take(quota) {
             if !view.pending.is_idle(c) {
-                self.cached.insert(c);
+                cached.insert(c);
             }
         }
         // Evict lowest-ranked cached colors while over capacity. Every cached
         // color is eligible (ineligibility only strikes uncached colors), so it
-        // appears in `eligible`.
+        // appears in the rank index.
         while self.cached.len() > quota {
-            let worst = eligible
-                .iter()
-                .rev()
+            let worst = self
+                .rank
+                .iter_rev()
                 .find(|c| self.cached.contains(c))
-                .copied()
                 .expect("cached colors are always eligible");
             self.cached.remove(&worst);
         }
@@ -211,6 +224,7 @@ mod tests {
             speed: Speed::Double,
             record_schedule: false,
             track_latency: false,
+            track_perf: false,
         });
         let r_ds = engine.run(&trace, &mut ds, 1, CostModel::new(1)).unwrap();
         assert_eq!(r_ds.cost.drop, 0);

@@ -17,6 +17,12 @@
 //! scheme in [`ranking`], and instrument the quantities used by the paper's
 //! analysis: epochs, super-epochs, timestamp update events, and the
 //! eligible/ineligible drop split.
+//!
+//! The live policies select from incrementally-maintained rank indices
+//! ([`ranking::RankIndex`], [`ranking::RecencyIndex`],
+//! [`ranking::PendingCountIndex`]); [`reference`] retains the original
+//! rebuild-and-sort implementations as frozen oracles for differential tests
+//! and the throughput benchmark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +36,7 @@ pub mod dlru_k;
 pub mod edf;
 pub mod par_edf;
 pub mod ranking;
+pub mod reference;
 pub mod state;
 
 pub use adaptive::AdaptiveDlruEdf;

@@ -1,13 +1,26 @@
-//! The paper's color and job ranking schemes (§3.1.2, §3.3).
+//! The paper's color and job ranking schemes (§3.1.2, §3.3), and the
+//! incremental rank indexes the policies select from.
 //!
 //! Eligible colors are ranked **first on idleness** (nonidle colors first), then
 //! in ascending order of deadlines, breaking ties by increasing delay bounds and
 //! then by the consistent order of colors (ascending [`ColorId`]). Pending jobs
 //! are ranked by increasing deadline, then delay bound, then color order — which
 //! is exactly the derived `Ord` on [`rrs_core::Job`].
+//!
+//! Historically every policy re-collected the eligible colors and re-sorted
+//! them from scratch in every mini-round — `O(E log E)` per reconfiguration
+//! with `E` eligible colors, even when almost nothing changed. The
+//! [`OrdIndex`] family below maintains the same orders incrementally: a policy
+//! refreshes only the colors whose state a phase actually touched (the
+//! [`BatchState::touched`] delta plus the phase's own dropped/arrival slices)
+//! and then reads the best candidates off the index in order. Every key embeds
+//! its [`ColorId`] as the final tiebreak, so keys are unique per color and the
+//! index order equals the order the old full sorts produced.
 
 use crate::state::BatchState;
 use rrs_core::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
 
 /// A color's rank key. Smaller keys rank higher (better).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -36,6 +49,261 @@ pub fn rank_key(state: &BatchState, pending: &PendingJobs, color: ColorId) -> Co
 /// Ranks `colors` by the EDF scheme, best first.
 pub fn rank_colors(state: &BatchState, pending: &PendingJobs, colors: &mut [ColorId]) {
     colors.sort_by_key(|&c| rank_key(state, pending, c));
+}
+
+/// The nonidle colors ordered by descending pending count, ties by ascending
+/// color id — the greedy baselines' one-shot ranking.
+pub fn colors_by_pending(pending: &PendingJobs) -> Vec<ColorId> {
+    let mut colors = pending.nonidle_colors();
+    colors.sort_by_key(|&c| (Reverse(pending.count(c)), c));
+    colors
+}
+
+/// An incrementally-maintained ordered set of per-color keys.
+///
+/// Each color holds at most one key; [`OrdIndex::update`] replaces (or
+/// removes) it in `O(log n)`. Iteration yields keys in ascending order without
+/// sorting. Keys must be **unique per color** — embed the [`ColorId`] as the
+/// final tiebreak component.
+#[derive(Debug, Clone)]
+pub struct OrdIndex<K: Ord + Copy> {
+    keys: Vec<Option<K>>,
+    set: BTreeSet<K>,
+}
+
+impl<K: Ord + Copy> OrdIndex<K> {
+    /// Creates an empty index over `ncolors` colors (grows on demand).
+    pub fn new(ncolors: usize) -> Self {
+        OrdIndex {
+            keys: vec![None; ncolors],
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// Sets `color`'s key to `key` (`None` removes the color from the index).
+    pub fn update(&mut self, color: ColorId, key: Option<K>) {
+        if color.index() >= self.keys.len() {
+            self.keys.resize(color.index() + 1, None);
+        }
+        let slot = &mut self.keys[color.index()];
+        if *slot == key {
+            return;
+        }
+        if let Some(old) = slot.take() {
+            self.set.remove(&old);
+        }
+        if let Some(new) = key {
+            self.set.insert(new);
+            *slot = Some(new);
+        }
+    }
+
+    /// Number of indexed colors.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Keys in ascending (best-first) order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.set.iter()
+    }
+
+    /// Keys in descending (worst-first) order.
+    pub fn iter_rev(&self) -> impl Iterator<Item = &K> {
+        self.set.iter().rev()
+    }
+}
+
+/// An incremental index over the *eligible* colors in EDF rank order
+/// ([`ColorRank`]): the live replacement for re-sorting
+/// [`BatchState::eligible_colors`] by [`rank_key`] every mini-round.
+///
+/// Refresh contract: call [`RankIndex::refresh`] for every color in
+/// [`BatchState::touched`] *plus* the phase's dropped/arrival colors after each
+/// drop and arrival phase (their idle bit may have changed), and for the
+/// policy's currently-cached colors at the start of each reconfiguration (the
+/// execution phase empties queues of cached colors without a policy hook).
+#[derive(Debug, Clone)]
+pub struct RankIndex {
+    inner: OrdIndex<ColorRank>,
+}
+
+impl RankIndex {
+    /// Creates an empty index over `ncolors` colors.
+    pub fn new(ncolors: usize) -> Self {
+        RankIndex {
+            inner: OrdIndex::new(ncolors),
+        }
+    }
+
+    /// Re-derives `color`'s key from the current state: indexed with its
+    /// current [`rank_key`] while eligible, absent otherwise.
+    pub fn refresh(&mut self, state: &BatchState, pending: &PendingJobs, color: ColorId) {
+        let key = state
+            .color(color)
+            .eligible
+            .then(|| rank_key(state, pending, color));
+        self.inner.update(color, key);
+    }
+
+    /// Refreshes every color in `colors`.
+    pub fn refresh_many(
+        &mut self,
+        state: &BatchState,
+        pending: &PendingJobs,
+        colors: impl IntoIterator<Item = ColorId>,
+    ) {
+        for c in colors {
+            self.refresh(state, pending, c);
+        }
+    }
+
+    /// Eligible colors, best rank first.
+    pub fn iter(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.inner.iter().map(|k| k.color)
+    }
+
+    /// Eligible colors, worst rank first.
+    pub fn iter_rev(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.inner.iter_rev().map(|k| k.color)
+    }
+
+    /// Number of eligible colors indexed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no color is currently eligible.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+}
+
+/// A recency key: most recent timestamp first, ties in favour of
+/// already-cached colors, then ascending color id — the ΔLRU selection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RecencyKey {
+    /// The color's (possibly K-th) timestamp, most recent first.
+    pub ts: Reverse<Round>,
+    /// `false` (currently cached) sorts before `true` on timestamp ties.
+    pub uncached: bool,
+    /// Final tiebreak: the color id.
+    pub color: ColorId,
+}
+
+/// An incremental index over the eligible colors in ΔLRU recency order: the
+/// live replacement for the `sort_by_key((Reverse(ts), !cached, c))` pattern.
+///
+/// Refresh contract: call [`RecencyIndex::refresh`] for every
+/// [`BatchState::touched`] color after each drop and arrival phase
+/// (eligibility and timestamps change only there), and — because the
+/// cached-first tie-break is part of the key — for every color whose cached
+/// membership changed at the end of each reconfiguration.
+#[derive(Debug, Clone)]
+pub struct RecencyIndex {
+    inner: OrdIndex<RecencyKey>,
+}
+
+impl RecencyIndex {
+    /// Creates an empty index over `ncolors` colors.
+    pub fn new(ncolors: usize) -> Self {
+        RecencyIndex {
+            inner: OrdIndex::new(ncolors),
+        }
+    }
+
+    /// Sets `color`'s entry: `Some((timestamp, currently_cached))` while
+    /// eligible, `None` otherwise.
+    pub fn refresh(&mut self, color: ColorId, entry: Option<(Round, bool)>) {
+        self.inner.update(
+            color,
+            entry.map(|(ts, cached)| RecencyKey {
+                ts: Reverse(ts),
+                uncached: !cached,
+                color,
+            }),
+        );
+    }
+
+    /// Eligible colors, most recent first.
+    pub fn iter(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.inner.iter().map(|k| k.color)
+    }
+
+    /// Number of eligible colors indexed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no color is currently eligible.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+}
+
+/// A pending-backlog key: largest pending count first, ties by ascending color
+/// id — the greedy baselines' selection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PendingKey {
+    /// Pending jobs of the color, largest first.
+    pub count: Reverse<u64>,
+    /// Final tiebreak: the color id.
+    pub color: ColorId,
+}
+
+/// An incremental index over the *nonidle* colors by descending pending count:
+/// the live replacement for sorting [`PendingJobs::nonidle_colors`] every
+/// round.
+///
+/// Refresh contract: pending counts change in exactly three places — drops
+/// (refresh the drop phase's `dropped` colors), arrivals (refresh the arrival
+/// slice's colors) and executions, which only ever touch colors the policy
+/// itself selected in its previous reconfiguration (refresh those at the start
+/// of the next one).
+#[derive(Debug, Clone)]
+pub struct PendingCountIndex {
+    inner: OrdIndex<PendingKey>,
+}
+
+impl PendingCountIndex {
+    /// Creates an empty index; it grows to any color id it sees.
+    pub fn new(ncolors: usize) -> Self {
+        PendingCountIndex {
+            inner: OrdIndex::new(ncolors),
+        }
+    }
+
+    /// Re-derives `color`'s key from its current pending count.
+    pub fn refresh(&mut self, pending: &PendingJobs, color: ColorId) {
+        let count = pending.count(color);
+        self.inner.update(
+            color,
+            (count > 0).then_some(PendingKey {
+                count: Reverse(count),
+                color,
+            }),
+        );
+    }
+
+    /// Nonidle colors with their pending counts, largest backlog first.
+    pub fn iter(&self) -> impl Iterator<Item = (ColorId, u64)> + '_ {
+        self.inner.iter().map(|k| (k.color, k.count.0))
+    }
+
+    /// Number of nonidle colors indexed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether every color is currently idle.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +358,88 @@ mod tests {
         let mut colors = vec![c(1), c(0)];
         rank_colors(&st, &pending, &mut colors);
         assert_eq!(colors, vec![c(0), c(1)]);
+    }
+
+    #[test]
+    fn ord_index_updates_replace_and_remove() {
+        let mut idx: OrdIndex<(u64, ColorId)> = OrdIndex::new(2);
+        idx.update(c(0), Some((5, c(0))));
+        idx.update(c(1), Some((3, c(1))));
+        assert_eq!(idx.iter().copied().collect::<Vec<_>>(), vec![(3, c(1)), (5, c(0))]);
+        // Replacing a key re-sorts the color.
+        idx.update(c(0), Some((1, c(0))));
+        assert_eq!(idx.iter().next(), Some(&(1, c(0))));
+        assert_eq!(idx.len(), 2);
+        // Idempotent update is a no-op; None removes.
+        idx.update(c(0), Some((1, c(0))));
+        idx.update(c(1), None);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.iter_rev().next(), Some(&(1, c(0))));
+        // Growing past the initial arity works.
+        idx.update(c(7), Some((0, c(7))));
+        assert_eq!(idx.iter().next(), Some(&(0, c(7))));
+    }
+
+    #[test]
+    fn rank_index_matches_full_sort() {
+        let table = ColorTable::from_delay_bounds(&[8, 4, 4, 16]);
+        let mut st = BatchState::new(&table, 1);
+        let mut pending = PendingJobs::new(4);
+        let mut idx = RankIndex::new(4);
+        st.arrival_phase(0, &[(c(0), 1), (c(2), 2), (c(3), 1)]);
+        pending.arrive(c(0), 8, 1);
+        pending.arrive(c(2), 4, 2);
+        pending.arrive(c(3), 16, 1);
+        idx.refresh_many(&st, &pending, (0..4).map(c));
+        let mut expect = st.eligible_colors();
+        rank_colors(&st, &pending, &mut expect);
+        assert_eq!(idx.iter().collect::<Vec<_>>(), expect);
+        let mut rev = expect.clone();
+        rev.reverse();
+        assert_eq!(idx.iter_rev().collect::<Vec<_>>(), rev);
+        // Executing c2's backlog flips its idle bit; refreshing re-ranks it.
+        pending.execute_one(c(2));
+        pending.execute_one(c(2));
+        idx.refresh(&st, &pending, c(2));
+        let mut expect = st.eligible_colors();
+        rank_colors(&st, &pending, &mut expect);
+        assert_eq!(idx.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn recency_index_orders_by_timestamp_then_cached() {
+        let mut idx = RecencyIndex::new(3);
+        idx.refresh(c(0), Some((4, false)));
+        idx.refresh(c(1), Some((8, false)));
+        idx.refresh(c(2), Some((4, true)));
+        // ts 8 first; among ts 4 the cached color wins; ineligible drops out.
+        assert_eq!(idx.iter().collect::<Vec<_>>(), vec![c(1), c(2), c(0)]);
+        idx.refresh(c(1), None);
+        assert_eq!(idx.iter().collect::<Vec<_>>(), vec![c(2), c(0)]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn pending_count_index_matches_full_sort() {
+        let mut pending = PendingJobs::new(3);
+        pending.arrive(c(0), 4, 2);
+        pending.arrive(c(1), 4, 5);
+        pending.arrive(c(2), 8, 2);
+        let mut idx = PendingCountIndex::new(3);
+        for i in 0..3 {
+            idx.refresh(&pending, c(i));
+        }
+        let expect = colors_by_pending(&pending);
+        assert_eq!(idx.iter().map(|(c, _)| c).collect::<Vec<_>>(), expect);
+        assert_eq!(idx.iter().next(), Some((c(1), 5)));
+        // Draining a queue removes the color.
+        pending.execute_one(c(0));
+        pending.execute_one(c(0));
+        idx.refresh(&pending, c(0));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(
+            idx.iter().map(|(c, _)| c).collect::<Vec<_>>(),
+            colors_by_pending(&pending)
+        );
     }
 }

@@ -1,0 +1,603 @@
+//! Frozen pre-optimization implementations of the shared state machine and
+//! every shipped policy, kept as **differential oracles**.
+//!
+//! The live implementations in [`crate::state`] and the policy modules took an
+//! allocation-free rewrite: delay-bound groups instead of all-color scans in
+//! the phase hooks, and incremental [`crate::ranking`] indexes instead of
+//! per-mini-round rebuild-and-sort in the reconfiguration schemes. This module
+//! preserves the original straight-line logic — full scans, fresh sorts —
+//! exactly as it stood before that rewrite.
+//!
+//! Two consumers:
+//!
+//! * the differential test suite (`tests/differential.rs`) pins every
+//!   optimized policy to its reference twin **bit-identically** (equal
+//!   [`RunResult`]s and equal recorded [`rrs_core::ExplicitSchedule`]s) over
+//!   randomized traces;
+//! * the engine throughput benchmark (`rrs-cli bench-engine`, `rrs-bench`)
+//!   uses the pair as before/after sides of the tracked baseline.
+//!
+//! These types are deliberately *not* re-exported from the crate prelude; use
+//! them only for verification and benchmarking.
+
+use crate::dlru_edf::DlruEdfConfig;
+use crate::ranking::colors_by_pending;
+use rrs_core::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The pre-optimization [`crate::BatchState`]: identical bookkeeping, but the
+/// drop and arrival phases scan every color of the table each round.
+#[derive(Debug, Clone)]
+pub struct RefBatchState {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    colors: Vec<RefColorState>,
+}
+
+/// Per-color state of [`RefBatchState`] (the fields the policies read).
+#[derive(Debug, Clone)]
+pub struct RefColorState {
+    /// Delay bound `D_ℓ`.
+    pub delay_bound: u64,
+    /// The counter `ℓ.cnt`.
+    pub cnt: u64,
+    /// The deadline `ℓ.dd`.
+    pub deadline: Round,
+    /// Eligibility flag.
+    pub eligible: bool,
+    /// Round of the most recent counter wrapping event, if any.
+    pub last_wrap: Option<Round>,
+    /// Current timestamp per the §3.1.1 definition.
+    pub timestamp: Round,
+}
+
+impl RefBatchState {
+    /// Creates state for all colors in `table`.
+    pub fn new(table: &ColorTable, delta: u64) -> Self {
+        assert!(delta > 0, "Δ must be positive");
+        RefBatchState {
+            delta,
+            colors: table
+                .iter()
+                .map(|(_, info)| RefColorState {
+                    delay_bound: info.delay_bound,
+                    cnt: 0,
+                    deadline: 0,
+                    eligible: false,
+                    last_wrap: None,
+                    timestamp: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-color state of `color`.
+    pub fn color(&self, color: ColorId) -> &RefColorState {
+        &self.colors[color.index()]
+    }
+
+    /// Ids of all currently eligible colors, ascending.
+    pub fn eligible_colors(&self) -> Vec<ColorId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.eligible)
+            .map(|(i, _)| ColorId(i as u32))
+            .collect()
+    }
+
+    /// The original all-color drop phase.
+    pub fn drop_phase(&mut self, round: Round, cached: &dyn Fn(ColorId) -> bool) {
+        for (i, s) in self.colors.iter_mut().enumerate() {
+            if round.is_multiple_of(s.delay_bound) && s.eligible && !cached(ColorId(i as u32)) {
+                s.eligible = false;
+                s.cnt = 0;
+            }
+        }
+    }
+
+    /// The original all-color arrival phase with the interleaved sparse
+    /// arrival cursor.
+    pub fn arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)]) {
+        let mut arr_iter = arrivals.iter().peekable();
+        for (i, s) in self.colors.iter_mut().enumerate() {
+            let id = ColorId(i as u32);
+            let mut count = 0;
+            while let Some(&&(c, k)) = arr_iter.peek() {
+                if c < id {
+                    arr_iter.next();
+                } else {
+                    if c == id {
+                        count = k;
+                    }
+                    break;
+                }
+            }
+            if !round.is_multiple_of(s.delay_bound) {
+                if count > 0 {
+                    s.cnt += count;
+                    if s.cnt >= self.delta {
+                        s.cnt %= self.delta;
+                        s.last_wrap = Some(round);
+                        s.eligible = true;
+                    }
+                }
+                continue;
+            }
+            if let Some(w) = s.last_wrap {
+                if w < round && s.timestamp != w {
+                    s.timestamp = w;
+                }
+            }
+            s.deadline = round + s.delay_bound;
+            s.cnt += count;
+            if s.cnt >= self.delta {
+                s.cnt %= self.delta;
+                s.last_wrap = Some(round);
+                s.eligible = true;
+            }
+        }
+    }
+}
+
+/// The original EDF rank key computation (identical to
+/// [`crate::ranking::rank_key`], over the frozen state).
+fn ref_rank_key(
+    state: &RefBatchState,
+    pending: &PendingJobs,
+    color: ColorId,
+) -> (bool, Round, u64, ColorId) {
+    let s = state.color(color);
+    (pending.is_idle(color), s.deadline, s.delay_bound, color)
+}
+
+/// Pre-optimization ΔLRU: full recency re-sort every mini-round.
+#[derive(Debug, Clone)]
+pub struct RefDlru {
+    state: RefBatchState,
+    cached: BTreeSet<ColorId>,
+    n: usize,
+    replication: u32,
+}
+
+impl RefDlru {
+    /// Creates the reference ΔLRU (see [`crate::Dlru::with_replication`]).
+    pub fn new(table: &ColorTable, n: usize, delta: u64, replication: u32) -> Result<Self> {
+        if n == 0 || replication == 0 || !n.is_multiple_of(replication as usize) {
+            return Err(Error::InvalidParameter(format!(
+                "ΔLRU needs n divisible by the replication factor; got n={n}, r={replication}"
+            )));
+        }
+        Ok(RefDlru {
+            state: RefBatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            n,
+            replication,
+        })
+    }
+}
+
+impl Policy for RefDlru {
+    fn name(&self) -> String {
+        format!("ΔLRU(r={})", self.replication)
+    }
+
+    fn on_drop_phase(&mut self, round: Round, _dropped: &[(ColorId, u64)], _view: &EngineView) {
+        let cached = &self.cached;
+        self.state.drop_phase(round, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, _view: &EngineView) -> CacheTarget {
+        let mut eligible = self.state.eligible_colors();
+        eligible.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(self.state.color(c).timestamp),
+                !self.cached.contains(&c),
+                c,
+            )
+        });
+        eligible.truncate(self.n / self.replication as usize);
+        self.cached = eligible.into_iter().collect();
+        CacheTarget::replicated(self.cached.iter().copied(), self.replication)
+    }
+}
+
+/// Pre-optimization ΔLRU-K: all-color history fold plus full re-sort.
+#[derive(Debug, Clone)]
+pub struct RefDlruK {
+    state: RefBatchState,
+    cached: BTreeSet<ColorId>,
+    history: Vec<VecDeque<Round>>,
+    folded: Vec<Option<Round>>,
+    n: usize,
+    k: usize,
+}
+
+impl RefDlruK {
+    /// Creates the reference ΔLRU-K (see [`crate::DlruK::new`]).
+    pub fn new(table: &ColorTable, n: usize, delta: u64, k: usize) -> Result<Self> {
+        if n == 0 || !n.is_multiple_of(2) {
+            return Err(Error::InvalidParameter(format!(
+                "ΔLRU-K needs even positive n; got {n}"
+            )));
+        }
+        if k == 0 {
+            return Err(Error::InvalidParameter("K must be at least 1".into()));
+        }
+        Ok(RefDlruK {
+            state: RefBatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            history: vec![VecDeque::new(); table.len()],
+            folded: vec![None; table.len()],
+            n,
+            k,
+        })
+    }
+
+    fn kth_timestamp(&self, color: ColorId) -> Round {
+        let h = &self.history[color.index()];
+        if h.len() < self.k {
+            0
+        } else {
+            h[self.k - 1]
+        }
+    }
+}
+
+impl Policy for RefDlruK {
+    fn name(&self) -> String {
+        format!("ΔLRU-{}", self.k)
+    }
+
+    fn on_drop_phase(&mut self, round: Round, _dropped: &[(ColorId, u64)], _view: &EngineView) {
+        let cached = &self.cached;
+        self.state.drop_phase(round, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+        for i in 0..self.history.len() {
+            let c = ColorId(i as u32);
+            let ts = self.state.color(c).timestamp;
+            if ts > 0 && self.folded[i] != Some(ts) {
+                self.folded[i] = Some(ts);
+                self.history[i].push_front(ts);
+                self.history[i].truncate(self.k);
+            }
+        }
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, _view: &EngineView) -> CacheTarget {
+        let mut eligible = self.state.eligible_colors();
+        eligible.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(self.kth_timestamp(c)),
+                !self.cached.contains(&c),
+                c,
+            )
+        });
+        eligible.truncate(self.n / 2);
+        self.cached = eligible.into_iter().collect();
+        CacheTarget::replicated(self.cached.iter().copied(), 2)
+    }
+}
+
+/// Pre-optimization EDF: full rank re-sort every mini-round.
+#[derive(Debug, Clone)]
+pub struct RefEdf {
+    state: RefBatchState,
+    cached: BTreeSet<ColorId>,
+    n: usize,
+    replication: u32,
+}
+
+impl RefEdf {
+    /// Creates the reference EDF (see [`crate::Edf::with_replication`]).
+    pub fn new(table: &ColorTable, n: usize, delta: u64, replication: u32) -> Result<Self> {
+        if n == 0 || replication == 0 || !n.is_multiple_of(replication as usize) {
+            return Err(Error::InvalidParameter(format!(
+                "EDF needs n divisible by the replication factor; got n={n}, r={replication}"
+            )));
+        }
+        Ok(RefEdf {
+            state: RefBatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            n,
+            replication,
+        })
+    }
+}
+
+impl Policy for RefEdf {
+    fn name(&self) -> String {
+        if self.replication == 1 {
+            "Seq-EDF".to_string()
+        } else {
+            format!("EDF(r={})", self.replication)
+        }
+    }
+
+    fn on_drop_phase(&mut self, round: Round, _dropped: &[(ColorId, u64)], _view: &EngineView) {
+        let cached = &self.cached;
+        self.state.drop_phase(round, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let mut eligible = self.state.eligible_colors();
+        eligible.sort_by_key(|&c| ref_rank_key(&self.state, view.pending, c));
+        let quota = self.n / self.replication as usize;
+        for &c in eligible.iter().take(quota) {
+            if !view.pending.is_idle(c) {
+                self.cached.insert(c);
+            }
+        }
+        while self.cached.len() > quota {
+            let worst = eligible
+                .iter()
+                .rev()
+                .find(|c| self.cached.contains(c))
+                .copied()
+                .expect("cached colors are always eligible");
+            self.cached.remove(&worst);
+        }
+        CacheTarget::replicated(self.cached.iter().copied(), self.replication)
+    }
+}
+
+/// Pre-optimization ΔLRU-EDF: two full re-sorts every mini-round.
+#[derive(Debug, Clone)]
+pub struct RefDlruEdf {
+    state: RefBatchState,
+    cached: BTreeSet<ColorId>,
+    lru_set: BTreeSet<ColorId>,
+    n: usize,
+    config: DlruEdfConfig,
+}
+
+impl RefDlruEdf {
+    /// Creates the reference ΔLRU-EDF (see [`crate::DlruEdf::with_config`]).
+    pub fn new(table: &ColorTable, n: usize, delta: u64, config: DlruEdfConfig) -> Result<Self> {
+        if n == 0 || !n.is_multiple_of(4) {
+            return Err(Error::InvalidParameter(format!(
+                "ΔLRU-EDF needs n to be a positive multiple of 4; got n={n}"
+            )));
+        }
+        Ok(RefDlruEdf {
+            state: RefBatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            lru_set: BTreeSet::new(),
+            n,
+            config,
+        })
+    }
+}
+
+impl Policy for RefDlruEdf {
+    fn name(&self) -> String {
+        let d = DlruEdfConfig::default();
+        if self.config.lru_quarters == d.lru_quarters
+            && self.config.edf_quarters == d.edf_quarters
+            && self.config.replication == d.replication
+        {
+            "ΔLRU-EDF".to_string()
+        } else {
+            format!(
+                "ΔLRU-EDF(lru={}/4,edf={}/4,r={})",
+                self.config.lru_quarters, self.config.edf_quarters, self.config.replication
+            )
+        }
+    }
+
+    fn on_drop_phase(&mut self, round: Round, _dropped: &[(ColorId, u64)], _view: &EngineView) {
+        let cached = &self.cached;
+        self.state.drop_phase(round, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let eligible = self.state.eligible_colors();
+
+        let mut by_ts = eligible.clone();
+        by_ts.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(self.state.color(c).timestamp),
+                !self.cached.contains(&c),
+                c,
+            )
+        });
+        by_ts.truncate(self.n / 4 * self.config.lru_quarters as usize);
+        self.lru_set = by_ts.into_iter().collect();
+        for &c in &self.lru_set {
+            self.cached.insert(c);
+        }
+
+        let mut non_lru: Vec<ColorId> = eligible
+            .iter()
+            .copied()
+            .filter(|c| !self.lru_set.contains(c))
+            .collect();
+        non_lru.sort_by_key(|&c| ref_rank_key(&self.state, view.pending, c));
+        for &c in non_lru.iter().take(self.n / 4 * self.config.edf_quarters as usize) {
+            if !view.pending.is_idle(c) {
+                self.cached.insert(c);
+            }
+        }
+
+        while self.cached.len() > self.n / self.config.replication as usize {
+            let worst = non_lru
+                .iter()
+                .rev()
+                .find(|c| self.cached.contains(c))
+                .copied()
+                .expect("over capacity implies a cached non-LRU color exists");
+            self.cached.remove(&worst);
+        }
+
+        CacheTarget::replicated(self.cached.iter().copied(), self.config.replication)
+    }
+}
+
+/// Pre-optimization adaptive ΔLRU-EDF.
+#[derive(Debug, Clone)]
+pub struct RefAdaptiveDlruEdf {
+    state: RefBatchState,
+    cached: BTreeSet<ColorId>,
+    lru_set: BTreeSet<ColorId>,
+    n: usize,
+    lru_quota: usize,
+    evicted_at: BTreeMap<ColorId, Round>,
+    window: Round,
+}
+
+impl RefAdaptiveDlruEdf {
+    /// Creates the reference adaptive policy (see
+    /// [`crate::AdaptiveDlruEdf::new`]).
+    pub fn new(table: &ColorTable, n: usize, delta: u64) -> Result<Self> {
+        if n == 0 || !n.is_multiple_of(4) {
+            return Err(Error::InvalidParameter(format!(
+                "adaptive ΔLRU-EDF needs n to be a positive multiple of 4; got {n}"
+            )));
+        }
+        Ok(RefAdaptiveDlruEdf {
+            state: RefBatchState::new(table, delta),
+            cached: BTreeSet::new(),
+            lru_set: BTreeSet::new(),
+            n,
+            lru_quota: n / 4,
+            evicted_at: BTreeMap::new(),
+            window: table.max_delay_bound().max(4),
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.n / 2
+    }
+}
+
+impl Policy for RefAdaptiveDlruEdf {
+    fn name(&self) -> String {
+        "Adaptive-ΔLRU-EDF".into()
+    }
+
+    fn on_drop_phase(&mut self, round: Round, dropped: &[(ColorId, u64)], _view: &EngineView) {
+        for &(c, _) in dropped {
+            if self.state.color(c).eligible && !self.cached.contains(&c) && self.lru_quota > 1 {
+                self.lru_quota -= 1;
+            }
+        }
+        let cached = &self.cached;
+        self.state.drop_phase(round, &|c| cached.contains(&c));
+    }
+
+    fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], _view: &EngineView) {
+        self.state.arrival_phase(round, arrivals);
+    }
+
+    fn reconfigure(&mut self, round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let eligible = self.state.eligible_colors();
+        let capacity = self.capacity();
+        let lru_quota = self.lru_quota.min(capacity - 1).max(1);
+
+        let mut by_ts = eligible.clone();
+        by_ts.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(self.state.color(c).timestamp),
+                !self.cached.contains(&c),
+                c,
+            )
+        });
+        by_ts.truncate(lru_quota);
+        self.lru_set = by_ts.into_iter().collect();
+        for &c in &self.lru_set {
+            if self.cached.insert(c) {
+                if let Some(&t) = self.evicted_at.get(&c) {
+                    if round.saturating_sub(t) <= self.window && self.lru_quota < capacity - 1 {
+                        self.lru_quota += 1;
+                    }
+                }
+            }
+        }
+
+        let edf_quota = capacity - lru_quota;
+        let mut non_lru: Vec<ColorId> = eligible
+            .iter()
+            .copied()
+            .filter(|c| !self.lru_set.contains(c))
+            .collect();
+        non_lru.sort_by_key(|&c| ref_rank_key(&self.state, view.pending, c));
+        for &c in non_lru.iter().take(edf_quota) {
+            if !view.pending.is_idle(c) && self.cached.insert(c) {
+                if let Some(&t) = self.evicted_at.get(&c) {
+                    if round.saturating_sub(t) <= self.window && self.lru_quota < capacity - 1 {
+                        self.lru_quota += 1;
+                    }
+                }
+            }
+        }
+
+        while self.cached.len() > capacity {
+            let worst = non_lru
+                .iter()
+                .rev()
+                .find(|c| self.cached.contains(c))
+                .copied()
+                .expect("over capacity implies a cached non-LRU color");
+            self.cached.remove(&worst);
+            self.evicted_at.insert(worst, round);
+        }
+
+        CacheTarget::replicated(self.cached.iter().copied(), 2)
+    }
+}
+
+/// Pre-optimization greedy baseline: re-collect and re-sort the nonidle colors
+/// every round.
+#[derive(Debug, Clone, Default)]
+pub struct RefGreedyPending;
+
+impl Policy for RefGreedyPending {
+    fn name(&self) -> String {
+        "GreedyPending".into()
+    }
+
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let mut colors = colors_by_pending(view.pending);
+        colors.truncate(view.n);
+        let mut target = CacheTarget::empty();
+        if colors.is_empty() {
+            return target;
+        }
+        let mut remaining: Vec<(ColorId, u64)> =
+            colors.iter().map(|&c| (c, view.pending.count(c))).collect();
+        let mut slots = view.n;
+        while slots > 0 {
+            let mut progressed = false;
+            for (c, left) in remaining.iter_mut() {
+                if slots == 0 {
+                    break;
+                }
+                if *left > 0 {
+                    target.add(*c, 1);
+                    *left -= 1;
+                    slots -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        target
+    }
+}

@@ -77,6 +77,14 @@ pub struct BatchState {
     /// Reconfiguration cost Δ.
     pub delta: u64,
     colors: Vec<ColorState>,
+    /// Colors grouped by delay bound (ascending bounds, members ascending), so
+    /// the per-phase multiple-of-`D_ℓ` work only visits groups whose bound
+    /// divides the round instead of scanning every color.
+    groups: Vec<(u64, Vec<ColorId>)>,
+    /// Colors whose rank-relevant state changed in the most recent phase
+    /// (sorted, deduplicated). Policies feed this delta into their incremental
+    /// indexes instead of rescanning all colors.
+    touched: Vec<ColorId>,
     /// Arrival batches classified as ineligible (their jobs will be dropped
     /// while the color is ineligible), recorded as `(round, color, count)`.
     ineligible_batches: Vec<(Round, ColorId, u64)>,
@@ -94,12 +102,18 @@ impl BatchState {
     /// Panics if `delta == 0`.
     pub fn new(table: &ColorTable, delta: u64) -> Self {
         assert!(delta > 0, "Δ must be positive");
+        let mut by_bound: std::collections::BTreeMap<u64, Vec<ColorId>> = Default::default();
+        for (c, info) in table.iter() {
+            by_bound.entry(info.delay_bound).or_default().push(c);
+        }
         BatchState {
             delta,
             colors: table
                 .iter()
                 .map(|(_, info)| ColorState::new(info.delay_bound))
                 .collect(),
+            groups: by_bound.into_iter().collect(),
+            touched: Vec::new(),
             ineligible_batches: Vec::new(),
             super_epoch_threshold: 0,
             super_epoch_updated: BTreeSet::new(),
@@ -126,6 +140,15 @@ impl BatchState {
         self.colors.len()
     }
 
+    /// Colors whose rank-relevant state (eligibility, deadline, timestamp or
+    /// counter) changed in the most recent drop or arrival phase, ascending and
+    /// deduplicated. The delta an incremental rank index must refresh —
+    /// together with the phase's `dropped`/`arrivals` slice, whose colors'
+    /// pending queues (idleness, counts) changed.
+    pub fn touched(&self) -> &[ColorId] {
+        &self.touched
+    }
+
     /// Ids of all currently eligible colors, ascending.
     pub fn eligible_colors(&self) -> Vec<ColorId> {
         self.colors
@@ -140,12 +163,17 @@ impl BatchState {
     /// drops as eligible/ineligible, then for every color ℓ with
     /// `round ≡ 0 (mod D_ℓ)` that is eligible and **not** in `cached`, make it
     /// ineligible and zero its counter (ending its current epoch).
+    ///
+    /// Afterwards [`BatchState::touched`] holds the colors whose eligibility
+    /// flipped. Colors whose pending queues changed are in the `dropped` slice
+    /// the caller already has; an index over rank keys must refresh both sets.
     pub fn drop_phase(
         &mut self,
         round: Round,
         dropped: &[(ColorId, u64)],
         cached: &dyn Fn(ColorId) -> bool,
     ) {
+        self.touched.clear();
         for &(color, count) in dropped {
             let s = &mut self.colors[color.index()];
             if s.eligible {
@@ -154,13 +182,21 @@ impl BatchState {
                 s.ineligible_drops += count;
             }
         }
-        for (i, s) in self.colors.iter_mut().enumerate() {
-            if round.is_multiple_of(s.delay_bound) && s.eligible && !cached(ColorId(i as u32)) {
-                s.eligible = false;
-                s.cnt = 0;
-                s.became_ineligible += 1;
+        for (bound, members) in &self.groups {
+            if !round.is_multiple_of(*bound) {
+                continue;
+            }
+            for &c in members {
+                let s = &mut self.colors[c.index()];
+                if s.eligible && !cached(c) {
+                    s.eligible = false;
+                    s.cnt = 0;
+                    s.became_ineligible += 1;
+                    self.touched.push(c);
+                }
             }
         }
+        self.touched.sort_unstable();
     }
 
     /// Arrival-phase bookkeeping (paper §3.1 "Arrival phase"): for every color ℓ
@@ -169,44 +205,24 @@ impl BatchState {
     /// `cnt ≥ Δ` perform a counter wrapping event (`cnt %= Δ`; the color becomes
     /// eligible if it was not).
     pub fn arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)]) {
-        // Index arrivals for O(1) lookup; arrivals are sparse and color-sorted.
-        let mut arr_iter = arrivals.iter().peekable();
-        for (i, s) in self.colors.iter_mut().enumerate() {
-            let id = ColorId(i as u32);
-            // Advance the sparse arrival cursor to this color.
-            let mut count = 0;
-            while let Some(&&(c, k)) = arr_iter.peek() {
-                if c < id {
-                    arr_iter.next();
-                } else {
-                    if c == id {
-                        count = k;
-                    }
-                    break;
-                }
+        // Refreshes and deadlines only concern colors at a multiple of their
+        // delay bound; counter updates only concern colors with arrivals. The
+        // two passes below visit exactly those colors. A wrap in this round can
+        // never feed this round's refresh (a refresh needs a wrap strictly
+        // before `round`), so running all refreshes before all counter updates
+        // is equivalent to the interleaved per-color order — and processing
+        // refreshes in ascending color order preserves the super-epoch
+        // tracker's residual set exactly.
+        self.touched.clear();
+        for (bound, members) in &self.groups {
+            if round.is_multiple_of(*bound) {
+                self.touched.extend_from_slice(members);
             }
-            if !round.is_multiple_of(s.delay_bound) {
-                // Off-multiple arrivals only occur on general (non-batched)
-                // inputs, where the paper's algorithms are not defined; we
-                // generalize naturally so they can serve as comparators: the
-                // counter accumulates immediately (wrapping as usual), while
-                // deadline and timestamp refreshes stay pinned to multiples.
-                if count > 0 {
-                    s.cnt += count;
-                    if s.cnt >= self.delta {
-                        s.cnt %= self.delta;
-                        s.last_wrap = Some(round);
-                        if !s.eligible {
-                            s.eligible = true;
-                            s.became_eligible += 1;
-                        }
-                    }
-                    if !s.eligible {
-                        self.ineligible_batches.push((round, id, count));
-                    }
-                }
-                continue;
-            }
+        }
+        self.touched.sort_unstable();
+        let at_multiple = std::mem::take(&mut self.touched);
+        for &id in &at_multiple {
+            let s = &mut self.colors[id.index()];
             // Timestamp refresh: the most recent multiple of D_ℓ is now `round`,
             // so the timestamp becomes the latest wrap strictly before `round`.
             if let Some(w) = s.last_wrap {
@@ -223,6 +239,19 @@ impl BatchState {
                 }
             }
             s.deadline = round + s.delay_bound;
+        }
+        self.touched = at_multiple;
+        // Counter updates, in the arrivals' ascending color order. Off-multiple
+        // arrivals only occur on general (non-batched) inputs, where the
+        // paper's algorithms are not defined; we generalize naturally so they
+        // can serve as comparators: the counter accumulates immediately
+        // (wrapping as usual), while deadline and timestamp refreshes stay
+        // pinned to multiples — which makes both cases the same code here.
+        for &(id, count) in arrivals {
+            if count == 0 {
+                continue;
+            }
+            let s = &mut self.colors[id.index()];
             s.cnt += count;
             if s.cnt >= self.delta {
                 s.cnt %= self.delta;
@@ -235,10 +264,13 @@ impl BatchState {
             // Lemma 3.2/3.4 classification: a batch whose color is (still)
             // ineligible at the end of the arrival phase will be dropped while
             // ineligible — eligibility cannot change before its deadline.
-            if count > 0 && !s.eligible {
+            if !s.eligible {
                 self.ineligible_batches.push((round, id, count));
             }
+            self.touched.push(id);
         }
+        self.touched.sort_unstable();
+        self.touched.dedup();
     }
 
     /// Total number of epochs per the paper's definition (§3.2), counting the

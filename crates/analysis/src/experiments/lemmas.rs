@@ -134,6 +134,7 @@ pub fn e6_lemma32_chain(opts: ExpOptions) -> ExpReport {
             speed: Speed::Double,
             record_schedule: false,
             track_latency: false,
+            track_perf: false,
         });
         let ds_drops = ds
             .run(&alpha, &mut seq, m, CostModel::new(delta))

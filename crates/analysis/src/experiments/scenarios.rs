@@ -163,6 +163,7 @@ pub fn e19_latency(opts: ExpOptions) -> ExpReport {
         speed: Speed::Uni,
         record_schedule: false,
         track_latency: true,
+        track_perf: false,
     });
     let mut policies: Vec<(&'static str, Box<dyn rrs_core::Policy>)> = vec![
         (

@@ -85,6 +85,7 @@ pub fn estimate_opt(trace: &Trace, m: usize, delta: u64, opts: EstimateOptions) 
         speed: Speed::Uni,
         record_schedule: opts.improve_iterations > 0,
         track_latency: false,
+        track_perf: false,
     });
     let upper = match engine.run(trace, &mut h, m, CostModel::new(delta)) {
         Ok(r) => {

@@ -181,6 +181,7 @@ pub fn run_kind(kind: PolicyKind, trace: &Trace, n: usize, delta: u64) -> Result
                 speed: Speed::Double,
                 record_schedule: false,
                 track_latency: false,
+                track_perf: false,
             });
             let r = ds.run(trace, &mut p, n, cm)?;
             Ok(summarize(kind, &r, Some(instr(p.state()))))

@@ -27,11 +27,16 @@ pub fn render_timeline(schedule: &ExplicitSchedule, colors: &ColorTable, width: 
     let bucket = rounds.div_ceil(width).max(1);
     let ncols = rounds.div_ceil(bucket);
     // occupancy[color][bucket] = sum of cached copies over the bucket.
+    // Copy-on-change steps carry the last explicit content forward.
     let mut occupancy = vec![vec![0u64; ncols]; colors.len()];
+    let mut current = CacheTarget::empty();
     for step in steps {
         let b = step.round as usize / bucket;
-        for (c, copies) in step.cache.iter() {
+        for (c, copies) in step.cache_or(&current).iter() {
             occupancy[c.index()][b] += u64::from(copies);
+        }
+        if let Some(target) = &step.cache {
+            current = target.clone();
         }
     }
     let max = occupancy
@@ -146,6 +151,7 @@ mod tests {
             speed: Speed::Uni,
             record_schedule: true,
             track_latency: false,
+            track_perf: false,
         });
         let r = engine.run(&trace, &mut p, 4, CostModel::new(2)).unwrap();
         let viz = render_timeline(r.schedule.as_ref().unwrap(), trace.colors(), 40);

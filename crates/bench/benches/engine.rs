@@ -1,7 +1,12 @@
 //! E12a — engine throughput: rounds simulated per second as colors and
-//! resources scale, with a trivial policy (isolates the engine itself).
+//! resources scale, with a trivial policy (isolates the engine itself), plus
+//! the incremental-index policies against their rebuild-and-sort reference
+//! twins (isolates the hot-path optimization; `rrs-cli bench-engine` tracks
+//! the same ratio against a committed baseline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrs_algorithms::prelude::*;
+use rrs_algorithms::reference::{RefDlru, RefDlruEdf};
 use rrs_bench::bench_trace;
 use rrs_core::engine::run_policy;
 use rrs_core::prelude::*;
@@ -39,5 +44,56 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Optimized (incremental-index) policies vs their frozen reference twins on
+/// the standard rate-limited workload: the gap is the hot-path win.
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_hot_path");
+    for &ncolors in &[64usize, 512] {
+        let horizon = 512;
+        let trace = bench_trace(ncolors, horizon, 1);
+        let (n, delta) = (16usize, 4u64);
+        group.throughput(Throughput::Elements(horizon));
+        group.bench_with_input(
+            BenchmarkId::new("dlru_edf", ncolors),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut p = DlruEdf::new(trace.colors(), n, delta).unwrap();
+                    run_policy(trace, &mut p, n, delta).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dlru_edf_reference", ncolors),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut p =
+                        RefDlruEdf::new(trace.colors(), n, delta, DlruEdfConfig::default())
+                            .unwrap();
+                    run_policy(trace, &mut p, n, delta).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dlru", ncolors), &trace, |b, trace| {
+            b.iter(|| {
+                let mut p = Dlru::with_replication(trace.colors(), n, delta, 2).unwrap();
+                run_policy(trace, &mut p, n, delta).unwrap()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dlru_reference", ncolors),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut p = RefDlru::new(trace.colors(), n, delta, 2).unwrap();
+                    run_policy(trace, &mut p, n, delta).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_hot_path);
 criterion_main!(benches);

@@ -15,6 +15,8 @@
 //!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
 //!               [--shed-watermark W] [--shed-queue Q]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
+//! rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]
+//!                  [--out <path>] [--check] [--tolerance PCT]
 //! rrs list
 //! ```
 
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
+        Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("list") => {
             cmd_list();
             ExitCode::SUCCESS
@@ -51,6 +54,8 @@ fn main() -> ExitCode {
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                                [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
+                 rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]\n  \
+                                  [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs list"
             );
             ExitCode::from(2)
@@ -393,6 +398,7 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
         speed: Speed::Uni,
         record_schedule: true,
         track_latency: false,
+        track_perf: false,
     });
     let mut policy: Box<dyn rrs_core::Policy> = match pname {
         "dlru-edf" => match rrs_algorithms::DlruEdf::new(trace.colors(), n, delta) {
@@ -826,6 +832,211 @@ fn cmd_opt(args: &[String]) -> ExitCode {
         None => println!("  exact (DP):  not attempted (pass --exact)"),
     }
     println!("  upper bound: {}", est.upper);
+    ExitCode::SUCCESS
+}
+
+/// `rrs bench-engine`: the tracked single-thread engine throughput baseline.
+///
+/// Runs each optimized policy and its frozen pre-optimization twin
+/// ([`rrs_algorithms::reference`]) over the same rate-limited trace and
+/// reports wall-clock rounds/sec for both plus the speedup ratio. Because
+/// both sides run back-to-back in the same process, the *ratio* is
+/// machine-normalized; it is the quantity recorded in `BENCH_engine.json`
+/// and guarded by CI: `--check` fails when any policy's speedup falls more
+/// than `--tolerance` percent (default 25) below the committed baseline.
+fn cmd_bench_engine(args: &[String]) -> ExitCode {
+    use rrs_algorithms::reference::{RefDlru, RefDlruEdf, RefEdf, RefGreedyPending};
+    use rrs_core::{CostModel, Engine};
+    use serde_json::Value;
+    use std::time::Instant;
+
+    fn num(v: &Value) -> Option<f64> {
+        match v {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// A benched pairing: name, optimized policy, reference twin.
+    type PolicyPair = (&'static str, Box<dyn rrs_core::Policy>, Box<dyn rrs_core::Policy>);
+
+    let quick = flag(args, "--quick");
+    let colors: usize = opt_value(args, "--colors")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2_000 } else { 10_000 });
+    let rounds: u64 = opt_value(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 384 } else { 1_536 });
+    let n: usize = opt_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let delta: u64 = opt_value(args, "--delta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let seed: u64 = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let tolerance: f64 = opt_value(args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let out = opt_value(args, "--out").unwrap_or("BENCH_engine.json");
+    let check = flag(args, "--check");
+
+    let bounds: Vec<u64> = (0..colors).map(|i| 1u64 << (2 + (i % 4) as u32)).collect();
+    let trace = RandomBatched {
+        delay_bounds: bounds,
+        load: 0.6,
+        activity: 0.8,
+        horizon: rounds,
+        rate_limited: true,
+    }
+    .generate(seed);
+    let table = trace.colors();
+    eprintln!(
+        "bench-engine: {} colors, {} rounds, {} jobs, n={n}, Δ={delta}, seed={seed}",
+        colors,
+        rounds,
+        trace.total_jobs()
+    );
+
+    let time_run = |policy: &mut dyn rrs_core::Policy| -> (f64, u64) {
+        let start = Instant::now();
+        let r = Engine::new()
+            .run(&trace, policy, n, CostModel::new(delta))
+            .expect("bench run failed");
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        (r.rounds as f64 / secs, r.cost.total())
+    };
+
+    let pairs: Vec<PolicyPair> = vec![
+        (
+            "dlru-edf",
+            Box::new(rrs_algorithms::DlruEdf::new(table, n, delta).unwrap()),
+            Box::new(RefDlruEdf::new(table, n, delta, Default::default()).unwrap()),
+        ),
+        (
+            "dlru",
+            Box::new(rrs_algorithms::Dlru::new(table, n, delta).unwrap()),
+            Box::new(RefDlru::new(table, n, delta, 2).unwrap()),
+        ),
+        (
+            "edf",
+            Box::new(rrs_algorithms::Edf::new(table, n, delta).unwrap()),
+            Box::new(RefEdf::new(table, n, delta, 2).unwrap()),
+        ),
+        (
+            "greedy",
+            Box::new(rrs_algorithms::GreedyPending::new()),
+            Box::new(RefGreedyPending),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    let mut report = Table::new(["policy", "optimized r/s", "reference r/s", "speedup"]);
+    for (name, mut opt_p, mut ref_p) in pairs {
+        let (ref_rps, ref_cost) = time_run(ref_p.as_mut());
+        let (opt_rps, opt_cost) = time_run(opt_p.as_mut());
+        // The bench doubles as a coarse differential check: both sides must
+        // agree on total cost or the speedup is meaningless.
+        assert_eq!(
+            opt_cost, ref_cost,
+            "optimized and reference disagree on {name}"
+        );
+        let speedup = opt_rps / ref_rps;
+        report.row([
+            name.to_string(),
+            format!("{opt_rps:.0}"),
+            format!("{ref_rps:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        results.push((name, opt_rps, ref_rps, speedup));
+    }
+    print!("{}", report.render());
+
+    if check {
+        let baseline: Value = match std::fs::read_to_string(out)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::parse(&s).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench-engine: cannot read baseline {out}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let empty = Vec::new();
+        let base_results = baseline
+            .get_field("results")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&empty);
+        let mut failed = false;
+        for &(name, _, _, speedup) in &results {
+            let Some(base) = base_results
+                .iter()
+                .find(|b| {
+                    b.get_field("policy")
+                        .is_some_and(|p| matches!(p, Value::Str(s) if s == name))
+                })
+                .and_then(|b| b.get_field("speedup"))
+                .and_then(num)
+            else {
+                eprintln!("bench-engine: no baseline entry for {name}, skipping");
+                continue;
+            };
+            let floor = base * (1.0 - tolerance / 100.0);
+            if speedup < floor {
+                eprintln!(
+                    "bench-engine: REGRESSION in {name}: speedup {speedup:.2}x < \
+                     floor {floor:.2}x (baseline {base:.2}x − {tolerance}%)"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "bench-engine: {name} ok ({speedup:.2}x vs baseline {base:.2}x, \
+                     floor {floor:.2}x)"
+                );
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let result_values: Vec<Value> = results
+            .iter()
+            .map(|&(name, opt_rps, ref_rps, speedup)| {
+                Value::Object(vec![
+                    ("policy".into(), Value::Str(name.into())),
+                    ("optimized_rounds_per_sec".into(), Value::F64(opt_rps)),
+                    ("reference_rounds_per_sec".into(), Value::F64(ref_rps)),
+                    ("speedup".into(), Value::F64(speedup)),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("bench".into(), Value::Str("engine-throughput".into())),
+            (
+                "workload".into(),
+                Value::Object(vec![
+                    ("colors".into(), Value::U64(colors as u64)),
+                    ("rounds".into(), Value::U64(rounds)),
+                    ("n".into(), Value::U64(n as u64)),
+                    ("delta".into(), Value::U64(delta)),
+                    ("seed".into(), Value::U64(seed)),
+                    ("quick".into(), Value::Bool(quick)),
+                ]),
+            ),
+            ("tolerance_pct".into(), Value::F64(tolerance)),
+            ("results".into(), Value::Array(result_values)),
+        ]);
+        let body = serde_json::to_string_pretty(&doc).expect("serialize bench result");
+        if let Err(e) = std::fs::write(out, body + "\n") {
+            eprintln!("bench-engine: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench-engine: wrote {out}");
+    }
     ExitCode::SUCCESS
 }
 

@@ -24,7 +24,7 @@ use crate::error::{Error, Result};
 use crate::pending::PendingJobs;
 use crate::resource::{CacheState, CacheTarget};
 use crate::schedule::{ExplicitSchedule, ScheduleStep};
-use crate::stats::RunResult;
+use crate::stats::{PerfCounters, RunResult};
 use crate::time::{Round, Speed};
 use crate::trace::Trace;
 
@@ -40,6 +40,27 @@ pub struct EngineView<'a> {
     pub n: usize,
     /// Reconfiguration cost Δ.
     pub delta: u64,
+}
+
+impl<'a> EngineView<'a> {
+    /// Builds a view over the given engine state. The engine constructs one
+    /// view per phase boundary (the phases mutate `pending`/`cache`, so a view
+    /// cannot outlive the phase it was built for).
+    pub fn new(
+        pending: &'a PendingJobs,
+        cache: &'a CacheState,
+        colors: &'a ColorTable,
+        n: usize,
+        delta: u64,
+    ) -> Self {
+        EngineView {
+            pending,
+            cache,
+            colors,
+            n,
+            delta,
+        }
+    }
 }
 
 /// An online reconfiguration scheme.
@@ -83,6 +104,8 @@ pub struct EngineOptions {
     pub record_schedule: bool,
     /// Record a [`crate::LatencyHistogram`] of execution sojourn times.
     pub track_latency: bool,
+    /// Record deterministic hot-path [`PerfCounters`] in the result.
+    pub track_perf: bool,
 }
 
 impl Default for EngineOptions {
@@ -91,6 +114,7 @@ impl Default for EngineOptions {
             speed: Speed::Uni,
             record_schedule: false,
             track_latency: false,
+            track_perf: false,
         }
     }
 }
@@ -141,54 +165,48 @@ impl Engine {
             .options
             .track_latency
             .then(crate::latency::LatencyHistogram::new);
+        let mut perf = self.options.track_perf.then(PerfCounters::default);
+
+        // Reusable scratch, allocated once for the whole run: the hot path
+        // performs no per-round allocations (the expiry wheel and the arrival
+        // map fill these in place).
+        let mut dropped: Vec<(ColorId, u64)> = Vec::new();
+        let mut arrivals: Vec<(ColorId, u64)> = Vec::new();
+        let mut executed_colors: Vec<ColorId> = Vec::new();
+        // Last recorded cache content, for copy-on-change schedule steps.
+        let mut last_target: Option<CacheTarget> = None;
 
         let horizon = trace.horizon();
         for round in 0..=horizon {
             // Phase 1: drop.
-            let dropped = pending.drop_expired(round);
+            pending.drop_expired_into(round, &mut dropped);
             for &(color, count) in &dropped {
                 result.record_drops(color, count, colors.drop_cost(color));
             }
-            {
-                let view = EngineView {
-                    pending: &pending,
-                    cache: &cache,
-                    colors,
-                    n,
-                    delta: cost_model.delta,
-                };
-                policy.on_drop_phase(round, &dropped, &view);
-            }
+            let view = EngineView::new(&pending, &cache, colors, n, cost_model.delta);
+            policy.on_drop_phase(round, &dropped, &view);
 
             // Phase 2: arrival.
-            let arrivals = trace.arrivals_at(round);
+            trace.arrivals_into(round, &mut arrivals);
             for &(color, count) in &arrivals {
                 let deadline = round + colors.delay_bound(color);
                 pending.arrive(color, deadline, count);
             }
-            {
-                let view = EngineView {
-                    pending: &pending,
-                    cache: &cache,
-                    colors,
-                    n,
-                    delta: cost_model.delta,
-                };
-                policy.on_arrival_phase(round, &arrivals, &view);
+            let view = EngineView::new(&pending, &cache, colors, n, cost_model.delta);
+            policy.on_arrival_phase(round, &arrivals, &view);
+
+            if let Some(p) = perf.as_mut() {
+                p.rounds += 1;
+                p.drop_colors_touched += dropped.len() as u64;
+                p.arrival_colors_touched += arrivals.len() as u64;
+                p.dropped_hwm = p.dropped_hwm.max(dropped.len());
+                p.arrivals_hwm = p.arrivals_hwm.max(arrivals.len());
             }
 
             // Phases 3–4, once per mini-round.
             for mini in 0..mini_rounds {
-                let target = {
-                    let view = EngineView {
-                        pending: &pending,
-                        cache: &cache,
-                        colors,
-                        n,
-                        delta: cost_model.delta,
-                    };
-                    policy.reconfigure(round, mini, &view)
-                };
+                let view = EngineView::new(&pending, &cache, colors, n, cost_model.delta);
+                let target = policy.reconfigure(round, mini, &view);
                 let recolored = cache.apply(&target).ok_or(Error::CacheOverflow {
                     round,
                     requested: target.size(),
@@ -196,8 +214,11 @@ impl Engine {
                 })?;
                 result.record_reconfigs(recolored, cost_model.delta);
 
-                let mut executed_colors = Vec::new();
+                executed_colors.clear();
                 for (color, copies) in target.iter() {
+                    if let Some(p) = perf.as_mut() {
+                        p.exec_slots += copies as u64;
+                    }
                     for _ in 0..copies {
                         if let Some(deadline) = pending.execute_one(color) {
                             result.record_execution(color);
@@ -212,14 +233,21 @@ impl Engine {
                         }
                     }
                 }
+                if let Some(p) = perf.as_mut() {
+                    p.executed_hwm = p.executed_hwm.max(executed_colors.len());
+                }
                 if let Some(s) = schedule.as_mut() {
+                    // Copy-on-change: record the content only when it differs
+                    // from the previous step's.
+                    let changed = last_target.as_ref() != Some(&target);
                     s.steps.push(ScheduleStep {
                         round,
                         mini,
-                        cache: target,
-                        executed: executed_colors,
+                        cache: changed.then(|| target.clone()),
+                        executed: std::mem::take(&mut executed_colors),
                     });
                 }
+                last_target = Some(target);
             }
         }
         debug_assert_eq!(pending.total(), 0, "all jobs resolved by the horizon");
@@ -231,6 +259,7 @@ impl Engine {
         result.rounds = horizon + 1;
         result.schedule = schedule;
         result.latency = latency;
+        result.perf = perf;
         Ok(result)
     }
 }
@@ -345,6 +374,7 @@ mod tests {
             speed: Speed::Double,
             record_schedule: false,
             track_latency: false,
+            track_perf: false,
         });
         let r = engine
             .run(&trace, &mut p, 1, CostModel::new(1))
@@ -398,6 +428,7 @@ mod tests {
             speed: Speed::Uni,
             record_schedule: false,
             track_latency: true,
+            track_perf: false,
         });
         let r = engine.run(&trace, &mut p, 1, CostModel::new(1)).unwrap();
         let h = r.latency.as_ref().expect("tracking enabled");
@@ -429,6 +460,7 @@ mod tests {
             speed: Speed::Uni,
             record_schedule: true,
             track_latency: false,
+            track_perf: false,
         });
         let r = engine.run(&trace, &mut p, 2, CostModel::new(3)).unwrap();
         let sched = r.schedule.as_ref().unwrap();

@@ -51,7 +51,7 @@ pub use latency::LatencyHistogram;
 pub use pending::PendingJobs;
 pub use resource::{CacheState, CacheTarget};
 pub use schedule::{check_schedule, ExplicitSchedule, ScheduleStep};
-pub use stats::RunResult;
+pub use stats::{PerfCounters, RunResult};
 pub use streaming::{EngineSnapshot, StepOutcome, StreamingEngine};
 pub use time::{Phase, Round, Speed};
 pub use trace::{Arrival, BatchClass, Trace, TraceBuilder};
@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::job::Job;
     pub use crate::pending::PendingJobs;
     pub use crate::resource::{CacheState, CacheTarget};
-    pub use crate::stats::RunResult;
+    pub use crate::stats::{PerfCounters, RunResult};
     pub use crate::time::{Phase, Round, Speed};
     pub use crate::trace::{Arrival, BatchClass, Trace, TraceBuilder};
 }

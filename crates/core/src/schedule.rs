@@ -20,17 +20,43 @@ use serde::{Deserialize, Serialize};
 
 /// One mini-round of a schedule: the cache content after the reconfiguration
 /// phase and the colors of the jobs executed in the execution phase.
+///
+/// The cache content is stored **copy-on-change**: `cache: None` means "same
+/// content as the previous step" (and charges no reconfiguration), so long
+/// stretches of a stable configuration cost one `CacheTarget` instead of one
+/// clone per mini-round. Use [`ScheduleStep::new`] to build a step with an
+/// explicit content, and [`ScheduleStep::cache_or`] to resolve the effective
+/// content while walking a schedule.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduleStep {
     /// Round index.
     pub round: Round,
     /// Mini-round index within the round (0, or 0–1 at double speed).
     pub mini: u32,
-    /// Cache content during this mini-round.
-    pub cache: CacheTarget,
+    /// Cache content during this mini-round; `None` = unchanged from the
+    /// previous step (an initial `None` means the empty cache).
+    pub cache: Option<CacheTarget>,
     /// Colors of executed jobs (each entry = one unit job; at most one per cached
     /// location of that color).
     pub executed: Vec<ColorId>,
+}
+
+impl ScheduleStep {
+    /// Builds a step with an explicit cache content.
+    pub fn new(round: Round, mini: u32, cache: CacheTarget, executed: Vec<ColorId>) -> Self {
+        ScheduleStep {
+            round,
+            mini,
+            cache: Some(cache),
+            executed,
+        }
+    }
+
+    /// The effective cache content of this step, given the content `prev` in
+    /// force before it.
+    pub fn cache_or<'a>(&'a self, prev: &'a CacheTarget) -> &'a CacheTarget {
+        self.cache.as_ref().unwrap_or(prev)
+    }
 }
 
 /// A fully materialized schedule.
@@ -84,6 +110,8 @@ pub fn check_schedule(
     let mut cache = CacheState::new(schedule.n);
     let mut cost = Cost::ZERO;
     let mut executed_by_color: Vec<u64> = vec![0; colors.len()];
+    // Cache content in force, resolving copy-on-change steps.
+    let mut current = CacheTarget::empty();
 
     let horizon = trace.horizon();
     let mut step_iter = schedule.steps.iter().peekable();
@@ -113,15 +141,21 @@ pub fn check_schedule(
                     reason: format!("mini-round {} exceeds speed {}", step.mini, minis),
                 });
             }
-            let recolored = cache.apply(&step.cache).ok_or(Error::InvalidSchedule {
-                round,
-                reason: format!(
-                    "cache content of size {} exceeds {} locations",
-                    step.cache.size(),
-                    schedule.n
-                ),
-            })?;
-            cost.reconfig += recolored * cost_model.delta;
+            // Copy-on-change: `None` keeps the previous content in force and
+            // cannot recolor anything (applying an identical target charges 0,
+            // so this is exactly equivalent to re-applying it).
+            if let Some(target) = &step.cache {
+                let recolored = cache.apply(target).ok_or(Error::InvalidSchedule {
+                    round,
+                    reason: format!(
+                        "cache content of size {} exceeds {} locations",
+                        target.size(),
+                        schedule.n
+                    ),
+                })?;
+                cost.reconfig += recolored * cost_model.delta;
+                current = target.clone();
+            }
 
             // Per-color execution count must not exceed cached copies.
             let mut counts: std::collections::BTreeMap<ColorId, u32> = Default::default();
@@ -129,12 +163,12 @@ pub fn check_schedule(
                 *counts.entry(c).or_insert(0) += 1;
             }
             for (&c, &k) in &counts {
-                if k > step.cache.copies_of(c) {
+                if k > current.copies_of(c) {
                     return Err(Error::InvalidSchedule {
                         round,
                         reason: format!(
                             "{k} executions of {c} but only {} cached copies",
-                            step.cache.copies_of(c)
+                            current.copies_of(c)
                         ),
                     });
                 }
@@ -182,12 +216,7 @@ mod tests {
         let trace = simple_trace();
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
         for round in 0..2 {
-            s.steps.push(ScheduleStep {
-                round,
-                mini: 0,
-                cache: CacheTarget::singles([c(0)]),
-                executed: vec![c(0)],
-            });
+            s.steps.push(ScheduleStep::new(round, 0, CacheTarget::singles([c(0)]), vec![c(0)]));
         }
         let cost = check_schedule(&trace, &s, CostModel::new(5)).unwrap();
         assert_eq!(cost, Cost::new(5, 0)); // one recoloring, no drops
@@ -205,12 +234,7 @@ mod tests {
     fn execution_without_cached_color_rejected() {
         let trace = simple_trace();
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
-        s.steps.push(ScheduleStep {
-            round: 0,
-            mini: 0,
-            cache: CacheTarget::empty(),
-            executed: vec![c(0)],
-        });
+        s.steps.push(ScheduleStep::new(0, 0, CacheTarget::empty(), vec![c(0)]));
         assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
     }
 
@@ -219,12 +243,8 @@ mod tests {
         let trace = simple_trace(); // only 2 jobs
         let mut s = ExplicitSchedule::new(2, Speed::Uni);
         for round in 0..2 {
-            s.steps.push(ScheduleStep {
-                round,
-                mini: 0,
-                cache: CacheTarget::replicated([c(0)], 2),
-                executed: vec![c(0), c(0)],
-            });
+            s.steps
+                .push(ScheduleStep::new(round, 0, CacheTarget::replicated([c(0)], 2), vec![c(0), c(0)]));
         }
         // Round 1 tries to execute 2 more jobs but none are pending.
         assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
@@ -236,12 +256,7 @@ mod tests {
         // because the job was dropped in round 4's drop phase.
         let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 1).build();
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
-        s.steps.push(ScheduleStep {
-            round: 4,
-            mini: 0,
-            cache: CacheTarget::singles([c(0)]),
-            executed: vec![c(0)],
-        });
+        s.steps.push(ScheduleStep::new(4, 0, CacheTarget::singles([c(0)]), vec![c(0)]));
         assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
     }
 
@@ -249,12 +264,8 @@ mod tests {
     fn capacity_overflow_rejected() {
         let trace = simple_trace();
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
-        s.steps.push(ScheduleStep {
-            round: 0,
-            mini: 0,
-            cache: CacheTarget::replicated([c(0)], 2),
-            executed: vec![],
-        });
+        s.steps
+            .push(ScheduleStep::new(0, 0, CacheTarget::replicated([c(0)], 2), vec![]));
         assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
     }
 
@@ -262,12 +273,7 @@ mod tests {
     fn out_of_order_steps_rejected() {
         let trace = simple_trace();
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
-        let step = |round| ScheduleStep {
-            round,
-            mini: 0,
-            cache: CacheTarget::empty(),
-            executed: vec![],
-        };
+        let step = |round| ScheduleStep::new(round, 0, CacheTarget::empty(), vec![]);
         s.steps.push(step(1));
         s.steps.push(step(0));
         assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
@@ -277,12 +283,7 @@ mod tests {
     fn step_beyond_horizon_rejected() {
         let trace = simple_trace(); // horizon = 4
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
-        s.steps.push(ScheduleStep {
-            round: 99,
-            mini: 0,
-            cache: CacheTarget::empty(),
-            executed: vec![],
-        });
+        s.steps.push(ScheduleStep::new(99, 0, CacheTarget::empty(), vec![]));
         assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
     }
 
@@ -293,12 +294,7 @@ mod tests {
         let mut s = ExplicitSchedule::new(1, Speed::Double);
         for round in 0..2 {
             for mini in 0..2 {
-                s.steps.push(ScheduleStep {
-                    round,
-                    mini,
-                    cache: CacheTarget::singles([c(0)]),
-                    executed: vec![c(0)],
-                });
+                s.steps.push(ScheduleStep::new(round, mini, CacheTarget::singles([c(0)]), vec![c(0)]));
             }
         }
         let cost = check_schedule(&trace, &s, CostModel::new(3)).unwrap();
@@ -316,14 +312,56 @@ mod tests {
             .build();
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
         for (round, color) in [(0, 0), (2, 1), (4, 0)] {
-            s.steps.push(ScheduleStep {
-                round,
-                mini: 0,
-                cache: CacheTarget::singles([c(color)]),
-                executed: vec![c(color)],
-            });
+            s.steps.push(ScheduleStep::new(round, 0, CacheTarget::singles([c(color)]), vec![c(color)]));
         }
         let cost = check_schedule(&trace, &s, CostModel::new(2)).unwrap();
         assert_eq!(cost, Cost::new(6, 0)); // three recolorings × Δ=2
+    }
+
+    #[test]
+    fn copy_on_change_step_keeps_previous_content() {
+        // Round 0 configures c0; round 1 carries it via `cache: None` and
+        // still executes. Costs match the fully explicit schedule.
+        let trace = simple_trace();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps
+            .push(ScheduleStep::new(0, 0, CacheTarget::singles([c(0)]), vec![c(0)]));
+        s.steps.push(ScheduleStep {
+            round: 1,
+            mini: 0,
+            cache: None,
+            executed: vec![c(0)],
+        });
+        let cost = check_schedule(&trace, &s, CostModel::new(5)).unwrap();
+        assert_eq!(cost, Cost::new(5, 0));
+    }
+
+    #[test]
+    fn initial_none_step_means_empty_cache() {
+        // A leading `cache: None` resolves to the empty cache, so an
+        // execution there is infeasible.
+        let trace = simple_trace();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps.push(ScheduleStep {
+            round: 0,
+            mini: 0,
+            cache: None,
+            executed: vec![c(0)],
+        });
+        assert!(check_schedule(&trace, &s, CostModel::new(1)).is_err());
+    }
+
+    #[test]
+    fn cache_or_resolves_against_previous_content() {
+        let prev = CacheTarget::singles([c(1)]);
+        let explicit = ScheduleStep::new(0, 0, CacheTarget::singles([c(0)]), vec![]);
+        assert_eq!(explicit.cache_or(&prev), &CacheTarget::singles([c(0)]));
+        let carried = ScheduleStep {
+            round: 1,
+            mini: 0,
+            cache: None,
+            executed: vec![],
+        };
+        assert_eq!(carried.cache_or(&prev), &prev);
     }
 }

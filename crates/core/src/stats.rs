@@ -37,6 +37,36 @@ pub struct RunResult {
     pub schedule: Option<ExplicitSchedule>,
     /// Execution-latency histogram, when the engine was asked to track it.
     pub latency: Option<crate::latency::LatencyHistogram>,
+    /// Hot-path counters, when the engine was asked to track them.
+    pub perf: Option<PerfCounters>,
+}
+
+/// Deterministic hot-path counters collected by the engine when
+/// [`crate::EngineOptions::track_perf`] is on.
+///
+/// Everything here is a pure function of the (trace, policy, options) triple —
+/// no wall-clock — so two runs of the same workload produce identical counters
+/// and [`RunResult`] equality stays a determinism witness. Wall-clock
+/// rounds/sec is measured by the bench harness around the engine, not inside
+/// it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Total colors visited by the drop phase (expiry-wheel hits, i.e. colors
+    /// that actually had jobs due). The pre-wheel engine touched
+    /// `rounds × ncolors`; the wheel touches only these.
+    pub drop_colors_touched: u64,
+    /// Total `(color, count)` arrival records processed.
+    pub arrival_colors_touched: u64,
+    /// Total execution slots inspected (sum over mini-rounds of target copies).
+    pub exec_slots: u64,
+    /// High-water mark of the engine's reusable `dropped` scratch buffer.
+    pub dropped_hwm: usize,
+    /// High-water mark of the engine's reusable `arrivals` scratch buffer.
+    pub arrivals_hwm: usize,
+    /// High-water mark of the engine's reusable `executed_colors` scratch buffer.
+    pub executed_hwm: usize,
 }
 
 impl RunResult {
@@ -55,6 +85,7 @@ impl RunResult {
             executed_by_color: vec![0; ncolors],
             schedule: None,
             latency: None,
+            perf: None,
         }
     }
 

@@ -98,6 +98,9 @@ pub struct StreamingEngine {
     round: Round,
     /// Largest deadline seen so far (how far `finish` must drain).
     max_deadline: Round,
+    /// Reusable drop-phase scratch (not part of snapshots: it is transient
+    /// within a step and always cleared before use).
+    dropped_scratch: Vec<(ColorId, u64)>,
 }
 
 impl StreamingEngine {
@@ -137,6 +140,7 @@ impl StreamingEngine {
             result: RunResult::new(name, n, cost_model.delta, ncolors),
             round: 0,
             max_deadline: 0,
+            dropped_scratch: Vec::new(),
         })
     }
 
@@ -222,6 +226,7 @@ impl StreamingEngine {
             result: snapshot.result,
             round: snapshot.round,
             max_deadline: snapshot.max_deadline,
+            dropped_scratch: Vec::new(),
         })
     }
 
@@ -242,8 +247,9 @@ impl StreamingEngine {
         let executed_before = self.result.executed;
         let recolored_before = self.result.reconfig_events;
 
-        // Phase 1: drop.
-        let dropped_list = self.pending.drop_expired(round);
+        // Phase 1: drop (into the engine's reusable scratch buffer).
+        let mut dropped_list = std::mem::take(&mut self.dropped_scratch);
+        self.pending.drop_expired_into(round, &mut dropped_list);
         let mut dropped = 0;
         for &(color, count) in &dropped_list {
             dropped += count;
@@ -251,15 +257,16 @@ impl StreamingEngine {
                 .record_drops(color, count, self.colors.drop_cost(color));
         }
         {
-            let view = EngineView {
-                pending: &self.pending,
-                cache: &self.cache,
-                colors: &self.colors,
-                n: self.n,
-                delta: self.cost_model.delta,
-            };
+            let view = EngineView::new(
+                &self.pending,
+                &self.cache,
+                &self.colors,
+                self.n,
+                self.cost_model.delta,
+            );
             self.policy.on_drop_phase(round, &dropped_list, &view);
         }
+        self.dropped_scratch = dropped_list;
         // Phase 2: arrivals.
         for &(color, count) in arrivals {
             let deadline = round + self.colors.delay_bound(color);
@@ -267,25 +274,25 @@ impl StreamingEngine {
             self.pending.arrive(color, deadline, count);
         }
         {
-            let view = EngineView {
-                pending: &self.pending,
-                cache: &self.cache,
-                colors: &self.colors,
-                n: self.n,
-                delta: self.cost_model.delta,
-            };
+            let view = EngineView::new(
+                &self.pending,
+                &self.cache,
+                &self.colors,
+                self.n,
+                self.cost_model.delta,
+            );
             self.policy.on_arrival_phase(round, arrivals, &view);
         }
         // Phases 3–4.
         for mini in 0..self.speed.mini_rounds() {
             let target = {
-                let view = EngineView {
-                    pending: &self.pending,
-                    cache: &self.cache,
-                    colors: &self.colors,
-                    n: self.n,
-                    delta: self.cost_model.delta,
-                };
+                let view = EngineView::new(
+                    &self.pending,
+                    &self.cache,
+                    &self.colors,
+                    self.n,
+                    self.cost_model.delta,
+                );
                 self.policy.reconfigure(round, mini, &view)
             };
             let recolored = self.cache.apply(&target).ok_or(Error::CacheOverflow {

@@ -101,10 +101,18 @@ impl Trace {
     /// Arrivals in `round` as `(color, count)` pairs in color order; empty slice
     /// semantics via an empty Vec.
     pub fn arrivals_at(&self, round: Round) -> Vec<(ColorId, u64)> {
-        self.arrivals
-            .get(&round)
-            .map(|m| m.iter().map(|(&c, &n)| (c, n)).collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.arrivals_into(round, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::arrivals_at`]: clears `out` and fills
+    /// it with the round's `(color, count)` pairs in color order.
+    pub fn arrivals_into(&self, round: Round, out: &mut Vec<(ColorId, u64)>) {
+        out.clear();
+        if let Some(m) = self.arrivals.get(&round) {
+            out.extend(m.iter().map(|(&c, &n)| (c, n)));
+        }
     }
 
     /// Iterates over all arrival records in (round, color) order.

@@ -115,16 +115,24 @@ pub fn improve_schedule(
     let m = initial.n;
     let rounds = (trace.horizon() + 1) as usize;
     let ncolors = trace.colors().len() as u32;
-    // Materialize the config sequence (missing steps = empty config).
+    // Materialize the config sequence (missing steps = empty config;
+    // copy-on-change steps carry the last explicit content forward).
     let mut configs: Configs = vec![Vec::new(); rounds];
+    let mut carry: Vec<u32> = Vec::new();
     for step in &initial.steps {
-        let mut cfg: Vec<u32> = step
-            .cache
-            .iter()
-            .flat_map(|(c, copies)| std::iter::repeat_n(c.0, copies as usize))
-            .collect();
-        cfg.sort_unstable();
-        cfg.truncate(m);
+        let cfg = match &step.cache {
+            Some(target) => {
+                let mut cfg: Vec<u32> = target
+                    .iter()
+                    .flat_map(|(c, copies)| std::iter::repeat_n(c.0, copies as usize))
+                    .collect();
+                cfg.sort_unstable();
+                cfg.truncate(m);
+                carry = cfg.clone();
+                cfg
+            }
+            None => carry.clone(),
+        };
         configs[step.round as usize] = cfg;
     }
     let mut cost = evaluate(trace, &configs, delta);
@@ -219,12 +227,7 @@ pub fn improve_schedule(
                 executed.push(ColorId(c));
             }
         }
-        schedule.steps.push(ScheduleStep {
-            round,
-            mini: 0,
-            cache,
-            executed,
-        });
+        schedule.steps.push(ScheduleStep::new(round, 0, cache, executed));
     }
     Ok(ImproveResult {
         cost,
@@ -250,12 +253,7 @@ mod tests {
             } else {
                 CacheTarget::empty()
             };
-            s.steps.push(ScheduleStep {
-                round,
-                mini: 0,
-                cache,
-                executed: vec![],
-            });
+            s.steps.push(ScheduleStep::new(round, 0, cache, vec![]));
         }
         s
     }

@@ -275,12 +275,12 @@ pub fn optimal(trace: &Trace, cfg: OptConfig) -> Result<OptResult> {
             }
         }
         let executed = execute_config(&mut pending, config);
-        schedule.steps.push(ScheduleStep {
+        schedule.steps.push(ScheduleStep::new(
             round,
-            mini: 0,
-            cache: CacheTarget::singles(config.iter().map(|&c| ColorId(c))),
-            executed: executed.into_iter().map(ColorId).collect(),
-        });
+            0,
+            CacheTarget::singles(config.iter().map(|&c| ColorId(c))),
+            executed.into_iter().map(ColorId).collect(),
+        ));
     }
 
     Ok(OptResult {

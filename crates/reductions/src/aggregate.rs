@@ -146,12 +146,9 @@ pub fn aggregate(
                 cache.add(c, 1);
             }
         }
-        schedule.steps.push(ScheduleStep {
-            round: t as Round,
-            mini: 0,
-            cache,
-            executed: std::mem::take(&mut executions[t]),
-        });
+        schedule
+            .steps
+            .push(ScheduleStep::new(t as Round, 0, cache, std::mem::take(&mut executions[t])));
     }
 
     let cost = rrs_core::schedule::check_schedule(&split_t, &schedule, CostModel::new(delta))?;
@@ -172,12 +169,12 @@ mod tests {
     fn single_color_schedule(rounds: u64, c: ColorId, per_round: bool) -> ExplicitSchedule {
         let mut s = ExplicitSchedule::new(1, Speed::Uni);
         for round in 0..rounds {
-            s.steps.push(ScheduleStep {
+            s.steps.push(ScheduleStep::new(
                 round,
-                mini: 0,
-                cache: CacheTarget::singles([c]),
-                executed: if per_round { vec![c] } else { vec![] },
-            });
+                0,
+                CacheTarget::singles([c]),
+                if per_round { vec![c] } else { vec![] },
+            ));
         }
         s
     }
@@ -203,12 +200,12 @@ mod tests {
         let mut sched = ExplicitSchedule::new(3, Speed::Uni);
         for round in 0..4u64 {
             let execs = if round < 3 { 3 } else { 1 }; // 3+3+3+1 = 10
-            sched.steps.push(ScheduleStep {
+            sched.steps.push(ScheduleStep::new(
                 round,
-                mini: 0,
-                cache: CacheTarget::replicated([ColorId(0)], 3),
-                executed: vec![ColorId(0); execs],
-            });
+                0,
+                CacheTarget::replicated([ColorId(0)], 3),
+                vec![ColorId(0); execs],
+            ));
         }
         assert_eq!(
             check_schedule(&t, &sched, CostModel::new(1)).unwrap().drop,
@@ -266,12 +263,12 @@ mod tests {
             if round % 4 < 2 {
                 executed.push(ColorId(1));
             }
-            sched.steps.push(ScheduleStep {
+            sched.steps.push(ScheduleStep::new(
                 round,
-                mini: 0,
-                cache: CacheTarget::singles([ColorId(0), ColorId(1)]),
+                0,
+                CacheTarget::singles([ColorId(0), ColorId(1)]),
                 executed,
-            });
+            ));
         }
         assert_eq!(
             check_schedule(&t, &sched, CostModel::new(1)).unwrap().drop,

@@ -83,10 +83,15 @@ pub fn split_trace(trace: &Trace) -> (Trace, ColorSplit) {
 pub fn project_schedule(inner: &ExplicitSchedule, split: &ColorSplit) -> ExplicitSchedule {
     let mut out = ExplicitSchedule::new(inner.n, inner.speed);
     for step in &inner.steps {
-        let mut cache = CacheTarget::empty();
-        for (sub, copies) in step.cache.iter() {
-            cache.add(split.sub_to_orig[sub.index()], copies);
-        }
+        // Copy-on-change passes through: an unchanged inner content projects
+        // to an unchanged outer content.
+        let cache = step.cache.as_ref().map(|target| {
+            let mut cache = CacheTarget::empty();
+            for (sub, copies) in target.iter() {
+                cache.add(split.sub_to_orig[sub.index()], copies);
+            }
+            cache
+        });
         let executed = step
             .executed
             .iter()
@@ -128,6 +133,7 @@ pub fn run_distribute(trace: &Trace, n: usize, delta: u64) -> Result<DistributeR
         speed: Speed::Uni,
         record_schedule: true,
         track_latency: false,
+        track_perf: false,
     });
     let inner = engine.run(&split_t, &mut inner_policy, n, CostModel::new(delta))?;
     let inner_schedule = inner
@@ -194,14 +200,15 @@ mod tests {
         let (t2, split) = split_trace(&t);
         assert_eq!(t2.colors().len(), 2);
         let mut inner = ExplicitSchedule::new(4, Speed::Uni);
-        inner.steps.push(ScheduleStep {
-            round: 0,
-            mini: 0,
-            cache: CacheTarget::replicated([ColorId(0), ColorId(1)], 2),
-            executed: vec![ColorId(0), ColorId(0), ColorId(1), ColorId(1)],
-        });
+        inner.steps.push(ScheduleStep::new(
+            0,
+            0,
+            CacheTarget::replicated([ColorId(0), ColorId(1)], 2),
+            vec![ColorId(0), ColorId(0), ColorId(1), ColorId(1)],
+        ));
         let proj = project_schedule(&inner, &split);
-        assert_eq!(proj.steps[0].cache.copies_of(ColorId(0)), 4);
+        let step_cache = proj.steps[0].cache.as_ref().expect("explicit content");
+        assert_eq!(step_cache.copies_of(ColorId(0)), 4);
         assert_eq!(proj.steps[0].executed, vec![ColorId(0); 4]);
         // The projected schedule is feasible for the original trace.
         let cost =

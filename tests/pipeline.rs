@@ -109,6 +109,7 @@ fn recorded_schedules_validate_for_all_batched_policies() {
         speed: Speed::Uni,
         record_schedule: true,
         track_latency: false,
+        track_perf: false,
     });
     let n = 8;
     let delta = 2;

@@ -60,7 +60,7 @@ proptest! {
     fn recorded_schedule_replays_exactly(trace in batched_trace(3), delta in 1u64..4) {
         let n = 8;
         let mut p = DlruEdf::new(trace.colors(), n, delta).unwrap();
-        let engine = Engine::with_options(EngineOptions { speed: Speed::Uni, record_schedule: true, track_latency: false });
+        let engine = Engine::with_options(EngineOptions { speed: Speed::Uni, record_schedule: true, track_latency: false, track_perf: false });
         let r = engine.run(&trace, &mut p, n, CostModel::new(delta)).unwrap();
         let replayed = check_schedule(&trace, r.schedule.as_ref().unwrap(), CostModel::new(delta)).unwrap();
         prop_assert_eq!(replayed, r.cost);
@@ -125,7 +125,7 @@ proptest! {
         // cost matches the input schedule's.
         let n = 8;
         let mut p = DlruEdf::new(trace.colors(), n, delta).unwrap();
-        let engine = Engine::with_options(EngineOptions { speed: Speed::Uni, record_schedule: true, track_latency: false });
+        let engine = Engine::with_options(EngineOptions { speed: Speed::Uni, record_schedule: true, track_latency: false, track_perf: false });
         let r = engine.run(&trace, &mut p, n, CostModel::new(delta)).unwrap();
         let sched = r.schedule.as_ref().unwrap();
         let agg = aggregate(&trace, sched, 3, delta);

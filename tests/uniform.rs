@@ -105,6 +105,7 @@ fn round_trace_checker_agrees_with_block_drop_accounting() {
         speed: Speed::Uni,
         record_schedule: true,
         track_latency: false,
+        track_perf: false,
     });
     let mut p = BlockAdapter::new(WeightedDlru::new(&inst, 3, 5), inst.d);
     let r = engine.run(&trace, &mut p, 3, CostModel::new(5)).unwrap();
