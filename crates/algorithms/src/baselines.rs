@@ -5,8 +5,9 @@
 //! drops under shifting workloads) versus fully greedy adaptation (good
 //! utilization, heavy thrashing). ΔLRU-EDF must beat both on adversarial mixes.
 
-use crate::ranking::{colors_by_pending, PendingCountIndex};
+use crate::ranking::{colors_by_pending, NonidleSet};
 use rrs_core::prelude::*;
+use std::cmp::Reverse;
 
 /// Statically partitions the `n` resources over all colors round-robin at round
 /// 0 and never reconfigures again.
@@ -87,8 +88,11 @@ impl Policy for NeverReconfigure {
 /// adaptive and maximally thrash-prone.
 #[derive(Debug, Clone)]
 pub struct GreedyPending {
-    /// Nonidle colors by backlog, maintained incrementally from phase deltas.
-    counts: PendingCountIndex,
+    /// Nonidle colors (membership only), maintained O(1) from phase deltas.
+    /// Greedy changes most counts every round, so a fully ordered count
+    /// index rebalances constantly for a top-`n` it barely reads; selecting
+    /// the top `n` from the membership set at use time is strictly cheaper.
+    nonidle: NonidleSet,
     /// Colors the last reconfiguration allocated slots to — the only colors
     /// the subsequent execution phase can drain.
     selected: Vec<ColorId>,
@@ -100,7 +104,7 @@ impl GreedyPending {
     /// Creates the policy.
     pub fn new() -> Self {
         GreedyPending {
-            counts: PendingCountIndex::new(0),
+            nonidle: NonidleSet::new(0),
             selected: Vec::new(),
             remaining: Vec::new(),
         }
@@ -120,27 +124,41 @@ impl Policy for GreedyPending {
 
     fn on_drop_phase(&mut self, _round: Round, dropped: &[(ColorId, u64)], view: &EngineView) {
         for &(c, _) in dropped {
-            self.counts.refresh(view.pending, c);
+            self.nonidle.refresh(view.pending, c);
         }
     }
 
     fn on_arrival_phase(&mut self, _round: Round, arrivals: &[(ColorId, u64)], view: &EngineView) {
         for &(c, _) in arrivals {
-            self.counts.refresh(view.pending, c);
+            self.nonidle.refresh(view.pending, c);
         }
     }
 
     fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
         // Execution drains only the colors the previous target configured, with
-        // no policy hook: re-derive their counts before selecting.
+        // no policy hook: re-derive their membership before selecting.
         for i in 0..self.selected.len() {
-            self.counts.refresh(view.pending, self.selected[i]);
+            self.nonidle.refresh(view.pending, self.selected[i]);
         }
         let mut target = CacheTarget::empty();
-        // Chosen colors (largest backlog first) with their pending counts,
-        // straight off the index.
+        // Top `view.n` nonidle colors by (descending backlog, ascending id) —
+        // identical to the full `colors_by_pending` sort truncated to `n`,
+        // via a linear-time partial selection over the live counts.
         self.remaining.clear();
-        self.remaining.extend(self.counts.iter().take(view.n));
+        self.remaining
+            .extend(self.nonidle.iter().map(|c| (c, view.pending.count(c))));
+        let top = view.n.min(self.remaining.len());
+        if top < self.remaining.len() {
+            if top == 0 {
+                self.remaining.clear();
+            } else {
+                self.remaining
+                    .select_nth_unstable_by_key(top - 1, |&(c, k)| (Reverse(k), c));
+                self.remaining.truncate(top);
+            }
+        }
+        self.remaining
+            .sort_unstable_by_key(|&(c, k)| (Reverse(k), c));
         self.selected.clear();
         self.selected.extend(self.remaining.iter().map(|&(c, _)| c));
         if self.remaining.is_empty() {

@@ -14,7 +14,7 @@
 //! ranking but no replication, all locations caching distinct colors. Running it
 //! on a double-speed engine gives DS-Seq-EDF.
 
-use crate::ranking::RankIndex;
+use crate::ranking::{rank_key, GroupRankIndex};
 use crate::state::BatchState;
 use rrs_core::prelude::*;
 use std::collections::BTreeSet;
@@ -24,9 +24,12 @@ use std::collections::BTreeSet;
 pub struct Edf {
     state: BatchState,
     cached: BTreeSet<ColorId>,
-    /// Eligible colors in EDF rank order, maintained incrementally from the
-    /// phase deltas instead of re-sorted every mini-round.
-    rank: RankIndex,
+    /// Eligible colors in EDF rank order. Deadlines are uniform per
+    /// delay-bound group in the batched setting, so the group index tracks
+    /// only eligibility/idleness changes and derives deadlines analytically —
+    /// the at-multiple deadline refreshes that dominated the flat
+    /// [`crate::ranking::RankIndex`]'s maintenance cost nothing here.
+    rank: GroupRankIndex,
     n: usize,
     replication: u32,
 }
@@ -58,7 +61,7 @@ impl Edf {
         Ok(Edf {
             state: BatchState::new(table, delta),
             cached: BTreeSet::new(),
-            rank: RankIndex::new(table.len()),
+            rank: GroupRankIndex::new(table),
             n,
             replication,
         })
@@ -107,16 +110,21 @@ impl Policy for Edf {
 
     fn on_arrival_phase(&mut self, round: Round, arrivals: &[(ColorId, u64)], view: &EngineView) {
         self.state.arrival_phase(round, arrivals);
+        // The phase's `touched()` delta is dominated by at-multiple colors
+        // whose only change is the group-uniform deadline refresh, which the
+        // index derives analytically. Only the arrival colors can change
+        // eligibility (a counter wrap needs arrivals) or idleness here.
         let (state, rank) = (&self.state, &mut self.rank);
-        rank.refresh_many(state, view.pending, state.touched().iter().copied());
+        rank.refresh_many(state, view.pending, arrivals.iter().map(|&(c, _)| c));
     }
 
-    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+    fn reconfigure(&mut self, round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
         debug_assert_eq!(view.n, self.n, "engine and policy disagree on n");
         // Execution drains cached colors' queues without a policy hook, so
         // their rank (idle bit) may be stale: re-derive before selecting.
         self.rank
             .refresh_many(&self.state, view.pending, self.cached.iter().copied());
+        self.rank.prepare(round);
 
         // Bring in every nonidle eligible color ranked in the top `quota` that
         // is not yet cached.
@@ -128,14 +136,17 @@ impl Policy for Edf {
             }
         }
         // Evict lowest-ranked cached colors while over capacity. Every cached
-        // color is eligible (ineligibility only strikes uncached colors), so it
-        // appears in the rank index.
+        // color is eligible (ineligibility only strikes uncached colors) with
+        // an accurate stored deadline, so the worst cached color is simply the
+        // maximum rank key over the (small) cached set — no reverse scan of
+        // the whole index needed.
         while self.cached.len() > quota {
             let worst = self
-                .rank
-                .iter_rev()
-                .find(|c| self.cached.contains(c))
-                .expect("cached colors are always eligible");
+                .cached
+                .iter()
+                .copied()
+                .max_by_key(|&c| rank_key(&self.state, view.pending, c))
+                .expect("cached set is non-empty while over quota");
             self.cached.remove(&worst);
         }
         CacheTarget::replicated(self.cached.iter().copied(), self.replication)

@@ -184,6 +184,153 @@ impl RankIndex {
     }
 }
 
+/// An incremental index over the eligible colors in exact EDF rank order that
+/// exploits the batched setting's deadline structure instead of keying a tree
+/// on per-color deadlines.
+///
+/// [`BatchState::arrival_phase`] sets the deadline of **every** color with
+/// `round ≡ 0 (mod D)` to `round + D`, whether or not jobs arrived — so colors
+/// sharing a delay bound always share a deadline, and that deadline is the
+/// pure function `(round / D) · D + D` of the current round. Keeping one
+/// eligible set per delay-bound group, split by idleness, therefore
+/// reproduces the exact [`ColorRank`] order (idle-major, then group deadline,
+/// then bound, then color) while the deadline movement at every multiple
+/// costs *nothing*: where a [`RankIndex`] must re-key each eligible at-multiple
+/// color (`O(log E)` tree surgery per color per multiple), this index is left
+/// untouched by a phase that only moved deadlines.
+///
+/// Refresh contract: call [`GroupRankIndex::refresh`] only for colors whose
+/// *eligibility or idleness* may have changed — the drop phase's
+/// [`BatchState::touched`] delta plus its `dropped` slice, the arrival
+/// phase's `arrivals` slice (counter wraps and idle flips need arrivals),
+/// and the policy's cached colors at reconfiguration (execution drains them
+/// without a hook). An unchanged color exits in O(1). Call
+/// [`GroupRankIndex::prepare`] with the current round before iterating.
+#[derive(Debug, Clone)]
+pub struct GroupRankIndex {
+    /// Ascending distinct delay bounds; group `g` holds bound `bounds[g]`.
+    bounds: Vec<u64>,
+    /// Per color: its group index.
+    group_of: Vec<u32>,
+    /// Per group: eligible nonidle members, ascending color order.
+    nonidle: Vec<BTreeSet<ColorId>>,
+    /// Per group: eligible idle members, ascending color order.
+    idle: Vec<BTreeSet<ColorId>>,
+    /// Per color: `Some(is_idle)` while indexed (eligible), `None` otherwise.
+    slot: Vec<Option<bool>>,
+    /// Group visit order for the prepared round.
+    order: Vec<u32>,
+    len: usize,
+}
+
+impl GroupRankIndex {
+    /// Creates an empty index over the colors of `table`.
+    pub fn new(table: &ColorTable) -> Self {
+        let mut by_bound: std::collections::BTreeMap<u64, Vec<ColorId>> = Default::default();
+        for (c, info) in table.iter() {
+            by_bound.entry(info.delay_bound).or_default().push(c);
+        }
+        let bounds: Vec<u64> = by_bound.keys().copied().collect();
+        let mut group_of = vec![0u32; table.len()];
+        for (g, members) in by_bound.values().enumerate() {
+            for &c in members {
+                group_of[c.index()] = g as u32;
+            }
+        }
+        GroupRankIndex {
+            nonidle: vec![BTreeSet::new(); bounds.len()],
+            idle: vec![BTreeSet::new(); bounds.len()],
+            order: (0..bounds.len() as u32).collect(),
+            slot: vec![None; table.len()],
+            bounds,
+            group_of,
+            len: 0,
+        }
+    }
+
+    /// Re-derives `color`'s placement from the current state: in its group's
+    /// nonidle or idle set while eligible, absent otherwise. O(1) when
+    /// nothing changed.
+    pub fn refresh(&mut self, state: &BatchState, pending: &PendingJobs, color: ColorId) {
+        let i = color.index();
+        let entry = state.color(color).eligible.then(|| pending.is_idle(color));
+        if self.slot[i] == entry {
+            return;
+        }
+        let g = self.group_of[i] as usize;
+        match self.slot[i] {
+            Some(true) => {
+                self.idle[g].remove(&color);
+                self.len -= 1;
+            }
+            Some(false) => {
+                self.nonidle[g].remove(&color);
+                self.len -= 1;
+            }
+            None => {}
+        }
+        match entry {
+            Some(true) => {
+                self.idle[g].insert(color);
+                self.len += 1;
+            }
+            Some(false) => {
+                self.nonidle[g].insert(color);
+                self.len += 1;
+            }
+            None => {}
+        }
+        self.slot[i] = entry;
+    }
+
+    /// Refreshes every color in `colors`.
+    pub fn refresh_many(
+        &mut self,
+        state: &BatchState,
+        pending: &PendingJobs,
+        colors: impl IntoIterator<Item = ColorId>,
+    ) {
+        for c in colors {
+            self.refresh(state, pending, c);
+        }
+    }
+
+    /// Orders the groups for `round`: ascending group deadline
+    /// `(round / D) · D + D`, ties by ascending bound. Must be called after
+    /// the round's arrival phase and before [`GroupRankIndex::iter`].
+    pub fn prepare(&mut self, round: Round) {
+        let bounds = &self.bounds;
+        self.order.sort_unstable_by_key(|&g| {
+            let d = bounds[g as usize];
+            ((round / d) * d + d, d)
+        });
+    }
+
+    /// Eligible colors, best rank first, for the prepared round: every
+    /// nonidle color (groups in deadline order, members in color order)
+    /// before every idle one — exactly the [`ColorRank`] order.
+    pub fn iter(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.order
+            .iter()
+            .flat_map(move |&g| self.nonidle[g as usize].iter().copied())
+            .chain(
+                self.order
+                    .iter()
+                    .flat_map(move |&g| self.idle[g as usize].iter().copied()),
+            )
+    }
+
+    /// Number of eligible colors indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no color is currently eligible.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// A recency key: most recent timestamp first, ties in favour of
 /// already-cached colors, then ascending color id — the ΔLRU selection order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -306,6 +453,72 @@ impl PendingCountIndex {
     }
 }
 
+/// An O(1)-update membership set of the nonidle colors, unordered.
+///
+/// [`PendingCountIndex`] keeps the full backlog order but pays a tree
+/// rebalance every time a count changes — and counts change on essentially
+/// every refresh, so for a policy that only reads a small top-`n` each round
+/// the index does far more ordering work than the consumer ever uses.
+/// Tracking *membership* in O(1) (idle flips are rare; count changes are
+/// free) and selecting the top `n` at use time with a linear-time
+/// `select_nth_unstable` over the live counts does strictly less work.
+///
+/// Refresh contract: identical to [`PendingCountIndex`] — refresh the drop
+/// phase's `dropped` colors, the arrival slice's colors, and the colors the
+/// policy itself selected in its previous reconfiguration (executions only
+/// drain those).
+#[derive(Debug, Clone, Default)]
+pub struct NonidleSet {
+    /// Per color: position + 1 in `colors`; 0 = absent.
+    pos: Vec<u32>,
+    colors: Vec<ColorId>,
+}
+
+impl NonidleSet {
+    /// Creates an empty set; it grows to any color id it sees.
+    pub fn new(ncolors: usize) -> Self {
+        NonidleSet { pos: vec![0; ncolors], colors: Vec::new() }
+    }
+
+    /// Re-derives `color`'s membership from its current pending count.
+    pub fn refresh(&mut self, pending: &PendingJobs, color: ColorId) {
+        if color.index() >= self.pos.len() {
+            self.pos.resize(color.index() + 1, 0);
+        }
+        let present = self.pos[color.index()] != 0;
+        let want = !pending.is_idle(color);
+        if want == present {
+            return;
+        }
+        if want {
+            self.colors.push(color);
+            self.pos[color.index()] = self.colors.len() as u32;
+        } else {
+            let at = (self.pos[color.index()] - 1) as usize;
+            self.colors.swap_remove(at);
+            self.pos[color.index()] = 0;
+            if let Some(&moved) = self.colors.get(at) {
+                self.pos[moved.index()] = at as u32 + 1;
+            }
+        }
+    }
+
+    /// The nonidle colors, in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.colors.iter().copied()
+    }
+
+    /// Number of nonidle colors.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether every color is currently idle.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +630,72 @@ mod tests {
         idx.refresh(c(1), None);
         assert_eq!(idx.iter().collect::<Vec<_>>(), vec![c(2), c(0)]);
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn group_rank_index_matches_full_sort_across_rounds() {
+        // Bounds 2/4 interleave their multiples, so group deadlines cross
+        // over as rounds advance; the group index must track the full sort
+        // at every round.
+        let table = ColorTable::from_delay_bounds(&[2, 4, 2, 4, 2]);
+        let mut st = BatchState::new(&table, 1);
+        let mut pending = PendingJobs::new(5);
+        let mut idx = GroupRankIndex::new(&table);
+        assert!(idx.is_empty());
+        for round in 0..8u64 {
+            st.drop_phase(round, &[], &|_| false);
+            idx.refresh_many(&st, &pending, st.touched().iter().copied());
+            // Arrivals rotate over colors; Δ=1 wraps immediately.
+            let arrivals: Vec<(ColorId, u64)> = (0..5)
+                .filter(|i| (round + i) % 3 != 0)
+                .map(|i| (c(i as u32), 1))
+                .collect();
+            st.arrival_phase(round, &arrivals);
+            for &(col, k) in &arrivals {
+                pending.arrive(col, st.color(col).deadline, k);
+            }
+            idx.refresh_many(&st, &pending, arrivals.iter().map(|&(col, _)| col));
+            // Execute one job of the best color to exercise idle flips.
+            let best = idx.iter().next();
+            if let Some(best) = best {
+                pending.execute_one(best);
+                idx.refresh(&st, &pending, best);
+            }
+            idx.prepare(round);
+            let mut expect = st.eligible_colors();
+            rank_colors(&st, &pending, &mut expect);
+            assert_eq!(idx.iter().collect::<Vec<_>>(), expect, "round {round}");
+            assert_eq!(idx.len(), expect.len());
+        }
+    }
+
+    #[test]
+    fn nonidle_set_tracks_membership() {
+        let mut pending = PendingJobs::new(3);
+        let mut set = NonidleSet::new(2); // deliberately small: must grow
+        for i in 0..3 {
+            set.refresh(&pending, c(i));
+        }
+        assert!(set.is_empty());
+        pending.arrive(c(0), 4, 2);
+        pending.arrive(c(2), 4, 1);
+        for i in 0..3 {
+            set.refresh(&pending, c(i));
+        }
+        let mut got: Vec<ColorId> = set.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![c(0), c(2)]);
+        // Refresh with no change is a no-op; draining removes (swap_remove
+        // path must fix the moved color's position).
+        set.refresh(&pending, c(0));
+        assert_eq!(set.len(), 2);
+        pending.execute_one(c(0));
+        pending.execute_one(c(0));
+        set.refresh(&pending, c(0));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![c(2)]);
+        pending.execute_one(c(2));
+        set.refresh(&pending, c(2));
+        assert!(set.is_empty());
     }
 
     #[test]

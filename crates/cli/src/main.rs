@@ -13,10 +13,12 @@
 //!               [--policy <name>] [--n N] [--delta D] [--seed S]
 //!               [--queue-cap C] [--kill-round R [--kill-shard I]]
 //!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
-//!               [--shed-watermark W] [--shed-queue Q]
+//!               [--shed-watermark W] [--shed-queue Q] [--ingest batched|per-command]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]
 //!                  [--out <path>] [--check] [--tolerance PCT]
+//! rrs bench-service [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S]
+//!                   [--quick] [--out <path>] [--check] [--tolerance PCT]
 //! rrs list
 //! ```
 
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
+        Some("bench-service") => cmd_bench_service(&args[1..]),
         Some("list") => {
             cmd_list();
             ExitCode::SUCCESS
@@ -53,9 +56,12 @@ fn main() -> ExitCode {
                  rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>] [--policy <name>]\n  \
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                                [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
+                               [--ingest batched|per-command]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]\n  \
                                   [--out <path>] [--check] [--tolerance PCT]\n  \
+                 rrs bench-service [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S] [--quick]\n  \
+                                   [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs list"
             );
             ExitCode::from(2)
@@ -543,8 +549,8 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
 
 fn cmd_serve_sim(args: &[String]) -> ExitCode {
     use rrs_service::{
-        FaultPlan, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig, Supervisor,
-        SupervisorConfig, TenantSpec,
+        FaultPlan, IngestMode, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig,
+        Supervisor, SupervisorConfig, TenantSpec,
     };
     use rrs_workloads::{MultiTenantLoad, OpenLoopDriver};
 
@@ -574,6 +580,14 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     let checkpoint_every: u64 = opt_value(args, "--checkpoint-every")
         .and_then(|v| v.parse().ok())
         .unwrap_or(32);
+    let ingest = match opt_value(args, "--ingest") {
+        None | Some("batched") => IngestMode::Batched,
+        Some("per-command") => IngestMode::PerCommand,
+        Some(other) => {
+            eprintln!("serve-sim: unknown ingest mode '{other}' (batched|per-command)");
+            return ExitCode::from(2);
+        }
+    };
     let fault_spec = opt_value(args, "--fault-plan");
     let supervised = flag(args, "--supervised")
         || fault_spec.is_some()
@@ -602,7 +616,11 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
          {} rounds, n={n} Δ={delta}, queue {queue_cap}{}",
         policy.name(),
         horizon + 1,
-        if supervised { " [supervised]" } else { "" }
+        match (supervised, ingest) {
+            (false, _) => "",
+            (true, IngestMode::Batched) => " [supervised, batched ingest]",
+            (true, IngestMode::PerCommand) => " [supervised, per-command ingest]",
+        }
     );
 
     let specs: Vec<TenantSpec> = (0..tenants)
@@ -630,6 +648,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             checkpoint_every,
             retry: RetryPolicy::default(),
             shed: ShedConfig { queue_watermark: shed_queue, inbox_watermark: shed_watermark },
+            ingest,
         };
         let mut sup = match Supervisor::with_faults(config, &plan) {
             Ok(s) => s,
@@ -1036,6 +1055,192 @@ fn cmd_bench_engine(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("bench-engine: wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rrs bench-service`: the tracked supervisor ingestion-throughput baseline.
+///
+/// Drives the same submit-heavy multi-tenant workload through a supervised
+/// service twice in one process — once under [`IngestMode::PerCommand`] (the
+/// pre-batching transport: one WAL append and one queue command per submit)
+/// and once under [`IngestMode::Batched`] (one group commit per shard per
+/// tick epoch, epoch-sequence acks, parallel tick fan-out) — and reports
+/// end-to-end ingested jobs/sec and ticks/sec for both, plus the batched
+/// speedup ratio. The timed window runs from the first submit through a
+/// final `stats()` round trip, so every journaled command has been applied
+/// by the workers when the clock stops; both modes finish afterwards and
+/// their per-tenant results must agree bit-for-bit (a differential check —
+/// a transport must never change what the service computes).
+///
+/// Because both modes run back-to-back on the same machine, the *ratio* is
+/// machine-normalized; it is the quantity recorded in `BENCH_service.json`
+/// and guarded by CI: `--check` fails when the jobs/sec speedup falls more
+/// than `--tolerance` percent (default 25) below the committed baseline.
+fn cmd_bench_service(args: &[String]) -> ExitCode {
+    use rrs_core::{ColorId, ColorTable, RunResult};
+    use rrs_service::{IngestMode, PolicySpec, Supervisor, SupervisorConfig, TenantSpec};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    const DELAY_BOUNDS: &[u64] = &[2, 4, 8];
+
+    let quick = flag(args, "--quick");
+    let tenants: u64 = opt_value(args, "--tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 16 } else { 32 });
+    let shards: usize = opt_value(args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let rounds: u64 = opt_value(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 128 } else { 512 });
+    let submits: u64 = opt_value(args, "--submits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let seed: u64 = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let tolerance: f64 = opt_value(args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let out = opt_value(args, "--out").unwrap_or("BENCH_service.json");
+    let check = flag(args, "--check");
+
+    let n = 4;
+    let delta = 2;
+    // Deterministic submit-heavy arrivals: a pure function of
+    // `(tenant, round, part, seed)`, so both transports see the same jobs.
+    let arrivals = |tenant: u64, round: u64, part: u64| -> Vec<(ColorId, u64)> {
+        let mix = tenant
+            .wrapping_mul(31)
+            .wrapping_add(round.wrapping_mul(17))
+            .wrapping_add(part.wrapping_mul(13))
+            .wrapping_add(seed.wrapping_mul(41));
+        vec![(ColorId((mix % DELAY_BOUNDS.len() as u64) as u32), 1 + mix % 3)]
+    };
+    let total_jobs: u64 = (0..rounds)
+        .flat_map(|r| (0..submits).flat_map(move |p| (0..tenants).map(move |t| (t, r, p))))
+        .map(|(t, r, p)| arrivals(t, r, p).iter().map(|&(_, k)| k).sum::<u64>())
+        .sum();
+    eprintln!(
+        "bench-service: {tenants} tenants on {shards} shards, {rounds} rounds x \
+         {submits} submits/tenant, {total_jobs} jobs, seed={seed}"
+    );
+
+    let run = |ingest: IngestMode| -> (f64, f64, BTreeMap<u64, RunResult>) {
+        let config = SupervisorConfig {
+            shards,
+            ingest,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(config).expect("supervisor start");
+        for id in 0..tenants {
+            sup.add_tenant(
+                id,
+                TenantSpec::new(
+                    PolicySpec::DlruEdf,
+                    ColorTable::from_delay_bounds(DELAY_BOUNDS),
+                    n,
+                    delta,
+                ),
+            )
+            .expect("add tenant");
+        }
+        let started = Instant::now();
+        for round in 0..rounds {
+            for part in 0..submits {
+                for id in 0..tenants {
+                    sup.submit(id, arrivals(id, round, part)).expect("submit");
+                }
+            }
+            sup.tick().expect("tick");
+        }
+        // The stats round trip drains every shard queue: the clock stops
+        // only once all journaled commands have actually been applied.
+        sup.stats().expect("stats");
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        (total_jobs as f64 / secs, rounds as f64 / secs, sup.finish().expect("finish"))
+    };
+
+    let (ref_jps, ref_tps, ref_results) = run(IngestMode::PerCommand);
+    let (bat_jps, bat_tps, bat_results) = run(IngestMode::Batched);
+    // The bench doubles as a conformance check: the transports must agree
+    // on every tenant's final result or the speedup is meaningless.
+    assert_eq!(bat_results, ref_results, "batched and per-command ingestion disagree");
+    let speedup_jobs = bat_jps / ref_jps;
+    let speedup_ticks = bat_tps / ref_tps;
+
+    let mut report = Table::new(["ingest", "jobs/sec", "ticks/sec"]);
+    report.row(["per-command".into(), format!("{ref_jps:.0}"), format!("{ref_tps:.0}")]);
+    report.row(["batched".into(), format!("{bat_jps:.0}"), format!("{bat_tps:.0}")]);
+    report.row(["speedup".into(), format!("{speedup_jobs:.2}x"), format!("{speedup_ticks:.2}x")]);
+    print!("{}", report.render());
+
+    if check {
+        let baseline: Value = match std::fs::read_to_string(out)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::parse(&s).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench-service: cannot read baseline {out}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let base = baseline.get_field("jobs_per_sec_speedup").and_then(|v| match v {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        });
+        let Some(base) = base else {
+            eprintln!("bench-service: baseline {out} has no jobs_per_sec_speedup");
+            return ExitCode::from(2);
+        };
+        let floor = base * (1.0 - tolerance / 100.0);
+        if speedup_jobs < floor {
+            eprintln!(
+                "bench-service: REGRESSION: jobs/sec speedup {speedup_jobs:.2}x < \
+                 floor {floor:.2}x (baseline {base:.2}x − {tolerance}%)"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench-service: ok ({speedup_jobs:.2}x vs baseline {base:.2}x, floor {floor:.2}x)"
+        );
+    } else {
+        let doc = Value::Object(vec![
+            ("bench".into(), Value::Str("service-ingestion".into())),
+            (
+                "workload".into(),
+                Value::Object(vec![
+                    ("tenants".into(), Value::U64(tenants)),
+                    ("shards".into(), Value::U64(shards as u64)),
+                    ("rounds".into(), Value::U64(rounds)),
+                    ("submits_per_tenant_per_round".into(), Value::U64(submits)),
+                    ("total_jobs".into(), Value::U64(total_jobs)),
+                    ("n".into(), Value::U64(n as u64)),
+                    ("delta".into(), Value::U64(delta)),
+                    ("seed".into(), Value::U64(seed)),
+                    ("quick".into(), Value::Bool(quick)),
+                ]),
+            ),
+            ("tolerance_pct".into(), Value::F64(tolerance)),
+            ("per_command_jobs_per_sec".into(), Value::F64(ref_jps)),
+            ("batched_jobs_per_sec".into(), Value::F64(bat_jps)),
+            ("per_command_ticks_per_sec".into(), Value::F64(ref_tps)),
+            ("batched_ticks_per_sec".into(), Value::F64(bat_tps)),
+            ("jobs_per_sec_speedup".into(), Value::F64(speedup_jobs)),
+            ("ticks_per_sec_speedup".into(), Value::F64(speedup_ticks)),
+        ]);
+        let body = serde_json::to_string_pretty(&doc).expect("serialize bench result");
+        if let Err(e) = std::fs::write(out, body + "\n") {
+            eprintln!("bench-service: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench-service: wrote {out}");
     }
     ExitCode::SUCCESS
 }

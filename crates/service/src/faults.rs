@@ -31,6 +31,12 @@ pub enum FaultKind {
     /// The worker corrupts the next snapshot reply at/after the arming tick
     /// (checkpoint validation must catch and reject it).
     CorruptSnapshot,
+    /// The worker applies the arming tick but never publishes its epoch
+    /// acknowledgement (the supervisor's offset join times out and the
+    /// shard is rebuilt — the batched-ingestion analog of [`DropReply`]).
+    ///
+    /// [`DropReply`]: FaultKind::DropReply
+    DropAck,
 }
 
 /// One scheduled fault.
@@ -108,6 +114,7 @@ impl FaultPlan {
     /// * `panic@TICK[:SHARD]`
     /// * `stall@TICK[:SHARD[:MILLIS]]` (default 50 ms)
     /// * `drop-reply@TICK[:SHARD]`
+    /// * `drop-ack@TICK[:SHARD]`
     /// * `corrupt-snapshot@TICK[:SHARD]`
     /// * `kill-each-shard[:SEED]` — one panic per shard inside `1..=ticks`
     /// * `random:SEED[:COUNT]` — [`FaultPlan::random`] (default 4 faults)
@@ -156,6 +163,7 @@ impl FaultPlan {
                     },
                 },
                 "drop-reply" => FaultKind::DropReply,
+                "drop-ack" => FaultKind::DropAck,
                 "corrupt-snapshot" => FaultKind::CorruptSnapshot,
                 other => return Err(format!("unknown fault kind '{other}' in '{entry}'")),
             };
@@ -243,6 +251,12 @@ impl ShardFaults {
     /// Consumes a pending snapshot-corruption armed at or before `tick`.
     pub fn take_snapshot_corruption(&self, tick: u64) -> bool {
         self.take(|f| f.at_tick <= tick && f.kind == FaultKind::CorruptSnapshot)
+            .is_some()
+    }
+
+    /// Consumes a pending ack-drop armed at or before `tick`.
+    pub fn take_ack_drop(&self, tick: u64) -> bool {
+        self.take(|f| f.at_tick <= tick && f.kind == FaultKind::DropAck)
             .is_some()
     }
 }

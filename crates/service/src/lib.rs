@@ -56,12 +56,12 @@ pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
 pub use policy::PolicySpec;
 pub use service::{shard_for, Service, ServiceConfig, ServiceSnapshot};
 pub use shard::{
-    restore_tenants, spawn_shard, spawn_shard_with, Command, ShardHandle, ShardSnapshot,
-    TenantId, WorkerConfig,
+    restore_tenants, spawn_shard, spawn_shard_with, Backoff, Command, ShardHandle,
+    ShardSnapshot, TenantId, WorkerConfig,
 };
 pub use stats::{LatencyHistogramNs, ServiceStats, ShardStats};
 pub use supervisor::{
-    RecoveryEvent, RetryPolicy, ShedConfig, Supervisor, SupervisorConfig,
+    IngestMode, RecoveryEvent, RetryPolicy, ShedConfig, Supervisor, SupervisorConfig,
 };
 pub use tenant::{Tenant, TenantProgress, TenantSnapshot, TenantSpec};
 pub use wal::{replay, Checkpoint, Wal, WalRecord};

@@ -109,13 +109,13 @@ impl Service {
     /// Buffers arrivals for a tenant's next tick.
     pub fn submit(&self, id: TenantId, arrivals: Vec<(ColorId, u64)>) -> ServiceResult<()> {
         let &shard = self.tenants.get(&id).ok_or(ServiceError::UnknownTenant(id))?;
-        self.handle(shard)?.send(Command::Submit { tenant: id, arrivals })
+        self.handle(shard)?.send(Command::Submit { tenant: id, arrivals, seq: 0 })
     }
 
     /// Advances every tenant on every live shard one round.
     pub fn tick(&self) -> ServiceResult<()> {
         for shard in self.shards.iter().flatten() {
-            shard.send(Command::Tick)?;
+            shard.send(Command::Tick { seq: 0 })?;
         }
         Ok(())
     }

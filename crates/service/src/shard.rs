@@ -13,6 +13,14 @@
 //! slot ([`ShardHandle::panic_message`]) and the thread exits cleanly, so a
 //! supervisor can detect the death ([`ShardHandle::is_finished`], send
 //! failures, reply timeouts) and rebuild the shard from checkpoint + WAL.
+//!
+//! Journaled commands carry an **epoch sequence number** (their WAL offset
+//! plus one). After fully applying such a command the worker publishes the
+//! sequence into a shared atomic, so a supervisor can acknowledge whole
+//! batches of work by waiting on one offset
+//! ([`ShardHandle::wait_applied`]) instead of allocating a reply channel
+//! per command — the backbone of batched ingestion and parallel tick
+//! fan-out.
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::faults::ShardFaults;
@@ -48,9 +56,24 @@ pub enum Command {
         tenant: TenantId,
         /// `(color, count)` pairs; counts merge per color.
         arrivals: Vec<(ColorId, u64)>,
+        /// Epoch sequence (WAL offset + 1) published once applied;
+        /// 0 = unjournaled, nothing to publish.
+        seq: u64,
+    },
+    /// Group commit: every buffered submit destined for this shard within
+    /// one tick epoch, applied in submission order.
+    SubmitBatch {
+        /// `(tenant, arrivals)` entries in original submission order.
+        entries: Vec<(TenantId, Vec<(ColorId, u64)>)>,
+        /// Epoch sequence (WAL offset + 1) published once applied.
+        seq: u64,
     },
     /// Advances every owned tenant one round.
-    Tick,
+    Tick {
+        /// Epoch sequence (WAL offset + 1) published once applied;
+        /// 0 = unjournaled, nothing to publish.
+        seq: u64,
+    },
     /// Captures a serializable snapshot of every owned tenant.
     Snapshot {
         /// Reply channel for the captured state.
@@ -138,6 +161,49 @@ impl ShardSnapshot {
     }
 }
 
+/// Bounded exponential backoff for short waits: a few spin-loop hints,
+/// then scheduler yields, then sleeps doubling from 10 µs up to a 1 ms cap.
+/// Keeps the first retries in the sub-microsecond range (epoch joins
+/// usually resolve immediately) without ever busy-burning a core when the
+/// other side is genuinely slow.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPINS: u32 = 6;
+    const YIELDS: u32 = 10;
+    const BASE_SLEEP_MICROS: u64 = 10;
+    const MAX_SLEEP_MICROS: u64 = 1_000;
+
+    /// A fresh backoff at the spinning stage.
+    pub fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Waits one step and escalates: spin → yield → capped exponential sleep.
+    pub fn wait(&mut self) {
+        if self.step < Self::SPINS {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < Self::SPINS + Self::YIELDS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.step - Self::SPINS - Self::YIELDS).min(7);
+            let micros = (Self::BASE_SLEEP_MICROS << exp).min(Self::MAX_SLEEP_MICROS);
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Whether the backoff has escalated past spinning/yielding to sleeps.
+    pub fn is_sleeping(&self) -> bool {
+        self.step > Self::SPINS + Self::YIELDS
+    }
+}
+
 /// Parameters for one worker thread.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerConfig {
@@ -151,12 +217,22 @@ pub struct WorkerConfig {
     /// supervisor respawns a shard), so fault arming and tick counters stay
     /// in absolute shard-lifetime ticks.
     pub ticks_done: u64,
+    /// Epoch sequence the handed-over tenants already reflect (the WAL end
+    /// after recovery replay): the worker's applied-offset atomic starts
+    /// here, so supervisors waiting on pre-crash sequences resolve at once.
+    pub applied_start: u64,
 }
 
 impl WorkerConfig {
     /// A fresh worker for `shard` with the given queue capacity.
     pub fn new(shard: usize, queue_capacity: usize) -> Self {
-        WorkerConfig { shard, queue_capacity, inbox_watermark: None, ticks_done: 0 }
+        WorkerConfig {
+            shard,
+            queue_capacity,
+            inbox_watermark: None,
+            ticks_done: 0,
+            applied_start: 0,
+        }
     }
 }
 
@@ -166,6 +242,7 @@ pub struct ShardHandle {
     tx: SyncSender<Command>,
     depth: Arc<AtomicUsize>,
     backpressure: Arc<AtomicU64>,
+    applied: Arc<AtomicU64>,
     panic_slot: Arc<Mutex<Option<String>>>,
     join: JoinHandle<()>,
 }
@@ -184,6 +261,38 @@ impl ShardHandle {
     /// Whether the worker thread has exited (finished, killed or panicked).
     pub fn is_finished(&self) -> bool {
         self.join.is_finished()
+    }
+
+    /// The highest epoch sequence the worker has fully applied.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Waits (spin → yield → bounded sleeps) until the worker has applied
+    /// epoch sequence `seq`, i.e. every journaled command at WAL offsets
+    /// `< seq` has taken effect. One offset wait acknowledges an entire
+    /// batch of commands — no per-command reply channels. A dead worker is
+    /// reported as [`ServiceError::ShardDown`], deadline expiry as
+    /// [`ServiceError::Timeout`], mirroring the reply-channel semantics.
+    pub fn wait_applied(&self, seq: u64, deadline: Instant) -> ServiceResult<()> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.applied.load(Ordering::Acquire) >= seq {
+                return Ok(());
+            }
+            if self.is_finished() {
+                // The worker may have published and then exited; re-check
+                // once so a clean shutdown is not misread as a crash.
+                if self.applied.load(Ordering::Acquire) >= seq {
+                    return Ok(());
+                }
+                return Err(ServiceError::ShardDown(self.shard));
+            }
+            if Instant::now() >= deadline {
+                return Err(ServiceError::Timeout(self.shard));
+            }
+            backoff.wait();
+        }
     }
 
     /// The captured panic message, if the worker died panicking.
@@ -222,6 +331,7 @@ impl ShardHandle {
         self.depth.fetch_add(1, Ordering::Relaxed);
         let mut cmd = cmd;
         let mut counted = false;
+        let mut backoff = Backoff::new();
         loop {
             match self.tx.try_send(cmd) {
                 Ok(()) => return Ok(()),
@@ -235,7 +345,9 @@ impl ShardHandle {
                         return Err(ServiceError::Timeout(self.shard));
                     }
                     cmd = c;
-                    std::thread::sleep(Duration::from_micros(200));
+                    // Saturated producers escalate to bounded sleeps instead
+                    // of burning a core at a fixed spin cadence.
+                    backoff.wait();
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     self.depth.fetch_sub(1, Ordering::Relaxed);
@@ -352,12 +464,14 @@ pub fn spawn_shard_with(
     let (tx, rx) = sync_channel(config.queue_capacity.max(1));
     let depth = Arc::new(AtomicUsize::new(0));
     let backpressure = Arc::new(AtomicU64::new(0));
+    let applied = Arc::new(AtomicU64::new(config.applied_start));
     let panic_slot = Arc::new(Mutex::new(None));
     let worker = Worker {
         tenants,
         stats: ShardStats { shard, ..ShardStats::default() },
         depth: Arc::clone(&depth),
         backpressure: Arc::clone(&backpressure),
+        applied: Arc::clone(&applied),
         inbox_watermark: config.inbox_watermark,
         ticks_done: config.ticks_done,
         faults,
@@ -378,7 +492,7 @@ pub fn spawn_shard_with(
             }
         })
         .map_err(|e| ServiceError::Spawn(format!("shard {shard}: {e}")))?;
-    Ok(ShardHandle { shard, tx, depth, backpressure, panic_slot, join })
+    Ok(ShardHandle { shard, tx, depth, backpressure, applied, panic_slot, join })
 }
 
 struct Worker {
@@ -386,6 +500,7 @@ struct Worker {
     stats: ShardStats,
     depth: Arc<AtomicUsize>,
     backpressure: Arc<AtomicU64>,
+    applied: Arc<AtomicU64>,
     inbox_watermark: Option<u64>,
     ticks_done: u64,
     faults: Arc<ShardFaults>,
@@ -414,6 +529,22 @@ impl Worker {
         let _ = ch.send(value);
     }
 
+    /// Publishes an applied epoch sequence (release-ordered, so a waiter
+    /// that observes it also observes the command's effects). `seq` 0 marks
+    /// an unjournaled command — nothing to acknowledge. An ack-drop fault
+    /// suppresses the publication: the state advanced but the supervisor
+    /// never hears, exercising the offset-join timeout path.
+    fn publish(&mut self, seq: u64) {
+        if seq == 0 {
+            return;
+        }
+        if self.faults.take_ack_drop(self.ticks_done) {
+            self.stats.faults_injected += 1;
+            return;
+        }
+        self.applied.fetch_max(seq, Ordering::Release);
+    }
+
     /// Returns `true` when the worker should shut down.
     fn handle(&mut self, cmd: Command) -> bool {
         match cmd {
@@ -433,7 +564,7 @@ impl Worker {
                 }
                 self.reply(reply, res);
             }
-            Command::Submit { tenant, arrivals } => {
+            Command::Submit { tenant, arrivals, seq } => {
                 self.stats.submits += 1;
                 match self.tenants.get_mut(&tenant) {
                     // The tenant's own shed counter tracks the drop; stats
@@ -445,8 +576,26 @@ impl Worker {
                     }
                     None => self.stats.command_errors += 1,
                 }
+                self.publish(seq);
             }
-            Command::Tick => {
+            Command::SubmitBatch { entries, seq } => {
+                // One command, N submits: counters advance per entry so the
+                // totals stay comparable with per-command ingestion.
+                self.stats.batches += 1;
+                self.stats.submits += entries.len() as u64;
+                for (tenant, arrivals) in entries {
+                    match self.tenants.get_mut(&tenant) {
+                        Some(t) => {
+                            if t.submit_shedding(&arrivals, self.inbox_watermark).is_err() {
+                                self.stats.command_errors += 1;
+                            }
+                        }
+                        None => self.stats.command_errors += 1,
+                    }
+                }
+                self.publish(seq);
+            }
+            Command::Tick { seq } => {
                 self.ticks_done += 1;
                 match self.faults.take_tick_fault(self.ticks_done) {
                     Some(crate::faults::FaultKind::Panic) => {
@@ -469,6 +618,7 @@ impl Worker {
                     latency.record(start.elapsed().as_nanos() as u64);
                 }
                 self.stats.step_latency.merge(&latency);
+                self.publish(seq);
             }
             Command::Snapshot { reply } => {
                 let mut snap = ShardSnapshot {
@@ -578,8 +728,8 @@ mod tests {
             h.add_tenant(7, spec()),
             Err(ServiceError::DuplicateTenant(7))
         ));
-        h.send(Command::Submit { tenant: 7, arrivals: vec![(ColorId(0), 3)] }).unwrap();
-        h.send(Command::Tick).unwrap();
+        h.send(Command::Submit { tenant: 7, arrivals: vec![(ColorId(0), 3)], seq: 0 }).unwrap();
+        h.send(Command::Tick { seq: 0 }).unwrap();
         let snap = h.snapshot().unwrap();
         assert_eq!(snap.tenants.len(), 1);
         assert!(snap.conserves_jobs());
@@ -597,8 +747,8 @@ mod tests {
         let h = spawn_shard(1, 4, BTreeMap::new()).unwrap();
         h.add_tenant(1, spec()).unwrap();
         for _ in 0..5 {
-            h.send(Command::Submit { tenant: 1, arrivals: vec![(ColorId(1), 2)] }).unwrap();
-            h.send(Command::Tick).unwrap();
+            h.send(Command::Submit { tenant: 1, arrivals: vec![(ColorId(1), 2)], seq: 0 }).unwrap();
+            h.send(Command::Tick { seq: 0 }).unwrap();
         }
         let snap = h.snapshot().unwrap();
         h.kill();
@@ -620,7 +770,7 @@ mod tests {
         while !h.is_finished() {
             std::thread::yield_now();
         }
-        assert!(matches!(h.send(Command::Tick), Err(ServiceError::ShardDown(2))));
+        assert!(matches!(h.send(Command::Tick { seq: 0 }), Err(ServiceError::ShardDown(2))));
         assert!(h.panic_message().is_none());
     }
 
@@ -639,15 +789,15 @@ mod tests {
         )
         .unwrap();
         h.add_tenant(1, spec()).unwrap();
-        h.send(Command::Tick).unwrap();
-        h.send(Command::Tick).unwrap(); // fault arms at tick 2
+        h.send(Command::Tick { seq: 0 }).unwrap();
+        h.send(Command::Tick { seq: 0 }).unwrap(); // fault arms at tick 2
         while !h.is_finished() {
             std::thread::yield_now();
         }
         assert_eq!(faults.injected(), 1);
         let msg = h.panic_message().expect("panic captured");
         assert!(msg.contains("injected fault"), "unexpected message: {msg}");
-        assert!(matches!(h.send(Command::Tick), Err(ServiceError::ShardDown(3))));
+        assert!(matches!(h.send(Command::Tick { seq: 0 }), Err(ServiceError::ShardDown(3))));
     }
 
     #[test]
@@ -660,7 +810,7 @@ mod tests {
         }]));
         let h =
             spawn_shard_with(WorkerConfig::new(4, 4), faults, BTreeMap::new()).unwrap();
-        h.send(Command::Tick).unwrap();
+        h.send(Command::Tick { seq: 0 }).unwrap();
         let started = Instant::now();
         let res: ServiceResult<ShardSnapshot> = h
             .round_trip_deadline(|reply| Command::Snapshot { reply }, Duration::from_millis(30));

@@ -84,8 +84,11 @@ pub struct ShardStats {
     pub tenants: usize,
     /// Commands processed (all kinds).
     pub commands: u64,
-    /// Submit commands processed.
+    /// Submit operations processed. A batched command counts once per
+    /// coalesced entry, so the counter is comparable across ingest modes.
     pub submits: u64,
+    /// `SubmitBatch` commands processed (0 under per-command ingestion).
+    pub batches: u64,
     /// Tick commands processed (each advances every owned tenant one round).
     pub ticks: u64,
     /// Jobs executed across all owned tenants.

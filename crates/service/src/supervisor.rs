@@ -73,6 +73,21 @@ pub struct ShedConfig {
     pub inbox_watermark: Option<u64>,
 }
 
+/// How submits travel from the supervisor to the shard workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Every submit is journaled and enqueued as its own command (the
+    /// pre-batching path, kept as the conformance oracle).
+    PerCommand,
+    /// Submits buffer supervisor-side per shard and ride into the worker as
+    /// one [`Command::SubmitBatch`] per tick epoch: one WAL group commit
+    /// and one enqueue instead of `N`, acknowledged by epoch sequence.
+    /// Ticks additionally fan out to all shards before joining on applied
+    /// offsets, overlapping the shards' round execution.
+    #[default]
+    Batched,
+}
+
 /// Supervisor topology and robustness parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupervisorConfig {
@@ -87,6 +102,8 @@ pub struct SupervisorConfig {
     pub retry: RetryPolicy,
     /// Overload shedding watermarks.
     pub shed: ShedConfig,
+    /// Submit transport (batched group commit vs one command per submit).
+    pub ingest: IngestMode,
 }
 
 impl Default for SupervisorConfig {
@@ -97,6 +114,7 @@ impl Default for SupervisorConfig {
             checkpoint_every: 32,
             retry: RetryPolicy::default(),
             shed: ShedConfig::default(),
+            ingest: IngestMode::default(),
         }
     }
 }
@@ -122,6 +140,10 @@ struct Seat {
     checkpoints: Vec<Checkpoint>,
     /// Tick records journaled over the shard's lifetime.
     ticks: u64,
+    /// Batched-mode submit buffer for the current tick epoch, in submission
+    /// order (a tenant may appear more than once; order is what makes
+    /// mid-batch shedding replay bit-identically).
+    pending: Vec<(TenantId, Vec<(ColorId, u64)>)>,
     recoveries: u64,
     checkpoints_rejected: u64,
     faults: Arc<ShardFaults>,
@@ -160,7 +182,7 @@ impl Supervisor {
         let mut seats = Vec::with_capacity(shards);
         for (shard, faults) in fault_state.into_iter().enumerate() {
             let handle = spawn_shard_with(
-                Supervisor::worker_config(&config, shard, 0),
+                Supervisor::worker_config(&config, shard, 0, 0),
                 Arc::clone(&faults),
                 BTreeMap::new(),
             )?;
@@ -169,6 +191,7 @@ impl Supervisor {
                 wal: Wal::new(),
                 checkpoints: vec![Checkpoint::genesis(shard)],
                 ticks: 0,
+                pending: Vec::new(),
                 recoveries: 0,
                 checkpoints_rejected: 0,
                 faults,
@@ -183,12 +206,18 @@ impl Supervisor {
         })
     }
 
-    fn worker_config(config: &SupervisorConfig, shard: usize, ticks_done: u64) -> WorkerConfig {
+    fn worker_config(
+        config: &SupervisorConfig,
+        shard: usize,
+        ticks_done: u64,
+        applied_start: u64,
+    ) -> WorkerConfig {
         WorkerConfig {
             shard,
             queue_capacity: config.queue_capacity,
             inbox_watermark: config.shed.inbox_watermark,
             ticks_done,
+            applied_start,
         }
     }
 
@@ -250,6 +279,13 @@ impl Supervisor {
 
     /// Buffers arrivals for a tenant's next tick, shedding instead of
     /// blocking when the shard queue is past the watermark.
+    ///
+    /// Under [`IngestMode::Batched`] the arrivals park in the shard's seat
+    /// until the next flush point (tick, checkpoint, snapshot, stats or
+    /// finish), where the whole epoch is journaled as one
+    /// [`WalRecord::SubmitBatch`] group commit and enqueued as a single
+    /// command. Under [`IngestMode::PerCommand`] each submit is journaled
+    /// and enqueued on its own, exactly as before batching.
     pub fn submit(&mut self, id: TenantId, arrivals: Vec<(ColorId, u64)>) -> ServiceResult<()> {
         let &shard = self.tenants.get(&id).ok_or(ServiceError::UnknownTenant(id))?;
         let jobs: u64 = arrivals.iter().map(|&(_, k)| k).sum();
@@ -262,13 +298,17 @@ impl Supervisor {
                 return Ok(());
             }
         }
+        if self.config.ingest == IngestMode::Batched {
+            self.seats[shard].pending.push((id, arrivals));
+            return Ok(());
+        }
         self.seats[shard]
             .wal
             .append(WalRecord::Submit { tenant: id, arrivals: arrivals.clone() });
         let deadline = Instant::now() + self.config.retry.op_timeout;
         match self.seats[shard]
             .handle
-            .send_deadline(Command::Submit { tenant: id, arrivals }, deadline)
+            .send_deadline(Command::Submit { tenant: id, arrivals, seq: 0 }, deadline)
         {
             Ok(()) => Ok(()),
             // Journaled: the rebuilt shard replays this submit.
@@ -279,9 +319,47 @@ impl Supervisor {
         }
     }
 
+    /// Flushes a shard's buffered submits as one group commit: a single
+    /// [`WalRecord::SubmitBatch`] append, a single [`Command::SubmitBatch`]
+    /// enqueue. A dead or saturated worker triggers recovery — the record
+    /// is already journaled, so replay applies the batch either way.
+    fn flush_shard(&mut self, shard: usize) -> ServiceResult<()> {
+        if self.seats[shard].pending.is_empty() {
+            return Ok(());
+        }
+        let entries = std::mem::take(&mut self.seats[shard].pending);
+        let offset = self
+            .seats[shard]
+            .wal
+            .append(WalRecord::SubmitBatch { entries: entries.clone() });
+        let seq = offset + 1;
+        let deadline = Instant::now() + self.config.retry.op_timeout;
+        match self.seats[shard]
+            .handle
+            .send_deadline(Command::SubmitBatch { entries, seq }, deadline)
+        {
+            Ok(()) => Ok(()),
+            Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                self.recover(shard, "batch did not enqueue")
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Advances every tenant on every shard one round, checkpointing on the
     /// configured cadence.
+    ///
+    /// Under [`IngestMode::Batched`] the tick **fans out**: every shard
+    /// first gets its buffered submit batch and a journaled `Tick` epoch
+    /// (phase 1), so all shards execute their rounds concurrently; the
+    /// supervisor then joins on each shard's applied WAL offset (phase 2)
+    /// and finally takes any due checkpoints (phase 3). A shard that fails
+    /// to enqueue or to acknowledge its epoch is rebuilt from checkpoint +
+    /// WAL — the journaled records replay, so the epoch applies either way.
     pub fn tick(&mut self) -> ServiceResult<()> {
+        if self.config.ingest == IngestMode::Batched {
+            return self.tick_batched();
+        }
         for shard in 0..self.seats.len() {
             // Join-handle monitoring: catch a silently dead worker before
             // wasting the queue deadline on it.
@@ -291,7 +369,7 @@ impl Supervisor {
             self.seats[shard].wal.append(WalRecord::Tick);
             self.seats[shard].ticks += 1;
             let deadline = Instant::now() + self.config.retry.op_timeout;
-            match self.seats[shard].handle.send_deadline(Command::Tick, deadline) {
+            match self.seats[shard].handle.send_deadline(Command::Tick { seq: 0 }, deadline) {
                 Ok(()) => {}
                 Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
                     self.recover(shard, "tick did not enqueue")?;
@@ -307,6 +385,55 @@ impl Supervisor {
         Ok(())
     }
 
+    /// The batched tick epoch: broadcast, join, checkpoint.
+    fn tick_batched(&mut self) -> ServiceResult<()> {
+        // Phase 1 — broadcast: flush each shard's submit batch and enqueue
+        // its journaled tick, without waiting. All shards overlap their
+        // round execution from here.
+        let mut joins: Vec<Option<u64>> = vec![None; self.seats.len()];
+        for (shard, join) in joins.iter_mut().enumerate() {
+            self.ensure_live(shard, "worker found dead before tick")?;
+            self.flush_shard(shard)?;
+            let offset = self.seats[shard].wal.append(WalRecord::Tick);
+            self.seats[shard].ticks += 1;
+            let seq = offset + 1;
+            let deadline = Instant::now() + self.config.retry.op_timeout;
+            match self.seats[shard].handle.send_deadline(Command::Tick { seq }, deadline) {
+                Ok(()) => *join = Some(seq),
+                Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                    // Journaled: recovery replays the tick, no join needed.
+                    self.recover(shard, "tick did not enqueue")?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Phase 2 — join: wait for every shard's applied offset to reach
+        // its tick epoch. Shards that needed recovery in phase 1 replayed
+        // the epoch synchronously and are skipped.
+        for (shard, join) in joins.iter().enumerate() {
+            if let Some(seq) = *join {
+                let deadline = Instant::now() + self.config.retry.op_timeout;
+                match self.seats[shard].handle.wait_applied(seq, deadline) {
+                    Ok(()) => {}
+                    Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                        self.recover(shard, "tick epoch was not acknowledged")?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // Phase 3 — checkpoints, on the journaled-tick cadence.
+        let every = self.config.checkpoint_every;
+        if every > 0 {
+            for shard in 0..self.seats.len() {
+                if self.seats[shard].ticks.is_multiple_of(every) {
+                    self.checkpoint(shard)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Takes, validates and adopts a checkpoint of one shard now. A corrupt
     /// snapshot reply is rejected (the previous checkpoints stay); a dead or
     /// stalled worker triggers recovery instead.
@@ -314,6 +441,9 @@ impl Supervisor {
         if shard >= self.seats.len() {
             return Err(ServiceError::UnknownShard(shard));
         }
+        // Any buffered submits must be journaled before the offset is
+        // captured, or the checkpoint would claim to cover them.
+        self.flush_shard(shard)?;
         let offset = self.seats[shard].wal.end();
         let ticks = self.seats[shard].ticks;
         let snap = match self.seats[shard].handle.round_trip_deadline(
@@ -394,8 +524,15 @@ impl Supervisor {
         let Some((tenants, replayed)) = rebuilt else {
             return Err(last_err);
         };
+        // Replay covered the whole retained WAL, so the respawned worker
+        // starts with every journaled record already applied.
         let replacement = spawn_shard_with(
-            Supervisor::worker_config(&self.config, shard, self.seats[shard].ticks),
+            Supervisor::worker_config(
+                &self.config,
+                shard,
+                self.seats[shard].ticks,
+                self.seats[shard].wal.end(),
+            ),
             Arc::clone(&self.seats[shard].faults),
             tenants,
         )?;
@@ -453,6 +590,9 @@ impl Supervisor {
         if shard >= self.seats.len() {
             return Err(ServiceError::UnknownShard(shard));
         }
+        // The snapshot must see buffered submits (queue order guarantees the
+        // worker applies the batch before answering).
+        self.flush_shard(shard)?;
         self.with_retry(shard, "snapshot did not answer", |h, t| {
             h.round_trip_deadline(|reply| Command::Snapshot { reply }, t)
         })
@@ -466,6 +606,7 @@ impl Supervisor {
         let mut shards = Vec::new();
         let mut tenants = Vec::new();
         for shard in 0..self.seats.len() {
+            self.flush_shard(shard)?;
             let mut s = self.with_retry(shard, "stats did not answer", |h, t| {
                 h.round_trip_deadline(|reply| Command::Stats { reply }, t)
             })?;
@@ -501,6 +642,7 @@ impl Supervisor {
     pub fn finish(mut self) -> ServiceResult<BTreeMap<TenantId, RunResult>> {
         let mut results = BTreeMap::new();
         for shard in 0..self.seats.len() {
+            self.flush_shard(shard)?;
             let finished =
                 self.with_retry(shard, "finish did not answer", |h, t| h.finish_timeout(t))?;
             for (id, r) in finished {
@@ -533,6 +675,7 @@ mod tests {
                 backoff: Duration::from_millis(1),
             },
             shed: ShedConfig::default(),
+            ingest: IngestMode::default(),
         }
     }
 

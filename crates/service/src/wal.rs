@@ -1,8 +1,8 @@
 //! Per-shard write-ahead log and checkpoints.
 //!
 //! The supervisor is the only sender into a shard's command queue, so it can
-//! journal every state-changing command (`AddTenant`, `Submit`, `Tick`)
-//! **before** enqueueing it. Recovery is then pure replay: rebuild the
+//! journal every state-changing command (`AddTenant`, `Submit`,
+//! `SubmitBatch`, `Tick`) **before** enqueueing it. Recovery is then pure replay: rebuild the
 //! tenants from the newest validated checkpoint (itself replay-verified by
 //! [`crate::restore_tenants`]) and apply the WAL suffix past the
 //! checkpoint's offset with exactly the worker's own semantics — same
@@ -37,6 +37,15 @@ pub enum WalRecord {
         tenant: TenantId,
         /// `(color, count)` pairs, in submission order.
         arrivals: Vec<(ColorId, u64)>,
+    },
+    /// Group commit: every submit destined for this shard within one tick
+    /// epoch, journaled as a single record. Entries keep submission order
+    /// (a tenant may appear more than once), so replay applies the same
+    /// per-entry inbox-watermark shedding decisions as `N` separate
+    /// `Submit` records would — including shedding that strikes mid-batch.
+    SubmitBatch {
+        /// `(tenant, arrivals)` in original submission order.
+        entries: Vec<(TenantId, Vec<(ColorId, u64)>)>,
     },
     /// One round advanced for every tenant on the shard.
     Tick,
@@ -140,6 +149,16 @@ pub fn replay<'a>(
             WalRecord::Submit { tenant, arrivals } => {
                 if let Some(t) = tenants.get_mut(tenant) {
                     let _ = t.submit_shedding(arrivals, inbox_watermark);
+                }
+            }
+            WalRecord::SubmitBatch { entries } => {
+                // Entry order is submission order: each entry sheds (or not)
+                // against the inbox level left by the entries before it,
+                // exactly as the worker applied them.
+                for (tenant, arrivals) in entries {
+                    if let Some(t) = tenants.get_mut(tenant) {
+                        let _ = t.submit_shedding(arrivals, inbox_watermark);
+                    }
                 }
             }
             WalRecord::Tick => {

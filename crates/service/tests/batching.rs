@@ -1,0 +1,247 @@
+//! Batched ≡ per-command ingestion conformance.
+//!
+//! [`IngestMode::Batched`] coalesces every submit bound for a shard within
+//! one tick epoch into a single WAL group commit and a single
+//! [`rrs_service::Command::SubmitBatch`], and fans ticks out to all shards
+//! before joining on epoch acknowledgements. None of that may change *what*
+//! the service computes: for every policy, the final per-tenant
+//! [`RunResult`]s and the deterministic parts of [`rrs_service::ServiceStats`]
+//! must be bit-identical to the per-command oracle — including when inbox
+//! shedding strikes mid-batch, when workers are killed between group commits
+//! (WAL replay must reproduce each batch's per-entry shedding decisions),
+//! and when a worker applies a tick but never acknowledges its epoch
+//! ([`FaultKind::DropAck`]).
+
+use rrs_core::{ColorId, ColorTable, RunResult};
+use rrs_service::{
+    Fault, FaultKind, FaultPlan, IngestMode, PolicySpec, RetryPolicy, ServiceStats, ShedConfig,
+    Supervisor, SupervisorConfig, TenantSpec,
+};
+use std::collections::BTreeMap;
+use std::sync::Once;
+use std::time::Duration;
+
+const DELAY_BOUNDS: &[u64] = &[2, 4, 8];
+const N: usize = 4;
+const DELTA: u64 = 2;
+const ROUNDS: u64 = 16;
+
+/// Injected panics are part of the test; keep them off stderr while letting
+/// unexpected panics through to the default hook.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected fault"))
+                .or_else(|| {
+                    info.payload().downcast_ref::<&str>().map(|s| s.contains("injected fault"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn spec(policy: PolicySpec) -> TenantSpec {
+    TenantSpec::new(policy, ColorTable::from_delay_bounds(DELAY_BOUNDS), N, DELTA)
+}
+
+/// One tenant per streaming-capable policy, so the conformance claim covers
+/// every scheduler the service can host.
+fn tenant_count() -> u64 {
+    PolicySpec::all().len() as u64
+}
+
+fn policy_for(id: u64) -> PolicySpec {
+    let all = PolicySpec::all();
+    all[(id as usize) % all.len()]
+}
+
+/// Deterministic per-tenant arrivals: a function of `(tenant, round, part)`
+/// only. `part` lets a round submit twice per tenant, so a batch carries the
+/// same tenant more than once and mid-batch shedding is actually exercised.
+fn arrivals(tenant: u64, round: u64, part: u64) -> Vec<(ColorId, u64)> {
+    let mut out = Vec::new();
+    for c in 0..DELAY_BOUNDS.len() as u64 {
+        let mix = tenant
+            .wrapping_mul(31)
+            .wrapping_add(round.wrapping_mul(17))
+            .wrapping_add(part.wrapping_mul(13))
+            .wrapping_add(c.wrapping_mul(7));
+        if mix % 3 != 0 {
+            out.push((ColorId(c as u32), 1 + mix % 4));
+        }
+    }
+    out
+}
+
+fn quick_config(shards: usize, ingest: IngestMode) -> SupervisorConfig {
+    SupervisorConfig {
+        shards,
+        queue_capacity: 8,
+        checkpoint_every: 5,
+        retry: RetryPolicy {
+            attempts: 4,
+            op_timeout: Duration::from_millis(250),
+            backoff: Duration::from_millis(2),
+        },
+        shed: ShedConfig::default(),
+        ingest,
+    }
+}
+
+/// Runs the standard two-submits-per-round workload; returns the final
+/// results, the pre-finish stats and the recovery count.
+fn run(config: SupervisorConfig, plan: &FaultPlan) -> (BTreeMap<u64, RunResult>, ServiceStats, u64) {
+    quiet_injected_panics();
+    let tenants = tenant_count();
+    let mut sup = Supervisor::with_faults(config, plan).unwrap();
+    for id in 0..tenants {
+        sup.add_tenant(id, spec(policy_for(id))).unwrap();
+    }
+    for round in 0..ROUNDS {
+        for part in 0..2 {
+            for id in 0..tenants {
+                sup.submit(id, arrivals(id, round, part)).unwrap();
+            }
+        }
+        sup.tick().unwrap();
+    }
+    let stats = sup.stats().unwrap();
+    let recoveries = sup.recoveries();
+    (sup.finish().unwrap(), stats, recoveries)
+}
+
+/// Asserts the deterministic slices of two stats reports agree. Excluded by
+/// design: `commands` and `batches` (the transports differ on purpose),
+/// queue depth, backpressure and latency (timing), faults/recoveries
+/// (chaos-plan dependent). `worker_counters` additionally compares
+/// `submits`/`ticks` — valid only between fault-free runs, because those are
+/// worker-lifetime counters and reset when a recovery respawns the worker.
+fn assert_stats_conform(batched: &ServiceStats, oracle: &ServiceStats, worker_counters: bool) {
+    for (b, o) in batched.shards.iter().zip(oracle.shards.iter()) {
+        assert_eq!(b.shard, o.shard);
+        assert_eq!(b.tenants, o.tenants, "shard {}: tenant count", b.shard);
+        if worker_counters {
+            assert_eq!(b.submits, o.submits, "shard {}: per-entry submit count", b.shard);
+            assert_eq!(b.ticks, o.ticks, "shard {}: ticks", b.shard);
+        }
+        assert_eq!(b.executed, o.executed, "shard {}: executed", b.shard);
+        assert_eq!(b.dropped, o.dropped, "shard {}: dropped", b.shard);
+        assert_eq!(b.shed_jobs, o.shed_jobs, "shard {}: shed", b.shard);
+        assert_eq!(b.reconfig_cost, o.reconfig_cost, "shard {}: reconfig cost", b.shard);
+    }
+    assert_eq!(batched.tenants, oracle.tenants, "per-tenant progress");
+    assert!(batched.conserves_jobs());
+    assert!(oracle.conserves_jobs());
+}
+
+/// The core conformance claim, fault-free: batched and per-command ingestion
+/// compute bit-identical results and stats for every policy, across shard
+/// counts, and the batched transport actually coalesces (one batch per
+/// non-empty epoch, not one command per submit).
+#[test]
+fn batched_matches_per_command_for_every_policy() {
+    for shards in [1, 2, 4] {
+        let (oracle_results, oracle_stats, _) =
+            run(quick_config(shards, IngestMode::PerCommand), &FaultPlan::none());
+        let (batched_results, batched_stats, _) =
+            run(quick_config(shards, IngestMode::Batched), &FaultPlan::none());
+        assert_eq!(batched_results, oracle_results, "{shards} shards: results diverged");
+        assert_stats_conform(&batched_stats, &oracle_stats, true);
+        for shard in &batched_stats.shards {
+            assert!(
+                shard.batches <= shard.ticks,
+                "shard {}: at most one group commit per epoch ({} batches, {} ticks)",
+                shard.shard,
+                shard.batches,
+                shard.ticks
+            );
+            assert!(shard.batches > 0, "shard {}: batching engaged", shard.shard);
+        }
+        for shard in &oracle_stats.shards {
+            assert_eq!(shard.batches, 0, "per-command oracle never batches");
+        }
+    }
+}
+
+/// Kill every shard's worker once mid-run under batched ingestion: WAL
+/// replay of `SubmitBatch` group commits must land on the same state as the
+/// unfailed batched run *and* the per-command oracle.
+#[test]
+fn killed_workers_replay_group_commits_bit_identically() {
+    let shards = 2;
+    let plan = FaultPlan::kill_each_shard_once(shards, ROUNDS, 42);
+    let (oracle_results, oracle_stats, _) =
+        run(quick_config(shards, IngestMode::PerCommand), &FaultPlan::none());
+    let (chaos_results, chaos_stats, recoveries) =
+        run(quick_config(shards, IngestMode::Batched), &plan);
+    assert!(recoveries >= shards as u64, "every injected kill recovered");
+    assert_eq!(chaos_results, oracle_results, "recovery diverged from the oracle");
+    assert_stats_conform(&chaos_stats, &oracle_stats, false);
+}
+
+/// Mid-batch inbox shedding: with a low watermark and two submits per tenant
+/// per epoch, shedding decisions depend on the *order of entries within a
+/// group commit*. They must agree with the per-command oracle, and survive a
+/// worker kill (replay re-sheds identically), fault-free or not.
+#[test]
+fn mid_batch_shedding_matches_oracle_and_survives_kills() {
+    let shed = ShedConfig { inbox_watermark: Some(3), queue_watermark: None };
+    let shards = 2;
+    let oracle_config = SupervisorConfig { shed, ..quick_config(shards, IngestMode::PerCommand) };
+    let batched_config = SupervisorConfig { shed, ..quick_config(shards, IngestMode::Batched) };
+    let (oracle_results, oracle_stats, _) = run(oracle_config, &FaultPlan::none());
+    let (batched_results, batched_stats, _) = run(batched_config, &FaultPlan::none());
+    assert!(oracle_stats.shed() > 0, "the watermark is low enough to bite");
+    assert_eq!(batched_results, oracle_results, "mid-batch shedding diverged");
+    assert_stats_conform(&batched_stats, &oracle_stats, true);
+
+    let plan = FaultPlan::kill_each_shard_once(shards, ROUNDS, 7);
+    let (chaos_results, chaos_stats, recoveries) = run(batched_config, &plan);
+    assert!(recoveries >= shards as u64);
+    assert_eq!(chaos_results, oracle_results, "replayed shedding diverged");
+    assert_stats_conform(&chaos_stats, &oracle_stats, false);
+}
+
+/// A worker that applies its tick but never publishes the epoch ack
+/// ([`FaultKind::DropAck`]) must be detected at the join phase and rebuilt —
+/// and since the tick was journaled, the rebuild lands on identical state.
+#[test]
+fn dropped_epoch_ack_recovers_bit_identically() {
+    let shards = 2;
+    let plan = FaultPlan {
+        faults: vec![Fault { shard: 0, at_tick: 6, kind: FaultKind::DropAck }],
+    };
+    let (clean_results, clean_stats, _) =
+        run(quick_config(shards, IngestMode::Batched), &FaultPlan::none());
+    quiet_injected_panics();
+    let tenants = tenant_count();
+    let mut sup = Supervisor::with_faults(quick_config(shards, IngestMode::Batched), &plan).unwrap();
+    for id in 0..tenants {
+        sup.add_tenant(id, spec(policy_for(id))).unwrap();
+    }
+    for round in 0..ROUNDS {
+        for part in 0..2 {
+            for id in 0..tenants {
+                sup.submit(id, arrivals(id, round, part)).unwrap();
+            }
+        }
+        sup.tick().unwrap();
+    }
+    assert!(sup.recoveries() >= 1, "the silent ack drop was detected");
+    assert!(
+        sup.recovery_events().iter().any(|e| e.cause.contains("tick epoch was not acknowledged")),
+        "recovery came from the join phase: {:?}",
+        sup.recovery_events()
+    );
+    let stats = sup.stats().unwrap();
+    assert_stats_conform(&stats, &clean_stats, false);
+    assert_eq!(sup.finish().unwrap(), clean_results, "ack-drop recovery diverged");
+}

@@ -17,8 +17,8 @@
 
 use rrs_core::{ColorId, ColorTable, RunResult};
 use rrs_service::{
-    FaultPlan, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig, Supervisor,
-    SupervisorConfig, TenantSpec,
+    FaultPlan, IngestMode, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig,
+    Supervisor, SupervisorConfig, TenantSpec,
 };
 use std::collections::BTreeMap;
 use std::sync::Once;
@@ -88,6 +88,7 @@ fn quick_config(shards: usize) -> SupervisorConfig {
             backoff: Duration::from_millis(2),
         },
         shed: ShedConfig::default(),
+        ingest: IngestMode::default(),
     }
 }
 
