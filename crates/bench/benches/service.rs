@@ -164,6 +164,7 @@ fn drive_supervised(
         checkpoint_every: 32,
         retry: RetryPolicy::default(),
         shed,
+        ingest: rrs_service::IngestMode::Batched,
     };
     let mut sup = Supervisor::with_faults(config, plan).expect("supervisor start");
     for t in 0..driver.tenants() {
@@ -257,6 +258,7 @@ fn bench_shedding_throughput(c: &mut Criterion) {
             checkpoint_every: 32,
             retry: RetryPolicy::default(),
             shed,
+            ingest: rrs_service::IngestMode::Batched,
         };
         let mut sup = Supervisor::new(config).expect("supervisor start");
         let colors = rrs_core::ColorTable::from_delay_bounds(&[4, 8, 16, 32]);

@@ -14,11 +14,15 @@
 //!               [--queue-cap C] [--kill-round R [--kill-shard I]]
 //!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
 //!               [--shed-watermark W] [--shed-queue Q] [--ingest batched|per-command]
+//!               [--storage memory|disk] [--data-dir PATH]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]
 //!                  [--out <path>] [--check] [--tolerance PCT]
 //! rrs bench-service [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S]
 //!                   [--quick] [--out <path>] [--check] [--tolerance PCT]
+//! rrs bench-storage [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S]
+//!                   [--checkpoint-every K] [--no-fsync] [--quick]
+//!                   [--out <path>] [--check] [--tolerance PCT]
 //! rrs list
 //! ```
 
@@ -41,6 +45,7 @@ fn main() -> ExitCode {
         Some("opt") => cmd_opt(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("bench-service") => cmd_bench_service(&args[1..]),
+        Some("bench-storage") => cmd_bench_storage(&args[1..]),
         Some("list") => {
             cmd_list();
             ExitCode::SUCCESS
@@ -56,12 +61,14 @@ fn main() -> ExitCode {
                  rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>] [--policy <name>]\n  \
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                                [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
-                               [--ingest batched|per-command]\n  \
+                               [--ingest batched|per-command] [--storage memory|disk] [--data-dir PATH]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]\n  \
                                   [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs bench-service [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S] [--quick]\n  \
                                    [--out <path>] [--check] [--tolerance PCT]\n  \
+                 rrs bench-storage [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S] [--quick]\n  \
+                                   [--checkpoint-every K] [--no-fsync] [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs list"
             );
             ExitCode::from(2)
@@ -549,8 +556,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
 
 fn cmd_serve_sim(args: &[String]) -> ExitCode {
     use rrs_service::{
-        FaultPlan, IngestMode, PolicySpec, RetryPolicy, Service, ServiceConfig, ShedConfig,
-        Supervisor, SupervisorConfig, TenantSpec,
+        DiskBackend, DiskConfig, FaultPlan, IngestMode, MemoryBackend, PolicySpec, RetryPolicy,
+        Service, ServiceConfig, ShedConfig, StorageBackend, Supervisor, SupervisorConfig,
+        TenantSpec,
     };
     use rrs_workloads::{MultiTenantLoad, OpenLoopDriver};
 
@@ -588,8 +596,17 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let storage = opt_value(args, "--storage").unwrap_or("memory");
+    if !matches!(storage, "memory" | "disk") {
+        eprintln!("serve-sim: unknown storage backend '{storage}' (memory|disk)");
+        return ExitCode::from(2);
+    }
+    let data_dir = opt_value(args, "--data-dir").unwrap_or("rrs-data");
     let fault_spec = opt_value(args, "--fault-plan");
+    // Durable storage only exists on the supervised path: the bare service
+    // keeps no WAL at all, so `--storage disk` implies `--supervised`.
     let supervised = flag(args, "--supervised")
+        || storage == "disk"
         || fault_spec.is_some()
         || shed_watermark.is_some()
         || shed_queue.is_some();
@@ -650,7 +667,13 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             shed: ShedConfig { queue_watermark: shed_queue, inbox_watermark: shed_watermark },
             ingest,
         };
-        let mut sup = match Supervisor::with_faults(config, &plan) {
+        let backend: Box<dyn StorageBackend> = if storage == "disk" {
+            println!("  durable storage: {data_dir}/ (WAL + checkpoints, group fsync)");
+            Box::new(DiskBackend::new(DiskConfig::new(data_dir)))
+        } else {
+            Box::new(MemoryBackend::new())
+        };
+        let mut sup = match Supervisor::with_storage(config, &plan, backend) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("serve-sim: supervisor start failed: {e}");
@@ -658,9 +681,16 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             }
         };
         for (t, spec) in specs.into_iter().enumerate() {
-            if let Err(e) = sup.add_tenant(t as u64, spec) {
-                eprintln!("serve-sim: tenant {t}: {e}");
-                return ExitCode::from(2);
+            match sup.add_tenant(t as u64, spec) {
+                Ok(()) => {}
+                // A disk-backed run resumed over an existing data directory
+                // restores its tenants during cold start; re-registration is
+                // expected to collide.
+                Err(rrs_service::ServiceError::DuplicateTenant(_)) if storage == "disk" => {}
+                Err(e) => {
+                    eprintln!("serve-sim: tenant {t}: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
         let started = std::time::Instant::now();
@@ -784,6 +814,9 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     println!();
     for s in &stats.shards {
         println!("{s}");
+    }
+    if stats.storage.backend != "memory" {
+        println!("{}", stats.storage);
     }
     let lat = stats.step_latency();
     println!(
@@ -1241,6 +1274,240 @@ fn cmd_bench_service(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("bench-service: wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rrs bench-storage`: the tracked durable-storage overhead baseline.
+///
+/// Drives the same deterministic submit-heavy workload through a supervised
+/// service twice in one process — once on the in-memory backend and once on
+/// the on-disk WAL + checkpoint store (group fsync per tick epoch) — then
+/// cold-starts a third supervisor from the written data directory to time
+/// recovery. Both runs must agree bit-for-bit on every tenant's final
+/// result (durability must be invisible to scheduling) before anything is
+/// timed.
+///
+/// Because both backends run back-to-back on the same machine, the tracked
+/// quantity is the machine-normalized *overhead ratio* (memory ticks/sec ÷
+/// disk ticks/sec, ≥ 1 in practice). It is recorded in
+/// `BENCH_storage.json` and guarded by CI: `--check` fails when the
+/// overhead grows more than `--tolerance` percent (default 50 — disk
+/// latency is noisier than compute) above the committed baseline.
+fn cmd_bench_storage(args: &[String]) -> ExitCode {
+    use rrs_core::{ColorId, ColorTable, RunResult};
+    use rrs_service::{
+        DiskBackend, DiskConfig, FaultPlan, IngestMode, MemoryBackend, PolicySpec,
+        StorageBackend, StorageStats, Supervisor, SupervisorConfig, TenantSpec,
+    };
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    const DELAY_BOUNDS: &[u64] = &[2, 4, 8];
+
+    let quick = flag(args, "--quick");
+    let tenants: u64 = opt_value(args, "--tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 8 } else { 16 });
+    let shards: usize = opt_value(args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let rounds: u64 = opt_value(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 96 } else { 384 });
+    let submits: u64 = opt_value(args, "--submits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let seed: u64 = opt_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let checkpoint_every: u64 = opt_value(args, "--checkpoint-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let fsync = !flag(args, "--no-fsync");
+    let tolerance: f64 = opt_value(args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0);
+    let out = opt_value(args, "--out").unwrap_or("BENCH_storage.json");
+    let check = flag(args, "--check");
+
+    let n = 4;
+    let delta = 2;
+    let arrivals = |tenant: u64, round: u64, part: u64| -> Vec<(ColorId, u64)> {
+        let mix = tenant
+            .wrapping_mul(31)
+            .wrapping_add(round.wrapping_mul(17))
+            .wrapping_add(part.wrapping_mul(13))
+            .wrapping_add(seed.wrapping_mul(41));
+        vec![(ColorId((mix % DELAY_BOUNDS.len() as u64) as u32), 1 + mix % 3)]
+    };
+    let total_jobs: u64 = (0..rounds)
+        .flat_map(|r| (0..submits).flat_map(move |p| (0..tenants).map(move |t| (t, r, p))))
+        .map(|(t, r, p)| arrivals(t, r, p).iter().map(|&(_, k)| k).sum::<u64>())
+        .sum();
+    eprintln!(
+        "bench-storage: {tenants} tenants on {shards} shards, {rounds} rounds x \
+         {submits} submits/tenant, {total_jobs} jobs, checkpoint every \
+         {checkpoint_every}, fsync={fsync}, seed={seed}"
+    );
+
+    let config = SupervisorConfig {
+        shards,
+        checkpoint_every,
+        ingest: IngestMode::Batched,
+        ..SupervisorConfig::default()
+    };
+    let run = |backend: Box<dyn StorageBackend>| -> (f64, f64, BTreeMap<u64, RunResult>, StorageStats) {
+        let mut sup =
+            Supervisor::with_storage(config, &FaultPlan::none(), backend).expect("supervisor start");
+        for id in 0..tenants {
+            sup.add_tenant(
+                id,
+                TenantSpec::new(
+                    PolicySpec::DlruEdf,
+                    ColorTable::from_delay_bounds(DELAY_BOUNDS),
+                    n,
+                    delta,
+                ),
+            )
+            .expect("add tenant");
+        }
+        let started = Instant::now();
+        for round in 0..rounds {
+            for part in 0..submits {
+                for id in 0..tenants {
+                    sup.submit(id, arrivals(id, round, part)).expect("submit");
+                }
+            }
+            sup.tick().expect("tick");
+        }
+        // The stats round trip drains every shard queue, so the clock stops
+        // only after the last group commit and its fan-out have landed.
+        let stats = sup.stats().expect("stats");
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        (
+            total_jobs as f64 / secs,
+            rounds as f64 / secs,
+            sup.finish().expect("finish"),
+            stats.storage,
+        )
+    };
+
+    let data_dir = std::env::temp_dir().join(format!("rrs-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut disk_config = DiskConfig::new(&data_dir);
+    disk_config.fsync = fsync;
+
+    let (mem_jps, mem_tps, mem_results, _) = run(Box::new(MemoryBackend::new()));
+    let (disk_jps, disk_tps, disk_results, storage) =
+        run(Box::new(DiskBackend::new(disk_config.clone())));
+    // The bench doubles as a conformance check: durability must never change
+    // what the service computes.
+    assert_eq!(disk_results, mem_results, "disk and memory backends disagree");
+    let overhead = mem_tps / disk_tps;
+
+    // Cold-start recovery from the directory the disk run just wrote.
+    let recovery_started = Instant::now();
+    let recovered =
+        Supervisor::with_storage(config, &FaultPlan::none(), Box::new(DiskBackend::new(disk_config)))
+            .expect("cold start");
+    let recovery_secs = recovery_started.elapsed().as_secs_f64();
+    for shard in 0..shards {
+        let ticks = recovered.shard_ticks(shard).expect("shard ticks");
+        assert_eq!(ticks, rounds, "shard {shard} recovered {ticks}/{rounds} epochs");
+    }
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let mut report = Table::new(["backend", "jobs/sec", "ticks/sec"]);
+    report.row(["memory".into(), format!("{mem_jps:.0}"), format!("{mem_tps:.0}")]);
+    report.row(["disk".into(), format!("{disk_jps:.0}"), format!("{disk_tps:.0}")]);
+    report.row(["overhead".into(), format!("{:.2}x", mem_jps / disk_jps), format!("{overhead:.2}x")]);
+    print!("{}", report.render());
+    eprintln!(
+        "bench-storage: {} commits, {} fsyncs, {} bytes written, {} segments, \
+         {} checkpoints; cold start {:.1} ms",
+        storage.commits,
+        storage.fsyncs,
+        storage.bytes_written,
+        storage.segments_created,
+        storage.checkpoints_written,
+        recovery_secs * 1e3
+    );
+
+    if check {
+        let baseline: Value = match std::fs::read_to_string(out)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::parse(&s).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench-storage: cannot read baseline {out}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let base = baseline.get_field("disk_overhead").and_then(|v| match v {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        });
+        let Some(base) = base else {
+            eprintln!("bench-storage: baseline {out} has no disk_overhead");
+            return ExitCode::from(2);
+        };
+        let ceiling = base * (1.0 + tolerance / 100.0);
+        if overhead > ceiling {
+            eprintln!(
+                "bench-storage: REGRESSION: disk overhead {overhead:.2}x > \
+                 ceiling {ceiling:.2}x (baseline {base:.2}x + {tolerance}%)"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench-storage: ok ({overhead:.2}x vs baseline {base:.2}x, ceiling {ceiling:.2}x)"
+        );
+    } else {
+        // Round-trip the storage counters through the serializer so the
+        // whole stats block lands in the report verbatim.
+        let storage_doc = serde_json::parse(
+            &serde_json::to_string(&storage).expect("serialize storage stats"),
+        )
+        .expect("reparse storage stats");
+        let doc = Value::Object(vec![
+            ("bench".into(), Value::Str("storage-durability".into())),
+            (
+                "workload".into(),
+                Value::Object(vec![
+                    ("tenants".into(), Value::U64(tenants)),
+                    ("shards".into(), Value::U64(shards as u64)),
+                    ("rounds".into(), Value::U64(rounds)),
+                    ("submits_per_tenant_per_round".into(), Value::U64(submits)),
+                    ("total_jobs".into(), Value::U64(total_jobs)),
+                    ("checkpoint_every".into(), Value::U64(checkpoint_every)),
+                    ("fsync".into(), Value::Bool(fsync)),
+                    ("n".into(), Value::U64(n as u64)),
+                    ("delta".into(), Value::U64(delta)),
+                    ("seed".into(), Value::U64(seed)),
+                    ("quick".into(), Value::Bool(quick)),
+                ]),
+            ),
+            ("tolerance_pct".into(), Value::F64(tolerance)),
+            ("memory_jobs_per_sec".into(), Value::F64(mem_jps)),
+            ("disk_jobs_per_sec".into(), Value::F64(disk_jps)),
+            ("memory_ticks_per_sec".into(), Value::F64(mem_tps)),
+            ("disk_ticks_per_sec".into(), Value::F64(disk_tps)),
+            ("disk_overhead".into(), Value::F64(overhead)),
+            ("cold_start_ms".into(), Value::F64(recovery_secs * 1e3)),
+            ("storage".into(), storage_doc),
+        ]);
+        let body = serde_json::to_string_pretty(&doc).expect("serialize bench result");
+        if let Err(e) = std::fs::write(out, body + "\n") {
+            eprintln!("bench-storage: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench-storage: wrote {out}");
     }
     ExitCode::SUCCESS
 }

@@ -40,6 +40,9 @@ pub enum ServiceError {
     /// Replaying a snapshot did not reproduce the recorded engine state —
     /// the snapshot is corrupt or the policy is nondeterministic.
     Divergence(String),
+    /// A storage-tier failure: I/O error, unreadable frame, or a record
+    /// that failed to encode.
+    Storage(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -58,6 +61,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             ServiceError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
             ServiceError::Divergence(msg) => write!(f, "snapshot divergence: {msg}"),
+            ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -37,6 +37,26 @@ pub enum FaultKind {
     ///
     /// [`DropReply`]: FaultKind::DropReply
     DropAck,
+    /// Storage fault, armed on the shard's *commit counter* instead of its
+    /// tick counter: the group commit writes only the first `keep_bytes`
+    /// of its staged frames (a mid-frame crash tail), then the store
+    /// **wedges** — every later disk write is silently dropped, modeling a
+    /// machine that died at that instant while the in-process service keeps
+    /// running. A cold start afterwards must repair the torn tail and
+    /// recover the committed prefix.
+    TornWrite {
+        /// Bytes of the staged buffer that actually reach the disk.
+        keep_bytes: u64,
+    },
+    /// Storage fault (commit-counter armed): the group commit's data never
+    /// reaches the platter — the write is acknowledged but lost whole, as
+    /// after a crash between `write` and `fsync` — and the store wedges.
+    PartialFsync,
+    /// Storage fault (commit-counter armed): one byte of the first staged
+    /// frame's payload is flipped before the write. The commit "succeeds";
+    /// recovery must detect the damage via CRC and stop the replay scan at
+    /// the corrupt frame.
+    CorruptCrc,
 }
 
 /// One scheduled fault.
@@ -116,8 +136,14 @@ impl FaultPlan {
     /// * `drop-reply@TICK[:SHARD]`
     /// * `drop-ack@TICK[:SHARD]`
     /// * `corrupt-snapshot@TICK[:SHARD]`
+    /// * `torn-write@COMMIT[:SHARD[:KEEP_BYTES]]` (default keeps 12 bytes)
+    /// * `partial-fsync@COMMIT[:SHARD]`
+    /// * `corrupt-crc@COMMIT[:SHARD]`
     /// * `kill-each-shard[:SEED]` — one panic per shard inside `1..=ticks`
     /// * `random:SEED[:COUNT]` — [`FaultPlan::random`] (default 4 faults)
+    ///
+    /// Storage faults arm on the shard's group-commit counter (disk backend
+    /// only; they never fire on the memory backend).
     ///
     /// `shards`/`ticks` bound the generated schedules.
     pub fn parse(spec: &str, shards: usize, ticks: u64) -> Result<Self, String> {
@@ -165,6 +191,14 @@ impl FaultPlan {
                 "drop-reply" => FaultKind::DropReply,
                 "drop-ack" => FaultKind::DropAck,
                 "corrupt-snapshot" => FaultKind::CorruptSnapshot,
+                "torn-write" => FaultKind::TornWrite {
+                    keep_bytes: match parts.next() {
+                        Some(k) => parse_num(Some(k), entry)?,
+                        None => 12,
+                    },
+                },
+                "partial-fsync" => FaultKind::PartialFsync,
+                "corrupt-crc" => FaultKind::CorruptCrc,
                 other => return Err(format!("unknown fault kind '{other}' in '{entry}'")),
             };
             plan.faults.push(Fault { shard, at_tick, kind });
@@ -259,6 +293,23 @@ impl ShardFaults {
         self.take(|f| f.at_tick <= tick && f.kind == FaultKind::DropAck)
             .is_some()
     }
+
+    /// A storage fault (torn write, partial fsync, CRC corruption) armed at
+    /// or before group-commit number `commit`, consumed. Called by the disk
+    /// store on every commit; `at_tick` doubles as the commit index for
+    /// these kinds.
+    pub fn take_storage_fault(&self, commit: u64) -> Option<FaultKind> {
+        self.take(|f| {
+            f.at_tick <= commit
+                && matches!(
+                    f.kind,
+                    FaultKind::TornWrite { .. }
+                        | FaultKind::PartialFsync
+                        | FaultKind::CorruptCrc
+                )
+        })
+        .map(|f| f.kind)
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +351,25 @@ mod tests {
             plan.faults[1],
             Fault { shard: 1, at_tick: 7, kind: FaultKind::Stall { millis: 80 } }
         );
+        let storage =
+            FaultPlan::parse("torn-write@2:1:7, partial-fsync@3, corrupt-crc@4:1", 2, 100)
+                .unwrap();
+        assert_eq!(
+            storage.faults[0],
+            Fault { shard: 1, at_tick: 2, kind: FaultKind::TornWrite { keep_bytes: 7 } }
+        );
+        assert_eq!(
+            storage.faults[1],
+            Fault { shard: 0, at_tick: 3, kind: FaultKind::PartialFsync }
+        );
+        assert_eq!(
+            storage.faults[2],
+            Fault { shard: 1, at_tick: 4, kind: FaultKind::CorruptCrc }
+        );
+        let per = storage.per_shard(2);
+        assert_eq!(per[0].take_storage_fault(5), Some(FaultKind::PartialFsync));
+        assert_eq!(per[0].take_storage_fault(5), None, "storage faults fire once");
+        assert!(per[1].take_tick_fault(u64::MAX).is_none(), "not a worker fault");
         assert_eq!(FaultPlan::parse("kill-each-shard:3", 4, 10).unwrap().faults.len(), 4);
         assert_eq!(FaultPlan::parse("random:11:6", 4, 10).unwrap().faults.len(), 6);
         assert!(FaultPlan::parse("panic@5:9", 2, 100).is_err(), "shard out of range");

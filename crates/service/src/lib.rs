@@ -47,6 +47,7 @@ pub mod policy;
 pub mod service;
 pub mod shard;
 pub mod stats;
+pub mod storage;
 pub mod supervisor;
 pub mod tenant;
 pub mod wal;
@@ -60,6 +61,10 @@ pub use shard::{
     ShardSnapshot, TenantId, WorkerConfig,
 };
 pub use stats::{LatencyHistogramNs, ServiceStats, ShardStats};
+pub use storage::{
+    CacheStats, DiskBackend, DiskConfig, FileCache, MemoryBackend, ShardStore,
+    StorageBackend, StorageStats,
+};
 pub use supervisor::{
     IngestMode, RecoveryEvent, RetryPolicy, ShedConfig, Supervisor, SupervisorConfig,
 };

@@ -217,7 +217,12 @@ impl Service {
             }
         }
         tenants.sort_by_key(|&(id, _)| id);
-        Ok(ServiceStats { shards, tenants })
+        // A bare service has no storage tier; report empty memory-tier stats.
+        let storage = crate::storage::StorageStats {
+            backend: "memory".into(),
+            ..crate::storage::StorageStats::default()
+        };
+        Ok(ServiceStats { shards, tenants, storage })
     }
 
     /// Drains every tenant to its horizon, joins all workers, and returns the

@@ -146,6 +146,9 @@ pub struct ServiceStats {
     pub shards: Vec<ShardStats>,
     /// Per-tenant progress, in ascending tenant order.
     pub tenants: Vec<(u64, TenantProgress)>,
+    /// Storage-tier counters (group commits, fsyncs, cache hit/miss/evict;
+    /// all zeros for memory-backed and bare services).
+    pub storage: crate::storage::StorageStats,
 }
 
 impl ServiceStats {

@@ -1,0 +1,374 @@
+//! Size-weighted LRU file cache with single-flight load coalescing.
+//!
+//! Fronts checkpoint and WAL-segment reads in the disk backend. The design
+//! follows the idioms of production file caches (see SNIPPETS.md): entries
+//! are weighed by byte size rather than counted, eviction walks
+//! least-recently-used order until the cache fits its byte budget, and
+//! concurrent readers of the same missing key are *coalesced* — exactly one
+//! thread performs the load while the rest block on a condvar and share the
+//! result. Counters (hits / misses / evictions / coalesced waits) are
+//! atomics so a stats snapshot never takes the cache lock.
+//!
+//! The loader runs **outside** the lock: a slow disk read never blocks hits
+//! on other keys. If a load fails the in-flight slot is cleared and waiters
+//! retry as loaders themselves, so one transient I/O error doesn't poison
+//! the key.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::{ServiceError, ServiceResult};
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters describing cache behavior since construction.
+///
+/// Every counter is cumulative, so deltas between two snapshots are
+/// meaningful and each field individually never decreases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to load from disk (this thread ran the loader).
+    pub misses: u64,
+    /// Lookups that blocked on another thread's in-flight load and shared
+    /// its result (single-flight coalescing).
+    pub coalesced: u64,
+    /// Entries discarded to fit the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub resident_entries: u64,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// Loaded bytes plus the recency stamp under which they are indexed.
+    Ready { bytes: Arc<Vec<u8>>, stamp: u64 },
+    /// A load is running on some thread; waiters block on the condvar.
+    InFlight,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: HashMap<PathBuf, Slot>,
+    /// Recency index: stamp → key, oldest first. Stamps are unique.
+    recency: BTreeMap<u64, PathBuf>,
+    next_stamp: u64,
+    resident_bytes: u64,
+}
+
+/// A byte-budgeted, single-flight, LRU file cache. See the module docs.
+#[derive(Debug)]
+pub struct FileCache {
+    capacity: u64,
+    state: Mutex<CacheState>,
+    loaded: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FileCache {
+    /// A cache holding at most `capacity` bytes of file contents.
+    pub fn new(capacity: u64) -> Self {
+        FileCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+            loaded: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> ServiceResult<std::sync::MutexGuard<'_, CacheState>> {
+        self.state
+            .lock()
+            .map_err(|_| ServiceError::Storage("file cache poisoned".into()))
+    }
+
+    /// Returns the bytes for `key`, loading them via `load` on a miss.
+    ///
+    /// Concurrent callers for the same missing key coalesce onto a single
+    /// `load` invocation; the loader runs without the cache lock held.
+    pub fn get_or_load(
+        &self,
+        key: &Path,
+        load: impl FnOnce() -> ServiceResult<Vec<u8>>,
+    ) -> ServiceResult<Arc<Vec<u8>>> {
+        let mut load = Some(load);
+        let mut waited = false;
+        loop {
+            let mut state = self.lock()?;
+            match state.slots.get(key) {
+                Some(Slot::Ready { bytes, stamp }) => {
+                    let bytes = Arc::clone(bytes);
+                    let old = *stamp;
+                    let fresh = state.next_stamp;
+                    state.next_stamp += 1;
+                    state.recency.remove(&old);
+                    state.recency.insert(fresh, key.to_path_buf());
+                    if let Some(Slot::Ready { stamp, .. }) = state.slots.get_mut(key) {
+                        *stamp = fresh;
+                    }
+                    // A lookup that blocked on another thread's load counts
+                    // as coalesced, not a hit — exactly one of the two per
+                    // lookup, regardless of spurious condvar wakeups.
+                    if waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(bytes);
+                }
+                Some(Slot::InFlight) => {
+                    // Someone else is loading: wait for them, then re-check.
+                    waited = true;
+                    let state = self
+                        .loaded
+                        .wait(state)
+                        .map_err(|_| ServiceError::Storage("file cache poisoned".into()))?;
+                    drop(state);
+                    continue;
+                }
+                None => {
+                    let Some(loader) = load.take() else {
+                        // We already ran a loader and someone invalidated the
+                        // entry before we re-observed it; surface as a miss
+                        // the caller can retry.
+                        return Err(ServiceError::Storage(format!(
+                            "cache entry {} vanished during load",
+                            key.display()
+                        )));
+                    };
+                    state.slots.insert(key.to_path_buf(), Slot::InFlight);
+                    drop(state);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    match loader() {
+                        Ok(bytes) => {
+                            let bytes = Arc::new(bytes);
+                            self.insert_ready(key, Arc::clone(&bytes))?;
+                            self.loaded.notify_all();
+                            return Ok(bytes);
+                        }
+                        Err(e) => {
+                            // Clear the slot so waiters retry as loaders.
+                            let mut state = self.lock()?;
+                            state.slots.remove(key);
+                            drop(state);
+                            self.loaded.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs freshly loaded bytes and evicts LRU entries over budget.
+    fn insert_ready(&self, key: &Path, bytes: Arc<Vec<u8>>) -> ServiceResult<()> {
+        let weight = bytes.len() as u64;
+        let mut state = self.lock()?;
+        let stamp = state.next_stamp;
+        state.next_stamp += 1;
+        state.recency.insert(stamp, key.to_path_buf());
+        state.resident_bytes += weight;
+        state.slots.insert(key.to_path_buf(), Slot::Ready { bytes, stamp });
+        // Evict oldest-first until within budget; the entry just inserted is
+        // exempt so an oversized single file still gets served (it will be
+        // the next victim once anything else lands).
+        while state.resident_bytes > self.capacity {
+            let victim = state
+                .recency
+                .iter()
+                .map(|(s, k)| (*s, k.clone()))
+                .find(|(s, _)| *s != stamp);
+            let Some((vstamp, vkey)) = victim else { break };
+            state.recency.remove(&vstamp);
+            if let Some(Slot::Ready { bytes, .. }) = state.slots.remove(&vkey) {
+                state.resident_bytes -= bytes.len() as u64;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops `key` if resident (a no-op for absent or in-flight keys —
+    /// an in-flight load re-reads the file anyway).
+    pub fn invalidate(&self, key: &Path) {
+        if let Ok(mut state) = self.state.lock() {
+            if let Some(Slot::Ready { bytes, stamp }) = state.slots.get(key) {
+                let (weight, stamp) = (bytes.len() as u64, *stamp);
+                state.slots.remove(key);
+                state.recency.remove(&stamp);
+                state.resident_bytes -= weight;
+            }
+        }
+    }
+
+    /// Current counter snapshot (never blocks on in-flight loads).
+    pub fn stats(&self) -> CacheStats {
+        let (resident_bytes, resident_entries) = match self.state.lock() {
+            Ok(state) => (
+                state.resident_bytes,
+                state.slots.values().filter(|s| matches!(s, Slot::Ready { .. })).count() as u64,
+            ),
+            Err(_) => (0, 0),
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes,
+            resident_entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn key(name: &str) -> PathBuf {
+        PathBuf::from(name)
+    }
+
+    #[test]
+    fn hits_after_first_load() {
+        let cache = FileCache::new(1024);
+        let loads = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let bytes = cache
+                .get_or_load(&key("a"), || {
+                    loads.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![1, 2, 3])
+                })
+                .unwrap();
+            assert_eq!(*bytes, vec![1, 2, 3]);
+        }
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert_eq!(s.resident_bytes, 3);
+    }
+
+    #[test]
+    fn eviction_is_size_weighted_and_lru_ordered() {
+        // Budget 10 bytes; three 4-byte entries can't all fit.
+        let cache = FileCache::new(10);
+        for name in ["a", "b", "c"] {
+            cache.get_or_load(&key(name), || Ok(vec![0u8; 4])).unwrap();
+        }
+        // "a" was least recent → evicted; "b" and "c" resident.
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_entries, 2);
+        assert_eq!(s.resident_bytes, 8);
+        // Touch "b", insert "d": the LRU victim is now "c", not "b".
+        cache.get_or_load(&key("b"), || panic!("b must be resident")).unwrap();
+        cache.get_or_load(&key("d"), || Ok(vec![0u8; 4])).unwrap();
+        cache.get_or_load(&key("b"), || panic!("b survived as recent")).unwrap();
+        let reloaded = AtomicUsize::new(0);
+        cache
+            .get_or_load(&key("c"), || {
+                reloaded.fetch_add(1, Ordering::SeqCst);
+                Ok(vec![0u8; 4])
+            })
+            .unwrap();
+        assert_eq!(reloaded.load(Ordering::SeqCst), 1, "c was the victim");
+    }
+
+    #[test]
+    fn oversized_entry_is_still_served() {
+        let cache = FileCache::new(4);
+        let bytes = cache.get_or_load(&key("big"), || Ok(vec![0u8; 100])).unwrap();
+        assert_eq!(bytes.len(), 100);
+        // It is evicted as soon as another entry lands.
+        cache.get_or_load(&key("small"), || Ok(vec![0u8; 2])).unwrap();
+        let s = cache.stats();
+        assert!(s.evictions >= 1);
+        assert!(s.resident_bytes <= 4);
+    }
+
+    #[test]
+    fn concurrent_readers_coalesce_to_one_load() {
+        let cache = Arc::new(FileCache::new(1 << 20));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (cache, loads, gate) = (Arc::clone(&cache), Arc::clone(&loads), Arc::clone(&gate));
+            handles.push(std::thread::spawn(move || {
+                gate.wait();
+                cache
+                    .get_or_load(&key("shared"), || {
+                        loads.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the other
+                        // threads to pile onto the condvar.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(vec![9u8; 16])
+                    })
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), vec![9u8; 16]);
+        }
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "exactly one load ran");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.coalesced, 7, "everyone else shared it");
+    }
+
+    #[test]
+    fn failed_load_does_not_poison_the_key() {
+        let cache = FileCache::new(64);
+        let err = cache
+            .get_or_load(&key("flaky"), || Err(ServiceError::Storage("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Storage(_)));
+        let bytes = cache.get_or_load(&key("flaky"), || Ok(vec![7])).unwrap();
+        assert_eq!(*bytes, vec![7]);
+    }
+
+    #[test]
+    fn stats_counters_are_monotone() {
+        let cache = FileCache::new(8);
+        let mut prev = cache.stats();
+        for i in 0..20u8 {
+            let name = format!("k{}", i % 5);
+            let _ = cache.get_or_load(&key(&name), || Ok(vec![i; 3]));
+            let now = cache.stats();
+            assert!(now.hits >= prev.hits);
+            assert!(now.misses >= prev.misses);
+            assert!(now.coalesced >= prev.coalesced);
+            assert!(now.evictions >= prev.evictions);
+            assert!(now.resident_bytes <= 8 || now.resident_entries == 1);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn invalidate_forces_a_reload() {
+        let cache = FileCache::new(64);
+        cache.get_or_load(&key("x"), || Ok(vec![1])).unwrap();
+        cache.invalidate(&key("x"));
+        assert_eq!(cache.stats().resident_entries, 0);
+        let loads = AtomicUsize::new(0);
+        cache
+            .get_or_load(&key("x"), || {
+                loads.fetch_add(1, Ordering::SeqCst);
+                Ok(vec![2])
+            })
+            .unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,797 @@
+//! The on-disk storage backend: segmented CRC32-framed WAL files plus
+//! checkpoint files, with group-commit fsync and crash recovery.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   shard-000/
+//!     wal-0.seg        segment whose first record has absolute offset 0
+//!     wal-417.seg      next segment (first record offset 417)
+//!     ck-400.ck        checkpoint covering the first 400 records
+//!     ck-800.ck        newest retained checkpoint
+//!   shard-001/ …
+//! ```
+//!
+//! Segments and checkpoints both hold [`super::frame`]-encoded records, so
+//! every byte on disk is covered by a CRC. Appends stage frames in memory;
+//! [`ShardStore::commit`] writes the whole stage with **one** write + fsync
+//! (the group commit — the supervisor calls it once per tick epoch, before
+//! any command is enqueued). Checkpoint files are written to a temp name,
+//! fsynced, then renamed, so a crash never leaves a half checkpoint under a
+//! live name.
+//!
+//! ## Recovery (open)
+//!
+//! Opening a shard directory scans checkpoints (skipping corrupt ones) and
+//! segments in offset order, stopping at the first torn or corrupt frame:
+//! the torn tail is truncated away, later segments (unreachable once the
+//! offset chain breaks) are deleted, and the surviving prefix becomes the
+//! in-memory mirror. All reads go through the shared [`FileCache`].
+//!
+//! ## Fault injection
+//!
+//! Torn-write / partial-fsync faults fire during a commit and then **wedge**
+//! the store: subsequent writes are silently dropped while the in-memory
+//! mirror keeps the live service correct — exactly the state of a machine
+//! whose disk froze at that instant. A later cold start sees only the
+//! committed prefix, which is what the crash-recovery suite asserts against.
+
+use super::cache::FileCache;
+use super::frame::{self, FrameError};
+use super::memory::RETAINED;
+use super::{ShardStore, StorageBackend, StorageStats};
+use crate::error::{ServiceError, ServiceResult};
+use crate::faults::{FaultKind, ShardFaults};
+use crate::wal::{Checkpoint, Wal, WalRecord};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Disk backend tuning. `root` is the only required decision.
+#[derive(Debug, Clone)]
+pub struct DiskConfig {
+    /// Data directory; one `shard-NNN` subdirectory per shard.
+    pub root: PathBuf,
+    /// Issue `fsync` on commits and checkpoint writes. Disable only in
+    /// tests that don't model power loss — without fsync a "committed"
+    /// record can still vanish in a real crash.
+    pub fsync: bool,
+    /// Rotate to a new segment file once the current one reaches this many
+    /// bytes (checked after each commit).
+    pub max_segment_bytes: u64,
+    /// Byte budget for the shared segment/checkpoint read cache.
+    pub cache_bytes: u64,
+}
+
+impl DiskConfig {
+    /// Defaults (fsync on, 256 KiB segments, 8 MiB cache) rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DiskConfig {
+            root: root.into(),
+            fsync: true,
+            max_segment_bytes: 256 * 1024,
+            cache_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Tier-wide atomic counters shared by every store of one backend.
+#[derive(Debug, Default)]
+struct Counters {
+    commits: AtomicU64,
+    fsyncs: AtomicU64,
+    bytes_written: AtomicU64,
+    segments_created: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoints_pruned: AtomicU64,
+    torn_tails_repaired: AtomicU64,
+    corrupt_frames_dropped: AtomicU64,
+    checkpoints_skipped: AtomicU64,
+    wedged: AtomicU64,
+}
+
+/// Durable storage rooted at a data directory. See the module docs.
+#[derive(Debug)]
+pub struct DiskBackend {
+    config: DiskConfig,
+    cache: Arc<FileCache>,
+    counters: Arc<Counters>,
+}
+
+impl DiskBackend {
+    /// A disk backend over `config.root` (created on first shard open).
+    pub fn new(config: DiskConfig) -> Self {
+        let cache = Arc::new(FileCache::new(config.cache_bytes));
+        DiskBackend { config, cache, counters: Arc::new(Counters::default()) }
+    }
+
+    /// The shared read cache (exposed for cache-behavior tests).
+    pub fn cache(&self) -> &Arc<FileCache> {
+        &self.cache
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn open_shard(
+        &mut self,
+        shard: usize,
+        faults: Arc<ShardFaults>,
+    ) -> ServiceResult<Box<dyn ShardStore>> {
+        let dir = self.config.root.join(format!("shard-{shard:03}"));
+        let store = DiskStore::open(
+            shard,
+            dir,
+            self.config.clone(),
+            Arc::clone(&self.cache),
+            Arc::clone(&self.counters),
+            faults,
+        )?;
+        Ok(Box::new(store))
+    }
+
+    fn stats(&self) -> StorageStats {
+        let c = &self.counters;
+        StorageStats {
+            backend: "disk".into(),
+            commits: c.commits.load(Ordering::Relaxed),
+            fsyncs: c.fsyncs.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            segments_created: c.segments_created.load(Ordering::Relaxed),
+            checkpoints_written: c.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_pruned: c.checkpoints_pruned.load(Ordering::Relaxed),
+            torn_tails_repaired: c.torn_tails_repaired.load(Ordering::Relaxed),
+            corrupt_frames_dropped: c.corrupt_frames_dropped.load(Ordering::Relaxed),
+            checkpoints_skipped: c.checkpoints_skipped.load(Ordering::Relaxed),
+            wedged: c.wedged.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// One on-disk segment file.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    /// Absolute offset of the segment's first record.
+    start: u64,
+    /// Records currently in the segment.
+    records: u64,
+    /// Valid bytes currently in the segment.
+    bytes: u64,
+    path: PathBuf,
+}
+
+#[derive(Debug)]
+struct DiskStore {
+    shard: usize,
+    dir: PathBuf,
+    config: DiskConfig,
+    cache: Arc<FileCache>,
+    counters: Arc<Counters>,
+    faults: Arc<ShardFaults>,
+    /// In-memory mirror of the retained log: worker-death recovery replays
+    /// from here without touching the disk.
+    mirror: Wal,
+    /// Retained checkpoints, oldest → newest (mirrors the files on disk).
+    checkpoints: Vec<Checkpoint>,
+    /// On-disk segments, ascending by start offset; the last one is the
+    /// write target while `writer` is open.
+    segments: Vec<SegmentMeta>,
+    /// Open append handle into the last segment (None ⇒ the next commit
+    /// starts a fresh segment).
+    writer: Option<File>,
+    /// Frames staged since the last commit.
+    staged: Vec<u8>,
+    staged_records: u64,
+    /// Absolute offset of the first staged record.
+    staged_start: u64,
+    /// Group commits so far (1-based fault arming key).
+    commit_count: u64,
+    /// True once a torn-write/partial-fsync fault fired: all further disk
+    /// writes are silently dropped.
+    wedged: bool,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> ServiceError {
+    ServiceError::Storage(format!("{what} {}: {e}", path.display()))
+}
+
+/// Parses `wal-<offset>.seg` / `ck-<offset>.ck` names.
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+impl DiskStore {
+    fn open(
+        shard: usize,
+        dir: PathBuf,
+        config: DiskConfig,
+        cache: Arc<FileCache>,
+        counters: Arc<Counters>,
+        faults: Arc<ShardFaults>,
+    ) -> ServiceResult<Self> {
+        fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, e))?;
+        let mut store = DiskStore {
+            shard,
+            dir,
+            config,
+            cache,
+            counters,
+            faults,
+            mirror: Wal::new(),
+            checkpoints: Vec::new(),
+            segments: Vec::new(),
+            writer: None,
+            staged: Vec::new(),
+            staged_records: 0,
+            staged_start: 0,
+            commit_count: 0,
+            wedged: false,
+        };
+        store.recover_from_dir()?;
+        Ok(store)
+    }
+
+    /// Scans the shard directory, repairing torn tails and dropping
+    /// unreachable data, and rebuilds the in-memory mirror + checkpoint
+    /// window. See the module docs for the algorithm.
+    fn recover_from_dir(&mut self) -> ServiceResult<()> {
+        let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+        let mut ck_files: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err("read dir", &self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read dir", &self.dir, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(off) = parse_name(&name, "wal-", ".seg") {
+                seg_files.push((off, entry.path()));
+            } else if let Some(off) = parse_name(&name, "ck-", ".ck") {
+                ck_files.push((off, entry.path()));
+            } else if name.ends_with(".tmp") {
+                // A checkpoint write that never reached its rename.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        seg_files.sort_by_key(|&(off, _)| off);
+        ck_files.sort_by_key(|&(off, _)| off);
+
+        // Checkpoints: newest RETAINED valid ones survive; corrupt or
+        // unreadable files are counted and deleted, stale ones pruned.
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        for (off, path) in &ck_files {
+            match self.read_checkpoint(path) {
+                Ok(ck) if ck.wal_offset == *off && ck.snapshot.shard == self.shard => {
+                    checkpoints.push(ck);
+                }
+                _ => {
+                    self.counters.checkpoints_skipped.fetch_add(1, Ordering::Relaxed);
+                    self.remove_file(path);
+                }
+            }
+        }
+        while checkpoints.len() > RETAINED {
+            let stale = checkpoints.remove(0);
+            self.counters.checkpoints_pruned.fetch_add(1, Ordering::Relaxed);
+            self.remove_file(&self.ck_path(stale.wal_offset));
+        }
+
+        // Segments: walk in offset order while the offset chain stays
+        // contiguous; the first torn/corrupt frame (or gap) ends the valid
+        // prefix — the tail file is truncated, later files deleted.
+        let mut records: Vec<WalRecord> = Vec::new();
+        let mut segments: Vec<SegmentMeta> = Vec::new();
+        let base = seg_files.first().map(|&(off, _)| off).unwrap_or(0);
+        let mut next_start = base;
+        let mut broken = false;
+        for (off, path) in &seg_files {
+            if broken || *off != next_start {
+                self.remove_file(path);
+                broken = true;
+                continue;
+            }
+            let bytes = match self.read_file(path) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.counters.corrupt_frames_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.remove_file(path);
+                    broken = true;
+                    continue;
+                }
+            };
+            let (decoded, valid_len, err) = frame::scan_values::<WalRecord>(&bytes);
+            if let Some(err) = err {
+                match err {
+                    FrameError::Torn => {
+                        self.counters.torn_tails_repaired.fetch_add(1, Ordering::Relaxed)
+                    }
+                    FrameError::Corrupt => {
+                        self.counters.corrupt_frames_dropped.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+                broken = true;
+                if decoded.is_empty() {
+                    self.remove_file(path);
+                } else {
+                    self.truncate_file(path, valid_len as u64)?;
+                }
+            }
+            if decoded.is_empty() && err.is_some() {
+                continue;
+            }
+            next_start = off + decoded.len() as u64;
+            segments.push(SegmentMeta {
+                start: *off,
+                records: decoded.len() as u64,
+                bytes: valid_len as u64,
+                path: path.clone(),
+            });
+            records.extend(decoded);
+        }
+
+        let scan_end = base + records.len() as u64;
+        self.mirror = Wal::from_parts(base, records);
+        if let Some(newest) = checkpoints.last().cloned() {
+            if newest.wal_offset > scan_end {
+                // The log lost records the checkpoint already covers (e.g.
+                // a corrupt frame below the checkpoint offset). The
+                // checkpoint alone is the recovered state; the unreadable
+                // log is discarded wholesale — and with it every older
+                // checkpoint, whose replay suffix no longer exists.
+                for seg in &segments {
+                    self.remove_file(&seg.path);
+                }
+                segments.clear();
+                for stale in &checkpoints {
+                    if stale.wal_offset != newest.wal_offset {
+                        self.remove_file(&self.ck_path(stale.wal_offset));
+                    }
+                }
+                checkpoints = vec![newest.clone()];
+                self.mirror = Wal::from_parts(newest.wal_offset, Vec::new());
+            } else {
+                // Records below the oldest retained checkpoint are dead
+                // weight in the mirror (files stay until the next GC).
+                if let Some(oldest) = checkpoints.first() {
+                    self.mirror.truncate_to(oldest.wal_offset);
+                }
+            }
+        }
+        if checkpoints.is_empty() && self.mirror.end() - self.mirror.len() as u64 == 0 {
+            // Full history on disk (or an empty directory): genesis is a
+            // sound recovery base. When history was GC'd and every
+            // checkpoint is gone, the window stays empty so recovery fails
+            // loudly instead of silently replaying from the wrong base.
+            checkpoints.push(Checkpoint::genesis(self.shard));
+        }
+        self.checkpoints = checkpoints;
+        self.segments = segments;
+        Ok(())
+    }
+
+    fn seg_path(&self, start: u64) -> PathBuf {
+        self.dir.join(format!("wal-{start}.seg"))
+    }
+
+    fn ck_path(&self, offset: u64) -> PathBuf {
+        self.dir.join(format!("ck-{offset}.ck"))
+    }
+
+    /// Reads a whole file through the shared cache.
+    fn read_file(&self, path: &Path) -> ServiceResult<Arc<Vec<u8>>> {
+        self.cache.get_or_load(path, || {
+            fs::read(path).map_err(|e| io_err("read", path, e))
+        })
+    }
+
+    fn read_checkpoint(&self, path: &Path) -> ServiceResult<Checkpoint> {
+        let bytes = self.read_file(path)?;
+        let (ck, consumed) = frame::decode_value::<Checkpoint>(&bytes)
+            .map_err(|e| ServiceError::Storage(format!("{}: {e:?}", path.display())))?;
+        if consumed != bytes.len() {
+            return Err(ServiceError::Storage(format!(
+                "{}: trailing bytes after checkpoint frame",
+                path.display()
+            )));
+        }
+        Ok(ck)
+    }
+
+    fn remove_file(&self, path: &Path) {
+        let _ = fs::remove_file(path);
+        self.cache.invalidate(path);
+    }
+
+    fn truncate_file(&self, path: &Path, len: u64) -> ServiceResult<()> {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        f.set_len(len).map_err(|e| io_err("truncate", path, e))?;
+        if self.config.fsync {
+            f.sync_data().map_err(|e| io_err("fsync", path, e))?;
+        }
+        self.cache.invalidate(path);
+        Ok(())
+    }
+
+    /// Writes `bytes` to the current segment (opening a fresh one at
+    /// `self.staged_start` if none is open), fsyncs per config, updates
+    /// metadata, and rotates when the segment is full.
+    fn write_to_segment(&mut self, bytes: &[u8], records: u64) -> ServiceResult<()> {
+        if self.writer.is_none() {
+            let start = self.staged_start;
+            let path = self.seg_path(start);
+            // `create(true)` + truncate: a same-named leftover could only be
+            // an invalid tail already dropped by the recovery scan.
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .map_err(|e| io_err("create", &path, e))?;
+            self.cache.invalidate(&path);
+            self.segments.push(SegmentMeta { start, records: 0, bytes: 0, path });
+            self.counters.segments_created.fetch_add(1, Ordering::Relaxed);
+            self.writer = Some(file);
+        }
+        let Some(file) = self.writer.as_mut() else {
+            return Err(ServiceError::Storage("segment writer vanished".into()));
+        };
+        file.write_all(bytes).map_err(|e| {
+            ServiceError::Storage(format!("segment write (shard {}): {e}", self.shard))
+        })?;
+        if self.config.fsync {
+            file.sync_data().map_err(|e| {
+                ServiceError::Storage(format!("segment fsync (shard {}): {e}", self.shard))
+            })?;
+            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let Some(meta) = self.segments.last_mut() else {
+            return Err(ServiceError::Storage("segment metadata vanished".into()));
+        };
+        meta.records += records;
+        meta.bytes += bytes.len() as u64;
+        self.cache.invalidate(&meta.path.clone());
+        if meta.bytes >= self.config.max_segment_bytes {
+            self.writer = None; // rotate: next commit starts a new segment
+        }
+        Ok(())
+    }
+
+    /// Deletes segment files that lie entirely below `oldest` (the oldest
+    /// retained checkpoint offset) — their records can never be replayed
+    /// again. The segment currently open for writing is never collected.
+    fn collect_segments(&mut self, oldest: u64) {
+        while self.segments.len() > 1 || (self.writer.is_none() && !self.segments.is_empty()) {
+            let seg = &self.segments[0];
+            if seg.start + seg.records > oldest {
+                break;
+            }
+            if self.segments.len() == 1 && self.writer.is_some() {
+                break;
+            }
+            let path = seg.path.clone();
+            self.remove_file(&path);
+            self.segments.remove(0);
+        }
+    }
+}
+
+impl ShardStore for DiskStore {
+    fn append(&mut self, record: &WalRecord) -> ServiceResult<u64> {
+        let offset = self.mirror.append(record.clone());
+        if !self.wedged {
+            if self.staged_records == 0 {
+                self.staged_start = offset;
+            }
+            let frame = frame::encode_value(record)?;
+            self.staged.extend_from_slice(&frame);
+            self.staged_records += 1;
+        }
+        Ok(offset)
+    }
+
+    fn commit(&mut self) -> ServiceResult<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        if self.wedged {
+            self.staged.clear();
+            self.staged_records = 0;
+            return Ok(());
+        }
+        self.commit_count += 1;
+        let fault = self.faults.take_storage_fault(self.commit_count);
+        let staged = std::mem::take(&mut self.staged);
+        let staged_records = std::mem::take(&mut self.staged_records);
+        match fault {
+            Some(FaultKind::TornWrite { keep_bytes }) => {
+                // A crash mid-write: a prefix of the staged frames lands on
+                // disk (usually cutting a frame in half), then the disk
+                // goes dark. Metadata is not updated — this store never
+                // reads the torn file again; only a cold start will.
+                let keep = (keep_bytes as usize).min(staged.len());
+                self.write_to_segment(&staged[..keep], 0)?;
+                self.wedged = true;
+                self.counters.wedged.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Some(FaultKind::PartialFsync) => {
+                // The write was acknowledged but never reached the platter:
+                // nothing lands, the disk goes dark.
+                self.wedged = true;
+                self.counters.wedged.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Some(FaultKind::CorruptCrc) => {
+                // Silent bit rot inside the first staged frame's payload;
+                // the commit itself "succeeds".
+                let mut staged = staged;
+                if staged.len() > frame::FRAME_HEADER {
+                    staged[frame::FRAME_HEADER] ^= 0xFF;
+                }
+                self.write_to_segment(&staged, staged_records)?;
+                self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => {
+                self.write_to_segment(&staged, staged_records)?;
+                self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    fn end(&self) -> u64 {
+        self.mirror.end()
+    }
+
+    fn records_from(&self, from: u64) -> Vec<WalRecord> {
+        self.mirror.iter_from(from).cloned().collect()
+    }
+
+    fn put_checkpoint(&mut self, checkpoint: Checkpoint) -> ServiceResult<()> {
+        // The WAL must be durable up to the checkpoint's offset before the
+        // checkpoint file can claim to cover it (write-ahead ordering).
+        self.commit()?;
+        let offset = checkpoint.wal_offset;
+        if !self.wedged {
+            let bytes = frame::encode_value(&checkpoint)?;
+            let tmp = self.dir.join(format!("ck-{offset}.tmp"));
+            let path = self.ck_path(offset);
+            let mut file = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            file.write_all(&bytes).map_err(|e| io_err("write", &tmp, e))?;
+            if self.config.fsync {
+                file.sync_data().map_err(|e| io_err("fsync", &tmp, e))?;
+                self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(file);
+            fs::rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))?;
+            self.cache.invalidate(&path);
+            self.counters.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            self.counters.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        // Retention window update (same shape as the memory backend). An
+        // adoption at an already-retained offset replaces in place so the
+        // prune below never deletes a live file.
+        if self.checkpoints.last().map(|c| c.wal_offset) == Some(offset) {
+            self.checkpoints.pop();
+        }
+        self.checkpoints.push(checkpoint);
+        while self.checkpoints.len() > RETAINED {
+            let stale = self.checkpoints.remove(0);
+            if !self.wedged {
+                self.remove_file(&self.ck_path(stale.wal_offset));
+                self.counters.checkpoints_pruned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(oldest) = self.checkpoints.first().map(|c| c.wal_offset) {
+            self.mirror.truncate_to(oldest);
+            if !self.wedged {
+                self.collect_segments(oldest);
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoints(&self) -> Vec<Checkpoint> {
+        self.checkpoints.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::Fault;
+    use rrs_core::ColorId;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rrs-disk-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn submit(tenant: u64, n: u64) -> WalRecord {
+        WalRecord::Submit { tenant, arrivals: vec![(ColorId(0), n)] }
+    }
+
+    fn open_store(backend: &mut DiskBackend, shard: usize) -> Box<dyn ShardStore> {
+        backend.open_shard(shard, ShardFaults::none()).unwrap()
+    }
+
+    #[test]
+    fn committed_records_survive_reopen() {
+        let root = temp_root("roundtrip");
+        let mut backend = DiskBackend::new(DiskConfig::new(&root));
+        {
+            let mut store = open_store(&mut backend, 0);
+            for i in 0..5 {
+                store.append(&submit(i, i + 1)).unwrap();
+                store.append(&WalRecord::Tick).unwrap();
+            }
+            store.commit().unwrap();
+            // Staged-but-uncommitted records are visible in memory only.
+            store.append(&submit(99, 1)).unwrap();
+            assert_eq!(store.end(), 11);
+        }
+        let mut backend2 = DiskBackend::new(DiskConfig::new(&root));
+        let store = open_store(&mut backend2, 0);
+        assert_eq!(store.end(), 10, "the uncommitted record is gone");
+        let records = store.records_from(0);
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[0], submit(0, 1));
+        assert_eq!(records[9], WalRecord::Tick);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn segments_rotate_and_old_ones_are_collected() {
+        let root = temp_root("rotate");
+        let mut cfg = DiskConfig::new(&root);
+        cfg.max_segment_bytes = 64; // force rotation every commit or two
+        cfg.fsync = false;
+        let mut backend = DiskBackend::new(cfg.clone());
+        let mut store = open_store(&mut backend, 0);
+        for i in 0..20 {
+            store.append(&submit(i, 1)).unwrap();
+            store.commit().unwrap();
+        }
+        let segs = |root: &Path| {
+            let mut v: Vec<String> = fs::read_dir(root.join("shard-000"))
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .filter(|n| n.ends_with(".seg"))
+                .collect();
+            v.sort();
+            v
+        };
+        assert!(segs(&root).len() > 3, "rotation produced several segments");
+        // Adopt checkpoints past the end: everything but the live segment
+        // is garbage-collected.
+        let ck = |off| Checkpoint { wal_offset: off, ..Checkpoint::genesis(0) };
+        store.put_checkpoint(ck(19)).unwrap();
+        store.put_checkpoint(ck(20)).unwrap();
+        store.put_checkpoint(ck(20)).unwrap(); // same-offset re-adoption is safe
+        assert!(segs(&root).len() <= 2, "collected: {:?}", segs(&root));
+        // And the survivors still recover.
+        let mut backend2 = DiskBackend::new(cfg);
+        let store2 = open_store(&mut backend2, 0);
+        assert_eq!(store2.end(), 20);
+        assert_eq!(store2.checkpoints().last().unwrap().wal_offset, 20);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_write_fault_wedges_and_cold_start_recovers_the_prefix() {
+        let root = temp_root("torn");
+        let mut backend = DiskBackend::new(DiskConfig::new(&root));
+        let faults = Arc::new(ShardFaults::new(vec![Fault {
+            shard: 0,
+            at_tick: 3, // third group commit tears
+            kind: FaultKind::TornWrite { keep_bytes: 5 },
+        }]));
+        let mut store = backend.open_shard(0, faults).unwrap();
+        for i in 0..6 {
+            store.append(&submit(i, 1)).unwrap();
+            store.commit().unwrap();
+        }
+        assert_eq!(store.end(), 6, "the live service saw every record");
+        assert_eq!(backend.stats().wedged, 1);
+        let mut backend2 = DiskBackend::new(DiskConfig::new(&root));
+        let store2 = open_store(&mut backend2, 0);
+        assert_eq!(store2.end(), 2, "commits 1-2 durable, 3 torn, 4-6 dark");
+        assert_eq!(backend2.stats().torn_tails_repaired, 1);
+        // The repaired store accepts new appends cleanly.
+        drop(store2);
+        let mut store2 = open_store(&mut backend2, 0);
+        store2.append(&WalRecord::Tick).unwrap();
+        store2.commit().unwrap();
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_crc_fault_is_caught_by_recovery() {
+        let root = temp_root("crc");
+        let mut backend = DiskBackend::new(DiskConfig::new(&root));
+        let faults = Arc::new(ShardFaults::new(vec![Fault {
+            shard: 0,
+            at_tick: 2,
+            kind: FaultKind::CorruptCrc,
+        }]));
+        let mut store = backend.open_shard(0, faults).unwrap();
+        for i in 0..4 {
+            store.append(&submit(i, 1)).unwrap();
+            store.commit().unwrap();
+        }
+        let mut backend2 = DiskBackend::new(DiskConfig::new(&root));
+        let store2 = open_store(&mut backend2, 0);
+        assert_eq!(store2.end(), 1, "scan stops at the rotted frame");
+        assert_eq!(backend2.stats().corrupt_frames_dropped, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_files_are_skipped() {
+        let root = temp_root("badck");
+        let cfg = DiskConfig::new(&root);
+        let mut backend = DiskBackend::new(cfg.clone());
+        let mut store = open_store(&mut backend, 0);
+        for _ in 0..4 {
+            store.append(&WalRecord::Tick).unwrap();
+        }
+        store.commit().unwrap();
+        store
+            .put_checkpoint(Checkpoint { wal_offset: 4, ..Checkpoint::genesis(0) })
+            .unwrap();
+        drop(store);
+        // Rot the checkpoint file on disk.
+        let ck = root.join("shard-000").join("ck-4.ck");
+        let mut bytes = fs::read(&ck).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&ck, bytes).unwrap();
+        let mut backend2 = DiskBackend::new(cfg);
+        let store2 = open_store(&mut backend2, 0);
+        assert_eq!(backend2.stats().checkpoints_skipped, 1);
+        // Falls back to genesis + full replay: all four ticks recovered.
+        let cks = store2.checkpoints();
+        assert_eq!(cks.len(), 1);
+        assert_eq!(cks[0].wal_offset, 0, "genesis fallback");
+        assert_eq!(store2.end(), 4);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_hits_the_cache() {
+        let root = temp_root("cache");
+        let mut cfg = DiskConfig::new(&root);
+        cfg.fsync = false;
+        let backend_cfg = cfg.clone();
+        {
+            let mut backend = DiskBackend::new(cfg);
+            let mut store = open_store(&mut backend, 0);
+            for _ in 0..3 {
+                store.append(&WalRecord::Tick).unwrap();
+            }
+            store.commit().unwrap();
+        }
+        let mut backend = DiskBackend::new(backend_cfg);
+        let _first = open_store(&mut backend, 0);
+        let misses_after_first = backend.stats().cache.misses;
+        let _second = open_store(&mut backend, 0);
+        let s = backend.stats();
+        assert!(s.cache.hits >= 1, "second open reuses cached segment bytes");
+        assert_eq!(s.cache.misses, misses_after_first, "no new loads");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

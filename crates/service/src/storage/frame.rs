@@ -1,0 +1,185 @@
+//! CRC32-framed record encoding for on-disk WAL segments and checkpoints.
+//!
+//! Every durable record is one *frame*:
+//!
+//! ```text
+//! +----------------+----------------+====================+
+//! | len: u32 LE    | crc: u32 LE    | payload (len bytes)|
+//! +----------------+----------------+====================+
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE 802.3) of the payload alone, so a frame is
+//! self-validating: a reader can tell a **torn** frame (the file ends before
+//! `8 + len` bytes — the classic torn write of a crash mid-append) from a
+//! **corrupt** one (all bytes present but the checksum disagrees — silent
+//! bit rot or an injected fault). Recovery treats both as the end of the
+//! valid log prefix; the distinction only feeds different counters.
+//!
+//! Payloads are `serde_json` documents ([`crate::WalRecord`] /
+//! [`crate::Checkpoint`]): self-describing, versionable, and identical to
+//! the snapshot wire format the service already commits to. The framing
+//! layer is format-agnostic — it moves bytes.
+
+use crate::error::{ServiceError, ServiceResult};
+use serde::{Deserialize, Serialize};
+
+/// Bytes of frame header before the payload (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the same
+/// polynomial zip/png/ethernet use. Table-driven, built at first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // 256-entry table for the reflected polynomial 0xEDB88320.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does — a torn write. The bytes up
+    /// to the frame start are still a valid log prefix.
+    Torn,
+    /// The frame is complete but its checksum (or payload decoding)
+    /// disagrees — corruption.
+    Corrupt,
+}
+
+/// Appends one frame around `payload` to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decodes the frame starting at `buf[0]`, returning the payload slice and
+/// the total frame length consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(FrameError::Torn);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let total = FRAME_HEADER + len;
+    if buf.len() < total {
+        return Err(FrameError::Torn);
+    }
+    let payload = &buf[FRAME_HEADER..total];
+    if crc32(payload) != crc {
+        return Err(FrameError::Corrupt);
+    }
+    Ok((payload, total))
+}
+
+/// Serializes a value into one framed record.
+pub fn encode_value<T: Serialize>(value: &T) -> ServiceResult<Vec<u8>> {
+    let payload = serde_json::to_vec(value)
+        .map_err(|e| ServiceError::Storage(format!("encode record: {e}")))?;
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    encode_frame(&payload, &mut out);
+    Ok(out)
+}
+
+/// Decodes the frame at `buf[0]` into a value, returning it with the frame
+/// length consumed. A payload that passes the CRC but fails to deserialize
+/// is reported as [`FrameError::Corrupt`].
+pub fn decode_value<T: Deserialize>(buf: &[u8]) -> Result<(T, usize), FrameError> {
+    let (payload, consumed) = decode_frame(buf)?;
+    let value = serde_json::from_slice(payload).map_err(|_| FrameError::Corrupt)?;
+    Ok((value, consumed))
+}
+
+/// Walks frames from the start of `buf`, decoding values until the buffer is
+/// exhausted or a frame fails. Returns the decoded values, the byte length
+/// of the valid prefix, and the error that stopped the scan (`None` = the
+/// whole buffer was valid frames).
+pub fn scan_values<T: Deserialize>(buf: &[u8]) -> (Vec<T>, usize, Option<FrameError>) {
+    let mut values = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        match decode_value::<T>(&buf[at..]) {
+            Ok((value, consumed)) => {
+                values.push(value);
+                at += consumed;
+            }
+            Err(e) => return (values, at, Some(e)),
+        }
+    }
+    (values, at, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalRecord;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let mut buf = Vec::new();
+        encode_frame(b"hello", &mut buf);
+        encode_frame(b"", &mut buf);
+        let (p1, n1) = decode_frame(&buf).unwrap();
+        assert_eq!(p1, b"hello");
+        let (p2, n2) = decode_frame(&buf[n1..]).unwrap();
+        assert_eq!(p2, b"");
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn torn_and_corrupt_are_distinguished() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload", &mut buf);
+        // Every strict prefix is torn, never corrupt.
+        for cut in 0..buf.len() {
+            assert_eq!(decode_frame(&buf[..cut]).unwrap_err(), FrameError::Torn, "cut {cut}");
+        }
+        // A bit flip anywhere in a complete frame is corrupt (flipping a
+        // length byte may also read as torn, which is an acceptable answer
+        // for a damaged header — it still ends the valid prefix).
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_frame(&bad).is_err(), "flip {i} accepted");
+        }
+    }
+
+    #[test]
+    fn values_scan_stops_at_the_first_bad_frame() {
+        let mut buf = Vec::new();
+        let records = vec![WalRecord::Tick, WalRecord::Submit {
+            tenant: 3,
+            arrivals: vec![(rrs_core::ColorId(1), 2)],
+        }];
+        for r in &records {
+            buf.extend_from_slice(&encode_value(r).unwrap());
+        }
+        let valid_len = buf.len();
+        buf.extend_from_slice(&[7, 0, 0, 0]); // half a header: torn tail
+        let (decoded, prefix, err) = scan_values::<WalRecord>(&buf);
+        assert_eq!(decoded, records);
+        assert_eq!(prefix, valid_len);
+        assert_eq!(err, Some(FrameError::Torn));
+    }
+}

@@ -1,0 +1,121 @@
+//! The in-memory storage backend: the supervisor's original WAL +
+//! checkpoint retention, behind the [`ShardStore`] contract.
+//!
+//! This is the conformance oracle for [`super::DiskBackend`]: same offsets,
+//! same retention count, same genesis seeding, same truncation-on-adoption.
+//! `commit` is a no-op — memory is "durable" for exactly as long as the
+//! process lives, which is the honesty gap the disk backend closes.
+
+use super::{ShardStore, StorageBackend, StorageStats};
+use crate::error::ServiceResult;
+use crate::faults::ShardFaults;
+use crate::wal::{Checkpoint, Wal, WalRecord};
+use std::sync::Arc;
+
+/// Checkpoints retained per shard (newest-first fallback during recovery,
+/// so one corrupted checkpoint cannot brick a shard).
+pub(crate) const RETAINED: usize = 2;
+
+/// Process-memory storage: the original supervisor behavior.
+#[derive(Debug, Default)]
+pub struct MemoryBackend;
+
+impl MemoryBackend {
+    /// A memory backend (stateless factory).
+    pub fn new() -> Self {
+        MemoryBackend
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn open_shard(
+        &mut self,
+        shard: usize,
+        _faults: Arc<ShardFaults>,
+    ) -> ServiceResult<Box<dyn ShardStore>> {
+        Ok(Box::new(MemoryStore {
+            wal: Wal::new(),
+            checkpoints: vec![Checkpoint::genesis(shard)],
+        }))
+    }
+
+    fn stats(&self) -> StorageStats {
+        StorageStats { backend: "memory".into(), ..StorageStats::default() }
+    }
+}
+
+/// One shard's in-memory journal and checkpoint window.
+#[derive(Debug)]
+struct MemoryStore {
+    wal: Wal,
+    /// Oldest → newest; at most [`RETAINED`] entries.
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl ShardStore for MemoryStore {
+    fn append(&mut self, record: &WalRecord) -> ServiceResult<u64> {
+        Ok(self.wal.append(record.clone()))
+    }
+
+    fn commit(&mut self) -> ServiceResult<()> {
+        Ok(())
+    }
+
+    fn end(&self) -> u64 {
+        self.wal.end()
+    }
+
+    fn records_from(&self, from: u64) -> Vec<WalRecord> {
+        self.wal.iter_from(from).cloned().collect()
+    }
+
+    fn put_checkpoint(&mut self, checkpoint: Checkpoint) -> ServiceResult<()> {
+        self.checkpoints.push(checkpoint);
+        if self.checkpoints.len() > RETAINED {
+            self.checkpoints.remove(0);
+        }
+        if let Some(oldest) = self.checkpoints.first() {
+            self.wal.truncate_to(oldest.wal_offset);
+        }
+        Ok(())
+    }
+
+    fn checkpoints(&self) -> Vec<Checkpoint> {
+        self.checkpoints.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_matches_the_original_seat_behavior() {
+        let mut backend = MemoryBackend::new();
+        let mut store = backend.open_shard(0, ShardFaults::none()).unwrap();
+        // Starts with genesis.
+        let cks = store.checkpoints();
+        assert_eq!(cks.len(), 1);
+        assert_eq!(cks[0].wal_offset, 0);
+        for _ in 0..6 {
+            store.append(&WalRecord::Tick).unwrap();
+        }
+        store.commit().unwrap();
+        assert_eq!(store.end(), 6);
+        assert_eq!(store.records_from(4).len(), 2);
+        // Adopt checkpoints at offsets 2 and 5: genesis rotates out, records
+        // below offset 2 are garbage-collected.
+        for offset in [2u64, 5] {
+            let ck = Checkpoint { wal_offset: offset, ..Checkpoint::genesis(0) };
+            store.put_checkpoint(ck).unwrap();
+        }
+        let cks = store.checkpoints();
+        assert_eq!(cks.iter().map(|c| c.wal_offset).collect::<Vec<_>>(), vec![2, 5]);
+        assert_eq!(store.records_from(0).len(), 4, "offsets 2..6 retained");
+        assert_eq!(store.end(), 6, "absolute offsets survive truncation");
+    }
+}

@@ -31,12 +31,17 @@ use crate::shard::{
     WorkerConfig,
 };
 use crate::stats::ServiceStats;
+use crate::storage::{MemoryBackend, ShardStore, StorageBackend};
 use crate::tenant::{Tenant, TenantSpec};
-use crate::wal::{replay, Checkpoint, Wal, WalRecord};
+use crate::wal::{replay, Checkpoint, WalRecord};
 use rrs_core::{ColorId, RunResult};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A journaled submit batch (per-tenant arrival lists) plus the WAL length
+/// after the append, as produced by `journal_pending`.
+type JournaledBatch = (Vec<(TenantId, Vec<(ColorId, u64)>)>, u64);
 
 /// Bounded-retry parameters for cross-shard commands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,12 +138,12 @@ pub struct RecoveryEvent {
 /// Per-shard supervision state.
 struct Seat {
     handle: ShardHandle,
-    wal: Wal,
-    /// Oldest → newest; at most [`Seat::RETAINED`] entries. Recovery tries
-    /// the newest first and falls back, so one corrupted checkpoint cannot
-    /// brick the shard.
-    checkpoints: Vec<Checkpoint>,
-    /// Tick records journaled over the shard's lifetime.
+    /// The shard's journal + checkpoint retention (memory or disk). The
+    /// store keeps the newest checkpoints for fallback, so one corrupted
+    /// checkpoint cannot brick the shard.
+    store: Box<dyn ShardStore>,
+    /// Tick records journaled over the shard's lifetime (including ticks
+    /// recovered from a previous process under the disk backend).
     ticks: u64,
     /// Batched-mode submit buffer for the current tick epoch, in submission
     /// order (a tenant may appear more than once; order is what makes
@@ -149,20 +154,18 @@ struct Seat {
     faults: Arc<ShardFaults>,
 }
 
-impl Seat {
-    const RETAINED: usize = 2;
-}
-
 /// A sharded multi-tenant scheduler service that survives worker death,
 /// stalls and overload automatically. Same tenant routing as
 /// [`crate::Service`] (`hash(tenant id) % shards`).
 pub struct Supervisor {
     config: SupervisorConfig,
     seats: Vec<Seat>,
+    backend: Box<dyn StorageBackend>,
     /// Tenant directory: id → shard.
     tenants: BTreeMap<TenantId, usize>,
     /// Queue-watermark sheds, attributed per tenant (inbox-watermark sheds
     /// live in the tenants themselves and survive recovery via snapshots).
+    /// Supervisor-side state only: not journaled, so a cold start resets it.
     queue_shed: BTreeMap<TenantId, u64>,
     events: Vec<RecoveryEvent>,
 }
@@ -176,21 +179,78 @@ impl Supervisor {
     /// Starts a supervisor whose workers run under a deterministic
     /// [`FaultPlan`] — the chaos-testing entry point.
     pub fn with_faults(config: SupervisorConfig, plan: &FaultPlan) -> ServiceResult<Self> {
+        Supervisor::with_storage(config, plan, Box::new(MemoryBackend::new()))
+    }
+
+    /// Starts a supervisor over an explicit storage backend, performing
+    /// **cold-start recovery**: every shard is rebuilt from its store's
+    /// newest valid checkpoint plus WAL-suffix replay before its worker
+    /// spawns. For a fresh [`MemoryBackend`] this degenerates to an empty
+    /// start; for a [`crate::DiskBackend`] over an existing data directory
+    /// it resurrects the whole service, bit-identical to the committed
+    /// prefix of the previous process's run.
+    pub fn with_storage(
+        config: SupervisorConfig,
+        plan: &FaultPlan,
+        mut backend: Box<dyn StorageBackend>,
+    ) -> ServiceResult<Self> {
         let shards = config.shards.max(1);
         let config = SupervisorConfig { shards, ..config };
         let fault_state = plan.per_shard(shards);
         let mut seats = Vec::with_capacity(shards);
+        let mut tenants_dir: BTreeMap<TenantId, usize> = BTreeMap::new();
+        let mut events = Vec::new();
         for (shard, faults) in fault_state.into_iter().enumerate() {
+            let store = backend.open_shard(shard, Arc::clone(&faults))?;
+            // Newest checkpoint first, older ones as fallback — the same
+            // ladder recover() climbs, but sourced from the (possibly
+            // crash-repaired) store.
+            let mut restored: Option<(BTreeMap<TenantId, Tenant>, u64, u64)> = None;
+            let mut last_err = ServiceError::ShardDown(shard);
+            for ck in store.checkpoints().iter().rev() {
+                let suffix = store.records_from(ck.wal_offset);
+                let outcome = restore_tenants(ck.snapshot.clone()).and_then(|mut tenants| {
+                    replay(&mut tenants, suffix.iter(), config.shed.inbox_watermark).map(
+                        |replayed| {
+                            let ticks = ck.ticks
+                                + suffix
+                                    .iter()
+                                    .filter(|r| matches!(r, WalRecord::Tick))
+                                    .count() as u64;
+                            (tenants, replayed, ticks)
+                        },
+                    )
+                });
+                match outcome {
+                    Ok(done) => {
+                        restored = Some(done);
+                        break;
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            let Some((tenants, replayed, ticks)) = restored else {
+                return Err(last_err);
+            };
+            for &id in tenants.keys() {
+                tenants_dir.insert(id, shard);
+            }
+            if store.end() > 0 {
+                events.push(RecoveryEvent {
+                    shard,
+                    cause: "cold start from durable storage".into(),
+                    replayed,
+                });
+            }
             let handle = spawn_shard_with(
-                Supervisor::worker_config(&config, shard, 0, 0),
+                Supervisor::worker_config(&config, shard, ticks, store.end()),
                 Arc::clone(&faults),
-                BTreeMap::new(),
+                tenants,
             )?;
             seats.push(Seat {
                 handle,
-                wal: Wal::new(),
-                checkpoints: vec![Checkpoint::genesis(shard)],
-                ticks: 0,
+                store,
+                ticks,
                 pending: Vec::new(),
                 recoveries: 0,
                 checkpoints_rejected: 0,
@@ -200,9 +260,10 @@ impl Supervisor {
         Ok(Supervisor {
             config,
             seats,
-            tenants: BTreeMap::new(),
+            backend,
+            tenants: tenants_dir,
             queue_shed: BTreeMap::new(),
-            events: Vec::new(),
+            events,
         })
     }
 
@@ -241,6 +302,24 @@ impl Supervisor {
         self.seats.iter().map(|s| s.checkpoints_rejected).sum()
     }
 
+    /// Storage-tier counters, without the shard round-trips of
+    /// [`Supervisor::stats`].
+    pub fn storage_stats(&self) -> crate::storage::StorageStats {
+        self.backend.stats()
+    }
+
+    /// Tick epochs journaled for one shard over its lifetime — including
+    /// epochs recovered from durable storage at cold start. Crash-recovery
+    /// tests use this to know how far each shard's committed prefix reaches
+    /// (shards can land on different epochs when a crash interrupts the
+    /// per-shard group commits mid-broadcast).
+    pub fn shard_ticks(&self, shard: usize) -> ServiceResult<u64> {
+        self.seats
+            .get(shard)
+            .map(|s| s.ticks)
+            .ok_or(ServiceError::UnknownShard(shard))
+    }
+
     /// The recovery log, in order of occurrence.
     pub fn recovery_events(&self) -> &[RecoveryEvent] {
         &self.events
@@ -259,7 +338,10 @@ impl Supervisor {
         Tenant::new(spec.clone())?;
         let shard = self.shard_of(id);
         self.ensure_live(shard, "liveness check before add_tenant")?;
-        self.seats[shard].wal.append(WalRecord::AddTenant { id, spec: spec.clone() });
+        // Journal + commit before the send: the acknowledgement below
+        // externalizes the registration, so it must be durable first.
+        self.seats[shard].store.append(&WalRecord::AddTenant { id, spec: spec.clone() })?;
+        self.seats[shard].store.commit()?;
         let sent = self.seats[shard].handle.round_trip_deadline(
             |reply| Command::AddTenant { id, spec, reply },
             self.config.retry.op_timeout,
@@ -303,8 +385,9 @@ impl Supervisor {
             return Ok(());
         }
         self.seats[shard]
-            .wal
-            .append(WalRecord::Submit { tenant: id, arrivals: arrivals.clone() });
+            .store
+            .append(&WalRecord::Submit { tenant: id, arrivals: arrivals.clone() })?;
+        self.seats[shard].store.commit()?;
         let deadline = Instant::now() + self.config.retry.op_timeout;
         match self.seats[shard]
             .handle
@@ -319,20 +402,35 @@ impl Supervisor {
         }
     }
 
-    /// Flushes a shard's buffered submits as one group commit: a single
-    /// [`WalRecord::SubmitBatch`] append, a single [`Command::SubmitBatch`]
-    /// enqueue. A dead or saturated worker triggers recovery — the record
-    /// is already journaled, so replay applies the batch either way.
-    fn flush_shard(&mut self, shard: usize) -> ServiceResult<()> {
+    /// Journals a shard's buffered submits as one [`WalRecord::SubmitBatch`]
+    /// append, returning the command to enqueue (`None` when nothing was
+    /// buffered). The caller decides the commit boundary: standalone flush
+    /// points commit immediately, the batched tick folds the batch and its
+    /// tick into a single epoch commit.
+    fn journal_pending(
+        &mut self,
+        shard: usize,
+    ) -> ServiceResult<Option<JournaledBatch>> {
         if self.seats[shard].pending.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         let entries = std::mem::take(&mut self.seats[shard].pending);
-        let offset = self
-            .seats[shard]
-            .wal
-            .append(WalRecord::SubmitBatch { entries: entries.clone() });
-        let seq = offset + 1;
+        let offset = self.seats[shard]
+            .store
+            .append(&WalRecord::SubmitBatch { entries: entries.clone() })?;
+        Ok(Some((entries, offset + 1)))
+    }
+
+    /// Flushes a shard's buffered submits as one group commit: a single
+    /// [`WalRecord::SubmitBatch`] append + commit, a single
+    /// [`Command::SubmitBatch`] enqueue. A dead or saturated worker
+    /// triggers recovery — the record is already journaled, so replay
+    /// applies the batch either way.
+    fn flush_shard(&mut self, shard: usize) -> ServiceResult<()> {
+        let Some((entries, seq)) = self.journal_pending(shard)? else {
+            return Ok(());
+        };
+        self.seats[shard].store.commit()?;
         let deadline = Instant::now() + self.config.retry.op_timeout;
         match self.seats[shard]
             .handle
@@ -366,7 +464,8 @@ impl Supervisor {
             if self.seats[shard].handle.is_finished() {
                 self.recover(shard, "worker found dead before tick")?;
             }
-            self.seats[shard].wal.append(WalRecord::Tick);
+            self.seats[shard].store.append(&WalRecord::Tick)?;
+            self.seats[shard].store.commit()?;
             self.seats[shard].ticks += 1;
             let deadline = Instant::now() + self.config.retry.op_timeout;
             match self.seats[shard].handle.send_deadline(Command::Tick { seq: 0 }, deadline) {
@@ -387,16 +486,34 @@ impl Supervisor {
 
     /// The batched tick epoch: broadcast, join, checkpoint.
     fn tick_batched(&mut self) -> ServiceResult<()> {
-        // Phase 1 — broadcast: flush each shard's submit batch and enqueue
-        // its journaled tick, without waiting. All shards overlap their
-        // round execution from here.
+        // Phase 1 — broadcast: journal each shard's submit batch *and* its
+        // tick, make both durable with ONE group commit (the epoch fsync),
+        // then enqueue both commands without waiting. All shards overlap
+        // their round execution from here.
         let mut joins: Vec<Option<u64>> = vec![None; self.seats.len()];
         for (shard, join) in joins.iter_mut().enumerate() {
             self.ensure_live(shard, "worker found dead before tick")?;
-            self.flush_shard(shard)?;
-            let offset = self.seats[shard].wal.append(WalRecord::Tick);
+            let batch = self.journal_pending(shard)?;
+            let offset = self.seats[shard].store.append(&WalRecord::Tick)?;
+            self.seats[shard].store.commit()?;
             self.seats[shard].ticks += 1;
             let seq = offset + 1;
+            if let Some((entries, batch_seq)) = batch {
+                let deadline = Instant::now() + self.config.retry.op_timeout;
+                match self.seats[shard]
+                    .handle
+                    .send_deadline(Command::SubmitBatch { entries, seq: batch_seq }, deadline)
+                {
+                    Ok(()) => {}
+                    Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
+                        // Both records are journaled: recovery replays the
+                        // batch and the tick together, no sends or join.
+                        self.recover(shard, "batch did not enqueue")?;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             let deadline = Instant::now() + self.config.retry.op_timeout;
             match self.seats[shard].handle.send_deadline(Command::Tick { seq }, deadline) {
                 Ok(()) => *join = Some(seq),
@@ -444,7 +561,7 @@ impl Supervisor {
         // Any buffered submits must be journaled before the offset is
         // captured, or the checkpoint would claim to cover them.
         self.flush_shard(shard)?;
-        let offset = self.seats[shard].wal.end();
+        let offset = self.seats[shard].store.end();
         let ticks = self.seats[shard].ticks;
         let snap = match self.seats[shard].handle.round_trip_deadline(
             |reply| Command::Snapshot { reply },
@@ -465,15 +582,11 @@ impl Supervisor {
             });
             return Ok(());
         }
-        let seat = &mut self.seats[shard];
-        seat.checkpoints.push(Checkpoint { snapshot: snap, wal_offset: offset, ticks });
-        if seat.checkpoints.len() > Seat::RETAINED {
-            seat.checkpoints.remove(0);
-        }
-        if let Some(oldest) = seat.checkpoints.first() {
-            seat.wal.truncate_to(oldest.wal_offset);
-        }
-        Ok(())
+        // Adoption delegates retention + WAL garbage collection (and, on
+        // disk, the durable checkpoint file write) to the store.
+        self.seats[shard]
+            .store
+            .put_checkpoint(Checkpoint { snapshot: snap, wal_offset: offset, ticks })
     }
 
     /// Cheap structural validation of a would-be checkpoint: topology,
@@ -504,14 +617,14 @@ impl Supervisor {
         let seat = &self.seats[shard];
         let mut rebuilt: Option<(BTreeMap<TenantId, Tenant>, u64)> = None;
         let mut last_err = ServiceError::ShardDown(shard);
-        for ck in seat.checkpoints.iter().rev() {
+        for ck in seat.store.checkpoints().iter().rev() {
+            // The store's retained window includes staged-but-uncommitted
+            // records, so worker-death recovery never loses the tail the
+            // live supervisor already externalized.
+            let suffix = seat.store.records_from(ck.wal_offset);
             let restored = restore_tenants(ck.snapshot.clone()).and_then(|mut tenants| {
-                replay(
-                    &mut tenants,
-                    seat.wal.iter_from(ck.wal_offset),
-                    self.config.shed.inbox_watermark,
-                )
-                .map(|replayed| (tenants, replayed))
+                replay(&mut tenants, suffix.iter(), self.config.shed.inbox_watermark)
+                    .map(|replayed| (tenants, replayed))
             });
             match restored {
                 Ok(done) => {
@@ -531,7 +644,7 @@ impl Supervisor {
                 &self.config,
                 shard,
                 self.seats[shard].ticks,
-                self.seats[shard].wal.end(),
+                self.seats[shard].store.end(),
             ),
             Arc::clone(&self.seats[shard].faults),
             tenants,
@@ -634,7 +747,7 @@ impl Supervisor {
             shards.push(s);
         }
         tenants.sort_by_key(|&(id, _)| id);
-        Ok(ServiceStats { shards, tenants })
+        Ok(ServiceStats { shards, tenants, storage: self.backend.stats() })
     }
 
     /// Drains every tenant to its horizon (with retry + recovery per shard)
