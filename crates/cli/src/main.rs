@@ -15,6 +15,9 @@
 //!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
 //!               [--shed-watermark W] [--shed-queue Q] [--ingest batched|per-command]
 //!               [--storage memory|disk] [--data-dir PATH]
+//! rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H]
+//!               [--policies p1,p2,..] [--workloads w1,w2,..] [--shard-list 1,4]
+//!               [--json] [--out <path>] [--require-separation] [--check-schema <path>]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]
 //!                  [--out <path>] [--check] [--tolerance PCT]
@@ -25,6 +28,8 @@
 //!                   [--out <path>] [--check] [--tolerance PCT]
 //! rrs list
 //! ```
+
+mod scenarios;
 
 use rrs_analysis::experiments::{run_experiment, ExpOptions, ALL_IDS};
 use rrs_analysis::runner::{run_kind, PolicyKind};
@@ -42,6 +47,7 @@ fn main() -> ExitCode {
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
+        Some("scenarios") => scenarios::cmd_scenarios(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("bench-service") => cmd_bench_service(&args[1..]),
@@ -62,6 +68,8 @@ fn main() -> ExitCode {
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                                [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
                                [--ingest batched|per-command] [--storage memory|disk] [--data-dir PATH]\n  \
+                 rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H] [--policies ..] [--workloads ..]\n  \
+                               [--shard-list 1,4] [--json] [--out <path>] [--require-separation] [--check-schema <path>]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]\n  \
                                   [--out <path>] [--check] [--tolerance PCT]\n  \

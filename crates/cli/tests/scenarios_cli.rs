@@ -1,0 +1,97 @@
+//! End-to-end smokes for `rrs scenarios`: determinism from a fixed seed,
+//! schema conformance of the JSON report, the adversarial separation gate,
+//! and clean (panic-free, exit-code-2) rejection of invalid specs.
+
+use std::process::{Command, Output};
+
+fn rrs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rrs"))
+        .args(args)
+        .output()
+        .expect("spawn rrs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Small axes so the smoke stays fast: 3 policies x 4 workloads x 2 shard
+/// counts — still wide enough for the schema's minimums.
+const QUICK: &[&str] = &[
+    "scenarios",
+    "--quick",
+    "--policies",
+    "dlru-edf,dlru,edf",
+    "--workloads",
+    "dlru-adversary,edf-adversary,drifting,bursty",
+    "--shard-list",
+    "1,2",
+];
+
+#[test]
+fn quick_sweep_is_deterministic_and_passes_separation() {
+    let args: Vec<&str> = QUICK.iter().chain(&["--json", "--require-separation"]).copied().collect();
+    let first = rrs(&args);
+    assert!(first.status.success(), "sweep failed: {}", stderr(&first));
+    let second = rrs(&args);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "two sweeps from the same seed must be byte-identical"
+    );
+    // The report parses and the separation verdict is affirmative.
+    let doc = serde_json::parse(&String::from_utf8_lossy(&first.stdout)).expect("valid JSON");
+    let sep = doc.get_field("separation").expect("separation object");
+    assert_eq!(
+        sep.get_field("all_separated"),
+        Some(&serde_json::Value::Bool(true))
+    );
+}
+
+#[test]
+fn written_report_passes_the_schema_check() {
+    let out_path = std::env::temp_dir().join(format!("rrs-scen-cli-{}.json", std::process::id()));
+    let out_str = out_path.to_str().unwrap();
+    let args: Vec<&str> = QUICK.iter().chain(&["--out", out_str]).copied().collect();
+    let run = rrs(&args);
+    assert!(run.status.success(), "sweep failed: {}", stderr(&run));
+    let check = rrs(&["scenarios", "--check-schema", out_str]);
+    assert!(check.status.success(), "schema check failed: {}", stderr(&check));
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn schema_check_rejects_a_malformed_report() {
+    let out_path = std::env::temp_dir().join(format!("rrs-scen-bad-{}.json", std::process::id()));
+    std::fs::write(&out_path, "{\"report\": \"scenarios\", \"cells\": []}").unwrap();
+    let check = rrs(&["scenarios", "--check-schema", out_path.to_str().unwrap()]);
+    assert!(!check.status.success());
+    assert!(stderr(&check).contains("schema"), "stderr: {}", stderr(&check));
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn invalid_specs_are_rejected_cleanly() {
+    // Overflowing adversary size: validate() catches the 2^k overflow before
+    // any generator can panic on a shift.
+    let bad_size = rrs(&["scenarios", "--quick", "--size", "70"]);
+    assert_eq!(bad_size.status.code(), Some(2));
+    let err = stderr(&bad_size);
+    assert!(err.contains("invalid"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "must fail cleanly, got: {err}");
+
+    // Unknown axis entries.
+    for args in [
+        &["scenarios", "--quick", "--policies", "dlru-edf,hindsight"][..],
+        &["scenarios", "--quick", "--workloads", "dlru-adversary,zeta"][..],
+        &["scenarios", "--quick", "--size", "not-a-number"][..],
+    ] {
+        let out = rrs(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(!stderr(&out).contains("panicked"), "args {args:?}");
+    }
+
+    // Unreadable schema-check target.
+    let missing = rrs(&["scenarios", "--check-schema", "/nonexistent/nope.json"]);
+    assert_eq!(missing.status.code(), Some(2));
+}

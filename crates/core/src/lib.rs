@@ -33,6 +33,7 @@ pub mod engine;
 pub mod error;
 pub mod job;
 pub mod latency;
+pub mod metrics;
 pub mod normalize;
 pub mod pending;
 pub mod resource;
@@ -48,6 +49,7 @@ pub use engine::{Engine, EngineOptions, EngineView, Policy};
 pub use error::{Error, Result};
 pub use job::Job;
 pub use latency::LatencyHistogram;
+pub use metrics::{run_objectives, schedule_objectives, ObjectiveMetrics};
 pub use pending::PendingJobs;
 pub use resource::{CacheState, CacheTarget};
 pub use schedule::{check_schedule, ExplicitSchedule, ScheduleStep};

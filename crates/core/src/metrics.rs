@@ -1,0 +1,375 @@
+//! Richer scheduling objectives extracted from recorded schedules.
+//!
+//! The paper's objective is reconfiguration + drop cost, but QoS comparisons
+//! also care about *how* the served jobs were served. Following the
+//! delay-factor and weighted-flow objectives of Chekuri–Moseley
+//! (arXiv:0807.1891), [`schedule_objectives`] replays a recorded
+//! [`ExplicitSchedule`] against its [`Trace`] and computes, per executed job
+//! of color ℓ with arrival round `a` executed in round `r`:
+//!
+//! * **flow time** `F = r − a + 1` (completion at the end of the execution
+//!   round, so a job served in its arrival round has flow 1);
+//! * **weighted flow** `c_ℓ · F`, using the color's drop cost as its weight;
+//! * **delay factor** `F / D_ℓ ∈ (0, 1]` — how deep into its feasibility
+//!   window the job ran. In Chekuri–Moseley jobs may finish past their
+//!   deadline (factor > 1); in this model a late job is dropped instead, so
+//!   the factor of a *served* job never exceeds 1 and drops are reported
+//!   separately (`dropped`), exactly as the cost model does.
+//!
+//! The replay shares only [`PendingJobs`] with the engine: executions consume
+//! the earliest-deadline pending job of their color (the engine's own
+//! execution rule), so the arrival round of each executed job — and therefore
+//! every metric — is a pure function of `(trace, schedule)`. This makes the
+//! metrics computable offline from any conformant run, including a live
+//! service run whose batch replay is bit-identical.
+
+use crate::color::ColorId;
+use crate::error::{Error, Result};
+use crate::pending::PendingJobs;
+use crate::schedule::ExplicitSchedule;
+use crate::stats::RunResult;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Flow/delay-factor aggregates over the executed jobs of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveMetrics {
+    /// Jobs executed (each contributes one flow/delay-factor sample).
+    pub executed: u64,
+    /// Jobs dropped (no flow sample; reported for context).
+    pub dropped: u64,
+    /// Σ flow time over executed jobs, in rounds.
+    pub flow_total: u64,
+    /// Σ `drop_cost(color) × flow` over executed jobs.
+    pub weighted_flow: u64,
+    /// Σ `flow / D_color` over executed jobs.
+    pub delay_factor_sum: f64,
+    /// Max `flow / D_color` over executed jobs (0 when none executed).
+    pub max_delay_factor: f64,
+}
+
+impl ObjectiveMetrics {
+    /// Mean flow time of executed jobs, in rounds (0 when none executed).
+    pub fn mean_flow(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.flow_total as f64 / self.executed as f64
+        }
+    }
+
+    /// Mean delay factor of executed jobs (0 when none executed).
+    pub fn mean_delay_factor(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.delay_factor_sum / self.executed as f64
+        }
+    }
+
+    /// Folds another run's aggregates into this one (fleet-level totals).
+    pub fn merge(&mut self, other: &ObjectiveMetrics) {
+        self.executed += other.executed;
+        self.dropped += other.dropped;
+        self.flow_total += other.flow_total;
+        self.weighted_flow += other.weighted_flow;
+        self.delay_factor_sum += other.delay_factor_sum;
+        self.max_delay_factor = self.max_delay_factor.max(other.max_delay_factor);
+    }
+}
+
+/// Replays `schedule` against `trace` and computes the flow/delay-factor
+/// objectives of its executions.
+///
+/// Only the execution lists are consulted — cache feasibility is
+/// [`crate::schedule::check_schedule`]'s job — but executions must still name
+/// pending jobs: an execution of a color with nothing pending in its window
+/// is an [`Error::InvalidSchedule`], as are out-of-order or beyond-horizon
+/// steps.
+pub fn schedule_objectives(trace: &Trace, schedule: &ExplicitSchedule) -> Result<ObjectiveMetrics> {
+    let colors = trace.colors();
+    let minis = schedule.speed.mini_rounds();
+    let mut pending = PendingJobs::new(colors.len());
+    let mut m = ObjectiveMetrics::default();
+    let horizon = trace.horizon();
+    let mut steps = schedule.steps.iter().peekable();
+
+    for round in 0..=horizon {
+        pending.drop_expired(round);
+        for (color, count) in trace.arrivals_at(round) {
+            pending.arrive(color, round + colors.delay_bound(color), count);
+        }
+        for mini in 0..minis {
+            let step = match steps.peek() {
+                Some(s) if s.round == round && s.mini == mini => {
+                    steps.next().expect("peeked step exists")
+                }
+                Some(s) if (s.round, s.mini) < (round, mini) => {
+                    return Err(Error::InvalidSchedule {
+                        round,
+                        reason: format!(
+                            "step ({}, {}) out of order or duplicated",
+                            s.round, s.mini
+                        ),
+                    });
+                }
+                _ => continue,
+            };
+            if step.mini >= minis {
+                return Err(Error::InvalidSchedule {
+                    round,
+                    reason: format!("mini-round {} exceeds speed {}", step.mini, minis),
+                });
+            }
+            for &c in &step.executed {
+                let deadline = pending.execute_one(c).ok_or(Error::InvalidSchedule {
+                    round,
+                    reason: format!("execution of {c} with no pending job"),
+                })?;
+                record_execution(&mut m, trace, c, round, deadline);
+            }
+        }
+    }
+    if let Some(s) = steps.next() {
+        return Err(Error::InvalidSchedule {
+            round: s.round,
+            reason: format!("step at round {} beyond the horizon {horizon}", s.round),
+        });
+    }
+    m.dropped = trace.total_jobs() - m.executed;
+    Ok(m)
+}
+
+fn record_execution(
+    m: &mut ObjectiveMetrics,
+    trace: &Trace,
+    color: ColorId,
+    round: u64,
+    deadline: u64,
+) {
+    let d = trace.colors().delay_bound(color);
+    let arrival = deadline - d;
+    let flow = round - arrival + 1;
+    m.executed += 1;
+    m.flow_total += flow;
+    m.weighted_flow += trace.colors().drop_cost(color) * flow;
+    let df = flow as f64 / d as f64;
+    m.delay_factor_sum += df;
+    if df > m.max_delay_factor {
+        m.max_delay_factor = df;
+    }
+}
+
+/// Extracts the objectives of a finished run from its recorded schedule.
+///
+/// Fails with [`Error::InvalidParameter`] when the run kept no schedule
+/// (`EngineOptions::record_schedule` off), and cross-checks the replay
+/// against the run's own executed/dropped accounting — a mismatch means the
+/// schedule does not belong to this `(trace, result)` pair.
+pub fn run_objectives(trace: &Trace, result: &RunResult) -> Result<ObjectiveMetrics> {
+    let schedule = result.schedule.as_ref().ok_or_else(|| {
+        Error::InvalidParameter(
+            "run kept no schedule (enable EngineOptions::record_schedule)".into(),
+        )
+    })?;
+    let m = schedule_objectives(trace, schedule)?;
+    if m.executed != result.executed || m.dropped != result.dropped_jobs {
+        return Err(Error::InvalidParameter(format!(
+            "schedule executes {} and drops {} jobs but the run recorded {} / {}",
+            m.executed, m.dropped, result.executed, result.dropped_jobs
+        )));
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::engine::{Engine, EngineOptions, EngineView, Policy};
+    use crate::resource::CacheTarget;
+    use crate::schedule::ScheduleStep;
+    use crate::time::{Round, Speed};
+    use crate::trace::TraceBuilder;
+
+    fn c(i: u32) -> ColorId {
+        ColorId(i)
+    }
+
+    #[test]
+    fn hand_built_schedule_metrics() {
+        // Two jobs of color 0 (D=4) arrive at round 0; serve one at round 0
+        // (flow 1, df 1/4) and one at round 2 (flow 3, df 3/4).
+        let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 2).build();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        for round in [0, 2] {
+            s.steps
+                .push(ScheduleStep::new(round, 0, CacheTarget::singles([c(0)]), vec![c(0)]));
+        }
+        let m = schedule_objectives(&trace, &s).unwrap();
+        assert_eq!(m.executed, 2);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.flow_total, 4);
+        assert_eq!(m.weighted_flow, 4);
+        assert!((m.mean_flow() - 2.0).abs() < 1e-12);
+        assert!((m.mean_delay_factor() - 0.5).abs() < 1e-12);
+        assert!((m.max_delay_factor - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_use_drop_costs() {
+        let mut colors = crate::color::ColorTable::new();
+        colors.push(crate::color::ColorInfo::with_drop_cost(4, 5));
+        let trace = TraceBuilder::with_colors(colors).jobs(0, 0, 1).build();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps
+            .push(ScheduleStep::new(1, 0, CacheTarget::singles([c(0)]), vec![c(0)]));
+        let m = schedule_objectives(&trace, &s).unwrap();
+        assert_eq!(m.flow_total, 2);
+        assert_eq!(m.weighted_flow, 10);
+    }
+
+    #[test]
+    fn drops_are_counted_not_sampled() {
+        let trace = TraceBuilder::with_delay_bounds(&[2]).jobs(0, 0, 3).build();
+        let s = ExplicitSchedule::new(1, Speed::Uni); // never executes
+        let m = schedule_objectives(&trace, &s).unwrap();
+        assert_eq!(m.executed, 0);
+        assert_eq!(m.dropped, 3);
+        assert_eq!(m.mean_flow(), 0.0);
+        assert_eq!(m.mean_delay_factor(), 0.0);
+        assert_eq!(m.max_delay_factor, 0.0);
+    }
+
+    #[test]
+    fn executions_consume_earliest_deadline_first() {
+        // Color 0 (D=4) arrives at rounds 0 and 2. A single execution at
+        // round 3 must serve the *round-0* job (flow 4), not the round-2 one.
+        let trace = TraceBuilder::with_delay_bounds(&[4])
+            .jobs(0, 0, 1)
+            .jobs(2, 0, 1)
+            .build();
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps
+            .push(ScheduleStep::new(3, 0, CacheTarget::singles([c(0)]), vec![c(0)]));
+        let m = schedule_objectives(&trace, &s).unwrap();
+        assert_eq!(m.executed, 1);
+        assert_eq!(m.flow_total, 4);
+        assert!((m.max_delay_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 1).build();
+        // Execution with nothing pending.
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps
+            .push(ScheduleStep::new(0, 0, CacheTarget::singles([c(0)]), vec![c(0), c(0)]));
+        assert!(schedule_objectives(&trace, &s).is_err());
+        // Step beyond horizon.
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps
+            .push(ScheduleStep::new(99, 0, CacheTarget::empty(), vec![]));
+        assert!(schedule_objectives(&trace, &s).is_err());
+        // Out-of-order steps.
+        let mut s = ExplicitSchedule::new(1, Speed::Uni);
+        s.steps.push(ScheduleStep::new(1, 0, CacheTarget::empty(), vec![]));
+        s.steps.push(ScheduleStep::new(0, 0, CacheTarget::empty(), vec![]));
+        assert!(schedule_objectives(&trace, &s).is_err());
+    }
+
+    /// A deterministic executing policy for engine-integration tests.
+    struct TopPending;
+    impl Policy for TopPending {
+        fn name(&self) -> String {
+            "top-pending".into()
+        }
+        fn reconfigure(&mut self, _r: Round, _m: u32, view: &EngineView) -> CacheTarget {
+            let mut colors = view.pending.nonidle_colors();
+            colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
+            colors.truncate(view.n);
+            CacheTarget::singles(colors)
+        }
+    }
+
+    #[test]
+    fn run_objectives_agrees_with_engine_accounting() {
+        let trace = TraceBuilder::with_delay_bounds(&[2, 4, 8])
+            .jobs(0, 0, 3)
+            .jobs(0, 2, 5)
+            .jobs(3, 1, 4)
+            .jobs(6, 0, 2)
+            .build();
+        let mut policy = TopPending;
+        let result = Engine::with_options(EngineOptions {
+            record_schedule: true,
+            track_latency: true,
+            ..Default::default()
+        })
+        .run(&trace, &mut policy, 2, CostModel::new(2))
+        .unwrap();
+        let m = run_objectives(&trace, &result).unwrap();
+        assert_eq!(m.executed, result.executed);
+        assert_eq!(m.dropped, result.dropped_jobs);
+        // Flow = sojourn + 1, so the engine's latency histogram pins the sum.
+        let lat = result.latency.as_ref().unwrap();
+        let sojourn_sum: u64 = lat
+            .buckets()
+            .iter()
+            .enumerate()
+            .map(|(l, &n)| l as u64 * n)
+            .sum();
+        assert_eq!(m.flow_total, sojourn_sum + m.executed);
+        // Unit drop costs here: weighted flow equals plain flow.
+        assert_eq!(m.weighted_flow, m.flow_total);
+        assert!(m.max_delay_factor <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn run_objectives_requires_a_schedule_and_matching_counts() {
+        let trace = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 2).build();
+        let mut policy = TopPending;
+        let bare = Engine::new()
+            .run(&trace, &mut policy, 1, CostModel::new(1))
+            .unwrap();
+        assert!(run_objectives(&trace, &bare).is_err(), "no schedule kept");
+
+        let mut policy = TopPending;
+        let recorded = Engine::with_options(EngineOptions {
+            record_schedule: true,
+            ..Default::default()
+        })
+        .run(&trace, &mut policy, 1, CostModel::new(1))
+        .unwrap();
+        // Mismatched trace: the schedule no longer matches the accounting.
+        let other = TraceBuilder::with_delay_bounds(&[4]).jobs(0, 0, 7).build();
+        assert!(run_objectives(&other, &recorded).is_err());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ObjectiveMetrics {
+            executed: 2,
+            dropped: 1,
+            flow_total: 5,
+            weighted_flow: 9,
+            delay_factor_sum: 0.75,
+            max_delay_factor: 0.5,
+        };
+        let b = ObjectiveMetrics {
+            executed: 1,
+            dropped: 0,
+            flow_total: 4,
+            weighted_flow: 4,
+            delay_factor_sum: 1.0,
+            max_delay_factor: 1.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.executed, 3);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.flow_total, 9);
+        assert_eq!(a.weighted_flow, 13);
+        assert!((a.delay_factor_sum - 1.75).abs() < 1e-12);
+        assert!((a.max_delay_factor - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Brute-force oracle for the flow/delay-factor metrics.
+//!
+//! `schedule_objectives` shares `PendingJobs` (count-per-deadline buckets)
+//! with the engine. The oracle here tracks every job *individually* as an
+//! `(arrival, deadline)` record and recomputes the same objectives with
+//! naive scans — if the two ever disagree on a random small trace, one of
+//! them is lying about which job an execution served.
+
+use proptest::prelude::*;
+use rrs_core::engine::{Engine, EngineOptions, EngineView, Policy};
+use rrs_core::metrics::{schedule_objectives, ObjectiveMetrics};
+use rrs_core::prelude::*;
+use rrs_core::schedule::ExplicitSchedule;
+use rrs_core::time::Speed;
+
+/// Deterministic executing policy: cache the n colors with the most pending
+/// jobs (ties by color id).
+struct TopPending;
+
+impl Policy for TopPending {
+    fn name(&self) -> String {
+        "top-pending".into()
+    }
+    fn reconfigure(&mut self, _round: Round, _mini: u32, view: &EngineView) -> CacheTarget {
+        let mut colors = view.pending.nonidle_colors();
+        colors.sort_by_key(|&c| (std::cmp::Reverse(view.pending.count(c)), c));
+        colors.truncate(view.n);
+        CacheTarget::singles(colors)
+    }
+}
+
+/// Individual-job replay of a schedule: the independent oracle.
+fn brute_force(trace: &Trace, schedule: &ExplicitSchedule) -> ObjectiveMetrics {
+    let colors = trace.colors();
+    // Live jobs per color as (arrival, deadline), kept in arrival order.
+    let mut live: Vec<Vec<(u64, u64)>> = vec![Vec::new(); colors.len()];
+    let mut m = ObjectiveMetrics::default();
+    let mut steps = schedule.steps.iter().peekable();
+
+    for round in 0..=trace.horizon() {
+        for jobs in live.iter_mut() {
+            let before = jobs.len() as u64;
+            jobs.retain(|&(_, deadline)| deadline > round);
+            m.dropped += before - jobs.len() as u64;
+        }
+        for (color, count) in trace.arrivals_at(round) {
+            for _ in 0..count {
+                live[color.index()].push((round, round + colors.delay_bound(color)));
+            }
+        }
+        for mini in 0..schedule.speed.mini_rounds() {
+            let Some(step) = steps.peek() else { continue };
+            if (step.round, step.mini) != (round, mini) {
+                continue;
+            }
+            let step = steps.next().expect("peeked step exists");
+            for &color in &step.executed {
+                let jobs = &mut live[color.index()];
+                let (pos, _) = jobs
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &(arrival, deadline))| (deadline, arrival))
+                    .expect("schedule executes a color with no pending job");
+                let (arrival, _) = jobs.remove(pos);
+                let d = colors.delay_bound(color);
+                let flow = round - arrival + 1;
+                m.executed += 1;
+                m.flow_total += flow;
+                m.weighted_flow += colors.drop_cost(color) * flow;
+                let df = flow as f64 / d as f64;
+                m.delay_factor_sum += df;
+                if df > m.max_delay_factor {
+                    m.max_delay_factor = df;
+                }
+            }
+        }
+    }
+    for jobs in &live {
+        m.dropped += jobs.len() as u64;
+    }
+    m
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // Up to 4 colors with small delay bounds and drop costs, up to 12
+    // arrival batches in the first 24 rounds.
+    (
+        proptest::collection::vec((1u64..=8, 1u64..=5), 1..=4),
+        proptest::collection::vec((0u64..24, 0u32..4, 1u64..=4), 1..=12),
+    )
+        .prop_map(|(colors, batches)| {
+            let ncolors = colors.len() as u32;
+            let mut table = ColorTable::new();
+            for (d, c) in colors {
+                table.push(ColorInfo::with_drop_cost(d, c));
+            }
+            let mut b = TraceBuilder::with_colors(table);
+            for (round, color, count) in batches {
+                b = b.jobs(round, color % ncolors, count);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_match_individual_job_oracle(
+        trace in arb_trace(),
+        n in 1usize..=3,
+        double in prop_oneof![Just(false), Just(true)],
+    ) {
+        let speed = if double { Speed::Double } else { Speed::Uni };
+        let mut policy = TopPending;
+        let result = Engine::with_options(EngineOptions {
+            speed,
+            record_schedule: true,
+            ..Default::default()
+        })
+        .run(&trace, &mut policy, n, CostModel::new(2))
+        .unwrap();
+        let schedule = result.schedule.as_ref().unwrap();
+
+        let fast = schedule_objectives(&trace, schedule).unwrap();
+        let slow = brute_force(&trace, schedule);
+
+        prop_assert_eq!(fast.executed, slow.executed);
+        prop_assert_eq!(fast.dropped, slow.dropped);
+        prop_assert_eq!(fast.flow_total, slow.flow_total);
+        prop_assert_eq!(fast.weighted_flow, slow.weighted_flow);
+        prop_assert!((fast.delay_factor_sum - slow.delay_factor_sum).abs() < 1e-9);
+        prop_assert!((fast.max_delay_factor - slow.max_delay_factor).abs() < 1e-12);
+        // Engine accounting agrees too.
+        prop_assert_eq!(fast.executed, result.executed);
+        prop_assert_eq!(fast.dropped, result.dropped_jobs);
+        prop_assert_eq!(fast.executed + fast.dropped, trace.total_jobs());
+        // Served jobs never run past their window in this model.
+        prop_assert!(fast.max_delay_factor <= 1.0 + 1e-12);
+    }
+}

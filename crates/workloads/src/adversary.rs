@@ -47,13 +47,23 @@ pub struct DlruAdversary {
 }
 
 impl DlruAdversary {
-    /// Checks the construction's constraints `2^k > 2^{j+1} > nΔ`.
+    /// Checks the construction's constraints `2^k > 2^{j+1} > nΔ` (plus
+    /// `Δ ≥ 1` and a horizon-overflow guard).
     pub fn validate(&self) -> Result<()> {
         if self.n == 0 || !self.n.is_multiple_of(2) {
             return Err(Error::InvalidParameter("n must be positive and even".into()));
         }
+        if self.delta == 0 {
+            return Err(Error::InvalidParameter("Δ must be positive".into()));
+        }
         if self.k <= self.j {
             return Err(Error::InvalidParameter("need k > j".into()));
+        }
+        if self.k >= 63 {
+            return Err(Error::InvalidParameter(format!(
+                "horizon 2^{} overflows: need k < 63",
+                self.k
+            )));
         }
         let n_delta = self.n as u64 * self.delta;
         if (1u64 << (self.j + 1)) <= n_delta {
@@ -103,6 +113,33 @@ impl DlruAdversary {
         let off = delta + 2f64.powi((self.k - self.j - 1) as i32) * n * delta;
         dlru / off
     }
+
+    /// Cost of the offline schedule described in Appendix A: one
+    /// reconfiguration to park a resource on the long color, then `n/2`
+    /// short colors recolored onto `n/2 - 1` resources every `2^j` rounds
+    /// over `2^k` rounds — `Δ + 2^{k-j-1}·n·Δ` total, zero drops.
+    pub fn offline_cost(&self) -> u64 {
+        self.delta + (1u64 << (self.k - self.j - 1)) * self.n as u64 * self.delta
+    }
+
+    /// An adaptive instance scaled by `size`: the number of colors
+    /// (`n = 4(⌊size/2⌋+1)`, kept a multiple of 4 so ΔLRU-EDF can run on the
+    /// same input), the short-period slack `j − ⌈log2(nΔ)⌉`, and the horizon
+    /// (`2^k`, `k = j + 2`) all grow with `size`. The slack is what drives
+    /// the paper's bound `≈ 2^{j+1}/(nΔ)` up — each size step roughly doubles
+    /// the competitive-ratio lower bound. `scaled(0)` is a 64-round toy.
+    pub fn scaled(size: u32) -> Self {
+        let n = 4 * (size as usize / 2 + 1);
+        let delta = 2 + size as u64;
+        let n_delta = n as u64 * delta;
+        let j = (63 - n_delta.leading_zeros()) + 1 + size; // floor(log2 nΔ)+1+size
+        DlruAdversary {
+            n,
+            delta,
+            j,
+            k: j + 2,
+        }
+    }
 }
 
 /// Appendix B: the adversary against EDF.
@@ -119,13 +156,20 @@ pub struct EdfAdversary {
 }
 
 impl EdfAdversary {
-    /// Checks the construction's constraints `2^k > 2^j > Δ > n`.
+    /// Checks the construction's constraints `2^k > 2^j > Δ > n` (plus a
+    /// horizon-overflow guard on `2^{k + n/2 - 1}`).
     pub fn validate(&self) -> Result<()> {
         if self.n == 0 || !self.n.is_multiple_of(2) {
             return Err(Error::InvalidParameter("n must be positive and even".into()));
         }
         if self.k <= self.j {
             return Err(Error::InvalidParameter("need k > j".into()));
+        }
+        if self.k as u64 + self.n as u64 / 2 >= 64 {
+            return Err(Error::InvalidParameter(format!(
+                "horizon 2^{{{} + {}/2 - 1}} overflows: need k + n/2 < 64",
+                self.k, self.n
+            )));
         }
         if (1u64 << self.j) <= self.delta {
             return Err(Error::InvalidParameter("need 2^j > Δ".into()));
@@ -170,6 +214,18 @@ impl EdfAdversary {
     pub fn offline_cost(&self) -> u64 {
         (self.n as u64 / 2 + 1) * self.delta
     }
+
+    /// An adaptive instance scaled by `size`: the base long exponent grows
+    /// (`k = 5 + size`), doubling the `2^{k + n/2 - 1}` horizon — and the
+    /// paper ratio bound — per step. `scaled(0)` is a 64-round toy.
+    pub fn scaled(size: u32) -> Self {
+        EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 3,
+            k: 5 + size,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +268,70 @@ mod tests {
             k: 6,
         };
         assert!(adv.validate().is_err(), "odd n rejected");
+    }
+
+    #[test]
+    fn dlru_adversary_validation_edge_cases() {
+        let good = DlruAdversary {
+            n: 4,
+            delta: 2,
+            j: 4,
+            k: 6,
+        };
+        assert!(good.validate().is_ok());
+        assert!(DlruAdversary { n: 0, ..good }.validate().is_err(), "zero n");
+        assert!(
+            DlruAdversary { delta: 0, ..good }.validate().is_err(),
+            "zero Δ"
+        );
+        assert!(
+            DlruAdversary { j: 6, k: 6, ..good }.validate().is_err(),
+            "k == j"
+        );
+        assert!(
+            DlruAdversary { j: 7, k: 6, ..good }.validate().is_err(),
+            "k < j"
+        );
+        assert!(
+            DlruAdversary { j: 60, k: 63, ..good }.validate().is_err(),
+            "horizon 2^63 overflows"
+        );
+    }
+
+    #[test]
+    fn dlru_offline_cost_matches_ratio_denominator() {
+        let adv = DlruAdversary {
+            n: 8,
+            delta: 2,
+            j: 7,
+            k: 9,
+        };
+        adv.validate().unwrap();
+        // paper_ratio_bound = (nΔ + 2^k) / offline_cost.
+        let expected = (adv.n as f64 * adv.delta as f64 + (1u64 << adv.k) as f64)
+            / adv.offline_cost() as f64;
+        assert!((adv.paper_ratio_bound() - expected).abs() < 1e-12);
+        assert_eq!(adv.offline_cost(), 2 + 2 * 8 * 2);
+    }
+
+    #[test]
+    fn dlru_scaled_instances_are_valid_and_grow() {
+        let mut prev_horizon = 0;
+        let mut prev_bound = 0.0;
+        for size in 0..5 {
+            let adv = DlruAdversary::scaled(size);
+            adv.validate().unwrap_or_else(|e| panic!("scaled({size}): {e}"));
+            assert_eq!(adv.n % 4, 0, "ΔLRU-EDF-compatible resource count");
+            assert_eq!(adv.n, 4 * (size as usize / 2 + 1), "colors scale");
+            let horizon = 1u64 << adv.k;
+            assert!(horizon > prev_horizon, "rounds scale");
+            prev_horizon = horizon;
+            // The ratio bound grows with size: the construction gets *worse*
+            // for ΔLRU as it scales, which makes it an adaptive adversary.
+            assert!(adv.paper_ratio_bound() > prev_bound, "bound scales");
+            prev_bound = adv.paper_ratio_bound();
+        }
+        assert!(DlruAdversary::scaled(0).paper_ratio_bound() >= 2.0);
     }
 
     #[test]
@@ -265,6 +385,40 @@ mod tests {
             k: 5,
         };
         assert!(bad_j.validate().is_err(), "needs 2^j > Δ");
+    }
+
+    #[test]
+    fn edf_adversary_validation_edge_cases() {
+        let good = EdfAdversary {
+            n: 4,
+            delta: 6,
+            j: 3,
+            k: 5,
+        };
+        assert!(good.validate().is_ok());
+        assert!(EdfAdversary { n: 0, ..good }.validate().is_err(), "zero n");
+        assert!(EdfAdversary { n: 5, ..good }.validate().is_err(), "odd n");
+        assert!(
+            EdfAdversary { j: 5, k: 5, ..good }.validate().is_err(),
+            "k == j"
+        );
+        assert!(
+            EdfAdversary { k: 62, ..good }.validate().is_err(),
+            "horizon 2^{{k + n/2 - 1}} overflows"
+        );
+    }
+
+    #[test]
+    fn edf_scaled_instances_are_valid_and_grow() {
+        let mut prev_bound = 0.0;
+        for size in 0..5 {
+            let adv = EdfAdversary::scaled(size);
+            adv.validate().unwrap_or_else(|e| panic!("scaled({size}): {e}"));
+            let bound = adv.paper_ratio_bound();
+            assert!(bound > prev_bound, "ratio bound doubles per size step");
+            prev_bound = bound;
+        }
+        assert_eq!(EdfAdversary::scaled(0).generate().horizon(), 64);
     }
 
     #[test]

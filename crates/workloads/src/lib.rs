@@ -8,10 +8,16 @@
 //! * random batched / rate-limited / general arrival processes
 //!   ([`RandomBatched`], [`RandomGeneral`], [`Bursty`]);
 //! * the introduction's application scenarios ([`Datacenter`], [`Router`],
-//!   [`BackgroundMix`]).
+//!   [`BackgroundMix`]);
+//! * time-varying stochastic workloads ([`DriftingDemand`], [`FlashCrowd`]),
+//!   sampled per round so they stream natively.
 //!
 //! Every generator is deterministic given `(parameters, seed)`, and
-//! [`WorkloadSpec`] makes the whole family serializable for experiment configs.
+//! [`WorkloadSpec`] makes the whole family serializable for experiment
+//! configs. The [`ArrivalSource`] trait is the streaming view of the same
+//! workloads — one round's arrivals at a time, bit-identical to the
+//! materialized [`rrs_core::Trace`] — which is how the live service consumes
+//! them ([`StreamingDriver`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,23 +27,29 @@ pub mod combinators;
 pub mod fit;
 pub mod multi_tenant;
 pub mod scenarios;
+pub mod source;
 pub mod spec;
+pub mod stochastic;
 pub mod synthetic;
 pub mod util;
 
 pub use adversary::{DlruAdversary, EdfAdversary};
 pub use combinators::{concat, flash_crowd, merge, scale_counts, shift};
 pub use fit::{fit, ArrivalModel, ColorModel};
-pub use multi_tenant::{MultiTenantLoad, OpenLoopDriver};
+pub use multi_tenant::{MultiTenantLoad, OpenLoopDriver, StreamingDriver};
 pub use scenarios::{BackgroundMix, Datacenter, Router};
+pub use source::{ArrivalSource, Seeded, TraceSource};
 pub use spec::WorkloadSpec;
+pub use stochastic::{DriftingDemand, FlashCrowd};
 pub use synthetic::{Bursty, RandomBatched, RandomGeneral};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::adversary::{DlruAdversary, EdfAdversary};
-    pub use crate::multi_tenant::{MultiTenantLoad, OpenLoopDriver};
+    pub use crate::multi_tenant::{MultiTenantLoad, OpenLoopDriver, StreamingDriver};
     pub use crate::scenarios::{BackgroundMix, Datacenter, Router};
+    pub use crate::source::{ArrivalSource, Seeded, TraceSource};
     pub use crate::spec::WorkloadSpec;
+    pub use crate::stochastic::{DriftingDemand, FlashCrowd};
     pub use crate::synthetic::{Bursty, RandomBatched, RandomGeneral};
 }

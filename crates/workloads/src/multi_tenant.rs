@@ -12,8 +12,9 @@
 //! therefore sees queue growth and backpressure rather than a conveniently
 //! slowed-down workload.
 
+use crate::source::ArrivalSource;
 use crate::spec::WorkloadSpec;
-use rrs_core::{ColorId, Round, Trace};
+use rrs_core::{ColorId, ColorTable, Round, Trace};
 use serde::{Deserialize, Serialize};
 
 /// An open-loop load over a fleet of identical-distribution tenants.
@@ -91,9 +92,69 @@ impl OpenLoopDriver {
     }
 }
 
+/// Open-loop traffic served *without* materializing traces up front: one
+/// [`ArrivalSource`] per tenant, queried round by round. For natively
+/// streaming sources (the adversaries, the per-round-seeded stochastic
+/// generators) nothing is ever materialized; [`StreamingDriver::oracle`]
+/// builds a tenant's offline reference trace on demand.
+pub struct StreamingDriver {
+    sources: Vec<Box<dyn ArrivalSource>>,
+    horizon: Round,
+}
+
+impl StreamingDriver {
+    /// Wraps one source per tenant (tenant ids are the vector indices).
+    pub fn new(sources: Vec<Box<dyn ArrivalSource>>) -> Self {
+        let horizon = sources.iter().map(|s| s.horizon()).max().unwrap_or(0);
+        StreamingDriver { sources, horizon }
+    }
+
+    /// Builds the streaming equivalent of [`OpenLoopDriver::new`]: tenant
+    /// `t` streams `load.workload` under seed `load.tenant_seed(t)`, after
+    /// validating the spec once.
+    pub fn from_load(load: &MultiTenantLoad) -> rrs_core::Result<Self> {
+        let sources = (0..load.tenants)
+            .map(|t| load.workload.source(load.tenant_seed(t)))
+            .collect::<rrs_core::Result<Vec<_>>>()?;
+        Ok(StreamingDriver::new(sources))
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> u64 {
+        self.sources.len() as u64
+    }
+
+    /// The max deadline over all tenants — same contract as
+    /// [`OpenLoopDriver::horizon`].
+    pub fn horizon(&self) -> Round {
+        self.horizon
+    }
+
+    /// One tenant's source.
+    pub fn source(&self, tenant: u64) -> &dyn ArrivalSource {
+        self.sources[tenant as usize].as_ref()
+    }
+
+    /// One tenant's color table.
+    pub fn colors(&self, tenant: u64) -> ColorTable {
+        self.sources[tenant as usize].colors()
+    }
+
+    /// Arrivals for `(tenant, round)` in color order (empty when idle).
+    pub fn arrivals(&self, tenant: u64, round: Round) -> Vec<(ColorId, u64)> {
+        self.sources[tenant as usize].arrivals_at(round)
+    }
+
+    /// Materializes one tenant's offline oracle trace.
+    pub fn oracle(&self, tenant: u64) -> Trace {
+        self.sources[tenant as usize].to_trace()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::DlruAdversary;
     use crate::synthetic::RandomBatched;
 
     fn load(tenants: u64) -> MultiTenantLoad {
@@ -138,5 +199,45 @@ mod tests {
         let d = OpenLoopDriver::new(&l);
         let max = (0..5).map(|t| l.trace_for(t).horizon()).max().unwrap();
         assert_eq!(d.horizon(), max);
+    }
+
+    #[test]
+    fn streaming_driver_matches_open_loop_driver() {
+        let l = load(3);
+        let open = OpenLoopDriver::new(&l);
+        let streaming = StreamingDriver::from_load(&l).unwrap();
+        assert_eq!(streaming.tenants(), open.tenants());
+        assert_eq!(streaming.horizon(), open.horizon());
+        for t in 0..3 {
+            assert_eq!(&streaming.oracle(t), open.trace(t));
+            assert_eq!(streaming.colors(t), *open.trace(t).colors());
+            for r in 0..=open.horizon() {
+                assert_eq!(streaming.arrivals(t, r), open.arrivals(t, r));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_driver_streams_adversaries_natively() {
+        let adv = DlruAdversary { n: 4, delta: 2, j: 4, k: 6 };
+        let l = MultiTenantLoad::new(WorkloadSpec::DlruAdversary(adv), 2, 1);
+        let d = StreamingDriver::from_load(&l).unwrap();
+        assert_eq!(d.horizon(), 64);
+        // Deterministic adversaries ignore tenant seeds: all tenants stream
+        // the identical sequence.
+        for r in 0..=d.horizon() {
+            assert_eq!(d.arrivals(0, r), d.arrivals(1, r));
+        }
+        assert_eq!(d.oracle(0), adv.generate());
+    }
+
+    #[test]
+    fn streaming_driver_rejects_invalid_specs() {
+        let bad = MultiTenantLoad::new(
+            WorkloadSpec::DlruAdversary(DlruAdversary { n: 3, delta: 2, j: 4, k: 6 }),
+            2,
+            1,
+        );
+        assert!(StreamingDriver::from_load(&bad).is_err());
     }
 }

@@ -53,6 +53,21 @@ impl Default for Datacenter {
 }
 
 impl Datacenter {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.interactive_services + self.batch_services == 0 {
+            return Err(Error::InvalidParameter("no services".into()));
+        }
+        if self.interactive_delay == 0 || self.batch_delay == 0 {
+            return Err(Error::InvalidParameter("delay bounds must be positive".into()));
+        }
+        if self.period == 0 {
+            return Err(Error::InvalidParameter("period must be positive".into()));
+        }
+        crate::synthetic::check_rate("peak_rate", self.peak_rate)?;
+        crate::synthetic::check_bounds_and_horizon(&[self.interactive_delay], self.horizon)
+    }
+
     /// Generates the trace for `seed`.
     pub fn generate(&self, seed: u64) -> Trace {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -113,6 +128,25 @@ impl Default for Router {
 }
 
 impl Router {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        crate::synthetic::check_bounds_and_horizon(&self.delay_bounds, self.horizon)?;
+        crate::synthetic::check_rate("flowlet_rate", self.flowlet_rate)?;
+        if !self.pareto_alpha.is_finite()
+            || self.pareto_alpha <= 0.0
+            || !self.pareto_scale.is_finite()
+            || self.pareto_scale <= 0.0
+        {
+            return Err(Error::InvalidParameter(
+                "Pareto shape and scale must be positive".into(),
+            ));
+        }
+        if self.max_flowlet == 0 {
+            return Err(Error::InvalidParameter("max_flowlet must be positive".into()));
+        }
+        Ok(())
+    }
+
     /// Generates the trace for `seed`.
     pub fn generate(&self, seed: u64) -> Trace {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -170,6 +204,17 @@ impl Default for BackgroundMix {
 }
 
 impl BackgroundMix {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.short_delay == 0 || self.background_delay == 0 {
+            return Err(Error::InvalidParameter("delay bounds must be positive".into()));
+        }
+        crate::synthetic::check_rate("background_backlog", self.background_backlog)?;
+        crate::synthetic::check_rate("burst_load", self.burst_load)?;
+        crate::synthetic::check_unit_interval("burst_prob", self.burst_prob)?;
+        crate::synthetic::check_bounds_and_horizon(&[self.short_delay], self.horizon)
+    }
+
     /// Generates the trace for `seed`. Color ids `0..short_colors` are the
     /// short-term colors; the last color is the background color.
     pub fn generate(&self, seed: u64) -> Trace {
@@ -260,6 +305,50 @@ mod tests {
         assert!(t.total_jobs() > 0);
         let max_batch = t.iter().map(|a| a.count).max().unwrap();
         assert!(max_batch >= 8, "some large flowlets: {max_batch}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(Datacenter::default().validate().is_ok());
+        assert!(Datacenter {
+            interactive_services: 0,
+            batch_services: 0,
+            ..Datacenter::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Datacenter {
+            period: 0,
+            ..Datacenter::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Router::default().validate().is_ok());
+        assert!(Router {
+            pareto_alpha: 0.0,
+            ..Router::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Router {
+            max_flowlet: 0,
+            ..Router::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BackgroundMix::default().validate().is_ok());
+        assert!(BackgroundMix {
+            burst_prob: 2.0,
+            ..BackgroundMix::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BackgroundMix {
+            background_delay: 0,
+            ..BackgroundMix::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

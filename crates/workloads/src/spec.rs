@@ -2,10 +2,15 @@
 //!
 //! [`WorkloadSpec`] lets experiment drivers, sweep configurations and CLI
 //! invocations name any workload + parameters as data (JSON-serializable), and
-//! regenerate the identical trace from a seed.
+//! regenerate the identical trace from a seed. [`WorkloadSpec::source`] hands
+//! out the streaming view of the same workload — [`crate::ArrivalSource`] —
+//! with validation up front, so a live service can consume any spec round by
+//! round while the materialized trace remains the conformance oracle.
 
 use crate::adversary::{DlruAdversary, EdfAdversary};
 use crate::scenarios::{BackgroundMix, Datacenter, Router};
+use crate::source::{ArrivalSource, Seeded, TraceSource};
+use crate::stochastic::{DriftingDemand, FlashCrowd};
 use crate::synthetic::{Bursty, RandomBatched, RandomGeneral};
 use rrs_core::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -29,6 +34,10 @@ pub enum WorkloadSpec {
     Router(Router),
     /// Background + short-term mix from the introduction.
     BackgroundMix(BackgroundMix),
+    /// Demand drifting across the delay-class spectrum.
+    Drifting(DriftingDemand),
+    /// Base load with seed-placed flash crowds.
+    FlashCrowd(FlashCrowd),
 }
 
 impl WorkloadSpec {
@@ -43,7 +52,49 @@ impl WorkloadSpec {
             WorkloadSpec::Datacenter(g) => g.generate(seed),
             WorkloadSpec::Router(g) => g.generate(seed),
             WorkloadSpec::BackgroundMix(g) => g.generate(seed),
+            WorkloadSpec::Drifting(g) => g.generate(seed),
+            WorkloadSpec::FlashCrowd(g) => g.generate(seed),
         }
+    }
+
+    /// Checks the generator's parameters without generating anything.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            WorkloadSpec::DlruAdversary(a) => a.validate(),
+            WorkloadSpec::EdfAdversary(a) => a.validate(),
+            WorkloadSpec::RandomBatched(g) => g.validate(),
+            WorkloadSpec::RandomGeneral(g) => g.validate(),
+            WorkloadSpec::Bursty(g) => g.validate(),
+            WorkloadSpec::Datacenter(g) => g.validate(),
+            WorkloadSpec::Router(g) => g.validate(),
+            WorkloadSpec::BackgroundMix(g) => g.validate(),
+            WorkloadSpec::Drifting(g) => g.validate(),
+            WorkloadSpec::FlashCrowd(g) => g.validate(),
+        }
+    }
+
+    /// The streaming view of this workload: validates, then returns a source
+    /// whose [`ArrivalSource::to_trace`] equals [`WorkloadSpec::generate`]
+    /// for the same seed.
+    ///
+    /// Adversaries and the per-round-seeded stochastic generators stream
+    /// natively (no trace is materialized); the sequential-RNG generators
+    /// fall back to a [`TraceSource`] wrapping their generated trace.
+    pub fn source(&self, seed: u64) -> Result<Box<dyn ArrivalSource>> {
+        self.validate()?;
+        Ok(match self {
+            WorkloadSpec::DlruAdversary(a) => Box::new(*a),
+            WorkloadSpec::EdfAdversary(a) => Box::new(*a),
+            WorkloadSpec::Drifting(g) => Box::new(Seeded {
+                generator: g.clone(),
+                seed,
+            }),
+            WorkloadSpec::FlashCrowd(g) => Box::new(Seeded {
+                generator: g.clone(),
+                seed,
+            }),
+            other => Box::new(TraceSource::new(other.name(), other.generate(seed))),
+        })
     }
 
     /// Short name for reports.
@@ -57,6 +108,8 @@ impl WorkloadSpec {
             WorkloadSpec::Datacenter(_) => "datacenter",
             WorkloadSpec::Router(_) => "router",
             WorkloadSpec::BackgroundMix(_) => "background-mix",
+            WorkloadSpec::Drifting(_) => "drifting",
+            WorkloadSpec::FlashCrowd(_) => "flash-crowd",
         }
     }
 }
@@ -88,6 +141,19 @@ mod tests {
     }
 
     #[test]
+    fn new_variants_serde_roundtrip() {
+        for spec in [
+            WorkloadSpec::Drifting(DriftingDemand::default()),
+            WorkloadSpec::FlashCrowd(FlashCrowd::default()),
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.generate(3), spec.generate(3));
+        }
+    }
+
+    #[test]
     fn adversaries_ignore_seed() {
         let spec = WorkloadSpec::DlruAdversary(DlruAdversary {
             n: 4,
@@ -96,5 +162,55 @@ mod tests {
             k: 6,
         });
         assert_eq!(spec.generate(1), spec.generate(99));
+    }
+
+    #[test]
+    fn source_streams_the_generated_trace() {
+        let specs = [
+            WorkloadSpec::DlruAdversary(DlruAdversary { n: 4, delta: 2, j: 4, k: 6 }),
+            WorkloadSpec::EdfAdversary(EdfAdversary { n: 4, delta: 6, j: 3, k: 5 }),
+            WorkloadSpec::Bursty(Bursty {
+                delay_bounds: vec![4, 8],
+                on_load: 0.8,
+                p_on: 0.5,
+                p_off: 0.5,
+                horizon: 64,
+                rate_limited: true,
+            }),
+            WorkloadSpec::Drifting(DriftingDemand {
+                horizon: 64,
+                ..DriftingDemand::default()
+            }),
+            WorkloadSpec::FlashCrowd(FlashCrowd {
+                horizon: 64,
+                width: 16,
+                ..FlashCrowd::default()
+            }),
+        ];
+        for spec in specs {
+            let src = spec.source(7).unwrap();
+            let oracle = spec.generate(7);
+            assert_eq!(src.to_trace(), oracle, "{}", spec.name());
+            assert_eq!(src.horizon(), oracle.horizon(), "{}", spec.name());
+            assert_eq!(src.name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn source_rejects_invalid_specs() {
+        let bad = WorkloadSpec::DlruAdversary(DlruAdversary {
+            n: 3,
+            delta: 2,
+            j: 4,
+            k: 6,
+        });
+        assert!(bad.validate().is_err());
+        assert!(bad.source(1).is_err(), "source validates up front");
+        let bad = WorkloadSpec::RandomGeneral(RandomGeneral {
+            delay_bounds: vec![4, 8],
+            rates: vec![0.5],
+            horizon: 64,
+        });
+        assert!(bad.source(1).is_err(), "would panic in generate otherwise");
     }
 }

@@ -1,0 +1,414 @@
+//! Time-varying stochastic workloads (drift and flash crowds).
+//!
+//! Both generators here follow the stochastic time-varying resource profile
+//! model of Hong–Xie–Wang (arXiv:2209.04123): a tenant's demand is a
+//! per-round random draw around a *time-varying* mean. The engine's color
+//! table is immutable within a run, so "delay bounds drift over time" is
+//! modeled as the demand *focus* drifting across a fixed spectrum of delay
+//! classes — the active delay bound changes even though the table does not,
+//! which is precisely what forces reconfiguration churn.
+//!
+//! Unlike the sequential-RNG generators in [`crate::synthetic`], every round
+//! here is sampled from its own RNG derived from `(seed, round)` via a
+//! SplitMix64 finalizer. That makes `arrivals_at(seed, round)` a pure
+//! function with random round access, so the streaming view
+//! ([`crate::source::Seeded`]) and the offline trace are identical by
+//! construction rather than by replaying a cursor.
+
+use crate::util::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// An RNG for one `(seed, round)` cell: SplitMix64-finalized so nearby
+/// rounds get uncorrelated streams.
+fn round_rng(seed: u64, round: u64) -> StdRng {
+    let mut z = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Demand that drifts across the delay-class spectrum.
+///
+/// `delay_bounds` is an ordered spectrum of delay classes. At round `r` a
+/// Gaussian demand window of width [`DriftingDemand::spread`] is centered on
+/// class index `focus(r)`, which sweeps the spectrum sinusoidally with period
+/// [`DriftingDemand::period`]; each color then draws Poisson arrivals with
+/// mean [`DriftingDemand::rate`]. Early in the period the load is all
+/// short-delay-bound traffic, half a period later it is all long — a policy
+/// that pins either end of the spectrum pays for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftingDemand {
+    /// Ordered spectrum of delay classes (short → long, powers of two).
+    pub delay_bounds: Vec<u64>,
+    /// Mean arrivals per round for the color at the focus.
+    pub peak_rate: f64,
+    /// Gaussian width of the demand window, in color-index units.
+    pub spread: f64,
+    /// Rounds per full sweep of the spectrum.
+    pub period: u64,
+    /// Number of rounds to generate.
+    pub horizon: Round,
+}
+
+impl Default for DriftingDemand {
+    fn default() -> Self {
+        DriftingDemand {
+            delay_bounds: vec![4, 8, 16, 32, 64, 128],
+            peak_rate: 2.0,
+            spread: 1.0,
+            period: 256,
+            horizon: 1024,
+        }
+    }
+}
+
+impl DriftingDemand {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.delay_bounds.is_empty() || self.delay_bounds.contains(&0) {
+            return Err(Error::InvalidParameter(
+                "delay_bounds must be non-empty and positive".into(),
+            ));
+        }
+        if !self.peak_rate.is_finite() || self.peak_rate < 0.0 {
+            return Err(Error::InvalidParameter(
+                "peak_rate must be finite and non-negative".into(),
+            ));
+        }
+        if !self.spread.is_finite() || self.spread <= 0.0 {
+            return Err(Error::InvalidParameter("spread must be positive".into()));
+        }
+        if self.period == 0 {
+            return Err(Error::InvalidParameter("period must be positive".into()));
+        }
+        if self.horizon == 0 {
+            return Err(Error::InvalidParameter("horizon must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// The focus of the demand window at `round`: a color index in
+    /// `[0, len-1]` sweeping the spectrum sinusoidally.
+    pub fn focus(&self, round: Round) -> f64 {
+        let last = (self.delay_bounds.len() - 1) as f64;
+        let phase = std::f64::consts::TAU * round as f64 / self.period as f64;
+        last * 0.5 * (1.0 - phase.cos())
+    }
+
+    /// The mean arrival rate of color index `color` at `round` — always in
+    /// `[0, peak_rate]`, the declared drift bound.
+    pub fn rate(&self, color: usize, round: Round) -> f64 {
+        let d = color as f64 - self.focus(round);
+        self.peak_rate * (-d * d / (2.0 * self.spread * self.spread)).exp()
+    }
+
+    /// One round's arrivals as a pure function of `(parameters, seed, round)`.
+    pub fn arrivals_at(&self, seed: u64, round: Round) -> Vec<(ColorId, u64)> {
+        if round >= self.horizon {
+            return Vec::new();
+        }
+        let mut rng = round_rng(seed, round);
+        let mut out = Vec::new();
+        for color in 0..self.delay_bounds.len() {
+            let count = poisson(&mut rng, self.rate(color, round));
+            if count > 0 {
+                out.push((ColorId(color as u32), count));
+            }
+        }
+        out
+    }
+
+    /// Generates the full trace for `seed` (identical to streaming every
+    /// round through [`DriftingDemand::arrivals_at`]).
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&self.delay_bounds));
+        for round in 0..self.horizon {
+            for (color, count) in self.arrivals_at(seed, round) {
+                trace.add(round, color, count).expect("color exists");
+            }
+        }
+        trace
+    }
+}
+
+/// Base load plus seed-placed flash crowds.
+///
+/// Every color draws Poisson arrivals at [`FlashCrowd::base_rate`]. On top,
+/// [`FlashCrowd::crowds`] crowd windows are placed at seed-derived rounds,
+/// each targeting one seed-derived color: inside a window of
+/// [`FlashCrowd::width`] rounds the target's rate ramps triangularly up to
+/// `base_rate + spike_rate` at the window's center and back down.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Per-color delay bounds.
+    pub delay_bounds: Vec<u64>,
+    /// Mean arrivals per round per color outside crowds.
+    pub base_rate: f64,
+    /// Number of flash-crowd windows.
+    pub crowds: u32,
+    /// Extra rate at a crowd's peak.
+    pub spike_rate: f64,
+    /// Width of each crowd window, in rounds.
+    pub width: u64,
+    /// Number of rounds to generate.
+    pub horizon: Round,
+}
+
+impl Default for FlashCrowd {
+    fn default() -> Self {
+        FlashCrowd {
+            delay_bounds: vec![8, 8, 16, 32],
+            base_rate: 0.3,
+            crowds: 3,
+            spike_rate: 6.0,
+            width: 64,
+            horizon: 1024,
+        }
+    }
+}
+
+impl FlashCrowd {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.delay_bounds.is_empty() || self.delay_bounds.contains(&0) {
+            return Err(Error::InvalidParameter(
+                "delay_bounds must be non-empty and positive".into(),
+            ));
+        }
+        for (name, rate) in [("base_rate", self.base_rate), ("spike_rate", self.spike_rate)] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "{name} must be finite and non-negative"
+                )));
+            }
+        }
+        if self.width == 0 {
+            return Err(Error::InvalidParameter("width must be positive".into()));
+        }
+        if self.horizon < self.width {
+            return Err(Error::InvalidParameter(format!(
+                "horizon {} shorter than crowd width {}",
+                self.horizon, self.width
+            )));
+        }
+        Ok(())
+    }
+
+    /// The seed-derived crowd windows as `(start_round, target_color)` pairs.
+    pub fn crowd_windows(&self, seed: u64) -> Vec<(Round, usize)> {
+        // A dedicated round-rng cell (tag = horizon, outside 0..horizon)
+        // keeps window placement independent of every round's sampling.
+        let mut rng = round_rng(seed ^ 0xF1A5_4C80_3D00_75E1, self.horizon);
+        let span = self.horizon.saturating_sub(self.width).max(1);
+        (0..self.crowds)
+            .map(|_| {
+                (
+                    rng.gen_range(0..span),
+                    rng.gen_range(0..self.delay_bounds.len()),
+                )
+            })
+            .collect()
+    }
+
+    /// The mean arrival rate of color index `color` at `round` — always in
+    /// `[base_rate, base_rate + crowds·spike_rate]` (windows may overlap),
+    /// the declared burst bound.
+    pub fn rate(&self, seed: u64, color: usize, round: Round) -> f64 {
+        let mut rate = self.base_rate;
+        let half = self.width as f64 / 2.0;
+        for (start, target) in self.crowd_windows(seed) {
+            if target != color || round < start || round >= start + self.width {
+                continue;
+            }
+            // Triangular ramp peaking at the window center; the +0.5 centers
+            // single-round windows on full amplitude.
+            let pos = (round - start) as f64 + 0.5;
+            rate += self.spike_rate * (1.0 - (pos - half).abs() / half).max(0.0);
+        }
+        rate
+    }
+
+    /// One round's arrivals as a pure function of `(parameters, seed, round)`.
+    pub fn arrivals_at(&self, seed: u64, round: Round) -> Vec<(ColorId, u64)> {
+        if round >= self.horizon {
+            return Vec::new();
+        }
+        let mut rng = round_rng(seed, round);
+        let mut out = Vec::new();
+        for color in 0..self.delay_bounds.len() {
+            let count = poisson(&mut rng, self.rate(seed, color, round));
+            if count > 0 {
+                out.push((ColorId(color as u32), count));
+            }
+        }
+        out
+    }
+
+    /// Generates the full trace for `seed` (identical to streaming every
+    /// round through [`FlashCrowd::arrivals_at`]).
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut trace = Trace::new(ColorTable::from_delay_bounds(&self.delay_bounds));
+        for round in 0..self.horizon {
+            for (color, count) in self.arrivals_at(seed, round) {
+                trace.add(round, color, count).expect("color exists");
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drifting_focus_sweeps_the_spectrum() {
+        let g = DriftingDemand::default();
+        assert!(g.focus(0) < 0.01, "starts at the short end");
+        let mid = g.focus(g.period / 2);
+        assert!((mid - 5.0).abs() < 0.01, "reaches the long end: {mid}");
+        assert!((g.focus(g.period) - 0.0).abs() < 0.01, "returns");
+    }
+
+    #[test]
+    fn drifting_rate_within_bounds_and_demand_moves() {
+        let g = DriftingDemand::default();
+        for round in [0, 31, 64, 128, 200] {
+            for c in 0..g.delay_bounds.len() {
+                let r = g.rate(c, round);
+                assert!((0.0..=g.peak_rate).contains(&r), "rate {r}");
+            }
+        }
+        let t = g.generate(5);
+        // At round 0 the focus is color 0; half a period later it is the
+        // last color. Compare per-color mass in the two quarters.
+        let first_quarter: u64 = t
+            .iter()
+            .filter(|a| a.color == ColorId(0) && a.round % g.period < g.period / 4)
+            .map(|a| a.count)
+            .sum();
+        let last_color = ColorId(g.delay_bounds.len() as u32 - 1);
+        let opposite: u64 = t
+            .iter()
+            .filter(|a| {
+                a.color == last_color
+                    && (g.period / 4..g.period / 2).contains(&(a.round % g.period))
+            })
+            .map(|a| a.count)
+            .sum();
+        assert!(first_quarter > 0 && opposite > 0, "demand visits both ends");
+    }
+
+    #[test]
+    fn drifting_streaming_equals_generate() {
+        let g = DriftingDemand {
+            horizon: 128,
+            ..DriftingDemand::default()
+        };
+        let t = g.generate(9);
+        for r in 0..=t.horizon() {
+            assert_eq!(g.arrivals_at(9, r), t.arrivals_at(r), "round {r}");
+        }
+        assert_eq!(g.generate(9), t, "deterministic");
+        assert_ne!(g.generate(10), t, "seed-sensitive");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_at_windows() {
+        let g = FlashCrowd::default();
+        let seed = 3;
+        let windows = g.crowd_windows(seed);
+        assert_eq!(windows.len(), 3);
+        for &(start, color) in &windows {
+            assert!(start + g.width <= g.horizon || start < g.horizon);
+            assert!(color < g.delay_bounds.len());
+            // Rate at the window center clearly exceeds base.
+            let mid = start + g.width / 2;
+            assert!(g.rate(seed, color, mid) > g.base_rate + 0.5 * g.spike_rate);
+        }
+        // Outside every window the rate is exactly the base rate.
+        let quiet = (0..g.horizon)
+            .find(|&r| windows.iter().all(|&(s, _)| r < s || r >= s + g.width))
+            .expect("some quiet round");
+        for c in 0..g.delay_bounds.len() {
+            assert_eq!(g.rate(seed, c, quiet), g.base_rate);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_rate_within_declared_bounds() {
+        let g = FlashCrowd::default();
+        let hi = g.base_rate + g.crowds as f64 * g.spike_rate;
+        for round in (0..g.horizon).step_by(17) {
+            for c in 0..g.delay_bounds.len() {
+                let r = g.rate(11, c, round);
+                assert!(r >= g.base_rate - 1e-12 && r <= hi + 1e-12, "rate {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_streaming_equals_generate() {
+        let g = FlashCrowd {
+            horizon: 128,
+            width: 32,
+            ..FlashCrowd::default()
+        };
+        let t = g.generate(21);
+        for r in 0..=t.horizon() {
+            assert_eq!(g.arrivals_at(21, r), t.arrivals_at(r), "round {r}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(DriftingDemand {
+            delay_bounds: vec![],
+            ..DriftingDemand::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftingDemand {
+            spread: 0.0,
+            ..DriftingDemand::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftingDemand {
+            peak_rate: f64::NAN,
+            ..DriftingDemand::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftingDemand {
+            period: 0,
+            ..DriftingDemand::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FlashCrowd {
+            width: 0,
+            ..FlashCrowd::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FlashCrowd {
+            horizon: 10,
+            width: 64,
+            ..FlashCrowd::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FlashCrowd {
+            spike_rate: -1.0,
+            ..FlashCrowd::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftingDemand::default().validate().is_ok());
+        assert!(FlashCrowd::default().validate().is_ok());
+    }
+}

@@ -33,7 +33,46 @@ pub struct RandomBatched {
     pub rate_limited: bool,
 }
 
+/// Shared parameter checks: a non-empty, positive delay-bound list plus a
+/// positive horizon.
+pub(crate) fn check_bounds_and_horizon(delay_bounds: &[u64], horizon: Round) -> Result<()> {
+    if delay_bounds.is_empty() || delay_bounds.contains(&0) {
+        return Err(Error::InvalidParameter(
+            "delay_bounds must be non-empty and positive".into(),
+        ));
+    }
+    if horizon == 0 {
+        return Err(Error::InvalidParameter("horizon must be positive".into()));
+    }
+    Ok(())
+}
+
+/// Checks a probability-like parameter.
+pub(crate) fn check_unit_interval(name: &str, p: f64) -> Result<()> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(Error::InvalidParameter(format!("{name} must be in [0, 1]")));
+    }
+    Ok(())
+}
+
+/// Checks a non-negative finite rate/load parameter.
+pub(crate) fn check_rate(name: &str, r: f64) -> Result<()> {
+    if !r.is_finite() || r < 0.0 {
+        return Err(Error::InvalidParameter(format!(
+            "{name} must be finite and non-negative"
+        )));
+    }
+    Ok(())
+}
+
 impl RandomBatched {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        check_bounds_and_horizon(&self.delay_bounds, self.horizon)?;
+        check_rate("load", self.load)?;
+        check_unit_interval("activity", self.activity)
+    }
+
     /// Generates the trace for `seed`.
     pub fn generate(&self, seed: u64) -> Trace {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -67,6 +106,22 @@ pub struct RandomGeneral {
 }
 
 impl RandomGeneral {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        check_bounds_and_horizon(&self.delay_bounds, self.horizon)?;
+        if self.rates.len() != self.delay_bounds.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} rates for {} colors: need one rate per color",
+                self.rates.len(),
+                self.delay_bounds.len()
+            )));
+        }
+        for &r in &self.rates {
+            check_rate("rate", r)?;
+        }
+        Ok(())
+    }
+
     /// Generates the trace for `seed`.
     ///
     /// # Panics
@@ -109,6 +164,14 @@ pub struct Bursty {
 }
 
 impl Bursty {
+    /// Checks the parameters.
+    pub fn validate(&self) -> Result<()> {
+        check_bounds_and_horizon(&self.delay_bounds, self.horizon)?;
+        check_rate("on_load", self.on_load)?;
+        check_unit_interval("p_on", self.p_on)?;
+        check_unit_interval("p_off", self.p_off)
+    }
+
     /// Generates the trace for `seed`.
     pub fn generate(&self, seed: u64) -> Trace {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -190,6 +253,67 @@ mod tests {
         // Rate 0.7 over 200 rounds ≈ 140 jobs.
         let c0 = t.jobs_of_color(ColorId(0)) as f64;
         assert!((100.0..190.0).contains(&c0), "c0 jobs = {c0}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let good = RandomBatched {
+            delay_bounds: vec![4, 8],
+            load: 0.5,
+            activity: 1.0,
+            horizon: 64,
+            rate_limited: true,
+        };
+        assert!(good.validate().is_ok());
+        assert!(RandomBatched {
+            delay_bounds: vec![],
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(RandomBatched {
+            delay_bounds: vec![4, 0],
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(RandomBatched {
+            activity: 1.5,
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(RandomBatched {
+            load: f64::INFINITY,
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(RandomBatched { horizon: 0, ..good }.validate().is_err());
+
+        let mismatched = RandomGeneral {
+            delay_bounds: vec![8, 8],
+            rates: vec![0.5],
+            horizon: 64,
+        };
+        assert!(mismatched.validate().is_err(), "one rate per color");
+        assert!(RandomGeneral {
+            rates: vec![0.5, -0.1],
+            ..mismatched.clone()
+        }
+        .validate()
+        .is_err());
+
+        let bad_p = Bursty {
+            delay_bounds: vec![4],
+            on_load: 1.0,
+            p_on: -0.5,
+            p_off: 0.5,
+            horizon: 64,
+            rate_limited: true,
+        };
+        assert!(bad_p.validate().is_err());
+        assert!(Bursty { p_on: 0.5, ..bad_p }.validate().is_ok());
     }
 
     #[test]

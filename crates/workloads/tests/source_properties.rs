@@ -1,0 +1,189 @@
+//! Property suite for the streaming sources and stochastic generators:
+//! job conservation between the streaming and offline views, deterministic
+//! regeneration from seed, and drift/burst parameters staying within their
+//! declared bounds.
+
+use proptest::prelude::*;
+use rrs_workloads::prelude::*;
+
+/// Checks the full streaming contract of a source against its spec:
+/// `to_trace == generate(seed)`, `horizon == trace.horizon()`, per-round
+/// arrivals match, counts positive, colors ascending, and jobs conserved.
+fn check_contract(spec: &WorkloadSpec, seed: u64) -> Result<(), String> {
+    let src = spec
+        .source(seed)
+        .map_err(|e| format!("{}: source: {e}", spec.name()))?;
+    let oracle = spec.generate(seed);
+    if src.to_trace() != oracle {
+        return Err(format!("{}: to_trace != generate", spec.name()));
+    }
+    if src.horizon() != oracle.horizon() {
+        return Err(format!(
+            "{}: horizon {} != trace horizon {}",
+            spec.name(),
+            src.horizon(),
+            oracle.horizon()
+        ));
+    }
+    let mut streamed_jobs = 0u64;
+    for round in 0..=src.horizon() {
+        let arrivals = src.arrivals_at(round);
+        if arrivals != oracle.arrivals_at(round) {
+            return Err(format!("{}: round {round} arrivals differ", spec.name()));
+        }
+        for window in arrivals.windows(2) {
+            if window[0].0 >= window[1].0 {
+                return Err(format!("{}: colors not ascending", spec.name()));
+            }
+        }
+        for &(_, count) in &arrivals {
+            if count == 0 {
+                return Err(format!("{}: zero count streamed", spec.name()));
+            }
+            streamed_jobs += count;
+        }
+    }
+    if streamed_jobs != oracle.total_jobs() {
+        return Err(format!(
+            "{}: streamed {streamed_jobs} jobs, trace holds {}",
+            spec.name(),
+            oracle.total_jobs()
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adversaries_stream_their_traces(size in 0u32..3, seed in 0u64..1000) {
+        let dlru = WorkloadSpec::DlruAdversary(DlruAdversary::scaled(size));
+        check_contract(&dlru, seed).map_err(|e| e.to_string())?;
+        let edf = WorkloadSpec::EdfAdversary(EdfAdversary::scaled(size));
+        check_contract(&edf, seed).map_err(|e| e.to_string())?;
+        // Deterministic adversaries ignore the seed entirely.
+        prop_assert_eq!(dlru.generate(seed), dlru.generate(seed + 1));
+    }
+
+    #[test]
+    fn drifting_contract_and_bounds(
+        ncolors in 1usize..5,
+        peak in 1u32..40,
+        spread_tenths in 2u32..30,
+        period in 16u64..200,
+        horizon in 8u64..160,
+        seed in 0u64..10_000,
+    ) {
+        let g = DriftingDemand {
+            delay_bounds: (0..ncolors).map(|i| 1u64 << (2 + i)).collect(),
+            peak_rate: peak as f64 / 10.0,
+            spread: spread_tenths as f64 / 10.0,
+            period,
+            horizon,
+        };
+        prop_assert!(g.validate().is_ok());
+        check_contract(&WorkloadSpec::Drifting(g.clone()), seed).map_err(|e| e.to_string())?;
+        // Drift bound: every per-color rate stays within [0, peak_rate], and
+        // the focus stays on the color-index spectrum.
+        for round in 0..horizon {
+            let f = g.focus(round);
+            prop_assert!((0.0..=(ncolors as f64 - 1.0) + 1e-9).contains(&f));
+            for c in 0..ncolors {
+                let r = g.rate(c, round);
+                prop_assert!(r >= 0.0 && r <= g.peak_rate + 1e-12, "rate {}", r);
+            }
+        }
+        // Deterministic regeneration.
+        prop_assert_eq!(g.generate(seed), g.generate(seed));
+    }
+
+    #[test]
+    fn flash_crowd_contract_and_bounds(
+        ncolors in 1usize..5,
+        base in 0u32..20,
+        spike in 0u32..80,
+        crowds in 0u32..5,
+        width in 1u64..40,
+        extra in 0u64..160,
+        seed in 0u64..10_000,
+    ) {
+        let g = FlashCrowd {
+            delay_bounds: (0..ncolors).map(|i| 1u64 << (2 + i)).collect(),
+            base_rate: base as f64 / 10.0,
+            crowds,
+            spike_rate: spike as f64 / 10.0,
+            width,
+            horizon: width + extra,
+        };
+        prop_assert!(g.validate().is_ok());
+        check_contract(&WorkloadSpec::FlashCrowd(g.clone()), seed).map_err(|e| e.to_string())?;
+        // Burst bound: rate within [base, base + crowds·spike]; windows lie
+        // within the horizon.
+        let hi = g.base_rate + g.crowds as f64 * g.spike_rate;
+        for (start, color) in g.crowd_windows(seed) {
+            prop_assert!(start < g.horizon);
+            prop_assert!(color < ncolors);
+        }
+        for round in 0..g.horizon {
+            for c in 0..ncolors {
+                let r = g.rate(seed, c, round);
+                prop_assert!(r >= g.base_rate - 1e-12 && r <= hi + 1e-12, "rate {}", r);
+            }
+        }
+        prop_assert_eq!(g.generate(seed), g.generate(seed));
+    }
+
+    #[test]
+    fn trace_backed_sources_conserve_jobs(seed in 0u64..10_000, horizon in 16u64..128) {
+        let specs = [
+            WorkloadSpec::RandomBatched(RandomBatched {
+                delay_bounds: vec![4, 8, 16],
+                load: 0.6,
+                activity: 0.8,
+                horizon,
+                rate_limited: true,
+            }),
+            WorkloadSpec::Bursty(Bursty {
+                delay_bounds: vec![4, 16],
+                on_load: 0.7,
+                p_on: 0.4,
+                p_off: 0.4,
+                horizon,
+                rate_limited: true,
+            }),
+            WorkloadSpec::Datacenter(Datacenter {
+                interactive_services: 2,
+                batch_services: 1,
+                period: 64,
+                horizon,
+                ..Datacenter::default()
+            }),
+        ];
+        for spec in &specs {
+            check_contract(spec, seed).map_err(|e| e.to_string())?;
+        }
+    }
+
+    #[test]
+    fn multi_tenant_streaming_matches_open_loop(tenants in 1u64..5, base_seed in 0u64..1000) {
+        let load = MultiTenantLoad::new(
+            WorkloadSpec::FlashCrowd(FlashCrowd {
+                horizon: 96,
+                width: 24,
+                ..FlashCrowd::default()
+            }),
+            tenants,
+            base_seed,
+        );
+        let open = OpenLoopDriver::new(&load);
+        let streaming = StreamingDriver::from_load(&load).map_err(|e| e.to_string())?;
+        prop_assert_eq!(streaming.horizon(), open.horizon());
+        for t in 0..tenants {
+            prop_assert_eq!(&streaming.oracle(t), open.trace(t));
+            for r in 0..=open.horizon() {
+                prop_assert_eq!(streaming.arrivals(t, r), open.arrivals(t, r));
+            }
+        }
+    }
+}
