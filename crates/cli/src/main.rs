@@ -18,6 +18,7 @@
 //! rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H]
 //!               [--policies p1,p2,..] [--workloads w1,w2,..] [--shard-list 1,4]
 //!               [--json] [--out <path>] [--require-separation] [--check-schema <path>]
+//! rrs chaos [--quick] [--seed S] [--json] [--out <path>] [--data-dir PATH]
 //! rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]
 //! rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]
 //!                  [--out <path>] [--check] [--tolerance PCT]
@@ -29,6 +30,7 @@
 //! rrs list
 //! ```
 
+mod chaos;
 mod scenarios;
 
 use rrs_analysis::experiments::{run_experiment, ExpOptions, ALL_IDS};
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("scenarios") => scenarios::cmd_scenarios(&args[1..]),
+        Some("chaos") => chaos::cmd_chaos(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("bench-service") => cmd_bench_service(&args[1..]),
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
                                [--ingest batched|per-command] [--storage memory|disk] [--data-dir PATH]\n  \
                  rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H] [--policies ..] [--workloads ..]\n  \
                                [--shard-list 1,4] [--json] [--out <path>] [--require-separation] [--check-schema <path>]\n  \
+                 rrs chaos [--quick] [--seed S] [--json] [--out <path>] [--data-dir PATH]\n  \
                  rrs opt --workload <name>|--trace <path> [--m M] [--delta D] [--exact] [--improve I]\n  \
                  rrs bench-engine [--colors N] [--rounds R] [--n N] [--delta D] [--seed S] [--quick]\n  \
                                   [--out <path>] [--check] [--tolerance PCT]\n  \
@@ -676,8 +680,13 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             ingest,
         };
         let backend: Box<dyn StorageBackend> = if storage == "disk" {
-            println!("  durable storage: {data_dir}/ (WAL + checkpoints, group fsync)");
-            Box::new(DiskBackend::new(DiskConfig::new(data_dir)))
+            let disk_cfg = DiskConfig::new(data_dir);
+            if let Err(e) = disk_cfg.validate() {
+                eprintln!("serve-sim: {e}");
+                return ExitCode::from(2);
+            }
+            println!("  durable storage: {data_dir}/ (WAL + checkpoints, pipelined group fsync)");
+            Box::new(DiskBackend::new(disk_cfg))
         } else {
             Box::new(MemoryBackend::new())
         };
@@ -843,7 +852,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
 
 /// Keeps expected injected-fault panics off stderr while letting real panics
 /// through to the default hook.
-fn suppress_injected_panic_output() {
+pub(crate) fn suppress_injected_panic_output() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info

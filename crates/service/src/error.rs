@@ -43,6 +43,15 @@ pub enum ServiceError {
     /// A storage-tier failure: I/O error, unreadable frame, or a record
     /// that failed to encode.
     Storage(String),
+    /// The configured data directory cannot back a disk store: it exists
+    /// but is not a directory, cannot be created, or is not writable. The
+    /// CLI maps this to exit code 2 (usage error) instead of panicking.
+    InvalidDataDir {
+        /// The offending path, as configured.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -62,6 +71,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
             ServiceError::Divergence(msg) => write!(f, "snapshot divergence: {msg}"),
             ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ServiceError::InvalidDataDir { path, reason } => {
+                write!(f, "invalid data dir {path}: {reason}")
+            }
         }
     }
 }

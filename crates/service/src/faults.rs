@@ -12,6 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// What an injected fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,37 @@ pub enum FaultKind {
     /// recovery must detect the damage via CRC and stop the replay scan at
     /// the corrupt frame.
     CorruptCrc,
+    /// Storage fault (commit-counter armed): the group commit's write
+    /// attempts fail with a *transient* I/O error this many times before
+    /// succeeding. The store's seeded-jittered retry loop must absorb the
+    /// blip in place — no degradation, no durability loss.
+    TransientIo {
+        /// Write attempts that fail before one succeeds.
+        fails: u64,
+    },
+    /// Storage fault (commit-counter armed): the group commit stalls this
+    /// long before its write — a hiccuping disk. Nothing is lost; only
+    /// timing changes.
+    SlowIo {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Storage fault (commit-counter armed): this group commit and the next
+    /// `len - 1` fail every write attempt with transient errors. Retries
+    /// exhaust, the store falls back to **degraded memory-mirror mode**,
+    /// and the first probe commit after the burst heals it by backfilling
+    /// the missed records from the mirror.
+    IoErrorBurst {
+        /// Consecutive group commits that fail.
+        len: u64,
+    },
+    /// Storage fault (commit-counter armed): an ENOSPC-class *permanent*
+    /// failure for this many group commits. The store degrades immediately
+    /// (permanent errors are not retried) and heals once the space clears.
+    DiskFull {
+        /// Group commits that fail before the disk has space again.
+        commits: u64,
+    },
 }
 
 /// One scheduled fault.
@@ -84,6 +116,27 @@ fn splitmix(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Deterministic integer jitter: a value in `[lo, hi]` keyed on
+/// `(seed, step)`. Same inputs, same output — chaos runs that depend on
+/// jittered backoff stay reproducible from their seeds, while different
+/// seeds (one per shard) de-synchronize retry storms.
+pub fn jitter_range(lo: u64, hi: u64, seed: u64, step: u64) -> u64 {
+    if hi <= lo {
+        return lo;
+    }
+    let mut state = seed ^ step.wrapping_mul(0xA076_1D64_78BD_642F);
+    lo + splitmix(&mut state) % (hi - lo + 1)
+}
+
+/// Deterministic duration jitter: a duration in `[base/2, base]` keyed on
+/// `(seed, step)` — "equal jitter" backoff, which keeps at least half the
+/// exponential pause (so pressure still backs off) while spreading retries
+/// across shards instead of letting the doubling schedule synchronize them.
+pub fn jittered(base: Duration, seed: u64, step: u64) -> Duration {
+    let nanos = base.as_nanos().min(u64::MAX as u128) as u64;
+    Duration::from_nanos(jitter_range(nanos / 2, nanos, seed, step))
 }
 
 impl FaultPlan {
@@ -129,6 +182,32 @@ impl FaultPlan {
         FaultPlan { faults }
     }
 
+    /// `count` random **storage IO** faults over `shards` shards and
+    /// `commits` group commits, drawn deterministically from `seed`:
+    /// transient blips, slow disks, error bursts, full disks, plus the
+    /// occasional wedge-class torn write or CRC flip. The disk backend's
+    /// self-healing layer must absorb all of them without losing a job.
+    pub fn random_io(seed: u64, shards: usize, commits: u64, count: usize) -> Self {
+        let mut state = seed ^ 0xD15C_FA17_0BAD_D15C;
+        let span = commits.max(1);
+        let faults = (0..count)
+            .map(|_| {
+                let shard = (splitmix(&mut state) % shards.max(1) as u64) as usize;
+                let at_tick = 1 + splitmix(&mut state) % span;
+                let kind = match splitmix(&mut state) % 10 {
+                    0..=2 => FaultKind::TransientIo { fails: 1 + splitmix(&mut state) % 3 },
+                    3 | 4 => FaultKind::SlowIo { millis: 1 + splitmix(&mut state) % 10 },
+                    5 | 6 => FaultKind::IoErrorBurst { len: 1 + splitmix(&mut state) % 3 },
+                    7 => FaultKind::DiskFull { commits: 1 + splitmix(&mut state) % 3 },
+                    8 => FaultKind::TornWrite { keep_bytes: splitmix(&mut state) % 64 },
+                    _ => FaultKind::CorruptCrc,
+                };
+                Fault { shard, at_tick, kind }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
     /// Parses a CLI fault-plan spec: comma-separated entries of
     ///
     /// * `panic@TICK[:SHARD]`
@@ -139,8 +218,13 @@ impl FaultPlan {
     /// * `torn-write@COMMIT[:SHARD[:KEEP_BYTES]]` (default keeps 12 bytes)
     /// * `partial-fsync@COMMIT[:SHARD]`
     /// * `corrupt-crc@COMMIT[:SHARD]`
+    /// * `transient-io@COMMIT[:SHARD[:FAILS]]` (default 2 failed attempts)
+    /// * `slow-io@COMMIT[:SHARD[:MILLIS]]` (default 20 ms)
+    /// * `io-error-burst@COMMIT[:SHARD[:LEN]]` (default 3 commits)
+    /// * `disk-full@COMMIT[:SHARD[:COMMITS]]` (default 2 commits)
     /// * `kill-each-shard[:SEED]` — one panic per shard inside `1..=ticks`
     /// * `random:SEED[:COUNT]` — [`FaultPlan::random`] (default 4 faults)
+    /// * `random-io:SEED[:COUNT]` — [`FaultPlan::random_io`] (default 4)
     ///
     /// Storage faults arm on the shard's group-commit counter (disk backend
     /// only; they never fire on the memory backend).
@@ -149,6 +233,17 @@ impl FaultPlan {
     pub fn parse(spec: &str, shards: usize, ticks: u64) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            if let Some(rest) = entry.strip_prefix("random-io:") {
+                let mut parts = rest.split(':');
+                let seed = parse_num(parts.next(), entry)?;
+                let count = match parts.next() {
+                    Some(c) => parse_num(Some(c), entry)? as usize,
+                    None => 4,
+                };
+                plan.faults
+                    .extend(FaultPlan::random_io(seed, shards, ticks, count).faults);
+                continue;
+            }
             if let Some(rest) = entry.strip_prefix("random:") {
                 let mut parts = rest.split(':');
                 let seed = parse_num(parts.next(), entry)?;
@@ -199,6 +294,30 @@ impl FaultPlan {
                 },
                 "partial-fsync" => FaultKind::PartialFsync,
                 "corrupt-crc" => FaultKind::CorruptCrc,
+                "transient-io" => FaultKind::TransientIo {
+                    fails: match parts.next() {
+                        Some(n) => parse_num(Some(n), entry)?,
+                        None => 2,
+                    },
+                },
+                "slow-io" => FaultKind::SlowIo {
+                    millis: match parts.next() {
+                        Some(ms) => parse_num(Some(ms), entry)?,
+                        None => 20,
+                    },
+                },
+                "io-error-burst" => FaultKind::IoErrorBurst {
+                    len: match parts.next() {
+                        Some(n) => parse_num(Some(n), entry)?,
+                        None => 3,
+                    },
+                },
+                "disk-full" => FaultKind::DiskFull {
+                    commits: match parts.next() {
+                        Some(n) => parse_num(Some(n), entry)?,
+                        None => 2,
+                    },
+                },
                 other => return Err(format!("unknown fault kind '{other}' in '{entry}'")),
             };
             plan.faults.push(Fault { shard, at_tick, kind });
@@ -294,10 +413,11 @@ impl ShardFaults {
             .is_some()
     }
 
-    /// A storage fault (torn write, partial fsync, CRC corruption) armed at
-    /// or before group-commit number `commit`, consumed. Called by the disk
-    /// store on every commit; `at_tick` doubles as the commit index for
-    /// these kinds.
+    /// A storage fault (wedge-class torn write / partial fsync / CRC flip,
+    /// or a self-healing-class transient / slow / burst / disk-full IO
+    /// fault) armed at or before group-commit number `commit`, consumed.
+    /// Called by the disk store on every staged commit; `at_tick` doubles
+    /// as the commit index for these kinds.
     pub fn take_storage_fault(&self, commit: u64) -> Option<FaultKind> {
         self.take(|f| {
             f.at_tick <= commit
@@ -306,6 +426,10 @@ impl ShardFaults {
                     FaultKind::TornWrite { .. }
                         | FaultKind::PartialFsync
                         | FaultKind::CorruptCrc
+                        | FaultKind::TransientIo { .. }
+                        | FaultKind::SlowIo { .. }
+                        | FaultKind::IoErrorBurst { .. }
+                        | FaultKind::DiskFull { .. }
                 )
         })
         .map(|f| f.kind)
@@ -375,6 +499,71 @@ mod tests {
         assert!(FaultPlan::parse("panic@5:9", 2, 100).is_err(), "shard out of range");
         assert!(FaultPlan::parse("frobnicate@5", 2, 100).is_err());
         assert!(FaultPlan::parse("panic@", 2, 100).is_err());
+    }
+
+    #[test]
+    fn io_fault_grammar_and_plans() {
+        let plan = FaultPlan::parse(
+            "transient-io@2:1:3, slow-io@3, io-error-burst@4:1, disk-full@5:0:4",
+            2,
+            100,
+        )
+        .unwrap();
+        assert_eq!(
+            plan.faults[0],
+            Fault { shard: 1, at_tick: 2, kind: FaultKind::TransientIo { fails: 3 } }
+        );
+        assert_eq!(
+            plan.faults[1],
+            Fault { shard: 0, at_tick: 3, kind: FaultKind::SlowIo { millis: 20 } }
+        );
+        assert_eq!(
+            plan.faults[2],
+            Fault { shard: 1, at_tick: 4, kind: FaultKind::IoErrorBurst { len: 3 } }
+        );
+        assert_eq!(
+            plan.faults[3],
+            Fault { shard: 0, at_tick: 5, kind: FaultKind::DiskFull { commits: 4 } }
+        );
+        let per = plan.per_shard(2);
+        assert_eq!(per[0].take_storage_fault(3), Some(FaultKind::SlowIo { millis: 20 }));
+        assert_eq!(per[0].take_storage_fault(4), None, "disk-full not yet armed");
+        assert_eq!(
+            per[0].take_storage_fault(5),
+            Some(FaultKind::DiskFull { commits: 4 })
+        );
+
+        let a = FaultPlan::random_io(3, 2, 40, 12);
+        assert_eq!(a, FaultPlan::random_io(3, 2, 40, 12), "same seed, same plan");
+        assert_eq!(a.faults.len(), 12);
+        for f in &a.faults {
+            assert!((1..=40).contains(&f.at_tick));
+            assert!(f.shard < 2);
+        }
+        assert_eq!(FaultPlan::parse("random-io:9:5", 2, 30).unwrap().faults.len(), 5);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic_per_seed() {
+        for step in 0..200u64 {
+            let v = jitter_range(10, 100, 42, step);
+            assert!((10..=100).contains(&v), "jitter_range out of bounds: {v}");
+            let d = jittered(Duration::from_micros(800), 42, step);
+            assert!(
+                d >= Duration::from_micros(400) && d <= Duration::from_micros(800),
+                "jittered out of [base/2, base]: {d:?}"
+            );
+        }
+        // Degenerate ranges collapse deterministically.
+        assert_eq!(jitter_range(7, 7, 1, 2), 7);
+        assert_eq!(jitter_range(9, 3, 1, 2), 9);
+        assert_eq!(jittered(Duration::ZERO, 5, 5), Duration::ZERO);
+        // Same (seed, step) reproduces; different seeds de-synchronize.
+        let a: Vec<u64> = (0..64).map(|s| jitter_range(0, 1_000_000, 11, s)).collect();
+        let b: Vec<u64> = (0..64).map(|s| jitter_range(0, 1_000_000, 11, s)).collect();
+        let c: Vec<u64> = (0..64).map(|s| jitter_range(0, 1_000_000, 12, s)).collect();
+        assert_eq!(a, b, "per-seed determinism");
+        assert_ne!(a, c, "distinct seeds give distinct jitter streams");
     }
 
     #[test]

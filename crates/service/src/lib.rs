@@ -66,7 +66,8 @@ pub use storage::{
     StorageBackend, StorageStats,
 };
 pub use supervisor::{
-    IngestMode, RecoveryEvent, RetryPolicy, ShedConfig, Supervisor, SupervisorConfig,
+    BreakerConfig, IngestMode, RecoveryEvent, RetryPolicy, ShedConfig, Supervisor,
+    SupervisorConfig,
 };
 pub use tenant::{Tenant, TenantProgress, TenantSnapshot, TenantSpec};
 pub use wal::{replay, Checkpoint, Wal, WalRecord};

@@ -23,7 +23,7 @@
 //! fan-out.
 
 use crate::error::{ServiceError, ServiceResult};
-use crate::faults::ShardFaults;
+use crate::faults::{self, ShardFaults};
 use crate::stats::{LatencyHistogramNs, ShardStats};
 use crate::tenant::{Tenant, TenantSnapshot, TenantSpec};
 use rrs_core::{ColorId, RunResult};
@@ -162,13 +162,16 @@ impl ShardSnapshot {
 }
 
 /// Bounded exponential backoff for short waits: a few spin-loop hints,
-/// then scheduler yields, then sleeps doubling from 10 µs up to a 1 ms cap.
-/// Keeps the first retries in the sub-microsecond range (epoch joins
-/// usually resolve immediately) without ever busy-burning a core when the
-/// other side is genuinely slow.
+/// then scheduler yields, then jittered sleeps doubling from 10 µs up to a
+/// 1 ms cap. Keeps the first retries in the sub-microsecond range (epoch
+/// joins usually resolve immediately) without ever busy-burning a core when
+/// the other side is genuinely slow. The sleep stage draws a deterministic
+/// jitter from the backoff's seed, so waiters seeded differently (e.g. by
+/// shard index) desynchronize instead of thundering in lockstep.
 #[derive(Debug, Default)]
 pub struct Backoff {
     step: u32,
+    seed: u64,
 }
 
 impl Backoff {
@@ -177,12 +180,31 @@ impl Backoff {
     const BASE_SLEEP_MICROS: u64 = 10;
     const MAX_SLEEP_MICROS: u64 = 1_000;
 
-    /// A fresh backoff at the spinning stage.
+    /// A fresh backoff at the spinning stage (seed 0).
     pub fn new() -> Self {
         Backoff::default()
     }
 
-    /// Waits one step and escalates: spin → yield → capped exponential sleep.
+    /// A fresh backoff whose sleep stage jitters deterministically from
+    /// `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Backoff { step: 0, seed }
+    }
+
+    /// The sleep duration in microseconds for escalation step `step` under
+    /// `seed`: zero through the spin/yield stages, then a deterministic
+    /// draw from `[base/2, base]` of the doubling schedule, never exceeding
+    /// the 1 ms cap. Pure, so tests can pin bounds and determinism.
+    pub fn sleep_micros_for(step: u32, seed: u64) -> u64 {
+        if step < Self::SPINS + Self::YIELDS {
+            return 0;
+        }
+        let exp = (step - Self::SPINS - Self::YIELDS).min(7);
+        let base = (Self::BASE_SLEEP_MICROS << exp).min(Self::MAX_SLEEP_MICROS);
+        faults::jitter_range(base / 2, base, seed, u64::from(step))
+    }
+
+    /// Waits one step and escalates: spin → yield → capped jittered sleep.
     pub fn wait(&mut self) {
         if self.step < Self::SPINS {
             for _ in 0..(1u32 << self.step) {
@@ -191,8 +213,7 @@ impl Backoff {
         } else if self.step < Self::SPINS + Self::YIELDS {
             std::thread::yield_now();
         } else {
-            let exp = (self.step - Self::SPINS - Self::YIELDS).min(7);
-            let micros = (Self::BASE_SLEEP_MICROS << exp).min(Self::MAX_SLEEP_MICROS);
+            let micros = Self::sleep_micros_for(self.step, self.seed);
             std::thread::sleep(Duration::from_micros(micros));
         }
         self.step = self.step.saturating_add(1);
@@ -275,7 +296,7 @@ impl ShardHandle {
     /// reported as [`ServiceError::ShardDown`], deadline expiry as
     /// [`ServiceError::Timeout`], mirroring the reply-channel semantics.
     pub fn wait_applied(&self, seq: u64, deadline: Instant) -> ServiceResult<()> {
-        let mut backoff = Backoff::new();
+        let mut backoff = Backoff::seeded(self.shard as u64);
         loop {
             if self.applied.load(Ordering::Acquire) >= seq {
                 return Ok(());
@@ -331,7 +352,7 @@ impl ShardHandle {
         self.depth.fetch_add(1, Ordering::Relaxed);
         let mut cmd = cmd;
         let mut counted = false;
-        let mut backoff = Backoff::new();
+        let mut backoff = Backoff::seeded(self.shard as u64);
         loop {
             match self.tx.try_send(cmd) {
                 Ok(()) => return Ok(()),
@@ -718,6 +739,33 @@ mod tests {
 
     fn spec() -> TenantSpec {
         TenantSpec::new(PolicySpec::DlruEdf, ColorTable::from_delay_bounds(&[2, 4]), 4, 2)
+    }
+
+    #[test]
+    fn backoff_sleep_stage_is_bounded_and_deterministic() {
+        let sleep_start = Backoff::SPINS + Backoff::YIELDS;
+        // Spin/yield stages never sleep.
+        for step in 0..sleep_start {
+            assert_eq!(Backoff::sleep_micros_for(step, 3), 0);
+        }
+        // Every sleep stays within [base/2, base] of the doubling schedule,
+        // capped at MAX_SLEEP_MICROS, and the same (step, seed) pair always
+        // draws the same jitter.
+        for step in sleep_start..sleep_start + 12 {
+            let exp = (step - sleep_start).min(7);
+            let base = (Backoff::BASE_SLEEP_MICROS << exp).min(Backoff::MAX_SLEEP_MICROS);
+            for seed in 0..16u64 {
+                let micros = Backoff::sleep_micros_for(step, seed);
+                assert!(micros >= base / 2 && micros <= base, "step {step} seed {seed}: {micros}");
+                assert_eq!(micros, Backoff::sleep_micros_for(step, seed));
+            }
+        }
+        // Different seeds actually desynchronize somewhere in the schedule.
+        assert!(
+            (sleep_start + 2..sleep_start + 12)
+                .any(|s| Backoff::sleep_micros_for(s, 1) != Backoff::sleep_micros_for(s, 2)),
+            "seeds 1 and 2 never diverged"
+        );
     }
 
     #[test]

@@ -112,6 +112,9 @@ pub struct ShardStats {
     /// Times a supervisor rebuilt this shard from checkpoint + WAL (filled
     /// in by the supervisor; a bare [`crate::Service`] reports 0).
     pub recoveries: u64,
+    /// Times this shard's circuit breaker tripped open on a restart storm
+    /// (filled in by the supervisor; 0 unless a breaker is installed).
+    pub breaker_trips: u64,
     /// Per-tenant-step latency histogram (one sample per tenant per tick).
     pub step_latency: LatencyHistogramNs,
 }
@@ -121,7 +124,8 @@ impl fmt::Display for ShardStats {
         write!(
             f,
             "shard {}: {} tenants, {} cmds ({} ticks), exec {}, drop {}, shed {}, \
-             reconfig {}, queue {}, bp {}, recoveries {}, step p50 {}ns p99 {}ns",
+             reconfig {}, queue {}, bp {}, recoveries {} ({} trips), \
+             step p50 {}ns p99 {}ns",
             self.shard,
             self.tenants,
             self.commands,
@@ -133,6 +137,7 @@ impl fmt::Display for ShardStats {
             self.queue_depth,
             self.backpressure_waits,
             self.recoveries,
+            self.breaker_trips,
             self.step_latency.p50(),
             self.step_latency.p99(),
         )

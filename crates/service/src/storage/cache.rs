@@ -10,9 +10,11 @@
 //! atomics so a stats snapshot never takes the cache lock.
 //!
 //! The loader runs **outside** the lock: a slow disk read never blocks hits
-//! on other keys. If a load fails the in-flight slot is cleared and waiters
-//! retry as loaders themselves, so one transient I/O error doesn't poison
-//! the key.
+//! on other keys. Every in-flight load carries a shared *flight* outcome:
+//! waiters that coalesced onto it observe exactly what the loader observed —
+//! the loaded bytes, or the load's failure. A failed flight clears the slot
+//! on its way out, so the key is never poisoned and the next independent
+//! lookup retries with a fresh load.
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
@@ -33,7 +35,8 @@ pub struct CacheStats {
     /// Lookups that had to load from disk (this thread ran the loader).
     pub misses: u64,
     /// Lookups that blocked on another thread's in-flight load and shared
-    /// its result (single-flight coalescing).
+    /// its outcome — the bytes on success, the error on failure
+    /// (single-flight coalescing).
     pub coalesced: u64,
     /// Entries discarded to fit the byte budget.
     pub evictions: u64,
@@ -47,8 +50,27 @@ pub struct CacheStats {
 enum Slot {
     /// Loaded bytes plus the recency stamp under which they are indexed.
     Ready { bytes: Arc<Vec<u8>>, stamp: u64 },
-    /// A load is running on some thread; waiters block on the condvar.
-    InFlight,
+    /// A load is running on some thread; waiters clone the flight and block
+    /// on the condvar until its outcome settles.
+    InFlight { flight: Arc<Flight> },
+}
+
+/// The shared outcome of one single-flight load: `None` while the loader
+/// runs, then exactly what it produced — bytes or error — for every waiter
+/// that coalesced onto it.
+#[derive(Debug, Default)]
+struct Flight {
+    outcome: Mutex<Option<Result<Arc<Vec<u8>>, String>>>,
+}
+
+impl Flight {
+    fn settle(&self, outcome: Result<Arc<Vec<u8>>, String>) {
+        *self.outcome.lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+    }
+
+    fn peek(&self) -> Option<Result<Arc<Vec<u8>>, String>> {
+        self.outcome.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -95,15 +117,15 @@ impl FileCache {
     /// Returns the bytes for `key`, loading them via `load` on a miss.
     ///
     /// Concurrent callers for the same missing key coalesce onto a single
-    /// `load` invocation; the loader runs without the cache lock held.
+    /// `load` invocation and share its outcome — bytes or error; the loader
+    /// runs without the cache lock held. A failed flight clears the slot, so
+    /// the next independent lookup retries with a fresh load.
     pub fn get_or_load(
         &self,
         key: &Path,
         load: impl FnOnce() -> ServiceResult<Vec<u8>>,
     ) -> ServiceResult<Arc<Vec<u8>>> {
-        let mut load = Some(load);
-        let mut waited = false;
-        loop {
+        let flight = {
             let mut state = self.lock()?;
             match state.slots.get(key) {
                 Some(Slot::Ready { bytes, stamp }) => {
@@ -116,57 +138,65 @@ impl FileCache {
                     if let Some(Slot::Ready { stamp, .. }) = state.slots.get_mut(key) {
                         *stamp = fresh;
                     }
-                    // A lookup that blocked on another thread's load counts
-                    // as coalesced, not a hit — exactly one of the two per
-                    // lookup, regardless of spurious condvar wakeups.
-                    if waited {
-                        self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                    }
+                    self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(bytes);
                 }
-                Some(Slot::InFlight) => {
-                    // Someone else is loading: wait for them, then re-check.
-                    waited = true;
-                    let state = self
-                        .loaded
-                        .wait(state)
-                        .map_err(|_| ServiceError::Storage("file cache poisoned".into()))?;
-                    drop(state);
-                    continue;
-                }
+                Some(Slot::InFlight { flight }) => Arc::clone(flight),
                 None => {
-                    let Some(loader) = load.take() else {
-                        // We already ran a loader and someone invalidated the
-                        // entry before we re-observed it; surface as a miss
-                        // the caller can retry.
-                        return Err(ServiceError::Storage(format!(
-                            "cache entry {} vanished during load",
-                            key.display()
-                        )));
-                    };
-                    state.slots.insert(key.to_path_buf(), Slot::InFlight);
+                    // This thread is the loader.
+                    let flight = Arc::new(Flight::default());
+                    state.slots.insert(
+                        key.to_path_buf(),
+                        Slot::InFlight { flight: Arc::clone(&flight) },
+                    );
                     drop(state);
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    match loader() {
+                    return match load() {
                         Ok(bytes) => {
                             let bytes = Arc::new(bytes);
+                            flight.settle(Ok(Arc::clone(&bytes)));
                             self.insert_ready(key, Arc::clone(&bytes))?;
                             self.loaded.notify_all();
-                            return Ok(bytes);
+                            Ok(bytes)
                         }
                         Err(e) => {
-                            // Clear the slot so waiters retry as loaders.
+                            flight.settle(Err(e.to_string()));
+                            // Clear our own in-flight slot (and only ours)
+                            // so the key is never poisoned: the next lookup
+                            // starts a fresh flight.
                             let mut state = self.lock()?;
-                            state.slots.remove(key);
+                            if let Some(Slot::InFlight { flight: current }) =
+                                state.slots.get(key)
+                            {
+                                if Arc::ptr_eq(current, &flight) {
+                                    state.slots.remove(key);
+                                }
+                            }
                             drop(state);
                             self.loaded.notify_all();
-                            return Err(e);
+                            Err(e)
                         }
-                    }
+                    };
                 }
             }
+        };
+        // Coalesced: block until the flight settles, then share its outcome.
+        // Exactly one of {hit, miss, coalesced} per lookup.
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.lock()?;
+        loop {
+            if let Some(outcome) = flight.peek() {
+                return outcome.map_err(|msg| {
+                    ServiceError::Storage(format!(
+                        "coalesced load of {} failed: {msg}",
+                        key.display()
+                    ))
+                });
+            }
+            state = self
+                .loaded
+                .wait(state)
+                .map_err(|_| ServiceError::Storage("file cache poisoned".into()))?;
         }
     }
 
@@ -337,6 +367,54 @@ mod tests {
         assert!(matches!(err, ServiceError::Storage(_)));
         let bytes = cache.get_or_load(&key("flaky"), || Ok(vec![7])).unwrap();
         assert_eq!(*bytes, vec![7]);
+    }
+
+    #[test]
+    fn failed_flight_propagates_to_every_coalesced_waiter() {
+        let cache = Arc::new(FileCache::new(1 << 20));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(6));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let (cache, loads, gate) = (Arc::clone(&cache), Arc::clone(&loads), Arc::clone(&gate));
+            handles.push(std::thread::spawn(move || {
+                gate.wait();
+                cache.get_or_load(&key("doomed"), || {
+                    loads.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open so the other threads coalesce
+                    // onto it before it fails.
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    Err(ServiceError::Storage("disk fell over".into()))
+                })
+            }));
+        }
+        let mut loader_errs = 0;
+        let mut coalesced_errs = 0;
+        for h in handles {
+            match h.join().unwrap() {
+                Err(ServiceError::Storage(msg)) if msg.contains("coalesced load") => {
+                    assert!(msg.contains("disk fell over"), "waiter sees the cause: {msg}");
+                    coalesced_errs += 1;
+                }
+                Err(ServiceError::Storage(msg)) => {
+                    assert_eq!(msg, "disk fell over");
+                    loader_errs += 1;
+                }
+                other => panic!("expected a storage error, got {other:?}"),
+            }
+        }
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "exactly one load ran");
+        assert_eq!(loader_errs, 1, "the loader gets the original error");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        // Threads that raced in after the failed flight cleared the slot
+        // would become fresh loaders; with the 100ms hold none should, but
+        // tolerate scheduler skew by only bounding from below.
+        assert!(coalesced_errs >= 1, "at least one waiter coalesced");
+        assert_eq!(s.coalesced as usize, coalesced_errs);
+        // The key is not poisoned: a clean retry loads fresh bytes.
+        let bytes = cache.get_or_load(&key("doomed"), || Ok(vec![3u8; 4])).unwrap();
+        assert_eq!(*bytes, vec![3u8; 4]);
     }
 
     #[test]

@@ -60,6 +60,23 @@ pub trait ShardStore: Send {
     /// A no-op when nothing is staged, and for memory-backed stores.
     fn commit(&mut self) -> ServiceResult<()>;
 
+    /// Starts making the staged records durable without waiting for the
+    /// fsync to land (pipelined group commit). A caller that externalizes
+    /// state on return **must** pair this with
+    /// [`commit_wait`](ShardStore::commit_wait) before publishing — the ack
+    /// barrier. Default: a full synchronous [`commit`](ShardStore::commit),
+    /// so stores without a pipeline keep the old semantics.
+    fn commit_begin(&mut self) -> ServiceResult<()> {
+        self.commit()
+    }
+
+    /// Blocks until every commit begun so far is durable, surfacing any
+    /// background fsync outcome. Default: no-op (synchronous stores are
+    /// already durable when `commit` returns).
+    fn commit_wait(&mut self) -> ServiceResult<()> {
+        Ok(())
+    }
+
     /// The absolute offset one past the last appended record.
     fn end(&self) -> u64;
 
@@ -126,6 +143,18 @@ pub struct StorageStats {
     /// Stores wedged by an injected torn-write / partial-fsync fault
     /// (writes silently stop; the service continues in memory).
     pub wedged: u64,
+    /// Write attempts retried after a transient IO error (seeded-jittered
+    /// exponential backoff inside one group commit).
+    pub retries: u64,
+    /// Damaged files moved into `.quarantine/` during recovery scans
+    /// instead of wedging the store.
+    pub quarantines: u64,
+    /// Group commits served from the degraded memory mirror while the disk
+    /// was unavailable (each one doubles as a re-attach probe).
+    pub degraded_commits: u64,
+    /// Successful heals: a degraded store backfilled its missed records
+    /// from the memory mirror and re-attached durability.
+    pub heal_events: u64,
     /// File-cache behavior (disk backend only).
     pub cache: CacheStats,
 }
@@ -135,7 +164,7 @@ impl fmt::Display for StorageStats {
         write!(
             f,
             "storage[{}]: {} commits, {} fsyncs, {} bytes, {} segments, \
-             {} ckpts (+{} pruned), cache {}h/{}m/{}c/{}e",
+             {} ckpts (+{} pruned), heal {}r/{}q/{}d/{}h, cache {}h/{}m/{}c/{}e",
             self.backend,
             self.commits,
             self.fsyncs,
@@ -143,6 +172,10 @@ impl fmt::Display for StorageStats {
             self.segments_created,
             self.checkpoints_written,
             self.checkpoints_pruned,
+            self.retries,
+            self.quarantines,
+            self.degraded_commits,
+            self.heal_events,
             self.cache.hits,
             self.cache.misses,
             self.cache.coalesced,

@@ -24,7 +24,7 @@
 //! unwraps or hangs.
 
 use crate::error::{ServiceError, ServiceResult};
-use crate::faults::{FaultPlan, ShardFaults};
+use crate::faults::{self, FaultPlan, ShardFaults};
 use crate::service::shard_for;
 use crate::shard::{
     restore_tenants, spawn_shard_with, Command, ShardHandle, ShardSnapshot, TenantId,
@@ -35,7 +35,7 @@ use crate::storage::{MemoryBackend, ShardStore, StorageBackend};
 use crate::tenant::{Tenant, TenantSpec};
 use crate::wal::{replay, Checkpoint, WalRecord};
 use rrs_core::{ColorId, RunResult};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +64,62 @@ impl Default for RetryPolicy {
             backoff: Duration::from_millis(10),
         }
     }
+}
+
+impl RetryPolicy {
+    /// The pause before retry `attempt` (1-based): the doubling backoff
+    /// capped at `op_timeout`, with a deterministic seeded jitter drawn
+    /// from `[base/2, base]` so callers retrying in unison (one seed per
+    /// shard) desynchronize instead of hammering the same instant. Pure,
+    /// so tests can pin bounds and determinism.
+    pub fn backoff_for(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self.backoff.saturating_mul(1u32 << exp).min(self.op_timeout);
+        faults::jittered(base, seed, u64::from(attempt))
+    }
+}
+
+/// Restart-storm circuit breaker parameters (see
+/// [`Supervisor::set_breaker`]). A shard that keeps dying faster than it
+/// can do useful work trips its breaker **open**: the supervisor stops
+/// rebuilding it, sheds its traffic with per-tenant accounting, and only
+/// after `cooldown` tick epochs spawns a **half-open** probe worker. The
+/// breaker closes again once the probe survives `probes` consecutive
+/// healthy epochs; a failure while half-open reopens it immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Trip open when a shard accumulates this many recoveries within
+    /// `window` tick epochs.
+    pub trip_after: u32,
+    /// Sliding recovery-history window, in tick epochs.
+    pub window: u64,
+    /// Tick epochs an open breaker sheds before the half-open probe.
+    pub cooldown: u64,
+    /// Consecutive healthy epochs required to close from half-open.
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 3, window: 16, cooldown: 8, probes: 2 }
+    }
+}
+
+/// Per-shard breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation; recoveries rebuild the shard.
+    Closed,
+    /// Tripped at epoch `since`: no rebuilds, traffic sheds.
+    Open {
+        /// The supervisor clock when the breaker tripped.
+        since: u64,
+    },
+    /// A probe worker is running; `healthy` epochs survived so far.
+    HalfOpen {
+        /// Healthy epochs the probe has survived.
+        healthy: u32,
+    },
 }
 
 /// Load-shedding watermarks (both default to off).
@@ -152,6 +208,14 @@ struct Seat {
     recoveries: u64,
     checkpoints_rejected: u64,
     faults: Arc<ShardFaults>,
+    /// Circuit-breaker state (always `Closed` unless a breaker is
+    /// installed via [`Supervisor::set_breaker`]).
+    breaker: BreakerState,
+    /// Supervisor-clock epochs of recent recoveries, pruned to the breaker
+    /// window.
+    recovery_clock: VecDeque<u64>,
+    /// Times this shard's breaker tripped open.
+    trips: u64,
 }
 
 /// A sharded multi-tenant scheduler service that survives worker death,
@@ -168,6 +232,10 @@ pub struct Supervisor {
     /// Supervisor-side state only: not journaled, so a cold start resets it.
     queue_shed: BTreeMap<TenantId, u64>,
     events: Vec<RecoveryEvent>,
+    /// Restart-storm circuit breaker, off unless installed.
+    breaker: Option<BreakerConfig>,
+    /// Tick-epoch clock driving breaker windows and cooldowns.
+    clock: u64,
 }
 
 impl Supervisor {
@@ -255,6 +323,9 @@ impl Supervisor {
                 recoveries: 0,
                 checkpoints_rejected: 0,
                 faults,
+                breaker: BreakerState::Closed,
+                recovery_clock: VecDeque::new(),
+                trips: 0,
             });
         }
         Ok(Supervisor {
@@ -264,6 +335,8 @@ impl Supervisor {
             tenants: tenants_dir,
             queue_shed: BTreeMap::new(),
             events,
+            breaker: None,
+            clock: 0,
         })
     }
 
@@ -302,6 +375,137 @@ impl Supervisor {
         self.seats.iter().map(|s| s.checkpoints_rejected).sum()
     }
 
+    /// Installs a restart-storm circuit breaker. Kept out of
+    /// [`SupervisorConfig`] so the many existing construction sites stay
+    /// untouched; call right after construction, before driving traffic.
+    pub fn set_breaker(&mut self, config: BreakerConfig) {
+        self.breaker = Some(config);
+    }
+
+    /// Breaker trips so far, across all shards.
+    pub fn breaker_trips(&self) -> u64 {
+        self.seats.iter().map(|s| s.trips).sum()
+    }
+
+    /// Whether `shard`'s breaker is currently open (shedding, not
+    /// rebuilding).
+    pub fn breaker_open(&self, shard: usize) -> bool {
+        self.seats
+            .get(shard)
+            .is_some_and(|s| matches!(s.breaker, BreakerState::Open { .. }))
+    }
+
+    /// Decides whether a failure on `shard` should skip the rebuild:
+    /// records the recovery in the sliding window, trips the breaker on a
+    /// storm, and reopens immediately when a half-open probe fails.
+    /// Returns `true` when the shard is (now) open and must not rebuild.
+    fn breaker_gate(&mut self, shard: usize, cause: &str) -> bool {
+        let Some(cfg) = self.breaker else { return false };
+        match self.seats[shard].breaker {
+            BreakerState::Open { .. } => return true,
+            BreakerState::HalfOpen { .. } => {
+                self.trip(shard, format!("{cause}; half-open probe failed, breaker reopened"));
+                return true;
+            }
+            BreakerState::Closed => {}
+        }
+        let clock = self.clock;
+        let seat = &mut self.seats[shard];
+        seat.recovery_clock.push_back(clock);
+        while seat
+            .recovery_clock
+            .front()
+            .is_some_and(|&t| clock.saturating_sub(t) > cfg.window)
+        {
+            seat.recovery_clock.pop_front();
+        }
+        if (seat.recovery_clock.len() as u32) < cfg.trip_after {
+            return false;
+        }
+        let n = seat.recovery_clock.len();
+        self.trip(
+            shard,
+            format!("{cause}; restart storm ({n} recoveries in {} epochs), breaker opened", cfg.window),
+        );
+        true
+    }
+
+    /// Opens `shard`'s breaker: sheds the un-journaled submit buffer with
+    /// per-tenant accounting (journaled records replay at the eventual
+    /// probe rebuild, so they must NOT be shed) and logs the trip.
+    fn trip(&mut self, shard: usize, cause: String) {
+        let shed = self.shed_pending(shard);
+        self.seats[shard].breaker = BreakerState::Open { since: self.clock };
+        self.seats[shard].trips += 1;
+        self.events.push(RecoveryEvent {
+            shard,
+            cause: format!("{cause}; shed {shed} buffered jobs"),
+            replayed: 0,
+        });
+    }
+
+    /// Sheds `shard`'s buffered (not yet journaled) submits into the
+    /// per-tenant shed ledger, returning the job count.
+    fn shed_pending(&mut self, shard: usize) -> u64 {
+        let pending = std::mem::take(&mut self.seats[shard].pending);
+        let mut shed = 0;
+        for (id, arrivals) in pending {
+            let jobs: u64 = arrivals.iter().map(|&(_, k)| k).sum();
+            shed += jobs;
+            *self.queue_shed.entry(id).or_insert(0) += jobs;
+        }
+        shed
+    }
+
+    /// Advances `shard`'s breaker one epoch: an open breaker whose cooldown
+    /// has elapsed rebuilds the shard as a half-open probe.
+    fn breaker_step(&mut self, shard: usize) -> ServiceResult<()> {
+        let Some(cfg) = self.breaker else { return Ok(()) };
+        if let BreakerState::Open { since } = self.seats[shard].breaker {
+            if self.clock.saturating_sub(since) >= cfg.cooldown {
+                self.probe(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an open shard and moves its breaker to half-open.
+    fn probe(&mut self, shard: usize) -> ServiceResult<()> {
+        self.rebuild(shard, "breaker half-open probe")?;
+        self.seats[shard].breaker = BreakerState::HalfOpen { healthy: 0 };
+        Ok(())
+    }
+
+    /// Paths that *must* have an answer from `shard` (stats, snapshots,
+    /// finish, registration) force an early half-open probe instead of
+    /// waiting out the cooldown.
+    fn force_probe(&mut self, shard: usize) -> ServiceResult<()> {
+        if self.breaker_open(shard) {
+            self.probe(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Credits `shard` with one healthy epoch; a half-open breaker closes
+    /// after the configured probe window.
+    fn breaker_note_healthy(&mut self, shard: usize) {
+        let Some(cfg) = self.breaker else { return };
+        if let BreakerState::HalfOpen { healthy } = self.seats[shard].breaker {
+            let healthy = healthy + 1;
+            if healthy >= cfg.probes {
+                self.seats[shard].breaker = BreakerState::Closed;
+                self.seats[shard].recovery_clock.clear();
+                self.events.push(RecoveryEvent {
+                    shard,
+                    cause: "circuit breaker closed after healthy probe window".into(),
+                    replayed: 0,
+                });
+            } else {
+                self.seats[shard].breaker = BreakerState::HalfOpen { healthy };
+            }
+        }
+    }
+
     /// Storage-tier counters, without the shard round-trips of
     /// [`Supervisor::stats`].
     pub fn storage_stats(&self) -> crate::storage::StorageStats {
@@ -337,6 +541,7 @@ impl Supervisor {
         // Proves the spec constructs; the throwaway instance is dropped.
         Tenant::new(spec.clone())?;
         let shard = self.shard_of(id);
+        self.force_probe(shard)?;
         self.ensure_live(shard, "liveness check before add_tenant")?;
         // Journal + commit before the send: the acknowledgement below
         // externalizes the registration, so it must be durable first.
@@ -372,6 +577,12 @@ impl Supervisor {
         let &shard = self.tenants.get(&id).ok_or(ServiceError::UnknownTenant(id))?;
         let jobs: u64 = arrivals.iter().map(|&(_, k)| k).sum();
         if jobs == 0 {
+            return Ok(());
+        }
+        // A tripped shard sheds at the door, same accounting as the queue
+        // watermark: the jobs never enter the system.
+        if self.breaker_open(shard) {
+            *self.queue_shed.entry(id).or_insert(0) += jobs;
             return Ok(());
         }
         if let Some(w) = self.config.shed.queue_watermark {
@@ -458,18 +669,27 @@ impl Supervisor {
         if self.config.ingest == IngestMode::Batched {
             return self.tick_batched();
         }
+        self.clock += 1;
         for shard in 0..self.seats.len() {
+            self.breaker_step(shard)?;
+            if self.breaker_open(shard) {
+                self.shed_pending(shard);
+                continue;
+            }
             // Join-handle monitoring: catch a silently dead worker before
             // wasting the queue deadline on it.
             if self.seats[shard].handle.is_finished() {
                 self.recover(shard, "worker found dead before tick")?;
+                if self.breaker_open(shard) {
+                    continue;
+                }
             }
             self.seats[shard].store.append(&WalRecord::Tick)?;
             self.seats[shard].store.commit()?;
             self.seats[shard].ticks += 1;
             let deadline = Instant::now() + self.config.retry.op_timeout;
             match self.seats[shard].handle.send_deadline(Command::Tick { seq: 0 }, deadline) {
-                Ok(()) => {}
+                Ok(()) => self.breaker_note_healthy(shard),
                 Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
                     self.recover(shard, "tick did not enqueue")?;
                     continue; // the replay applied this tick; skip checkpoint
@@ -486,16 +706,26 @@ impl Supervisor {
 
     /// The batched tick epoch: broadcast, join, checkpoint.
     fn tick_batched(&mut self) -> ServiceResult<()> {
+        self.clock += 1;
         // Phase 1 — broadcast: journal each shard's submit batch *and* its
-        // tick, make both durable with ONE group commit (the epoch fsync),
-        // then enqueue both commands without waiting. All shards overlap
-        // their round execution from here.
+        // tick, start making both durable with ONE pipelined group commit
+        // (the epoch fsync runs in the background; the ack barrier in
+        // phase 2 waits for it), then enqueue both commands without
+        // waiting. All shards overlap their round execution from here.
         let mut joins: Vec<Option<u64>> = vec![None; self.seats.len()];
         for (shard, join) in joins.iter_mut().enumerate() {
+            self.breaker_step(shard)?;
+            if self.breaker_open(shard) {
+                self.shed_pending(shard);
+                continue;
+            }
             self.ensure_live(shard, "worker found dead before tick")?;
+            if self.breaker_open(shard) {
+                continue;
+            }
             let batch = self.journal_pending(shard)?;
             let offset = self.seats[shard].store.append(&WalRecord::Tick)?;
-            self.seats[shard].store.commit()?;
+            self.seats[shard].store.commit_begin()?;
             self.seats[shard].ticks += 1;
             let seq = offset + 1;
             if let Some((entries, batch_seq)) = batch {
@@ -525,24 +755,32 @@ impl Supervisor {
             }
         }
         // Phase 2 — join: wait for every shard's applied offset to reach
-        // its tick epoch. Shards that needed recovery in phase 1 replayed
-        // the epoch synchronously and are skipped.
+        // its tick epoch, then hold the **ack barrier**: the epoch's
+        // background fsync must land before this tick returns and
+        // externalizes the epoch. Shards that needed recovery in phase 1
+        // replayed the epoch synchronously and skip the applied join.
         for (shard, join) in joins.iter().enumerate() {
             if let Some(seq) = *join {
                 let deadline = Instant::now() + self.config.retry.op_timeout;
                 match self.seats[shard].handle.wait_applied(seq, deadline) {
-                    Ok(()) => {}
+                    Ok(()) => self.breaker_note_healthy(shard),
                     Err(ServiceError::Timeout(_)) | Err(ServiceError::ShardDown(_)) => {
                         self.recover(shard, "tick epoch was not acknowledged")?;
                     }
                     Err(e) => return Err(e),
                 }
             }
+            self.seats[shard].store.commit_wait()?;
         }
-        // Phase 3 — checkpoints, on the journaled-tick cadence.
+        // Phase 3 — checkpoints, on the journaled-tick cadence. Open
+        // shards have no worker to snapshot; they checkpoint after the
+        // probe rebuild catches them up.
         let every = self.config.checkpoint_every;
         if every > 0 {
             for shard in 0..self.seats.len() {
+                if self.breaker_open(shard) {
+                    continue;
+                }
                 if self.seats[shard].ticks.is_multiple_of(every) {
                     self.checkpoint(shard)?;
                 }
@@ -558,6 +796,7 @@ impl Supervisor {
         if shard >= self.seats.len() {
             return Err(ServiceError::UnknownShard(shard));
         }
+        self.force_probe(shard)?;
         // Any buffered submits must be journaled before the offset is
         // captured, or the checkpoint would claim to cover them.
         self.flush_shard(shard)?;
@@ -608,11 +847,23 @@ impl Supervisor {
         Ok(())
     }
 
+    /// Handles a shard failure: normally rebuilds from checkpoint + WAL,
+    /// but when an installed circuit breaker detects a restart storm the
+    /// shard is left down (open breaker) and its traffic sheds until a
+    /// half-open probe succeeds — a permanently dying shard costs a bounded
+    /// number of respawns instead of one per epoch.
+    fn recover(&mut self, shard: usize, cause: &str) -> ServiceResult<()> {
+        if self.breaker_gate(shard, cause) {
+            return Ok(());
+        }
+        self.rebuild(shard, cause)
+    }
+
     /// Rebuilds a dead, stalled or misbehaving shard from its newest
     /// checkpoint plus the WAL suffix, falling back to older checkpoints if
     /// replay verification reports divergence. The old worker is abandoned,
     /// never joined — a stalled thread cannot hang the supervisor.
-    fn recover(&mut self, shard: usize, cause: &str) -> ServiceResult<()> {
+    fn rebuild(&mut self, shard: usize, cause: &str) -> ServiceResult<()> {
         let panic_msg = self.seats[shard].handle.panic_message();
         let seat = &self.seats[shard];
         let mut rebuilt: Option<(BTreeMap<TenantId, Tenant>, u64)> = None;
@@ -669,22 +920,20 @@ impl Supervisor {
     }
 
     /// Runs a reply-bearing command against a shard with bounded retries:
-    /// each timeout or dead worker triggers a recovery, then an
-    /// exponentially backed-off retry (capped at the op deadline), up to
-    /// [`RetryPolicy::attempts`].
+    /// each timeout or dead worker triggers a recovery, then a
+    /// seeded-jittered exponentially backed-off retry (capped at the op
+    /// deadline), up to [`RetryPolicy::attempts`].
     fn with_retry<T>(
         &mut self,
         shard: usize,
         what: &str,
         op: impl Fn(&ShardHandle, Duration) -> ServiceResult<T>,
     ) -> ServiceResult<T> {
-        let RetryPolicy { attempts, op_timeout, backoff } = self.config.retry;
-        let mut pause = backoff;
+        let RetryPolicy { attempts, op_timeout, .. } = self.config.retry;
         let mut last = ServiceError::ShardDown(shard);
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(pause.min(op_timeout));
-                pause = pause.saturating_mul(2);
+                std::thread::sleep(self.config.retry.backoff_for(attempt, shard as u64));
             }
             match op(&self.seats[shard].handle, op_timeout) {
                 Ok(v) => return Ok(v),
@@ -703,6 +952,7 @@ impl Supervisor {
         if shard >= self.seats.len() {
             return Err(ServiceError::UnknownShard(shard));
         }
+        self.force_probe(shard)?;
         // The snapshot must see buffered submits (queue order guarantees the
         // worker applies the batch before answering).
         self.flush_shard(shard)?;
@@ -719,12 +969,14 @@ impl Supervisor {
         let mut shards = Vec::new();
         let mut tenants = Vec::new();
         for shard in 0..self.seats.len() {
+            self.force_probe(shard)?;
             self.flush_shard(shard)?;
             let mut s = self.with_retry(shard, "stats did not answer", |h, t| {
                 h.round_trip_deadline(|reply| Command::Stats { reply }, t)
             })?;
             let snap = self.snapshot_shard(shard)?;
             s.recoveries = self.seats[shard].recoveries;
+            s.breaker_trips = self.seats[shard].trips;
             for (id, t) in snap.tenants {
                 let queue_shed = self.queue_shed.get(&id).copied().unwrap_or(0);
                 s.shed_jobs += queue_shed;
@@ -755,6 +1007,7 @@ impl Supervisor {
     pub fn finish(mut self) -> ServiceResult<BTreeMap<TenantId, RunResult>> {
         let mut results = BTreeMap::new();
         for shard in 0..self.seats.len() {
+            self.force_probe(shard)?;
             self.flush_shard(shard)?;
             let finished =
                 self.with_retry(shard, "finish did not answer", |h, t| h.finish_timeout(t))?;
@@ -881,6 +1134,109 @@ mod tests {
         assert_eq!(stats.shed(), 20);
         assert_eq!(stats.tenants[0].1.shed, 20);
         assert_eq!(stats.tenants[0].1.arrived, 10, "watermark admits 2 per round");
+        assert!(stats.conserves_jobs());
+        sup.finish().unwrap();
+    }
+
+    #[test]
+    fn retry_backoff_is_jittered_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            attempts: 5,
+            op_timeout: Duration::from_millis(40),
+            backoff: Duration::from_millis(10),
+        };
+        for attempt in 1..6u32 {
+            let base = p.backoff.saturating_mul(1 << (attempt - 1)).min(p.op_timeout);
+            for seed in 0..8u64 {
+                let d = p.backoff_for(attempt, seed);
+                assert!(d >= base / 2 && d <= base, "attempt {attempt} seed {seed}: {d:?}");
+                assert_eq!(d, p.backoff_for(attempt, seed), "deterministic per (attempt, seed)");
+            }
+        }
+        assert!(
+            (1..6u32).any(|a| p.backoff_for(a, 1) != p.backoff_for(a, 2)),
+            "seeds 1 and 2 never diverged"
+        );
+    }
+
+    #[test]
+    fn breaker_bounds_restart_storms_and_accounts_shed() {
+        // A shard that panics on every tick: an unguarded supervisor
+        // respawns it every epoch.
+        let storm = FaultPlan {
+            faults: (1..=30)
+                .map(|t| Fault { shard: 0, at_tick: t, kind: FaultKind::Panic })
+                .collect(),
+        };
+        let mut unguarded = Supervisor::with_faults(quick_config(1), &storm).unwrap();
+        unguarded.add_tenant(0, spec()).unwrap();
+        drive(&mut unguarded, 1, 12);
+        let unguarded_recoveries = unguarded.recoveries();
+        assert!(unguarded_recoveries >= 8, "storm respawns ~every epoch: {unguarded_recoveries}");
+        unguarded.finish().unwrap();
+
+        // The breaker trips after 3 recoveries in the window and, with a
+        // cooldown longer than the run, never probes during it — so the
+        // respawn count is provably bounded by trip_after plus the forced
+        // probe at the final stats/finish round-trips.
+        let mut guarded = Supervisor::with_faults(quick_config(1), &storm).unwrap();
+        guarded.set_breaker(BreakerConfig {
+            trip_after: 3,
+            window: 64,
+            cooldown: 1_000,
+            probes: 2,
+        });
+        guarded.add_tenant(0, spec()).unwrap();
+        drive(&mut guarded, 1, 12);
+        assert_eq!(guarded.breaker_trips(), 1, "one trip, then the shard stays open");
+        assert!(
+            guarded.recoveries() <= 4,
+            "respawns bounded by trip_after + forced probe: {}",
+            guarded.recoveries()
+        );
+        assert!(guarded.breaker_open(0), "still open before any forced probe");
+        let stats = guarded.stats().unwrap();
+        assert_eq!(stats.shards[0].breaker_trips, 1);
+        assert!(stats.conserves_jobs(), "shed accounting keeps jobs conserved");
+        assert!(
+            stats.tenants[0].1.shed > 0,
+            "traffic to the open shard was shed with accounting"
+        );
+        assert!(
+            guarded
+                .recovery_events()
+                .iter()
+                .any(|e| e.cause.contains("breaker opened")),
+            "trip is logged: {:?}",
+            guarded.recovery_events()
+        );
+        guarded.finish().unwrap();
+    }
+
+    #[test]
+    fn breaker_closes_after_healthy_probe_window() {
+        // Three quick deaths trip the breaker; after the cooldown the
+        // half-open probe survives (no more armed faults) and the breaker
+        // closes, restoring normal service.
+        let storm = FaultPlan {
+            faults: (1..=3)
+                .map(|t| Fault { shard: 0, at_tick: t, kind: FaultKind::Panic })
+                .collect(),
+        };
+        let mut sup = Supervisor::with_faults(quick_config(1), &storm).unwrap();
+        sup.set_breaker(BreakerConfig { trip_after: 3, window: 16, cooldown: 2, probes: 2 });
+        sup.add_tenant(0, spec()).unwrap();
+        drive(&mut sup, 1, 12);
+        assert_eq!(sup.breaker_trips(), 1);
+        assert!(!sup.breaker_open(0), "probe succeeded and the breaker closed");
+        assert!(
+            sup.recovery_events()
+                .iter()
+                .any(|e| e.cause.contains("breaker closed")),
+            "close is logged: {:?}",
+            sup.recovery_events()
+        );
+        let stats = sup.stats().unwrap();
         assert!(stats.conserves_jobs());
         sup.finish().unwrap();
     }

@@ -251,6 +251,99 @@ fn corrupt_checkpoint_then_panic_recovers_from_older_state() {
     assert_eq!(chaotic, plain_run(shards), "fallback recovery diverged");
 }
 
+/// Random *IO* fault plans over the disk backend: transient errors, slow
+/// commits, whole-commit bursts and disk-full outages (plus the classic
+/// torn-write/corrupt-CRC crash faults) must never change the live run's
+/// results — the degraded memory mirror keeps serving while the disk heals.
+#[test]
+fn random_io_chaos_on_disk_preserves_results() {
+    for seed in [3u64, 99] {
+        chaos_io_one(seed);
+    }
+}
+
+/// One seeded random-IO-plan run over the disk backend, compared against a
+/// fault-free oracle. Shared by the fixed-seed test above and the
+/// time-boxed `chaos_random_smoke`.
+fn chaos_io_one(seed: u64) {
+    use rrs_service::{DiskBackend, DiskConfig};
+    quiet_injected_panics();
+    let shards = 1 + (seed % 3) as usize;
+    let plan = rrs_service::FaultPlan::random_io(seed, shards, ROUNDS, 4);
+    let dir = std::env::temp_dir().join(format!(
+        "rrs-chaos-io-{seed}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = DiskConfig::new(&dir);
+    cfg.io_backoff = Duration::from_micros(50);
+    let mut sup = Supervisor::with_storage(
+        quick_config(shards),
+        &plan,
+        Box::new(DiskBackend::new(cfg)),
+    )
+    .unwrap();
+    for id in 0..TENANTS {
+        sup.add_tenant(id, spec(policy_for(id))).unwrap();
+    }
+    for round in 0..ROUNDS {
+        for id in 0..TENANTS {
+            sup.submit(id, arrivals(id, round)).unwrap();
+        }
+        sup.tick().unwrap();
+    }
+    let chaotic = sup.finish().unwrap();
+    let (clean, _) = supervised_run(quick_config(shards), &FaultPlan::none());
+    assert_eq!(chaotic, clean, "seed {seed}: IO fault plan changed results");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker that dies every epoch is a restart storm. The circuit breaker
+/// must bound the respawn count (trip, shed with accounting, stay open),
+/// keep job conservation intact, and still let `finish` drain cleanly via
+/// the forced half-open probe.
+#[test]
+fn breaker_bounds_a_restart_storm_under_the_chaos_workload() {
+    use rrs_service::BreakerConfig;
+    quiet_injected_panics();
+    let shards = 2;
+    let storm = FaultPlan {
+        faults: (1..=ROUNDS)
+            .map(|t| rrs_service::Fault {
+                shard: 0,
+                at_tick: t,
+                kind: rrs_service::FaultKind::Panic,
+            })
+            .collect(),
+    };
+    let mut sup = Supervisor::with_faults(quick_config(shards), &storm).unwrap();
+    sup.set_breaker(BreakerConfig { trip_after: 3, window: 32, cooldown: 10_000, probes: 2 });
+    for id in 0..TENANTS {
+        sup.add_tenant(id, spec(policy_for(id))).unwrap();
+    }
+    for round in 0..ROUNDS {
+        for id in 0..TENANTS {
+            sup.submit(id, arrivals(id, round)).unwrap();
+        }
+        sup.tick().unwrap();
+    }
+    assert_eq!(sup.breaker_trips(), 1, "the storm trips exactly once");
+    assert!(
+        sup.recoveries() <= 4,
+        "respawns bounded by trip_after + forced probe, got {}",
+        sup.recoveries()
+    );
+    let stats = sup.stats().unwrap();
+    assert!(stats.conserves_jobs(), "shed accounting keeps conservation intact");
+    assert!(
+        stats.tenants.iter().any(|(_, p)| p.shed > 0),
+        "traffic to the open shard was shed with per-tenant accounting"
+    );
+    let results = sup.finish().unwrap();
+    assert_eq!(results.len(), TENANTS as usize, "finish drains every tenant");
+}
+
 /// SplitMix64, as in the fuzz suite.
 struct Rng(u64);
 
@@ -273,8 +366,10 @@ fn chaos_one(seed: u64) {
 }
 
 /// Time-boxed random-plan pass, enabled by `RRS_CHAOS_MS` (milliseconds).
-/// Without the variable it runs a single extra seed, so tier-1 stays fast
-/// and deterministic.
+/// Without the variable it runs a single extra seed of each kind, so
+/// tier-1 stays fast and deterministic. Iterations alternate between
+/// worker-fault plans on the memory backend and storage-IO-fault plans on
+/// the disk backend, so the smoke exercises both fault families.
 #[test]
 fn chaos_random_smoke() {
     let budget_ms: u64 = std::env::var("RRS_CHAOS_MS")
@@ -283,6 +378,7 @@ fn chaos_random_smoke() {
         .unwrap_or(0);
     if budget_ms == 0 {
         chaos_one(0xBADC_0FFE);
+        chaos_io_one(0xBADC_0FFE);
         return;
     }
     let start = std::time::Instant::now();
@@ -293,8 +389,13 @@ fn chaos_random_smoke() {
     let mut iterations = 0u64;
     while start.elapsed().as_millis() < budget_ms as u128 {
         // Print the seed first so a failure is reproducible from the log.
-        println!("chaos_random_smoke: seed {seed}");
-        chaos_one(seed);
+        if iterations.is_multiple_of(2) {
+            println!("chaos_random_smoke: worker seed {seed}");
+            chaos_one(seed);
+        } else {
+            println!("chaos_random_smoke: io seed {seed}");
+            chaos_io_one(seed);
+        }
         seed = Rng(seed).next();
         iterations += 1;
     }
