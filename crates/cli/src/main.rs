@@ -15,6 +15,11 @@
 //!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
 //!               [--shed-watermark W] [--shed-queue Q] [--ingest batched|per-command]
 //!               [--storage memory|disk] [--data-dir PATH]
+//! rrs serve [--addr HOST:PORT] [--shards S] [--queue-cap C] [--checkpoint-every K]
+//!           [--storage memory|disk] [--data-dir PATH]
+//! rrs bench-net [--clients C] [--tenants T] [--shards S] [--rounds R] [--parts P]
+//!               [--colors K] [--open-inflight W] [--compress] [--quick]
+//!               [--out <path>] [--check] [--tolerance PCT]
 //! rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H]
 //!               [--policies p1,p2,..] [--workloads w1,w2,..] [--shard-list 1,4]
 //!               [--json] [--out <path>] [--require-separation] [--check-schema <path>]
@@ -31,6 +36,7 @@
 //! ```
 
 mod chaos;
+mod net;
 mod scenarios;
 
 use rrs_analysis::experiments::{run_experiment, ExpOptions, ALL_IDS};
@@ -49,6 +55,8 @@ fn main() -> ExitCode {
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
+        Some("serve") => net::cmd_serve(&args[1..]),
+        Some("bench-net") => net::cmd_bench_net(&args[1..]),
         Some("scenarios") => scenarios::cmd_scenarios(&args[1..]),
         Some("chaos") => chaos::cmd_chaos(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
@@ -71,6 +79,9 @@ fn main() -> ExitCode {
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                                [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
                                [--ingest batched|per-command] [--storage memory|disk] [--data-dir PATH]\n  \
+                 rrs serve [--addr HOST:PORT] [--shards S] [--queue-cap C] [--checkpoint-every K] [--storage memory|disk] [--data-dir PATH]\n  \
+                 rrs bench-net [--clients C] [--tenants T] [--shards S] [--rounds R] [--parts P] [--colors K]\n  \
+                               [--open-inflight W] [--compress] [--quick] [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H] [--policies ..] [--workloads ..]\n  \
                                [--shard-list 1,4] [--json] [--out <path>] [--require-separation] [--check-schema <path>]\n  \
                  rrs chaos [--quick] [--seed S] [--json] [--out <path>] [--data-dir PATH]\n  \
@@ -88,11 +99,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag(args: &[String], name: &str) -> bool {
+pub(crate) fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+pub(crate) fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))

@@ -43,6 +43,9 @@ pub enum ServiceError {
     /// A storage-tier failure: I/O error, unreadable frame, or a record
     /// that failed to encode.
     Storage(String),
+    /// A network-layer failure: socket I/O, a frame that failed CRC
+    /// validation on the wire, or a protocol violation.
+    Net(String),
     /// The configured data directory cannot back a disk store: it exists
     /// but is not a directory, cannot be created, or is not writable. The
     /// CLI maps this to exit code 2 (usage error) instead of panicking.
@@ -71,6 +74,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
             ServiceError::Divergence(msg) => write!(f, "snapshot divergence: {msg}"),
             ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ServiceError::Net(msg) => write!(f, "net error: {msg}"),
             ServiceError::InvalidDataDir { path, reason } => {
                 write!(f, "invalid data dir {path}: {reason}")
             }

@@ -43,6 +43,7 @@
 
 pub mod error;
 pub mod faults;
+pub mod net;
 pub mod policy;
 pub mod service;
 pub mod shard;
@@ -54,6 +55,7 @@ pub mod wal;
 
 pub use error::{ServiceError, ServiceResult};
 pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
+pub use net::{NetCounters, NetServer, NetSink, SinkConfig};
 pub use policy::PolicySpec;
 pub use service::{shard_for, Service, ServiceConfig, ServiceSnapshot};
 pub use shard::{

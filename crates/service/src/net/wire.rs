@@ -1,0 +1,347 @@
+//! Wire codec for the network front-end: length-prefixed, CRC-framed
+//! messages over TCP.
+//!
+//! Every message on the socket is one [`crate::storage::frame`] frame —
+//! `[len: u32 LE][crc: u32 LE][payload]` — exactly the encoding the WAL
+//! uses on disk, so the same torn-vs-corrupt discipline applies on the
+//! wire: a short read is *torn* (keep reading), a checksum mismatch is
+//! *corrupt* (drop the connection). The frame payload is one flags byte
+//! followed by the message body:
+//!
+//! ```text
+//! +--------+------------------------------------------+
+//! | flags  | body: serde_json Request/Response        |
+//! | u8     | (PackBits-compressed when flag bit 0 set)|
+//! +--------+------------------------------------------+
+//! ```
+//!
+//! Compression is per-message and self-describing: the encoder only sets
+//! [`FLAG_PACKBITS`] when the compressed body is actually smaller, so
+//! incompressible messages never pay an expansion penalty and the decoder
+//! needs no negotiation.
+//!
+//! Requests and responses pair one-to-one in order on each connection,
+//! which is what lets the client pipeline submit-batches and ticks without
+//! waiting: it counts outstanding responses instead of matching ids.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::shard::{ShardSnapshot, TenantId};
+use crate::stats::ServiceStats;
+use crate::storage::frame::{self, FrameError};
+use crate::tenant::TenantSpec;
+use rrs_core::{ColorId, RunResult};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Wire protocol version, exchanged in `Hello`.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Flags-byte bit: the body is PackBits-compressed.
+pub const FLAG_PACKBITS: u8 = 0b0000_0001;
+
+/// Upper bound on a single frame (and on a decompressed body): a corrupted
+/// length header must not convince a reader to buffer gigabytes.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Connection handshake. `client` identifies the logical client across
+    /// reconnects (the server dedups re-sent submit batches by it).
+    Hello {
+        /// Must equal [`PROTO_VERSION`].
+        proto: u32,
+        /// Stable logical client id (survives reconnects).
+        client: u64,
+    },
+    /// Registers a tenant before the run starts.
+    AddTenant {
+        /// Tenant id.
+        id: TenantId,
+        /// Tenant spec (policy, colors, resources, Δ).
+        spec: TenantSpec,
+    },
+    /// This client's buffered submits for tick epoch `epoch` (the next
+    /// uncompleted epoch). One socket batch becomes one supervisor-side
+    /// group commit when the epoch ticks.
+    SubmitBatch {
+        /// Tick epoch the entries belong to (first epoch is 1).
+        epoch: u64,
+        /// `(tenant, arrivals)` in submission order.
+        entries: Vec<(TenantId, Vec<(ColorId, u64)>)>,
+    },
+    /// Requests tick epoch `epoch`. The server fires the tick once
+    /// `parties` distinct `Tick` requests for the epoch have arrived (the
+    /// multi-client barrier; single-client traffic uses `parties = 1`).
+    Tick {
+        /// Epoch being requested (strictly `completed + 1`).
+        epoch: u64,
+        /// Barrier width: concurrent driving clients.
+        parties: u32,
+    },
+    /// Requests a [`ServiceStats`] report.
+    Stats,
+    /// Requests one shard's snapshot.
+    Snapshot {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Finishes the run and returns every tenant's final result. Idempotent:
+    /// repeats return the cached results.
+    Finish,
+}
+
+/// Server → client messages. Exactly one per request, in request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake acknowledgement.
+    Hello {
+        /// Server protocol version.
+        proto: u32,
+        /// Shard count (the length of every `TickAck::seqs`).
+        shards: usize,
+    },
+    /// Generic success (tenant registration).
+    Ok,
+    /// A submit batch was buffered (or deduplicated) for `epoch`.
+    Queued {
+        /// The batch's tick epoch.
+        epoch: u64,
+        /// Jobs carried by the batch.
+        jobs: u64,
+    },
+    /// Tick epoch `epoch` is complete: journaled, group-committed (fsync
+    /// barrier passed) and applied by every shard.
+    TickAck {
+        /// The completed epoch.
+        epoch: u64,
+        /// Per-shard epoch sequences (`seq = WAL offset + 1` of the last
+        /// journaled record): the durable frontier this ack vouches for.
+        seqs: Vec<u64>,
+    },
+    /// A stats report.
+    Stats {
+        /// The report.
+        stats: Box<ServiceStats>,
+    },
+    /// A shard snapshot.
+    Snapshot {
+        /// The snapshot.
+        snapshot: Box<ShardSnapshot>,
+    },
+    /// Final per-tenant results, ascending tenant order.
+    Results {
+        /// `(tenant, result)` pairs.
+        results: Vec<(TenantId, RunResult)>,
+    },
+    /// The request failed.
+    Err {
+        /// Human-readable cause (rendered from [`ServiceError`]).
+        message: String,
+    },
+}
+
+/// Encodes one message into a ready-to-send frame. With `compress`, the
+/// body is PackBits-compressed when that actually shrinks it.
+pub fn encode_message<T: Serialize>(value: &T, compress: bool) -> ServiceResult<Vec<u8>> {
+    let body = serde_json::to_vec(value)
+        .map_err(|e| ServiceError::Net(format!("encode message: {e}")))?;
+    let mut payload = Vec::with_capacity(body.len() + 1);
+    let packed = if compress { Some(packbits_compress(&body)) } else { None };
+    match packed {
+        Some(packed) if packed.len() < body.len() => {
+            payload.push(FLAG_PACKBITS);
+            payload.extend_from_slice(&packed);
+        }
+        _ => {
+            payload.push(0);
+            payload.extend_from_slice(&body);
+        }
+    }
+    let mut out = Vec::with_capacity(frame::FRAME_HEADER + payload.len());
+    frame::encode_frame(&payload, &mut out);
+    Ok(out)
+}
+
+/// Decodes the message framed at `buf[0]`, returning it and the bytes
+/// consumed. Unknown flag bits, a failed decompression, or a body that does
+/// not deserialize all read as [`FrameError::Corrupt`]; a buffer that ends
+/// mid-frame is [`FrameError::Torn`] (read more and retry).
+pub fn decode_message<T: Deserialize>(buf: &[u8]) -> Result<(T, usize), FrameError> {
+    let (payload, consumed) = frame::decode_frame(buf)?;
+    let (&flags, body) = payload.split_first().ok_or(FrameError::Corrupt)?;
+    if flags & !FLAG_PACKBITS != 0 {
+        return Err(FrameError::Corrupt);
+    }
+    let value = if flags & FLAG_PACKBITS != 0 {
+        let bytes = packbits_decompress(body)?;
+        serde_json::from_slice(&bytes).map_err(|_| FrameError::Corrupt)?
+    } else {
+        serde_json::from_slice(body).map_err(|_| FrameError::Corrupt)?
+    };
+    Ok((value, consumed))
+}
+
+/// PackBits run-length compression (the TIFF/Apple scheme): control byte
+/// `n ≤ 127` copies `n + 1` literals, `n ≥ 129` repeats the next byte
+/// `257 - n` times, `128` is a no-op. Worst-case expansion is 1/128; runs
+/// of three or more bytes shrink.
+pub fn packbits_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() + input.len() / 128 + 1);
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1;
+        while i + run < input.len() && input[i + run] == b && run < 128 {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal stretch: up to 128 bytes, stopping where a ≥3 run starts.
+        let start = i;
+        let mut j = i;
+        while j < input.len() && j - start < 128 {
+            let b = input[j];
+            let mut r = 1;
+            while j + r < input.len() && input[j + r] == b && r < 3 {
+                r += 1;
+            }
+            if r >= 3 {
+                break;
+            }
+            j += 1;
+        }
+        out.push((j - start - 1) as u8);
+        out.extend_from_slice(&input[start..j]);
+        i = j;
+    }
+    out
+}
+
+/// Inverse of [`packbits_compress`]. A control byte promising bytes the
+/// input does not hold, or an output exceeding [`MAX_FRAME_BYTES`], is
+/// [`FrameError::Corrupt`].
+pub fn packbits_decompress(input: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let mut out = Vec::with_capacity(input.len().saturating_mul(2));
+    let mut i = 0;
+    while i < input.len() {
+        let c = input[i];
+        i += 1;
+        if c == 128 {
+            continue;
+        }
+        if c < 128 {
+            let n = c as usize + 1;
+            if i + n > input.len() {
+                return Err(FrameError::Corrupt);
+            }
+            out.extend_from_slice(&input[i..i + n]);
+            i += n;
+        } else {
+            let n = 257 - c as usize;
+            let Some(&b) = input.get(i) else {
+                return Err(FrameError::Corrupt);
+            };
+            i += 1;
+            out.resize(out.len() + n, b);
+        }
+        if out.len() > MAX_FRAME_BYTES {
+            return Err(FrameError::Corrupt);
+        }
+    }
+    Ok(out)
+}
+
+/// A framed-message view over one `TcpStream`: buffers partial reads until
+/// a whole frame is available, counts bytes both ways, and turns socket
+/// errors into [`ServiceError::Net`].
+#[derive(Debug)]
+pub struct MsgStream {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+    /// Bytes written to the socket.
+    pub bytes_sent: u64,
+    /// Bytes read from the socket.
+    pub bytes_received: u64,
+}
+
+impl MsgStream {
+    /// Wraps a connected stream. `TCP_NODELAY` is set: messages are whole
+    /// frames and the protocol pipelines, so Nagle only adds latency.
+    pub fn new(stream: TcpStream) -> ServiceResult<Self> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ServiceError::Net(format!("set_nodelay: {e}")))?;
+        Ok(MsgStream { stream, buf: Vec::new(), pos: 0, bytes_sent: 0, bytes_received: 0 })
+    }
+
+    /// The underlying stream (for timeouts and shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Writes pre-encoded frame bytes (possibly several concatenated
+    /// frames: one write per epoch, not per message).
+    pub fn send_bytes(&mut self, frames: &[u8]) -> ServiceResult<()> {
+        self.stream
+            .write_all(frames)
+            .map_err(|e| ServiceError::Net(format!("send: {e}")))?;
+        self.bytes_sent += frames.len() as u64;
+        Ok(())
+    }
+
+    /// Encodes and writes one message.
+    pub fn send<T: Serialize>(&mut self, value: &T, compress: bool) -> ServiceResult<()> {
+        let frame = encode_message(value, compress)?;
+        self.send_bytes(&frame)
+    }
+
+    /// Reads the next whole message, blocking (subject to the stream's read
+    /// timeout). A clean peer close mid-frame or between frames is an
+    /// error: this protocol has no unsolicited hangups.
+    pub fn recv<T: Deserialize>(&mut self) -> ServiceResult<T> {
+        loop {
+            match decode_message::<T>(&self.buf[self.pos..]) {
+                Ok((value, consumed)) => {
+                    self.pos += consumed;
+                    if self.pos == self.buf.len() {
+                        self.buf.clear();
+                        self.pos = 0;
+                    } else if self.pos > 64 * 1024 {
+                        self.buf.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    return Ok(value);
+                }
+                Err(FrameError::Corrupt) => {
+                    return Err(ServiceError::Net("corrupt frame on socket".into()));
+                }
+                Err(FrameError::Torn) => {}
+            }
+            // Reject absurd frame lengths before buffering toward them.
+            let avail = &self.buf[self.pos..];
+            if avail.len() >= 4 {
+                let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(ServiceError::Net(format!("frame length {len} exceeds cap")));
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| ServiceError::Net(format!("recv: {e}")))?;
+            if n == 0 {
+                return Err(ServiceError::Net("connection closed".into()));
+            }
+            self.bytes_received += n as u64;
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! fixed-size latency histogram for step latencies.
 
 use crate::tenant::TenantProgress;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A log₂-bucketed histogram of nanosecond latencies.
@@ -75,8 +76,34 @@ impl LatencyHistogramNs {
     }
 }
 
+/// Manual serde impls (the derive can't reconstruct a `[u64; 64]`): the wire
+/// form is the flat bucket array; the sample count is the bucket sum.
+impl Serialize for LatencyHistogramNs {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.buckets.iter().map(|&b| serde::Value::U64(b)).collect())
+    }
+}
+
+impl Deserialize for LatencyHistogramNs {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let counts: Vec<u64> = Vec::from_value(v)?;
+        if counts.len() != 64 {
+            return Err(serde::Error::msg(format!(
+                "expected 64 histogram buckets, found {}",
+                counts.len()
+            )));
+        }
+        let mut h = LatencyHistogramNs::new();
+        for (slot, &n) in h.buckets.iter_mut().zip(counts.iter()) {
+            *slot = n;
+            h.count += n;
+        }
+        Ok(h)
+    }
+}
+
 /// Counters for one shard worker.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
@@ -145,7 +172,7 @@ impl fmt::Display for ShardStats {
 }
 
 /// A point-in-time view of the whole service.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Per-shard counters, indexed by shard.
     pub shards: Vec<ShardStats>,

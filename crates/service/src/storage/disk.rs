@@ -167,6 +167,8 @@ struct Counters {
     quarantines: AtomicU64,
     degraded_commits: AtomicU64,
     heal_events: AtomicU64,
+    wal_segments_reclaimed: AtomicU64,
+    wal_bytes_reclaimed: AtomicU64,
 }
 
 /// One background-fsync request: sync this handle, then settle the owning
@@ -299,6 +301,8 @@ impl StorageBackend for DiskBackend {
             quarantines: c.quarantines.load(Ordering::Relaxed),
             degraded_commits: c.degraded_commits.load(Ordering::Relaxed),
             heal_events: c.heal_events.load(Ordering::Relaxed),
+            wal_segments_reclaimed: c.wal_segments_reclaimed.load(Ordering::Relaxed),
+            wal_bytes_reclaimed: c.wal_bytes_reclaimed.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
     }
@@ -557,7 +561,7 @@ impl DiskStore {
                 self.mirror = Wal::from_parts(newest.wal_offset, Vec::new());
             } else {
                 // Records below the oldest retained checkpoint are dead
-                // weight in the mirror (files stay until the next GC).
+                // weight in the mirror (their files are reclaimed below).
                 if let Some(oldest) = checkpoints.first() {
                     self.mirror.truncate_to(oldest.wal_offset);
                 }
@@ -572,6 +576,12 @@ impl DiskStore {
         }
         self.checkpoints = checkpoints;
         self.segments = segments;
+        // Cold-start GC: segment files wholly below the oldest retained
+        // checkpoint can never be replayed again; reclaim them now rather
+        // than carrying them until the next checkpoint adoption.
+        if let Some(oldest) = self.checkpoints.first().map(|c| c.wal_offset) {
+            self.collect_segments(oldest);
+        }
         Ok(())
     }
 
@@ -864,19 +874,27 @@ impl DiskStore {
 
     /// Deletes segment files that lie entirely below `oldest` (the oldest
     /// retained checkpoint offset) — their records can never be replayed
-    /// again. The segment currently open for writing is never collected.
+    /// again. A segment still open for writing whose records are all below
+    /// the window is closed first (the next commit rotates to a fresh
+    /// file), so checkpoint-time GC always reclaims the full dead prefix.
+    /// Reclaimed files and bytes feed
+    /// [`StorageStats::wal_segments_reclaimed`] /
+    /// [`StorageStats::wal_bytes_reclaimed`]. Callers must only invoke this
+    /// with no commit in flight (`put_checkpoint` commits synchronously
+    /// first; recovery runs before the first commit).
     fn collect_segments(&mut self, oldest: u64) {
-        while self.segments.len() > 1 || (self.writer.is_none() && !self.segments.is_empty()) {
-            let seg = &self.segments[0];
+        while let Some(seg) = self.segments.first() {
             if seg.start + seg.records > oldest {
                 break;
             }
             if self.segments.len() == 1 && self.writer.is_some() {
-                break;
+                // Fully-covered open segment: rotate away so it can go too.
+                self.writer = None;
             }
-            let path = seg.path.clone();
-            self.remove_file(&path);
-            self.segments.remove(0);
+            let seg = self.segments.remove(0);
+            self.remove_file(&seg.path);
+            self.counters.wal_segments_reclaimed.fetch_add(1, Ordering::Relaxed);
+            self.counters.wal_bytes_reclaimed.fetch_add(seg.bytes, Ordering::Relaxed);
         }
     }
 
@@ -1166,6 +1184,99 @@ mod tests {
         let store2 = open_store(&mut backend2, 0);
         assert_eq!(store2.end(), 20);
         assert_eq!(store2.checkpoints().last().unwrap().wal_offset, 20);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_gc_reclaims_segments_and_counts_bytes() {
+        let root = temp_root("gc-count");
+        let mut cfg = DiskConfig::new(&root);
+        cfg.max_segment_bytes = 64;
+        cfg.fsync = false;
+        let mut backend = DiskBackend::new(cfg);
+        let mut store = open_store(&mut backend, 0);
+        for i in 0..20 {
+            store.append(&submit(i, 1)).unwrap();
+            store.commit().unwrap();
+        }
+        assert_eq!(backend.stats().wal_segments_reclaimed, 0, "no GC before a checkpoint");
+        let ck = |off| Checkpoint { wal_offset: off, ..Checkpoint::genesis(0) };
+        store.put_checkpoint(ck(19)).unwrap();
+        store.put_checkpoint(ck(20)).unwrap();
+        let stats = backend.stats();
+        assert!(
+            stats.wal_segments_reclaimed >= 3,
+            "checkpoint-time GC reclaimed the dead prefix: {stats}"
+        );
+        assert!(stats.wal_bytes_reclaimed > 0, "reclaimed bytes counted: {stats}");
+        assert!(
+            stats.wal_bytes_reclaimed <= stats.bytes_written,
+            "cannot reclaim more than was written: {stats}"
+        );
+        // New appends after GC still commit and recover.
+        store.append(&WalRecord::Tick).unwrap();
+        store.commit().unwrap();
+        drop(store);
+        let mut backend2 = DiskBackend::new(DiskConfig { fsync: false, ..DiskConfig::new(&root) });
+        let store2 = open_store(&mut backend2, 0);
+        assert_eq!(store2.end(), 21);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cold_start_reclaims_segments_below_the_retained_window() {
+        let root = temp_root("gc-cold");
+        let mut cfg = DiskConfig::new(&root);
+        cfg.max_segment_bytes = 64;
+        cfg.fsync = false;
+        {
+            // A full contiguous log 0..20 with no checkpoint adoptions, so
+            // checkpoint-time GC never ran and every segment file survives.
+            let mut backend = DiskBackend::new(cfg.clone());
+            let mut store = open_store(&mut backend, 0);
+            for i in 0..20 {
+                store.append(&submit(i, 1)).unwrap();
+                store.commit().unwrap();
+            }
+        }
+        // Plant the checkpoint files by hand (the state a process that died
+        // degraded — durable checkpoints, skipped GC — leaves behind).
+        let shard_dir = root.join("shard-000");
+        for off in [18u64, 20] {
+            let ck = Checkpoint { wal_offset: off, ..Checkpoint::genesis(0) };
+            fs::write(shard_dir.join(format!("ck-{off}.ck")), frame::encode_value(&ck).unwrap())
+                .unwrap();
+        }
+        let seg_starts = |dir: &Path| {
+            let mut v: Vec<u64> = fs::read_dir(dir)
+                .unwrap()
+                .filter_map(|e| {
+                    let name = e.unwrap().file_name().to_string_lossy().into_owned();
+                    name.strip_prefix("wal-")
+                        .and_then(|s| s.strip_suffix(".seg"))
+                        .and_then(|s| s.parse().ok())
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let before = seg_starts(&shard_dir);
+        assert!(before.len() > 3, "several dead segments on disk: {before:?}");
+        let mut backend2 = DiskBackend::new(cfg);
+        let store2 = open_store(&mut backend2, 0);
+        assert_eq!(store2.end(), 20);
+        assert_eq!(store2.records_from(0).len(), 2, "mirror truncated to the window");
+        let after = seg_starts(&shard_dir);
+        assert!(after.len() < before.len(), "cold start reclaimed: {before:?} -> {after:?}");
+        // A closed segment spans its start to the next one's start; any
+        // closed segment ending at or below the oldest retained checkpoint
+        // (18) was wholly dead and must be gone.
+        for pair in after.windows(2) {
+            assert!(pair[1] > 18, "segment wal-{}.seg lies wholly below the window", pair[0]);
+        }
+        let stats = backend2.stats();
+        assert!(stats.wal_segments_reclaimed > 0, "reclaims counted at cold start: {stats}");
+        assert!(stats.wal_bytes_reclaimed > 0, "bytes counted at cold start: {stats}");
         let _ = fs::remove_dir_all(&root);
     }
 

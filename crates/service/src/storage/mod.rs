@@ -155,6 +155,14 @@ pub struct StorageStats {
     /// Successful heals: a degraded store backfilled its missed records
     /// from the memory mirror and re-attached durability.
     pub heal_events: u64,
+    /// WAL segment files reclaimed by checkpoint-retention GC — segments
+    /// wholly below the oldest retained checkpoint, deleted at checkpoint
+    /// time and on cold start.
+    #[serde(default)]
+    pub wal_segments_reclaimed: u64,
+    /// Bytes of WAL deleted with those reclaimed segments.
+    #[serde(default)]
+    pub wal_bytes_reclaimed: u64,
     /// File-cache behavior (disk backend only).
     pub cache: CacheStats,
 }
@@ -163,13 +171,16 @@ impl fmt::Display for StorageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "storage[{}]: {} commits, {} fsyncs, {} bytes, {} segments, \
-             {} ckpts (+{} pruned), heal {}r/{}q/{}d/{}h, cache {}h/{}m/{}c/{}e",
+            "storage[{}]: {} commits, {} fsyncs, {} bytes, {} segments \
+             (-{} gc'd, {} B), {} ckpts (+{} pruned), heal {}r/{}q/{}d/{}h, \
+             cache {}h/{}m/{}c/{}e",
             self.backend,
             self.commits,
             self.fsyncs,
             self.bytes_written,
             self.segments_created,
+            self.wal_segments_reclaimed,
+            self.wal_bytes_reclaimed,
             self.checkpoints_written,
             self.checkpoints_pruned,
             self.retries,

@@ -512,6 +512,17 @@ impl Supervisor {
         self.backend.stats()
     }
 
+    /// Per-shard WAL frontiers: entry `i` is one past the offset of the
+    /// last record staged on shard `i`'s store — the epoch sequence
+    /// (`seq = offset + 1`) that shard's tick acknowledgement carries.
+    /// After [`Supervisor::tick`] returns under batched ingestion the
+    /// frontier is both durable (group commit + ack barrier) and applied
+    /// (epoch join), which is what makes it the wire-level ack for the
+    /// network server.
+    pub fn wal_ends(&self) -> Vec<u64> {
+        self.seats.iter().map(|seat| seat.store.end()).collect()
+    }
+
     /// Tick epochs journaled for one shard over its lifetime — including
     /// epochs recovered from durable storage at cold start. Crash-recovery
     /// tests use this to know how far each shard's committed prefix reaches

@@ -247,7 +247,7 @@ impl Tenant {
 }
 
 /// Live per-tenant counters (see [`Tenant::progress`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantProgress {
     /// Rounds simulated so far.
     pub rounds: Round,

@@ -1,0 +1,257 @@
+//! Wire-codec properties: the socket framing gets the same adversarial
+//! treatment `storage_properties.rs` gives the WAL.
+//!
+//! * **Round-trip** — random `Request`/`Response` messages survive
+//!   encode → decode bit-identically, compressed and not.
+//! * **Corruption** — flipping any single byte of a frame must never
+//!   yield a different message: the CRC (or the flags/decompression
+//!   checks behind it) rejects it.
+//! * **Truncation** — chopping a frame at every byte offset reads as
+//!   *torn* (keep reading), never as a bogus message; the streaming
+//!   reader reassembles frames delivered one byte at a time.
+//! * **PackBits** — round-trips arbitrary bytes (runs past the 128
+//!   control-byte limit included), actually shrinks run-heavy input, and
+//!   rejects truncated streams.
+//! * **Reconnect schedule** — the client's redial backoff is the shard
+//!   layer's seeded-jittered schedule: bounded, deterministic per seed,
+//!   distinct across seeds (satellite of the `rrs serve` ISSUE).
+
+use proptest::prelude::*;
+use rrs_core::ColorId;
+use rrs_service::net::wire::{
+    self, decode_message, encode_message, packbits_compress, packbits_decompress, MsgStream,
+    Request, Response,
+};
+use rrs_service::storage::frame::FrameError;
+use rrs_service::RetryPolicy;
+use std::io::Write;
+use std::time::Duration;
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let arrivals = proptest::collection::vec((0u32..4, 1u64..50), 0..4)
+        .prop_map(|rows| rows.into_iter().map(|(c, n)| (ColorId(c), n)).collect::<Vec<_>>());
+    let entries = proptest::collection::vec((0u64..9, arrivals), 0..6);
+    prop_oneof![
+        (0u32..3, 0u64..u64::MAX).prop_map(|(proto, client)| Request::Hello { proto, client }),
+        (0u64..u64::MAX, entries).prop_map(|(epoch, entries)| Request::SubmitBatch {
+            epoch,
+            entries
+        }),
+        (0u64..u64::MAX, 1u32..5).prop_map(|(epoch, parties)| Request::Tick { epoch, parties }),
+        Just(Request::Stats),
+        (0usize..8).prop_map(|shard| Request::Snapshot { shard }),
+        Just(Request::Finish),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    let seqs = proptest::collection::vec(0u64..u64::MAX, 0..6);
+    let text = proptest::collection::vec(32u8..127, 0..40)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"));
+    prop_oneof![
+        (0u32..3, 0usize..9).prop_map(|(proto, shards)| Response::Hello { proto, shards }),
+        Just(Response::Ok),
+        (0u64..u64::MAX, 0u64..u64::MAX)
+            .prop_map(|(epoch, jobs)| Response::Queued { epoch, jobs }),
+        (0u64..u64::MAX, seqs).prop_map(|(epoch, seqs)| Response::TickAck { epoch, seqs }),
+        text.prop_map(|message| Response::Err { message }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in request_strategy(), compress in 0u8..2) {
+        let compress = compress == 1;
+        let frame = encode_message(&req, compress).unwrap();
+        let (back, consumed) = decode_message::<Request>(&frame).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_round_trip(resp in response_strategy(), compress in 0u8..2) {
+        let compress = compress == 1;
+        let frame = encode_message(&resp, compress).unwrap();
+        let (back, consumed) = decode_message::<Response>(&frame).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Flip one byte anywhere in the frame: the decoder must never hand
+    /// back a *different* message than the one encoded. (A flip in the
+    /// length prefix may legitimately read as Torn — a stream would keep
+    /// waiting — but never as a wrong value.)
+    #[test]
+    fn single_byte_flips_never_forge_a_message(
+        req in request_strategy(),
+        pos_seed in 0usize..usize::MAX,
+        bit in 0u8..8,
+    ) {
+        let frame = encode_message(&req, false).unwrap();
+        let mut bent = frame.clone();
+        let pos = pos_seed % bent.len();
+        bent[pos] ^= 1 << bit;
+        match decode_message::<Request>(&bent) {
+            Ok((back, _)) => prop_assert_eq!(back, req, "flipped byte {} forged a message", pos),
+            Err(FrameError::Corrupt) | Err(FrameError::Torn) => {}
+        }
+    }
+
+    /// Every proper prefix of a frame is torn, never corrupt and never a
+    /// message — the live-stream analogue of the WAL truncation sweep.
+    #[test]
+    fn every_truncation_reads_as_torn(req in request_strategy()) {
+        let frame = encode_message(&req, true).unwrap();
+        for cut in 0..frame.len() {
+            match decode_message::<Request>(&frame[..cut]) {
+                Err(FrameError::Torn) => {}
+                other => prop_assert!(false, "cut at {}: expected Torn, got {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn packbits_round_trips(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let packed = packbits_compress(&bytes);
+        prop_assert_eq!(packbits_decompress(&packed).unwrap(), bytes);
+    }
+
+    /// Runs longer than one control byte can express (128) still round-trip.
+    #[test]
+    fn packbits_handles_long_runs(byte in 0u8..=255, len in 120usize..600) {
+        let bytes = vec![byte; len];
+        let packed = packbits_compress(&bytes);
+        prop_assert!(packed.len() <= 2 * len.div_ceil(128) + 2);
+        prop_assert_eq!(packbits_decompress(&packed).unwrap(), bytes);
+    }
+}
+
+#[test]
+fn packbits_shrinks_run_heavy_input_and_encoder_uses_it() {
+    let run_heavy: Vec<u8> = std::iter::repeat_n(0u8, 500)
+        .chain(std::iter::repeat_n(7u8, 300))
+        .collect();
+    let packed = packbits_compress(&run_heavy);
+    assert!(packed.len() < run_heavy.len() / 10, "800 run bytes pack tiny: {}", packed.len());
+
+    // A message dominated by a long run compresses on the wire; the same
+    // message without the flag does not — and both decode identically.
+    let msg = Response::Err { message: String::from_utf8(vec![b'x'; 4096]).unwrap() };
+    let plain = encode_message(&msg, false).unwrap();
+    let packed = encode_message(&msg, true).unwrap();
+    assert!(packed.len() < plain.len() / 4, "{} vs {}", packed.len(), plain.len());
+    assert_eq!(decode_message::<Response>(&plain).unwrap().0, msg);
+    assert_eq!(decode_message::<Response>(&packed).unwrap().0, msg);
+}
+
+#[test]
+fn packbits_rejects_truncated_streams() {
+    // Literal control byte promising 4 bytes, only 2 present.
+    assert_eq!(packbits_decompress(&[3, 1, 2]), Err(FrameError::Corrupt));
+    // Run control byte with no byte to repeat.
+    assert_eq!(packbits_decompress(&[200]), Err(FrameError::Corrupt));
+    // The no-op control byte is skipped.
+    assert_eq!(packbits_decompress(&[128]).unwrap(), Vec::<u8>::new());
+}
+
+#[test]
+fn unknown_flag_bits_are_corrupt() {
+    let mut frame = Vec::new();
+    let payload = [0b0000_0010u8, b'0']; // undefined flag bit set
+    rrs_service::storage::frame::encode_frame(&payload, &mut frame);
+    assert!(matches!(
+        decode_message::<Request>(&frame),
+        Err(FrameError::Corrupt)
+    ));
+}
+
+#[test]
+fn absurd_length_prefix_is_rejected_not_buffered() {
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Claims a 1 GiB frame: the reader must bail immediately instead
+        // of buffering toward it.
+        s.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 64]).unwrap();
+        s
+    });
+    let (conn, _) = listener.accept().unwrap();
+    let mut msgs = MsgStream::new(conn).unwrap();
+    let err = msgs.recv::<Request>().unwrap_err();
+    assert!(err.to_string().contains("exceeds cap"), "{err}");
+    drop(writer.join().unwrap());
+}
+
+/// A frame delivered one byte at a time reassembles: Torn means "keep
+/// reading", and message boundaries need not align with reads.
+#[test]
+fn msg_stream_reassembles_byte_dribbled_frames() {
+    use std::net::TcpListener;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let reqs = vec![
+        Request::Hello { proto: wire::PROTO_VERSION, client: 9 },
+        Request::SubmitBatch {
+            epoch: 1,
+            entries: vec![(3, vec![(ColorId(0), 5), (ColorId(2), 1)])],
+        },
+        Request::Tick { epoch: 1, parties: 1 },
+    ];
+    let sent = reqs.clone();
+    let writer = std::thread::spawn(move || {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        for req in &sent {
+            bytes.extend_from_slice(&encode_message(req, true).unwrap());
+        }
+        for b in bytes {
+            s.write_all(&[b]).unwrap();
+            s.flush().unwrap();
+        }
+        s
+    });
+    let (conn, _) = listener.accept().unwrap();
+    let mut msgs = MsgStream::new(conn).unwrap();
+    for expected in &reqs {
+        let got: Request = msgs.recv().unwrap();
+        assert_eq!(&got, expected);
+    }
+    drop(writer.join().unwrap());
+}
+
+/// Satellite 1: the client reconnect schedule *is* the shard layer's
+/// seeded-jittered backoff — bounded by the exponential envelope,
+/// deterministic per seed, and actually jittered across seeds.
+#[test]
+fn reconnect_schedule_is_seeded_bounded_and_deterministic() {
+    let policy = RetryPolicy {
+        attempts: 5,
+        op_timeout: Duration::from_millis(40),
+        backoff: Duration::from_millis(10),
+    };
+    for seed in 0..8u64 {
+        let schedule = wire_schedule(&policy, seed);
+        assert_eq!(schedule.len(), 4, "one sleep per retry after the first failure");
+        for (i, d) in schedule.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            let base = policy.backoff.saturating_mul(1 << (attempt - 1)).min(policy.op_timeout);
+            assert!(
+                *d >= base / 2 && *d <= base,
+                "seed {seed} attempt {attempt}: {d:?} outside [{:?}, {:?}]",
+                base / 2,
+                base
+            );
+        }
+        assert_eq!(schedule, wire_schedule(&policy, seed), "deterministic per seed");
+    }
+    let distinct: std::collections::BTreeSet<Vec<Duration>> =
+        (0..8u64).map(|seed| wire_schedule(&policy, seed)).collect();
+    assert!(distinct.len() > 1, "jitter differentiates seeds");
+}
+
+fn wire_schedule(policy: &RetryPolicy, seed: u64) -> Vec<Duration> {
+    rrs_service::net::reconnect_schedule(policy, seed)
+}

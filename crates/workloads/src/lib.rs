@@ -25,6 +25,7 @@
 pub mod adversary;
 pub mod combinators;
 pub mod fit;
+pub mod loadgen;
 pub mod multi_tenant;
 pub mod scenarios;
 pub mod source;
@@ -36,6 +37,7 @@ pub mod util;
 pub use adversary::{DlruAdversary, EdfAdversary};
 pub use combinators::{concat, flash_crowd, merge, scale_counts, shift};
 pub use fit::{fit, ArrivalModel, ColorModel};
+pub use loadgen::{EpochSink, SyntheticLoad};
 pub use multi_tenant::{MultiTenantLoad, OpenLoopDriver, StreamingDriver};
 pub use scenarios::{BackgroundMix, Datacenter, Router};
 pub use source::{ArrivalSource, Seeded, TraceSource};
