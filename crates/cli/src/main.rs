@@ -14,12 +14,12 @@
 //!               [--queue-cap C] [--kill-round R [--kill-shard I]]
 //!               [--supervised] [--fault-plan SPEC] [--checkpoint-every K]
 //!               [--shed-watermark W] [--shed-queue Q] [--ingest batched|per-command]
-//!               [--storage memory|disk] [--data-dir PATH]
+//!               [--storage memory|disk] [--data-dir PATH] [--codec binary|json]
 //! rrs serve [--addr HOST:PORT] [--shards S] [--queue-cap C] [--checkpoint-every K]
-//!           [--storage memory|disk] [--data-dir PATH]
+//!           [--storage memory|disk] [--data-dir PATH] [--codec binary|json]
 //! rrs bench-net [--clients C] [--tenants T] [--shards S] [--rounds R] [--parts P]
-//!               [--colors K] [--open-inflight W] [--compress] [--quick]
-//!               [--out <path>] [--check] [--tolerance PCT]
+//!               [--colors K] [--open-inflight W] [--compress] [--codec binary|json]
+//!               [--quick] [--out <path>] [--check] [--tolerance PCT]
 //! rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H]
 //!               [--policies p1,p2,..] [--workloads w1,w2,..] [--shard-list 1,4]
 //!               [--json] [--out <path>] [--require-separation] [--check-schema <path>]
@@ -30,7 +30,7 @@
 //! rrs bench-service [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S]
 //!                   [--quick] [--out <path>] [--check] [--tolerance PCT]
 //! rrs bench-storage [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S]
-//!                   [--checkpoint-every K] [--no-fsync] [--quick]
+//!                   [--checkpoint-every K] [--no-fsync] [--codec binary|json] [--quick]
 //!                   [--out <path>] [--check] [--tolerance PCT]
 //! rrs list
 //! ```
@@ -78,10 +78,11 @@ fn main() -> ExitCode {
                  rrs serve-sim --tenants T [--shards S] [--rounds R] [--workload <name>] [--policy <name>]\n  \
                                [--n N] [--delta D] [--seed S] [--queue-cap C] [--kill-round R [--kill-shard I]]\n  \
                                [--supervised] [--fault-plan SPEC] [--checkpoint-every K] [--shed-watermark W] [--shed-queue Q]\n  \
-                               [--ingest batched|per-command] [--storage memory|disk] [--data-dir PATH]\n  \
-                 rrs serve [--addr HOST:PORT] [--shards S] [--queue-cap C] [--checkpoint-every K] [--storage memory|disk] [--data-dir PATH]\n  \
+                               [--ingest batched|per-command] [--storage memory|disk] [--data-dir PATH] [--codec binary|json]\n  \
+                 rrs serve [--addr HOST:PORT] [--shards S] [--queue-cap C] [--checkpoint-every K]\n  \
+                           [--storage memory|disk] [--data-dir PATH] [--codec binary|json]\n  \
                  rrs bench-net [--clients C] [--tenants T] [--shards S] [--rounds R] [--parts P] [--colors K]\n  \
-                               [--open-inflight W] [--compress] [--quick] [--out <path>] [--check] [--tolerance PCT]\n  \
+                               [--open-inflight W] [--compress] [--codec binary|json] [--quick] [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs scenarios [--quick] [--seed S] [--tenants T] [--size N] [--horizon H] [--policies ..] [--workloads ..]\n  \
                                [--shard-list 1,4] [--json] [--out <path>] [--require-separation] [--check-schema <path>]\n  \
                  rrs chaos [--quick] [--seed S] [--json] [--out <path>] [--data-dir PATH]\n  \
@@ -91,7 +92,7 @@ fn main() -> ExitCode {
                  rrs bench-service [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S] [--quick]\n  \
                                    [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs bench-storage [--tenants T] [--shards S] [--rounds R] [--submits K] [--seed S] [--quick]\n  \
-                                   [--checkpoint-every K] [--no-fsync] [--out <path>] [--check] [--tolerance PCT]\n  \
+                                   [--checkpoint-every K] [--no-fsync] [--codec binary|json] [--out <path>] [--check] [--tolerance PCT]\n  \
                  rrs list"
             );
             ExitCode::from(2)
@@ -624,6 +625,16 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         eprintln!("serve-sim: unknown storage backend '{storage}' (memory|disk)");
         return ExitCode::from(2);
     }
+    let codec = match opt_value(args, "--codec") {
+        None => rrs_service::Codec::default(),
+        Some(name) => match rrs_service::Codec::parse(name) {
+            Some(c) => c,
+            None => {
+                eprintln!("serve-sim: unknown codec '{name}' (binary|json)");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let data_dir = opt_value(args, "--data-dir").unwrap_or("rrs-data");
     let fault_spec = opt_value(args, "--fault-plan");
     // Durable storage only exists on the supervised path: the bare service
@@ -691,12 +702,16 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             ingest,
         };
         let backend: Box<dyn StorageBackend> = if storage == "disk" {
-            let disk_cfg = DiskConfig::new(data_dir);
+            let mut disk_cfg = DiskConfig::new(data_dir);
+            disk_cfg.codec = codec;
             if let Err(e) = disk_cfg.validate() {
                 eprintln!("serve-sim: {e}");
                 return ExitCode::from(2);
             }
-            println!("  durable storage: {data_dir}/ (WAL + checkpoints, pipelined group fsync)");
+            println!(
+                "  durable storage: {data_dir}/ (WAL + checkpoints, pipelined group fsync, \
+                 {codec} codec)"
+            );
             Box::new(DiskBackend::new(disk_cfg))
         } else {
             Box::new(MemoryBackend::new())
@@ -1354,6 +1369,16 @@ fn cmd_bench_storage(args: &[String]) -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(32);
     let fsync = !flag(args, "--no-fsync");
+    let codec = match opt_value(args, "--codec") {
+        None => rrs_service::Codec::default(),
+        Some(name) => match rrs_service::Codec::parse(name) {
+            Some(c) => c,
+            None => {
+                eprintln!("bench-storage: unknown codec '{name}' (binary|json)");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let tolerance: f64 = opt_value(args, "--tolerance")
         .and_then(|v| v.parse().ok())
         .unwrap_or(50.0);
@@ -1377,7 +1402,7 @@ fn cmd_bench_storage(args: &[String]) -> ExitCode {
     eprintln!(
         "bench-storage: {tenants} tenants on {shards} shards, {rounds} rounds x \
          {submits} submits/tenant, {total_jobs} jobs, checkpoint every \
-         {checkpoint_every}, fsync={fsync}, seed={seed}"
+         {checkpoint_every}, fsync={fsync}, codec={codec}, seed={seed}"
     );
 
     let config = SupervisorConfig {
@@ -1426,6 +1451,7 @@ fn cmd_bench_storage(args: &[String]) -> ExitCode {
     let _ = std::fs::remove_dir_all(&data_dir);
     let mut disk_config = DiskConfig::new(&data_dir);
     disk_config.fsync = fsync;
+    disk_config.codec = codec;
 
     let (mem_jps, mem_tps, mem_results, _) = run(Box::new(MemoryBackend::new()));
     let (disk_jps, disk_tps, disk_results, storage) =
@@ -1454,11 +1480,12 @@ fn cmd_bench_storage(args: &[String]) -> ExitCode {
     report.row(["overhead".into(), format!("{:.2}x", mem_jps / disk_jps), format!("{overhead:.2}x")]);
     print!("{}", report.render());
     eprintln!(
-        "bench-storage: {} commits, {} fsyncs, {} bytes written, {} segments, \
-         {} checkpoints; cold start {:.1} ms",
+        "bench-storage: {} commits, {} fsyncs, {} bytes written ({} payload), \
+         {} segments, {} checkpoints; cold start {:.1} ms",
         storage.commits,
         storage.fsyncs,
         storage.bytes_written,
+        storage.payload_bytes,
         storage.segments_created,
         storage.checkpoints_written,
         recovery_secs * 1e3
@@ -1515,6 +1542,7 @@ fn cmd_bench_storage(args: &[String]) -> ExitCode {
                     ("total_jobs".into(), Value::U64(total_jobs)),
                     ("checkpoint_every".into(), Value::U64(checkpoint_every)),
                     ("fsync".into(), Value::Bool(fsync)),
+                    ("codec".into(), Value::Str(codec.name().into())),
                     ("n".into(), Value::U64(n as u64)),
                     ("delta".into(), Value::U64(delta)),
                     ("seed".into(), Value::U64(seed)),

@@ -18,7 +18,7 @@ use crate::{flag, opt_value};
 use rrs_analysis::table::Table;
 use rrs_core::{ColorTable, RunResult};
 use rrs_service::{
-    DiskBackend, DiskConfig, IngestMode, LatencyHistogramNs, MemoryBackend, NetCounters,
+    Codec, DiskBackend, DiskConfig, IngestMode, LatencyHistogramNs, MemoryBackend, NetCounters,
     NetServer, NetSink, PolicySpec, RetryPolicy, ServiceError, SinkConfig, StorageBackend,
     Supervisor, SupervisorConfig, TenantSpec,
 };
@@ -90,6 +90,16 @@ pub fn cmd_serve(args: &[String]) -> ExitCode {
         opt_value(args, "--checkpoint-every").and_then(|v| v.parse().ok()).unwrap_or(32);
     let storage = opt_value(args, "--storage").unwrap_or("memory");
     let data_dir = opt_value(args, "--data-dir").unwrap_or("rrs-data");
+    let codec = match opt_value(args, "--codec") {
+        None => Codec::default(),
+        Some(name) => match Codec::parse(name) {
+            Some(c) => c,
+            None => {
+                eprintln!("serve: unknown codec '{name}' (binary|json)");
+                return ExitCode::from(2);
+            }
+        },
+    };
     if shards == 0 {
         eprintln!("serve: --shards must be positive");
         return ExitCode::from(2);
@@ -106,12 +116,16 @@ pub fn cmd_serve(args: &[String]) -> ExitCode {
         ingest: IngestMode::Batched,
     };
     let backend: Box<dyn StorageBackend> = if storage == "disk" {
-        let disk_cfg = DiskConfig::new(data_dir);
+        let mut disk_cfg = DiskConfig::new(data_dir);
+        disk_cfg.codec = codec;
         if let Err(e) = disk_cfg.validate() {
             eprintln!("serve: {e}");
             return ExitCode::from(2);
         }
-        println!("serve: durable storage at {data_dir}/ (WAL + checkpoints, group fsync)");
+        println!(
+            "serve: durable storage at {data_dir}/ (WAL + checkpoints, group fsync, \
+             {codec} codec)"
+        );
         Box::new(DiskBackend::new(disk_cfg))
     } else if storage == "memory" {
         Box::new(MemoryBackend::new())
@@ -217,6 +231,8 @@ fn net_mode_run(
             Ok(Ok((c, h))) => {
                 counters.bytes_sent += c.bytes_sent;
                 counters.bytes_received += c.bytes_received;
+                counters.body_bytes_sent += c.body_bytes_sent;
+                counters.body_bytes_received += c.body_bytes_received;
                 counters.frames_sent += c.frames_sent;
                 counters.reconnects += c.reconnects;
                 counters.jobs_submitted += c.jobs_submitted;
@@ -260,6 +276,16 @@ pub fn cmd_bench_net(args: &[String]) -> ExitCode {
     let inflight: usize =
         opt_value(args, "--open-inflight").and_then(|v| v.parse().ok()).unwrap_or(8);
     let compress = flag(args, "--compress");
+    let codec = match opt_value(args, "--codec") {
+        None => Codec::default(),
+        Some(name) => match Codec::parse(name) {
+            Some(c) => c,
+            None => {
+                eprintln!("bench-net: unknown codec '{name}' (binary|json)");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let tolerance: f64 =
         opt_value(args, "--tolerance").and_then(|v| v.parse().ok()).unwrap_or(25.0);
     let out = opt_value(args, "--out").unwrap_or("BENCH_net.json");
@@ -275,7 +301,7 @@ pub fn cmd_bench_net(args: &[String]) -> ExitCode {
     let total_jobs = workload.total_jobs(|_| true);
     eprintln!(
         "bench-net: {tenants} tenants on {shards} shards, {rounds} rounds x {parts} parts, \
-         {total_jobs} jobs, {clients} clients over loopback TCP"
+         {total_jobs} jobs, {clients} clients over loopback TCP ({codec} codec)"
     );
 
     let config = SupervisorConfig {
@@ -291,6 +317,7 @@ pub fn cmd_bench_net(args: &[String]) -> ExitCode {
         },
         seed: 1,
         compress,
+        codec,
         parties: clients as u32,
         max_inflight,
     };
@@ -474,6 +501,7 @@ pub fn cmd_bench_net(args: &[String]) -> ExitCode {
                     ("clients".into(), Value::U64(clients)),
                     ("open_inflight".into(), Value::U64(inflight as u64)),
                     ("compress".into(), Value::Bool(compress)),
+                    ("codec".into(), Value::Str(codec.name().into())),
                     ("n".into(), Value::U64(n as u64)),
                     ("delta".into(), Value::U64(delta)),
                     ("quick".into(), Value::Bool(quick)),
@@ -491,6 +519,14 @@ pub fn cmd_bench_net(args: &[String]) -> ExitCode {
             ("closed_bytes_per_job".into(), Value::F64(bytes_per_job(&closed_counters))),
             ("open_bytes_per_job".into(), Value::F64(bytes_per_job(&open_counters))),
             ("open_wire_bytes".into(), Value::U64(wire_bytes(&open_counters))),
+            (
+                "open_body_bytes_sent".into(),
+                Value::U64(open_counters.body_bytes_sent),
+            ),
+            (
+                "open_body_bytes_received".into(),
+                Value::U64(open_counters.body_bytes_received),
+            ),
             ("open_frames_sent".into(), Value::U64(open_counters.frames_sent)),
             ("reconnects".into(), Value::U64(open_counters.reconnects)),
         ]);

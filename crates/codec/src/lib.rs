@@ -1,0 +1,583 @@
+//! Compact binary codec for the shim-serde data model.
+//!
+//! The service's hot paths (WAL group commit, checkpoint bodies, the TCP
+//! wire protocol) originally serialized every payload through text JSON.
+//! This crate replaces that with a self-describing binary encoding over the
+//! same [`Value`] data model, so any `#[derive(Serialize, Deserialize)]`
+//! type moves between the two formats without schema changes: field order
+//! and enum tagging are exactly what the derive produces for JSON.
+//!
+//! # Format
+//!
+//! One leading tag byte per node, msgpack-inspired but self-contained:
+//!
+//! | tag         | meaning                                              |
+//! |-------------|------------------------------------------------------|
+//! | `0x00–0x7F` | positive fixint (the tag byte IS the value)          |
+//! | `0x80–0x8F` | fixmap, length = low nibble; pairs follow            |
+//! | `0x90–0x9F` | fixarray, length = low nibble; elements follow       |
+//! | `0xA0–0xBF` | fixstr, length = low 5 bits; UTF-8 bytes follow      |
+//! | `0xC0`      | null                                                 |
+//! | `0xC2`      | false                                                |
+//! | `0xC3`      | true                                                 |
+//! | `0xC4`      | u64, LEB128 varint follows                           |
+//! | `0xC5`      | i64, zigzag LEB128 varint follows                    |
+//! | `0xC6`      | f64, 8 little-endian bytes follow                    |
+//! | `0xC7`      | str, varint byte length then UTF-8 bytes             |
+//! | `0xC8`      | array, varint element count then elements            |
+//! | `0xC9`      | map, varint pair count then `key (str node), value`  |
+//! | `0xC1`, `0xCA–0xFF` | invalid — decode error                       |
+//!
+//! Map keys are encoded as string nodes (usually one fixstr byte of
+//! overhead), which keeps the format self-describing: a decoder needs no
+//! schema to reconstruct the [`Value`] tree.
+//!
+//! # Robustness
+//!
+//! Decoding is defensive — it is fed disk sectors and network frames that
+//! may be torn or bit-flipped. Every length is sanity-checked against the
+//! bytes actually remaining (an element costs at least one byte, a map pair
+//! at least two), varints are capped at 10 bytes with overflow rejected,
+//! nesting depth is capped at [`MAX_DEPTH`], and [`from_slice`] requires
+//! the buffer to be fully consumed. A decode error never panics and never
+//! over-reads.
+
+use serde::{Deserialize, Emit, Serialize, Value};
+
+/// Maximum nesting depth accepted by the decoder (arrays/maps).
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0xC0;
+const TAG_FALSE: u8 = 0xC2;
+const TAG_TRUE: u8 = 0xC3;
+const TAG_U64: u8 = 0xC4;
+const TAG_I64: u8 = 0xC5;
+const TAG_F64: u8 = 0xC6;
+const TAG_STR: u8 = 0xC7;
+const TAG_ARR: u8 = 0xC8;
+const TAG_MAP: u8 = 0xC9;
+
+const FIXMAP: u8 = 0x80;
+const FIXARR: u8 = 0x90;
+const FIXSTR: u8 = 0xA0;
+const FIXSTR_MAX: usize = 31;
+const FIX_CONTAINER_MAX: usize = 15;
+
+/// Decode failure: offset into the buffer plus a static description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl Error {
+    fn new(at: usize, msg: impl Into<String>) -> Self {
+        Error {
+            at,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec decode error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// [`Emit`] sink that appends the binary encoding to a byte buffer.
+///
+/// Container `len`s are known up front in the shim data model, so headers
+/// are written immediately — no backpatching, single forward pass.
+struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    if s.len() <= FIXSTR_MAX {
+        out.push(FIXSTR | s.len() as u8);
+    } else {
+        out.push(TAG_STR);
+        put_varint(out, s.len() as u64);
+    }
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Emit for Writer<'_> {
+    fn null(&mut self) {
+        self.out.push(TAG_NULL);
+    }
+
+    fn bool(&mut self, b: bool) {
+        self.out.push(if b { TAG_TRUE } else { TAG_FALSE });
+    }
+
+    fn u64(&mut self, x: u64) {
+        if x <= 0x7F {
+            self.out.push(x as u8);
+        } else {
+            self.out.push(TAG_U64);
+            put_varint(self.out, x);
+        }
+    }
+
+    fn i64(&mut self, x: i64) {
+        if x >= 0 {
+            // The shim only routes negatives here, but accept anything.
+            self.u64(x as u64);
+        } else {
+            self.out.push(TAG_I64);
+            put_varint(self.out, zigzag(x));
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.out.push(TAG_F64);
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        put_str(self.out, s);
+    }
+
+    fn seq(&mut self, len: usize) {
+        if len <= FIX_CONTAINER_MAX {
+            self.out.push(FIXARR | len as u8);
+        } else {
+            self.out.push(TAG_ARR);
+            put_varint(self.out, len as u64);
+        }
+    }
+
+    fn map(&mut self, len: usize) {
+        if len <= FIX_CONTAINER_MAX {
+            self.out.push(FIXMAP | len as u8);
+        } else {
+            self.out.push(TAG_MAP);
+            put_varint(self.out, len as u64);
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        put_str(self.out, key);
+    }
+}
+
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+/// Appends the binary encoding of `value` to `out` (does not clear it —
+/// callers stage multiple payloads into one scratch/commit buffer).
+pub fn encode_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) {
+    value.emit(&mut Writer { out });
+}
+
+/// Encodes `value` into a fresh buffer. Prefer [`encode_into`] on hot paths.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, Error> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Error::new(self.pos, "unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::new(
+                self.pos,
+                format!("need {n} bytes, {} remain", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, Error> {
+        let start = self.pos;
+        let mut x: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            let low = (b & 0x7F) as u64;
+            // The 10th byte may only carry the single remaining bit.
+            if shift == 63 && low > 1 {
+                return Err(Error::new(start, "varint overflows u64"));
+            }
+            x |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+        }
+        Err(Error::new(start, "varint longer than 10 bytes"))
+    }
+
+    fn str_body(&mut self, len: usize) -> Result<String, Error> {
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| Error::new(at, "string is not valid UTF-8"))
+    }
+
+    /// Reads a node that must be a string (map key position).
+    fn key(&mut self) -> Result<String, Error> {
+        let at = self.pos;
+        let tag = self.byte()?;
+        match tag {
+            _ if tag & 0xE0 == FIXSTR => self.str_body((tag & 0x1F) as usize),
+            TAG_STR => {
+                let len = self.checked_len(at, 1)?;
+                self.str_body(len)
+            }
+            _ => Err(Error::new(at, format!("expected map key string, tag {tag:#04x}"))),
+        }
+    }
+
+    /// Reads a varint length and sanity-checks it against the bytes
+    /// remaining, where each counted item occupies at least
+    /// `min_item_bytes`. Defeats length-bomb frames before any allocation.
+    fn checked_len(&mut self, at: usize, min_item_bytes: usize) -> Result<usize, Error> {
+        let len = self.varint()?;
+        let need = len.saturating_mul(min_item_bytes as u64);
+        if need > self.remaining() as u64 {
+            return Err(Error::new(
+                at,
+                format!("declared length {len} exceeds {} remaining bytes", self.remaining()),
+            ));
+        }
+        Ok(len as usize)
+    }
+
+    fn check_fix_len(&self, at: usize, len: usize, min_item_bytes: usize) -> Result<(), Error> {
+        if len * min_item_bytes > self.remaining() {
+            return Err(Error::new(
+                at,
+                format!("declared length {len} exceeds {} remaining bytes", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new(self.pos, "nesting depth limit exceeded"));
+        }
+        let at = self.pos;
+        let tag = self.byte()?;
+        match tag {
+            0x00..=0x7F => Ok(Value::U64(tag as u64)),
+            _ if tag & 0xF0 == FIXMAP => {
+                let len = (tag & 0x0F) as usize;
+                self.check_fix_len(at, len, 2)?;
+                self.map_body(len, depth)
+            }
+            _ if tag & 0xF0 == FIXARR => {
+                let len = (tag & 0x0F) as usize;
+                self.check_fix_len(at, len, 1)?;
+                self.arr_body(len, depth)
+            }
+            _ if tag & 0xE0 == FIXSTR => {
+                self.str_body((tag & 0x1F) as usize).map(Value::Str)
+            }
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_U64 => self.varint().map(Value::U64),
+            TAG_I64 => self.varint().map(|x| Value::I64(unzigzag(x))),
+            TAG_F64 => {
+                let bytes = self.take(8)?;
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(bytes);
+                Ok(Value::F64(f64::from_le_bytes(arr)))
+            }
+            TAG_STR => {
+                let len = self.checked_len(at, 1)?;
+                self.str_body(len).map(Value::Str)
+            }
+            TAG_ARR => {
+                let len = self.checked_len(at, 1)?;
+                self.arr_body(len, depth)
+            }
+            TAG_MAP => {
+                let len = self.checked_len(at, 2)?;
+                self.map_body(len, depth)
+            }
+            other => Err(Error::new(at, format!("invalid tag byte {other:#04x}"))),
+        }
+    }
+
+    fn arr_body(&mut self, len: usize, depth: usize) -> Result<Value, Error> {
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(self.value(depth + 1)?);
+        }
+        Ok(Value::Array(items))
+    }
+
+    fn map_body(&mut self, len: usize, depth: usize) -> Result<Value, Error> {
+        let mut pairs = Vec::with_capacity(len);
+        for _ in 0..len {
+            let k = self.key()?;
+            let v = self.value(depth + 1)?;
+            pairs.push((k, v));
+        }
+        Ok(Value::Object(pairs))
+    }
+}
+
+/// Decodes one value from the front of `buf`; returns it and the number of
+/// bytes consumed (trailing bytes are left for the caller).
+pub fn decode_value(buf: &[u8]) -> Result<(Value, usize), Error> {
+    let mut r = Reader { buf, pos: 0 };
+    let v = r.value(0)?;
+    Ok((v, r.pos))
+}
+
+/// Decodes a `T` from `buf`, requiring the entire buffer to be consumed.
+pub fn from_slice<T: Deserialize>(buf: &[u8]) -> Result<T, Error> {
+    let (v, used) = decode_value(buf)?;
+    if used != buf.len() {
+        return Err(Error::new(
+            used,
+            format!("{} trailing bytes after value", buf.len() - used),
+        ));
+    }
+    T::from_value(&v).map_err(|e| Error::new(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let bytes = to_vec(v);
+        let (back, used) = decode_value(&bytes).expect("decode");
+        assert_eq!(used, bytes.len(), "full consumption");
+        back
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::U64(0),
+            Value::U64(0x7F),
+            Value::U64(0x80),
+            Value::U64(u64::MAX),
+            Value::I64(-1),
+            Value::I64(i64::MIN),
+            Value::F64(0.0),
+            Value::F64(-1.5),
+            Value::F64(f64::MAX),
+            Value::Str(String::new()),
+            Value::Str("a".repeat(31)),
+            Value::Str("a".repeat(32)),
+            Value::Str("κόσμος".to_string()),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn nonnegative_i64_encodes_as_u64() {
+        // Mirrors the shim invariant: to_value maps non-negatives to U64.
+        let bytes = to_vec(&5i64);
+        assert_eq!(bytes, vec![5]);
+        assert_eq!(decode_value(&bytes).unwrap().0, Value::U64(5));
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let small = Value::Array((0..15).map(Value::U64).collect());
+        let large = Value::Array((0..1000).map(Value::U64).collect());
+        let obj = Value::Object(vec![
+            ("alpha".to_string(), Value::U64(1)),
+            ("nested".to_string(), small.clone()),
+            ("x".repeat(40), Value::Null),
+        ]);
+        for v in [small, large, obj] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn varint_edges() {
+        for x in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let v = Value::U64(x);
+            assert_eq!(roundtrip(&v), v);
+        }
+        for x in [i64::MIN, i64::MIN + 1, -2, -1] {
+            let v = Value::I64(x);
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        for tag in [0xC1u8, 0xCA, 0xD0, 0xE5, 0xFF] {
+            assert!(decode_value(&[tag]).is_err(), "tag {tag:#04x} accepted");
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes.
+        let bytes = [TAG_U64, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert!(decode_value(&bytes).is_err());
+        // 10 bytes but top bits beyond bit 63 set.
+        let bytes = [TAG_U64, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn length_bombs_rejected() {
+        // Array claiming 2^32 elements in a 3-byte buffer.
+        let mut bytes = vec![TAG_ARR];
+        put_varint(&mut bytes, 1 << 32);
+        assert!(decode_value(&bytes).is_err());
+        // Map claiming many pairs.
+        let mut bytes = vec![TAG_MAP];
+        put_varint(&mut bytes, u64::MAX);
+        assert!(decode_value(&bytes).is_err());
+        // String longer than the buffer.
+        let mut bytes = vec![TAG_STR];
+        put_varint(&mut bytes, 1000);
+        bytes.push(b'a');
+        assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // MAX_DEPTH+2 nested single-element arrays.
+        let mut bytes = vec![FIXARR | 1; MAX_DEPTH + 2];
+        bytes.push(TAG_NULL);
+        assert!(decode_value(&bytes).is_err());
+        // Just under the limit decodes fine.
+        let mut ok = vec![FIXARR | 1; MAX_DEPTH - 1];
+        ok.push(TAG_NULL);
+        assert!(decode_value(&ok).is_ok());
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        let v = Value::Object(vec![
+            ("k".to_string(), Value::Array(vec![Value::U64(300), Value::Str("hello".into())])),
+            ("n".to_string(), Value::I64(-77)),
+        ]);
+        let bytes = to_vec(&v);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_value(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn map_key_must_be_string() {
+        // fixmap(1) with an integer where the key should be.
+        let bytes = [FIXMAP | 1, 0x05, 0x06];
+        assert!(decode_value(&bytes).is_err());
+    }
+
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz_ABC0123456789";
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0usize..CHARS.len(), 0..40)
+            .prop_map(|ix| ix.into_iter().map(|i| CHARS[i] as char).collect())
+    }
+
+    /// Value trees up to `depth` container levels deep. Floats stay small
+    /// and fractional so the JSON oracle round-trips them as F64 (the JSON
+    /// text form of a huge integral float is indistinguishable from an
+    /// integer, which is a JSON limitation, not a codec one).
+    fn arb_value(depth: u32) -> Box<dyn Strategy<Value = Value>> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            (0u8..2).prop_map(|b| Value::Bool(b == 1)),
+            (0u64..=u64::MAX).prop_map(Value::U64),
+            (i64::MIN..0i64).prop_map(Value::I64),
+            (-(1i64 << 40)..(1i64 << 40)).prop_map(|x| Value::F64(x as f64 / 256.0)),
+            arb_string().prop_map(Value::Str),
+        ];
+        if depth == 0 {
+            return Box::new(leaf);
+        }
+        Box::new(prop_oneof![
+            leaf,
+            proptest::collection::vec(arb_value(depth - 1), 0..6).prop_map(Value::Array),
+            proptest::collection::vec((arb_string(), arb_value(depth - 1)), 0..6)
+                .prop_map(Value::Object),
+        ])
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in arb_value(3)) {
+            prop_assert_eq!(roundtrip(&v), v);
+        }
+
+        #[test]
+        fn prop_matches_json_path(v in arb_value(3)) {
+            // Binary decode must reconstruct exactly the tree the JSON
+            // oracle sees: same Value in, same Value out of either codec.
+            let json = serde_json::to_vec(&v).unwrap();
+            let via_json: Value = serde_json::from_slice(&json).unwrap();
+            prop_assert_eq!(roundtrip(&v), via_json);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = decode_value(&bytes);
+        }
+    }
+}

@@ -64,8 +64,8 @@ pub use shard::{
 };
 pub use stats::{LatencyHistogramNs, ServiceStats, ShardStats};
 pub use storage::{
-    CacheStats, DiskBackend, DiskConfig, FileCache, MemoryBackend, ShardStore,
-    StorageBackend, StorageStats,
+    frame::Codec, CacheStats, DiskBackend, DiskConfig, FileCache, MemoryBackend,
+    ShardStore, StorageBackend, StorageStats,
 };
 pub use supervisor::{
     BreakerConfig, IngestMode, RecoveryEvent, RetryPolicy, ShedConfig, Supervisor,

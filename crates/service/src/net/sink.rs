@@ -27,6 +27,7 @@
 
 use super::wire::{MsgStream, Request, Response, PROTO_VERSION};
 use crate::error::{ServiceError, ServiceResult};
+use crate::storage::frame::Codec;
 use crate::shard::{ShardSnapshot, TenantId};
 use crate::supervisor::RetryPolicy;
 use crate::stats::{LatencyHistogramNs, ServiceStats};
@@ -46,6 +47,10 @@ pub struct SinkConfig {
     pub seed: u64,
     /// PackBits-compress outgoing frames (when it shrinks them).
     pub compress: bool,
+    /// Body codec for outgoing messages (`Binary` default; `Json` is the
+    /// conformance oracle). The server answers in whatever codec each
+    /// request used, so mixed-codec clients coexist on one listener.
+    pub codec: Codec,
     /// Barrier width stamped on every `Tick` (concurrent driving clients).
     pub parties: u32,
     /// Epochs allowed in flight before `tick()` drains an ack.
@@ -58,6 +63,7 @@ impl Default for SinkConfig {
             retry: RetryPolicy::default(),
             seed: 0,
             compress: false,
+            codec: Codec::default(),
             parties: 1,
             max_inflight: 8,
         }
@@ -79,6 +85,11 @@ pub struct NetCounters {
     pub jobs_submitted: u64,
     /// Epochs acknowledged durable + applied.
     pub epochs_acked: u64,
+    /// Uncompressed serialized body bytes sent (framing and PackBits
+    /// excluded) — what the codec choice actually puts on the wire.
+    pub body_bytes_sent: u64,
+    /// Uncompressed body bytes received.
+    pub body_bytes_received: u64,
 }
 
 /// One unacknowledged epoch: its encoded frames (for replay) and what
@@ -123,6 +134,11 @@ pub struct NetSink {
     /// Ack round-trip latencies (send of the epoch's frames → its ack).
     ack_latency: LatencyHistogramNs,
     counters: NetCounters,
+    /// Reusable body-encode scratch for `tick()`'s frame building.
+    scratch_body: Vec<u8>,
+    /// Body bytes encoded by `tick()` (its frames bypass `MsgStream::send`,
+    /// so the stream's own counter never sees them).
+    tick_body_bytes: u64,
 }
 
 impl NetSink {
@@ -144,6 +160,8 @@ impl NetSink {
             last_seqs: Vec::new(),
             ack_latency: LatencyHistogramNs::new(),
             counters: NetCounters::default(),
+            scratch_body: Vec::new(),
+            tick_body_bytes: 0,
         };
         let resp: Response = sink.msgs.recv()?;
         match resp {
@@ -201,17 +219,25 @@ impl NetSink {
         let jobs = std::mem::take(&mut self.pending_jobs);
         let expects_queued = !entries.is_empty();
         let mut frames = Vec::new();
+        let mut scratch = std::mem::take(&mut self.scratch_body);
         if expects_queued {
-            frames.extend_from_slice(&super::wire::encode_message(
+            self.tick_body_bytes += super::wire::encode_message_into(
                 &Request::SubmitBatch { epoch, entries },
+                self.config.codec,
                 self.config.compress,
-            )?);
+                &mut scratch,
+                &mut frames,
+            )? as u64;
             self.counters.frames_sent += 1;
         }
-        frames.extend_from_slice(&super::wire::encode_message(
+        self.tick_body_bytes += super::wire::encode_message_into(
             &Request::Tick { epoch, parties: self.config.parties },
+            self.config.codec,
             self.config.compress,
-        )?);
+            &mut scratch,
+            &mut frames,
+        )? as u64;
+        self.scratch_body = scratch;
         self.counters.frames_sent += 1;
         self.counters.jobs_submitted += jobs;
         let inflight = InFlight {
@@ -404,6 +430,8 @@ impl NetSink {
     fn sync_byte_counters(&mut self) {
         self.counters.bytes_sent = self.msgs.bytes_sent;
         self.counters.bytes_received = self.msgs.bytes_received;
+        self.counters.body_bytes_sent = self.msgs.body_bytes_sent + self.tick_body_bytes;
+        self.counters.body_bytes_received = self.msgs.body_bytes_received;
     }
 }
 
@@ -422,6 +450,7 @@ fn dial(addr: &str, client_id: u64, config: &SinkConfig) -> ServiceResult<MsgStr
                     .set_write_timeout(Some(config.retry.op_timeout.max(std::time::Duration::from_millis(1))))
                     .map_err(|e| ServiceError::Net(format!("set_write_timeout: {e}")))?;
                 let mut msgs = MsgStream::new(stream)?;
+                msgs.set_codec(config.codec);
                 msgs.send(
                     &Request::Hello { proto: PROTO_VERSION, client: client_id },
                     false,

@@ -10,15 +10,19 @@
 //!
 //! ```text
 //! +--------+------------------------------------------+
-//! | flags  | body: serde_json Request/Response        |
-//! | u8     | (PackBits-compressed when flag bit 0 set)|
+//! | flags  | body: Request/Response document          |
+//! | u8     | (PackBits-compressed when flag bit 0 set,|
+//! |        |  rrs-codec binary when flag bit 1 set,   |
+//! |        |  serde_json otherwise)                   |
 //! +--------+------------------------------------------+
 //! ```
 //!
-//! Compression is per-message and self-describing: the encoder only sets
-//! [`FLAG_PACKBITS`] when the compressed body is actually smaller, so
-//! incompressible messages never pay an expansion penalty and the decoder
-//! needs no negotiation.
+//! Both the codec and the compression are per-message and self-describing:
+//! [`FLAG_BINARY`] declares the body format (so a JSON client and a binary
+//! client can share a server — it answers each request in the codec the
+//! request arrived in), and the encoder only sets [`FLAG_PACKBITS`] when
+//! the compressed body is actually smaller, so incompressible messages
+//! never pay an expansion penalty and the decoder needs no negotiation.
 //!
 //! Requests and responses pair one-to-one in order on each connection,
 //! which is what lets the client pipeline submit-batches and ticks without
@@ -27,18 +31,27 @@
 use crate::error::{ServiceError, ServiceResult};
 use crate::shard::{ShardSnapshot, TenantId};
 use crate::stats::ServiceStats;
-use crate::storage::frame::{self, FrameError};
+use crate::storage::frame::{self, Codec, FrameError};
 use crate::tenant::TenantSpec;
 use rrs_core::{ColorId, RunResult};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
-/// Wire protocol version, exchanged in `Hello`.
-pub const PROTO_VERSION: u32 = 1;
+/// Wire protocol version, exchanged in `Hello`. Version 2 added
+/// [`FLAG_BINARY`]; servers accept [`MIN_PROTO_VERSION`] and up, so a
+/// JSON-only version-1 client still connects.
+pub const PROTO_VERSION: u32 = 2;
+
+/// Oldest protocol version servers still accept.
+pub const MIN_PROTO_VERSION: u32 = 1;
 
 /// Flags-byte bit: the body is PackBits-compressed.
 pub const FLAG_PACKBITS: u8 = 0b0000_0001;
+
+/// Flags-byte bit: the body is an `rrs-codec` binary document (clear ⇒
+/// serde_json). Decompression happens first when both bits are set.
+pub const FLAG_BINARY: u8 = 0b0000_0010;
 
 /// Upper bound on a single frame (and on a decompressed body): a corrupted
 /// length header must not convince a reader to buffer gigabytes.
@@ -142,45 +155,113 @@ pub enum Response {
     },
 }
 
-/// Encodes one message into a ready-to-send frame. With `compress`, the
-/// body is PackBits-compressed when that actually shrinks it.
-pub fn encode_message<T: Serialize>(value: &T, compress: bool) -> ServiceResult<Vec<u8>> {
-    let body = serde_json::to_vec(value)
-        .map_err(|e| ServiceError::Net(format!("encode message: {e}")))?;
-    let mut payload = Vec::with_capacity(body.len() + 1);
-    let packed = if compress { Some(packbits_compress(&body)) } else { None };
-    match packed {
-        Some(packed) if packed.len() < body.len() => {
-            payload.push(FLAG_PACKBITS);
-            payload.extend_from_slice(&packed);
+/// Serializes one message in `codec` format and appends the complete frame
+/// to `out`. `body` is caller-owned scratch (cleared here, allocation
+/// reused across calls — the per-frame `to_vec` this replaces was the
+/// encode path's hottest allocation). With `compress`, the body is
+/// PackBits-compressed when that actually shrinks it. Returns the
+/// *uncompressed* body length — the bytes-on-wire-before-compression figure
+/// [`MsgStream`] reports.
+pub fn encode_message_into<T: Serialize>(
+    value: &T,
+    codec: Codec,
+    compress: bool,
+    body: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> ServiceResult<usize> {
+    body.clear();
+    let mut flags = 0u8;
+    match codec {
+        Codec::Binary => {
+            flags |= FLAG_BINARY;
+            rrs_codec::encode_into(value, body);
         }
-        _ => {
-            payload.push(0);
-            payload.extend_from_slice(&body);
+        Codec::Json => {
+            serde_json::to_vec_into(value, body)
+                .map_err(|e| ServiceError::Net(format!("encode message: {e}")))?;
         }
     }
-    let mut out = Vec::with_capacity(frame::FRAME_HEADER + payload.len());
-    frame::encode_frame(&payload, &mut out);
+    let base = out.len();
+    out.extend_from_slice(&[0u8; frame::FRAME_HEADER]);
+    let packed = if compress { Some(packbits_compress(body)) } else { None };
+    match packed {
+        Some(packed) if packed.len() < body.len() => {
+            out.push(flags | FLAG_PACKBITS);
+            out.extend_from_slice(&packed);
+        }
+        _ => {
+            out.push(flags);
+            out.extend_from_slice(body);
+        }
+    }
+    let payload_len = out.len() - base - frame::FRAME_HEADER;
+    let crc = frame::crc32(&out[base + frame::FRAME_HEADER..]);
+    out[base..base + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
+    Ok(body.len())
+}
+
+/// Encodes one message into a ready-to-send frame in `codec` format.
+/// Convenience over [`encode_message_into`] for cold paths.
+pub fn encode_message_with<T: Serialize>(
+    value: &T,
+    codec: Codec,
+    compress: bool,
+) -> ServiceResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut body = Vec::new();
+    encode_message_into(value, codec, compress, &mut body, &mut out)?;
     Ok(out)
 }
 
-/// Decodes the message framed at `buf[0]`, returning it and the bytes
-/// consumed. Unknown flag bits, a failed decompression, or a body that does
-/// not deserialize all read as [`FrameError::Corrupt`]; a buffer that ends
-/// mid-frame is [`FrameError::Torn`] (read more and retry).
-pub fn decode_message<T: Deserialize>(buf: &[u8]) -> Result<(T, usize), FrameError> {
+/// Encodes one message as a JSON frame (the version-1 format; binary
+/// callers use [`encode_message_with`] / [`encode_message_into`]).
+pub fn encode_message<T: Serialize>(value: &T, compress: bool) -> ServiceResult<Vec<u8>> {
+    encode_message_with(value, Codec::Json, compress)
+}
+
+/// One decoded wire message plus what the frame said about itself.
+#[derive(Debug)]
+pub struct Decoded<T> {
+    /// The message.
+    pub value: T,
+    /// Total frame bytes consumed from the buffer.
+    pub consumed: usize,
+    /// Body format the sender used (a server answers in this codec).
+    pub codec: Codec,
+    /// Uncompressed body length in bytes.
+    pub body_len: usize,
+}
+
+/// Decodes the message framed at `buf[0]` with its frame metadata. Unknown
+/// flag bits, a failed decompression, or a body that does not deserialize
+/// all read as [`FrameError::Corrupt`]; a buffer that ends mid-frame is
+/// [`FrameError::Torn`] (read more and retry).
+pub fn decode_message_full<T: Deserialize>(buf: &[u8]) -> Result<Decoded<T>, FrameError> {
     let (payload, consumed) = frame::decode_frame(buf)?;
     let (&flags, body) = payload.split_first().ok_or(FrameError::Corrupt)?;
-    if flags & !FLAG_PACKBITS != 0 {
+    if flags & !(FLAG_PACKBITS | FLAG_BINARY) != 0 {
         return Err(FrameError::Corrupt);
     }
-    let value = if flags & FLAG_PACKBITS != 0 {
-        let bytes = packbits_decompress(body)?;
-        serde_json::from_slice(&bytes).map_err(|_| FrameError::Corrupt)?
+    let codec = if flags & FLAG_BINARY != 0 { Codec::Binary } else { Codec::Json };
+    let unpacked;
+    let body = if flags & FLAG_PACKBITS != 0 {
+        unpacked = packbits_decompress(body)?;
+        unpacked.as_slice()
     } else {
-        serde_json::from_slice(body).map_err(|_| FrameError::Corrupt)?
+        body
     };
-    Ok((value, consumed))
+    let value = match codec {
+        Codec::Binary => rrs_codec::from_slice(body).map_err(|_| FrameError::Corrupt)?,
+        Codec::Json => serde_json::from_slice(body).map_err(|_| FrameError::Corrupt)?,
+    };
+    Ok(Decoded { value, consumed, codec, body_len: body.len() })
+}
+
+/// Decodes the message framed at `buf[0]`, returning it and the bytes
+/// consumed. See [`decode_message_full`] for the error contract.
+pub fn decode_message<T: Deserialize>(buf: &[u8]) -> Result<(T, usize), FrameError> {
+    decode_message_full(buf).map(|d| (d.value, d.consumed))
 }
 
 /// PackBits run-length compression (the TIFF/Apple scheme): control byte
@@ -265,10 +346,23 @@ pub struct MsgStream {
     stream: TcpStream,
     buf: Vec<u8>,
     pos: usize,
+    /// Codec for outgoing messages.
+    codec: Codec,
+    /// Codec of the most recently received message.
+    last_recv_codec: Codec,
+    /// Reusable body-encode scratch (see [`encode_message_into`]).
+    scratch_body: Vec<u8>,
+    /// Reusable frame-build scratch for [`MsgStream::send`].
+    scratch_frame: Vec<u8>,
     /// Bytes written to the socket.
     pub bytes_sent: u64,
     /// Bytes read from the socket.
     pub bytes_received: u64,
+    /// Uncompressed body bytes serialized into sent messages (framing and
+    /// compression excluded) — the pre-compression bytes-on-wire figure.
+    pub body_bytes_sent: u64,
+    /// Uncompressed body bytes carried by received messages.
+    pub body_bytes_received: u64,
 }
 
 impl MsgStream {
@@ -278,12 +372,40 @@ impl MsgStream {
         stream
             .set_nodelay(true)
             .map_err(|e| ServiceError::Net(format!("set_nodelay: {e}")))?;
-        Ok(MsgStream { stream, buf: Vec::new(), pos: 0, bytes_sent: 0, bytes_received: 0 })
+        Ok(MsgStream {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+            codec: Codec::default(),
+            last_recv_codec: Codec::default(),
+            scratch_body: Vec::new(),
+            scratch_frame: Vec::new(),
+            bytes_sent: 0,
+            bytes_received: 0,
+            body_bytes_sent: 0,
+            body_bytes_received: 0,
+        })
     }
 
     /// The underlying stream (for timeouts and shutdown).
     pub fn stream(&self) -> &TcpStream {
         &self.stream
+    }
+
+    /// Sets the codec for outgoing messages.
+    pub fn set_codec(&mut self, codec: Codec) {
+        self.codec = codec;
+    }
+
+    /// The codec used for outgoing messages.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// The codec of the most recently received message. Servers answer in
+    /// this format so each client converses in the codec it chose.
+    pub fn last_recv_codec(&self) -> Codec {
+        self.last_recv_codec
     }
 
     /// Writes pre-encoded frame bytes (possibly several concatenated
@@ -296,10 +418,24 @@ impl MsgStream {
         Ok(())
     }
 
-    /// Encodes and writes one message.
+    /// Encodes and writes one message in the stream's codec, reusing the
+    /// stream-owned scratch buffers (no per-message allocation at steady
+    /// state).
     pub fn send<T: Serialize>(&mut self, value: &T, compress: bool) -> ServiceResult<()> {
-        let frame = encode_message(value, compress)?;
-        self.send_bytes(&frame)
+        let mut frame = std::mem::take(&mut self.scratch_frame);
+        let mut body = std::mem::take(&mut self.scratch_body);
+        frame.clear();
+        let encoded = encode_message_into(value, self.codec, compress, &mut body, &mut frame);
+        self.scratch_body = body;
+        let res = match encoded {
+            Ok(body_len) => {
+                self.body_bytes_sent += body_len as u64;
+                self.send_bytes(&frame)
+            }
+            Err(e) => Err(e),
+        };
+        self.scratch_frame = frame;
+        res
     }
 
     /// Reads the next whole message, blocking (subject to the stream's read
@@ -307,9 +443,11 @@ impl MsgStream {
     /// error: this protocol has no unsolicited hangups.
     pub fn recv<T: Deserialize>(&mut self) -> ServiceResult<T> {
         loop {
-            match decode_message::<T>(&self.buf[self.pos..]) {
-                Ok((value, consumed)) => {
-                    self.pos += consumed;
+            match decode_message_full::<T>(&self.buf[self.pos..]) {
+                Ok(decoded) => {
+                    self.pos += decoded.consumed;
+                    self.last_recv_codec = decoded.codec;
+                    self.body_bytes_received += decoded.body_len as u64;
                     if self.pos == self.buf.len() {
                         self.buf.clear();
                         self.pos = 0;
@@ -317,7 +455,7 @@ impl MsgStream {
                         self.buf.drain(..self.pos);
                         self.pos = 0;
                     }
-                    return Ok(value);
+                    return Ok(decoded.value);
                 }
                 Err(FrameError::Corrupt) => {
                     return Err(ServiceError::Net("corrupt frame on socket".into()));

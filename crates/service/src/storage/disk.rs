@@ -107,6 +107,12 @@ pub struct DiskConfig {
     /// `commit_wait` pipelining). Acks still publish only after the epoch's
     /// fsync lands; this only overlaps the wait with worker round-trips.
     pub pipeline_fsync: bool,
+    /// Payload format for newly written WAL records and checkpoints.
+    /// Reading always sniffs the format per frame, so directories written
+    /// under one codec recover under the other; this knob only picks what
+    /// new frames look like. `Binary` is the default; `Json` is the slower
+    /// conformance oracle (`--codec json`).
+    pub codec: frame::Codec,
 }
 
 impl DiskConfig {
@@ -121,6 +127,7 @@ impl DiskConfig {
             io_retries: 4,
             io_backoff: Duration::from_micros(500),
             pipeline_fsync: true,
+            codec: frame::Codec::default(),
         }
     }
 
@@ -156,6 +163,7 @@ struct Counters {
     commits: AtomicU64,
     fsyncs: AtomicU64,
     bytes_written: AtomicU64,
+    payload_bytes: AtomicU64,
     segments_created: AtomicU64,
     checkpoints_written: AtomicU64,
     checkpoints_pruned: AtomicU64,
@@ -290,6 +298,7 @@ impl StorageBackend for DiskBackend {
             commits: c.commits.load(Ordering::Relaxed),
             fsyncs: c.fsyncs.load(Ordering::Relaxed),
             bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            payload_bytes: c.payload_bytes.load(Ordering::Relaxed),
             segments_created: c.segments_created.load(Ordering::Relaxed),
             checkpoints_written: c.checkpoints_written.load(Ordering::Relaxed),
             checkpoints_pruned: c.checkpoints_pruned.load(Ordering::Relaxed),
@@ -852,9 +861,8 @@ impl DiskStore {
         if !missed.is_empty() {
             let mut buf = Vec::new();
             for record in &missed {
-                match frame::encode_value(record) {
-                    Ok(frame) => buf.extend_from_slice(&frame),
-                    Err(_) => return, // unencodable record: stay degraded
+                if frame::encode_value_into(record, self.config.codec, &mut buf).is_err() {
+                    return; // unencodable record: stay degraded
                 }
             }
             if self.write_to_segment(self.written_end, &buf, missed.len() as u64).is_err() {
@@ -938,8 +946,13 @@ impl ShardStore for DiskStore {
             if self.staged_records == 0 {
                 self.staged_start = offset;
             }
-            let frame = frame::encode_value(record)?;
-            self.staged.extend_from_slice(&frame);
+            // Encode straight into the staging buffer: the group-commit
+            // path allocates nothing per record (the buffer is reused
+            // across commits once it reaches steady-state capacity).
+            let before = self.staged.len();
+            frame::encode_value_into(record, self.config.codec, &mut self.staged)?;
+            let payload = self.staged.len() - before - frame::FRAME_HEADER;
+            self.counters.payload_bytes.fetch_add(payload as u64, Ordering::Relaxed);
             self.staged_records += 1;
         }
         Ok(offset)
@@ -1060,7 +1073,10 @@ impl ShardStore for DiskStore {
         self.commit()?;
         let offset = checkpoint.wal_offset;
         if !self.wedged && !self.degraded {
-            let bytes = frame::encode_value(&checkpoint)?;
+            let bytes = frame::encode_value_with(&checkpoint, self.config.codec)?;
+            self.counters
+                .payload_bytes
+                .fetch_add((bytes.len() - frame::FRAME_HEADER) as u64, Ordering::Relaxed);
             if self.write_checkpoint_file(offset, &bytes).is_err() {
                 // Checkpoint IO failures degrade like commit failures: the
                 // in-memory window below still adopts the checkpoint, so

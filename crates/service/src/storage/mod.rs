@@ -127,6 +127,12 @@ pub struct StorageStats {
     pub fsyncs: u64,
     /// WAL bytes written, including frame headers.
     pub bytes_written: u64,
+    /// Serialized payload bytes produced for WAL records and checkpoints
+    /// (framing excluded) — the bytes-on-disk figure that moves when the
+    /// codec changes, next to `bytes_written` which adds framing and
+    /// rewrite amplification.
+    #[serde(default)]
+    pub payload_bytes: u64,
     /// WAL segment files created.
     pub segments_created: u64,
     /// Checkpoint files written.
@@ -171,13 +177,14 @@ impl fmt::Display for StorageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "storage[{}]: {} commits, {} fsyncs, {} bytes, {} segments \
-             (-{} gc'd, {} B), {} ckpts (+{} pruned), heal {}r/{}q/{}d/{}h, \
-             cache {}h/{}m/{}c/{}e",
+            "storage[{}]: {} commits, {} fsyncs, {} bytes ({} payload), \
+             {} segments (-{} gc'd, {} B), {} ckpts (+{} pruned), \
+             heal {}r/{}q/{}d/{}h, cache {}h/{}m/{}c/{}e",
             self.backend,
             self.commits,
             self.fsyncs,
             self.bytes_written,
+            self.payload_bytes,
             self.segments_created,
             self.wal_segments_reclaimed,
             self.wal_bytes_reclaimed,

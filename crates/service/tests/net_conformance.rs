@@ -96,6 +96,7 @@ fn sink_config() -> SinkConfig {
         compress: false,
         parties: 1,
         max_inflight: 4,
+        ..SinkConfig::default()
     }
 }
 

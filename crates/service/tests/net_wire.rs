@@ -19,10 +19,10 @@
 use proptest::prelude::*;
 use rrs_core::ColorId;
 use rrs_service::net::wire::{
-    self, decode_message, encode_message, packbits_compress, packbits_decompress, MsgStream,
-    Request, Response,
+    self, decode_message, decode_message_full, encode_message, encode_message_with,
+    packbits_compress, packbits_decompress, MsgStream, Request, Response,
 };
-use rrs_service::storage::frame::FrameError;
+use rrs_service::storage::frame::{Codec, FrameError};
 use rrs_service::RetryPolicy;
 use std::io::Write;
 use std::time::Duration;
@@ -110,6 +110,48 @@ proptest! {
         }
     }
 
+    /// The binary codec gets the same round-trip guarantee as JSON, in all
+    /// four flag combinations, and the decoder reports which codec the
+    /// frame used (the server answers in kind).
+    #[test]
+    fn binary_frames_round_trip_and_self_describe(
+        req in request_strategy(),
+        compress in 0u8..2,
+    ) {
+        let compress = compress == 1;
+        let frame = encode_message_with(&req, Codec::Binary, compress).unwrap();
+        let decoded = decode_message_full::<Request>(&frame).unwrap();
+        prop_assert_eq!(decoded.consumed, frame.len());
+        prop_assert_eq!(decoded.codec, Codec::Binary);
+        prop_assert_eq!(decoded.value, req);
+    }
+
+    /// A JSON frame still reports Json after the binary codec became the
+    /// default — the bit, not a negotiation, decides.
+    #[test]
+    fn json_frames_still_decode_as_json(resp in response_strategy()) {
+        let frame = encode_message(&resp, false).unwrap();
+        let decoded = decode_message_full::<Response>(&frame).unwrap();
+        prop_assert_eq!(decoded.codec, Codec::Json);
+        prop_assert_eq!(decoded.value, resp);
+    }
+
+    #[test]
+    fn binary_single_byte_flips_never_forge_a_message(
+        req in request_strategy(),
+        pos_seed in 0usize..usize::MAX,
+        bit in 0u8..8,
+    ) {
+        let frame = encode_message_with(&req, Codec::Binary, false).unwrap();
+        let mut bent = frame.clone();
+        let pos = pos_seed % bent.len();
+        bent[pos] ^= 1 << bit;
+        match decode_message::<Request>(&bent) {
+            Ok((back, _)) => prop_assert_eq!(back, req, "flipped byte {} forged a message", pos),
+            Err(FrameError::Corrupt) | Err(FrameError::Torn) => {}
+        }
+    }
+
     #[test]
     fn packbits_round_trips(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
         let packed = packbits_compress(&bytes);
@@ -156,8 +198,9 @@ fn packbits_rejects_truncated_streams() {
 
 #[test]
 fn unknown_flag_bits_are_corrupt() {
+    // 0b01 is PackBits and 0b10 is the binary codec; 0b100 is undefined.
     let mut frame = Vec::new();
-    let payload = [0b0000_0010u8, b'0']; // undefined flag bit set
+    let payload = [0b0000_0100u8, b'0'];
     rrs_service::storage::frame::encode_frame(&payload, &mut frame);
     assert!(matches!(
         decode_message::<Request>(&frame),
@@ -183,6 +226,36 @@ fn absurd_length_prefix_is_rejected_not_buffered() {
     let err = msgs.recv::<Request>().unwrap_err();
     assert!(err.to_string().contains("exceeds cap"), "{err}");
     drop(writer.join().unwrap());
+}
+
+/// A stream switching codecs mid-connection is fine: the receiver reports
+/// each frame's codec, so a server can always answer in kind. Also pins
+/// the body-byte accounting both sides of a sink report.
+#[test]
+fn msg_stream_reports_per_frame_codec_and_body_bytes() {
+    use std::net::TcpListener;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut msgs = MsgStream::new(std::net::TcpStream::connect(addr).unwrap()).unwrap();
+        msgs.set_codec(Codec::Binary);
+        msgs.send(&Request::Tick { epoch: 1, parties: 1 }, false).unwrap();
+        msgs.set_codec(Codec::Json);
+        msgs.send(&Request::Stats, true).unwrap();
+        (msgs.body_bytes_sent, msgs)
+    });
+    let (conn, _) = listener.accept().unwrap();
+    let mut msgs = MsgStream::new(conn).unwrap();
+    let first: Request = msgs.recv().unwrap();
+    assert_eq!(first, Request::Tick { epoch: 1, parties: 1 });
+    assert_eq!(msgs.last_recv_codec(), Codec::Binary);
+    let second: Request = msgs.recv().unwrap();
+    assert_eq!(second, Request::Stats);
+    assert_eq!(msgs.last_recv_codec(), Codec::Json);
+    let (sent, sender) = writer.join().unwrap();
+    assert_eq!(sent, msgs.body_bytes_received, "both ends count the same body bytes");
+    assert!(sent > 0);
+    drop(sender);
 }
 
 /// A frame delivered one byte at a time reassembles: Torn means "keep

@@ -83,10 +83,78 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Streaming serialization sink: one call per data-model node.
+///
+/// [`Serialize::emit`] walks a value and fires these events in depth-first
+/// order, letting binary codecs encode *without* materializing a [`Value`]
+/// tree — the tree costs one allocation per string key and per container,
+/// which is exactly what a hot encode path cannot afford. The event stream
+/// mirrors the tree shape one-to-one: whatever `emit` produces, decoding it
+/// back into a `Value` must equal `to_value()`'s output (the derive macro
+/// and the impls below maintain this invariant; codecs and their tests rely
+/// on it).
+pub trait Emit {
+    /// A `Value::Null`.
+    fn null(&mut self);
+    /// A `Value::Bool`.
+    fn bool(&mut self, b: bool);
+    /// A `Value::U64`.
+    fn u64(&mut self, x: u64);
+    /// A `Value::I64` (negative numbers only, mirroring `to_value`).
+    fn i64(&mut self, x: i64);
+    /// A `Value::F64`.
+    fn f64(&mut self, x: f64);
+    /// A `Value::Str`.
+    fn str(&mut self, s: &str);
+    /// Opens a `Value::Array` of exactly `len` elements, whose events
+    /// follow immediately.
+    fn seq(&mut self, len: usize);
+    /// Opens a `Value::Object` of exactly `len` pairs; each pair is one
+    /// [`Emit::key`] call followed by the value's events.
+    fn map(&mut self, len: usize);
+    /// An object key (only ever between `map` and its values).
+    fn key(&mut self, key: &str);
+}
+
+/// Streams a [`Value`] tree into an [`Emit`] sink — the bridge that lets
+/// hand-written `Serialize` impls (which only provide `to_value`) work with
+/// streaming codecs via the default [`Serialize::emit`].
+pub fn emit_value(v: &Value, out: &mut dyn Emit) {
+    match v {
+        Value::Null => out.null(),
+        Value::Bool(b) => out.bool(*b),
+        Value::U64(x) => out.u64(*x),
+        Value::I64(x) => out.i64(*x),
+        Value::F64(x) => out.f64(*x),
+        Value::Str(s) => out.str(s),
+        Value::Array(items) => {
+            out.seq(items.len());
+            for item in items {
+                emit_value(item, out);
+            }
+        }
+        Value::Object(pairs) => {
+            out.map(pairs.len());
+            for (k, item) in pairs {
+                out.key(k);
+                emit_value(item, out);
+            }
+        }
+    }
+}
+
 /// Serializes `self` into a [`Value`] tree.
 pub trait Serialize {
     /// Converts to the shim's data model.
     fn to_value(&self) -> Value;
+
+    /// Streams `self` into `out` without building a tree. The default
+    /// routes through [`Serialize::to_value`]; the derive macro and the
+    /// std impls below override it with direct walks. The event stream is
+    /// always shape-identical to the `to_value()` tree.
+    fn emit(&self, out: &mut dyn Emit) {
+        emit_value(&self.to_value(), out)
+    }
 }
 
 /// Reconstructs `Self` from a [`Value`] tree.
@@ -104,6 +172,9 @@ macro_rules! impl_uint {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::U64(*self as u64)
+            }
+            fn emit(&self, out: &mut dyn Emit) {
+                out.u64(*self as u64)
             }
         }
         impl Deserialize for $t {
@@ -137,6 +208,14 @@ macro_rules! impl_int {
                     Value::I64(x)
                 }
             }
+            fn emit(&self, out: &mut dyn Emit) {
+                let x = *self as i64;
+                if x >= 0 {
+                    out.u64(x as u64)
+                } else {
+                    out.i64(x)
+                }
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -161,6 +240,9 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.f64(*self)
+    }
 }
 
 impl Deserialize for f64 {
@@ -178,6 +260,9 @@ impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::F64(*self as f64)
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.f64(*self as f64)
+    }
 }
 
 impl Deserialize for f32 {
@@ -189,6 +274,9 @@ impl Deserialize for f32 {
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.bool(*self)
     }
 }
 
@@ -205,6 +293,9 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.str(self)
+    }
 }
 
 impl Deserialize for String {
@@ -220,11 +311,18 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.str(self)
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    fn emit(&self, out: &mut dyn Emit) {
+        let mut buf = [0u8; 4];
+        out.str(self.encode_utf8(&mut buf))
     }
 }
 
@@ -246,6 +344,12 @@ impl<T: Serialize> Serialize for Option<T> {
             Some(x) => x.to_value(),
         }
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        match self {
+            None => out.null(),
+            Some(x) => x.emit(out),
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -260,6 +364,12 @@ impl<T: Deserialize> Deserialize for Option<T> {
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for x in self {
+            x.emit(out);
+        }
     }
 }
 
@@ -277,6 +387,12 @@ impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for x in self {
+            x.emit(out);
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
@@ -293,17 +409,32 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for x in self {
+            x.emit(out);
+        }
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(N);
+        for x in self {
+            x.emit(out);
+        }
+    }
 }
 
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+    fn emit(&self, out: &mut dyn Emit) {
+        (**self).emit(out)
     }
 }
 
@@ -318,6 +449,10 @@ macro_rules! impl_tuple {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$i.to_value()),+])
+            }
+            fn emit(&self, out: &mut dyn Emit) {
+                out.seq([$($i),+].len());
+                $(self.$i.emit(out);)+
             }
         }
         impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
@@ -349,6 +484,14 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
                 .collect(),
         )
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for (k, v) in self {
+            out.seq(2);
+            k.emit(out);
+            v.emit(out);
+        }
+    }
 }
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
@@ -376,6 +519,14 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
                 .collect(),
         )
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for (k, v) in self {
+            out.seq(2);
+            k.emit(out);
+            v.emit(out);
+        }
+    }
 }
 
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
@@ -399,6 +550,12 @@ impl<T: Serialize> Serialize for BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for x in self {
+            x.emit(out);
+        }
+    }
 }
 
 impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
@@ -415,6 +572,12 @@ impl<T: Serialize> Serialize for HashSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn emit(&self, out: &mut dyn Emit) {
+        out.seq(self.len());
+        for x in self {
+            x.emit(out);
+        }
+    }
 }
 
 impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
@@ -430,6 +593,9 @@ impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+    fn emit(&self, out: &mut dyn Emit) {
+        emit_value(self, out)
     }
 }
 

@@ -301,20 +301,34 @@ fn gen_serialize(item: &Item) -> String {
                 Shape::Tuple(fields) => ser_tuple_body(fields, |f| format!("&self.{}", f.name)),
                 Shape::Named(fields) => ser_named_body(fields, |f| format!("&self.{}", f.name)),
             };
+            let emit_body = match shape {
+                Shape::Unit => "__out.null();".to_string(),
+                Shape::Tuple(fields) => {
+                    emit_tuple_body(fields, |f| format!("&self.{}", f.name))
+                }
+                Shape::Named(fields) => {
+                    emit_named_body(fields, |f| format!("&self.{}", f.name))
+                }
+            };
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                     fn emit(&self, __out: &mut dyn ::serde::Emit) {{ {emit_body} }}\n\
                  }}"
             )
         }
         Item::Enum { name, variants } => {
             let mut arms = String::new();
+            let mut emit_arms = String::new();
             for v in variants {
                 let vn = &v.name;
                 match &v.shape {
                     Shape::Unit => {
                         arms.push_str(&format!(
                             "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                        emit_arms.push_str(&format!(
+                            "{name}::{vn} => {{ __out.str(\"{vn}\"); }}\n"
                         ));
                     }
                     Shape::Tuple(fields) => {
@@ -333,13 +347,26 @@ fn gen_serialize(item: &Item) -> String {
                             "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
                             binders.join(", ")
                         ));
+                        let emit_payload = if fields.len() == 1 {
+                            "::serde::Serialize::emit(__f0, __out);".to_string()
+                        } else {
+                            let calls: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::emit({b}, __out);"))
+                                .collect();
+                            format!("__out.seq({}); {}", binders.len(), calls.join(" "))
+                        };
+                        emit_arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ __out.map(1); __out.key(\"{vn}\"); {emit_payload} }}\n",
+                            binders.join(", ")
+                        ));
                     }
                     Shape::Named(fields) => {
                         let binders: Vec<String> =
                             fields.iter().map(|f| f.name.clone()).collect();
-                        let items: Vec<String> = fields
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let items: Vec<String> = live
                             .iter()
-                            .filter(|f| !f.skip)
                             .map(|f| {
                                 format!(
                                     "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
@@ -352,12 +379,28 @@ fn gen_serialize(item: &Item) -> String {
                             binders.join(", "),
                             items.join(", ")
                         ));
+                        let calls: Vec<String> = live
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__out.key(\"{0}\"); ::serde::Serialize::emit({0}, __out);",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        emit_arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ __out.map(1); __out.key(\"{vn}\"); __out.map({}); {} }}\n",
+                            binders.join(", "),
+                            live.len(),
+                            calls.join(" ")
+                        ));
                     }
                 }
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                     fn emit(&self, __out: &mut dyn ::serde::Emit) {{ match self {{ {emit_arms} }} }}\n\
                  }}"
             )
         }
@@ -390,6 +433,38 @@ fn ser_tuple_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String
             .map(|f| format!("::serde::Serialize::to_value({})", access(f)))
             .collect();
         format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    }
+}
+
+/// `emit` body for a named-field struct: shape-identical to
+/// [`ser_named_body`]'s tree (`map` of the non-skipped fields in order).
+fn emit_named_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    let calls: Vec<String> = live
+        .iter()
+        .map(|f| {
+            format!(
+                "__out.key(\"{}\"); ::serde::Serialize::emit({}, __out);",
+                f.name,
+                access(f)
+            )
+        })
+        .collect();
+    format!("__out.map({}); {}", live.len(), calls.join(" "))
+}
+
+/// `emit` body for a tuple struct: newtype transparent, otherwise a seq —
+/// mirroring [`ser_tuple_body`].
+fn emit_tuple_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if live.len() == 1 {
+        format!("::serde::Serialize::emit({}, __out);", access(live[0]))
+    } else {
+        let calls: Vec<String> = live
+            .iter()
+            .map(|f| format!("::serde::Serialize::emit({}, __out);", access(f)))
+            .collect();
+        format!("__out.seq({}); {}", live.len(), calls.join(" "))
     }
 }
 
